@@ -1,0 +1,119 @@
+// Command ftmctl inspects and drives resilientd replicas over their
+// management plane.
+//
+//	ftmctl -target 127.0.0.1:7001 status
+//	ftmctl -target 127.0.0.1:7001 arch
+//	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
+//	ftmctl -target 127.0.0.1:7001 invoke add:x 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/mgmt"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		target = flag.String("target", "127.0.0.1:7001", "replica to address")
+		peer   = flag.String("peer", "", "second replica (transitions apply to both)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|transition <ftm>|invoke <op> <arg>")
+	}
+
+	ep, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	targets := []transport.Address{transport.Address(*target)}
+	if *peer != "" {
+		targets = append(targets, transport.Address(*peer))
+	}
+
+	switch args[0] {
+	case "status":
+		for _, addr := range targets {
+			st, err := mgmt.QueryStatus(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			fmt.Printf("%s: system=%s ftm=%s role=%s\n", st.Host, st.System, st.FTM, st.Role)
+			fmt.Printf("  scheme: before=%s proceed=%s after=%s\n",
+				st.Scheme.Before, st.Scheme.Proceed, st.Scheme.After)
+			for _, e := range st.Events {
+				fmt.Printf("  event: %s\n", e)
+			}
+		}
+	case "arch":
+		for _, addr := range targets {
+			arch, err := mgmt.QueryArchitecture(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			fmt.Println(arch)
+		}
+	case "transition":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: ftmctl transition <ftm>")
+		}
+		to := core.ID(args[1])
+		if _, err := core.Lookup(to); err != nil {
+			return err
+		}
+		for _, addr := range targets {
+			out, err := mgmt.RequestTransition(ctx, ep, addr, to)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			fmt.Printf("%s: %s -> %s replaced %v (deploy %dµs, script %dµs, remove %dµs)\n",
+				addr, out.From, out.To, out.Replaced, out.DeployUS, out.ScriptUS, out.RemoveUS)
+		}
+	case "invoke":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: ftmctl invoke <op> <arg>")
+		}
+		arg, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad argument %q: %w", args[2], err)
+		}
+		// Each ftmctl run is a fresh client: a unique identity keeps the
+		// service's at-most-once reply log from replaying an earlier
+		// process's requests.
+		client := rpc.NewClient(fmt.Sprintf("ftmctl-%d-%d", os.Getpid(), time.Now().UnixNano()), ep, targets)
+		resp, err := client.Invoke(ctx, args[1], ftm.EncodeArg(arg))
+		if err != nil {
+			return err
+		}
+		v, err := ftm.DecodeResult(resp.Payload)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %d -> %d\n", args[1], arg, v)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command resilientd runs one replica of a fault-tolerant application
+// over real TCP: the daemon a deployment starts on each of the two hosts.
+//
+// Start a primary and a backup:
+//
+//	resilientd -listen 127.0.0.1:7001 -peer 127.0.0.1:7002 -role master -ftm pbr &
+//	resilientd -listen 127.0.0.1:7002 -peer 127.0.0.1:7001 -role slave  -ftm pbr &
+//
+// Then drive it with ftmctl (status, transitions, application calls).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"resilientft/internal/adaptation"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/mgmt"
+	"resilientft/internal/stablestore"
+	"resilientft/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		peer      = flag.String("peer", "", "peer replica address (empty for single-host FTMs)")
+		members   = flag.String("members", "", "comma-separated full membership for multi-replica groups (rank order, master first)")
+		system    = flag.String("system", "calc", "protected application name")
+		ftmFlag   = flag.String("ftm", "pbr", "initial FTM (pbr, lfr, tr, pbr_tr, lfr_tr, a_pbr, a_lfr)")
+		role      = flag.String("role", "master", "initial role (master or slave)")
+		storePath = flag.String("store", "", "stable-storage file (empty = in-memory)")
+		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
+		suspect   = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
+	)
+	flag.Parse()
+
+	if _, err := core.Lookup(core.ID(*ftmFlag)); err != nil {
+		return err
+	}
+	ep, err := transport.ListenTCP(*listen)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	var opts []host.Option
+	if *storePath != "" {
+		opts = append(opts, host.WithStore(stablestore.NewFileStore(*storePath)))
+	}
+	h, err := host.NewWithEndpoint(string(ep.Addr()), ep, ftm.NewRegistry(), opts...)
+	if err != nil {
+		return err
+	}
+
+	var memberList []transport.Address
+	if *members != "" {
+		for _, m := range strings.Split(*members, ",") {
+			m = strings.TrimSpace(m)
+			if m != "" {
+				memberList = append(memberList, transport.Address(m))
+			}
+		}
+	}
+
+	ctx := context.Background()
+	replica, err := ftm.NewReplica(ctx, h, ftm.ReplicaConfig{
+		System:            *system,
+		FTM:               core.ID(*ftmFlag),
+		Role:              core.Role(*role),
+		Peer:              transport.Address(*peer),
+		Members:           memberList,
+		App:               ftm.NewCalculator(),
+		HeartbeatInterval: *heartbeat,
+		SuspectTimeout:    *suspect,
+	}, ftm.WithEventHook(func(e string) {
+		log.Printf("[%s] %s", *system, e)
+	}))
+	if err != nil {
+		return err
+	}
+	mgmt.Serve(ep, replica, adaptation.NewEngine(nil))
+
+	fmt.Printf("resilientd: %s %s/%s listening on %s (peer %s)\n",
+		*system, *ftmFlag, *role, ep.Addr(), *peer)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("resilientd: shutting down")
+	h.Crash()
+	return nil
+}

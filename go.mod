@@ -1,0 +1,3 @@
+module resilientft
+
+go 1.22

@@ -1,0 +1,174 @@
+package adaptation
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
+)
+
+// TestCrashDuringTransitionCampaign is a seeded fault-injection campaign:
+// while a system-wide transition runs, one host crashes after a random
+// delay. Whatever the interleaving, the campaign requires that (a) the
+// surviving replica ends up serving clients, (b) no acknowledged write is
+// lost, and (c) a restarted replica rejoins in the committed
+// configuration.
+func TestCrashDuringTransitionCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign is slow")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		delay := time.Duration(rng.Intn(1200)) * time.Microsecond
+		crashMaster := rng.Intn(2) == 0
+		t.Run(time.Duration(delay).String(), func(t *testing.T) {
+			sys, err := ftm.NewSystem(context.Background(), ftm.SystemConfig{
+				System:            "campaign",
+				FTM:               core.PBR,
+				HeartbeatInterval: 5 * time.Millisecond,
+				SuspectTimeout:    30 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sys.Shutdown()
+			client, err := sys.NewClient(rpc.WithCallTimeout(time.Second), rpc.WithMaxRounds(50))
+			if err != nil {
+				t.Fatal(err)
+			}
+			invoke(t, client, "set:x", int64(trial))
+
+			victim := sys.Master()
+			if !crashMaster {
+				victim = sys.Slave()
+			}
+			engine := NewEngine(nil)
+			done := make(chan error, 1)
+			go func() {
+				_, err := engine.TransitionSystem(context.Background(), sys, core.LFR)
+				done <- err
+			}()
+			time.Sleep(delay)
+			victim.Host().Crash()
+			<-done // the transition completes or reports the dead replica
+
+			// (a) someone serves, (b) the acknowledged write survived.
+			deadline := time.Now().Add(10 * time.Second)
+			var got int64 = -1
+			for time.Now().Before(deadline) {
+				resp, err := client.Invoke(context.Background(), "get:x", ftm.EncodeArg(0))
+				if err == nil {
+					got, _ = ftm.DecodeResult(resp.Payload)
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if got != int64(trial) {
+				t.Fatalf("acknowledged write lost: got %d, want %d", got, trial)
+			}
+
+			// (c) the crashed replica restarts into the survivor's FTM.
+			idx := -1
+			for i, r := range sys.Replicas() {
+				if r == victim {
+					idx = i
+				}
+			}
+			rejoined, err := sys.RestartReplica(context.Background(), idx)
+			if err != nil {
+				t.Fatalf("rejoin: %v", err)
+			}
+			if m := sys.Master(); m != nil && rejoined.FTM() != m.FTM() {
+				t.Fatalf("rejoined in %s, survivor runs %s", rejoined.FTM(), m.FTM())
+			}
+			// The rejoined pair still serves and makes progress.
+			resp, err := client.Invoke(context.Background(), "add:x", ftm.EncodeArg(1))
+			if err != nil {
+				t.Fatalf("post-rejoin request: %v", err)
+			}
+			v, _ := ftm.DecodeResult(resp.Payload)
+			if v != int64(trial)+1 {
+				t.Fatalf("post-rejoin add = %d, want %d", v, trial+1)
+			}
+		})
+	}
+}
+
+// TestRepeatedTransitionsUnderWorkload drives a mixed read/write workload
+// through a chain of transitions covering the whole deployable set and
+// checks every result against the workload's shadow model.
+func TestRepeatedTransitionsUnderWorkload(t *testing.T) {
+	sys, err := ftm.NewSystem(context.Background(), ftm.SystemConfig{
+		System:            "chain",
+		FTM:               core.PBR,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	client, err := sys.NewClient(rpc.WithCallTimeout(5 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(nil)
+
+	// A deterministic mixed workload with its shadow model.
+	type op struct {
+		name     string
+		arg      int64
+		expected int64
+	}
+	model := map[string]int64{}
+	rng := rand.New(rand.NewSource(99))
+	nextOp := func() op {
+		reg := []string{"a", "b", "c"}[rng.Intn(3)]
+		arg := int64(rng.Intn(100))
+		switch rng.Intn(3) {
+		case 0:
+			model[reg] = arg
+			return op{"set:" + reg, arg, arg}
+		case 1:
+			model[reg] += arg
+			return op{"add:" + reg, arg, model[reg]}
+		default:
+			return op{"get:" + reg, 0, model[reg]}
+		}
+	}
+
+	chain := []core.ID{core.LFR, core.LFRTR, core.ALFR, core.APBR, core.PBRTR, core.PBR}
+	for _, next := range chain {
+		for i := 0; i < 10; i++ {
+			o := nextOp()
+			resp, err := client.Invoke(context.Background(), o.name, ftm.EncodeArg(o.arg))
+			if err != nil {
+				t.Fatalf("under %s before %s: %s: %v", sys.Master().FTM(), next, o.name, err)
+			}
+			got, _ := ftm.DecodeResult(resp.Payload)
+			if got != o.expected {
+				t.Fatalf("under %s: %s %d = %d, want %d", sys.Master().FTM(), o.name, o.arg, got, o.expected)
+			}
+		}
+		if _, err := engine.TransitionSystem(context.Background(), sys, next); err != nil {
+			t.Fatalf("transition to %s: %v", next, err)
+		}
+	}
+	// Final read-back of the whole model.
+	for reg, want := range model {
+		resp, err := client.Invoke(context.Background(), "get:"+reg, ftm.EncodeArg(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := ftm.DecodeResult(resp.Payload)
+		if got != want {
+			t.Fatalf("final state %s = %d, want %d", reg, got, want)
+		}
+	}
+}

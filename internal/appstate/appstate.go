@@ -1,0 +1,141 @@
+// Package appstate provides application state management for
+// checkpointing-based fault tolerance: the StateManager capture/restore
+// contract (the paper's state-access characteristic A), a concrete
+// register-file state, and checkpoint containers.
+package appstate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"resilientft/internal/transport"
+)
+
+// ErrNoAccess reports an application that does not expose its state
+// (checkpointing-based strategies are invalid for it, per Table 1).
+var ErrNoAccess = errors.New("appstate: application state not accessible")
+
+// Manager is the StateManager contract of the paper: the hook an
+// application exposes so FTMs can capture and restore its state.
+type Manager interface {
+	// CaptureState serializes the current application state.
+	CaptureState() ([]byte, error)
+	// RestoreState replaces the application state with a capture.
+	RestoreState(data []byte) error
+}
+
+// Registers is a deterministic register-file application state: named
+// int64 registers. It is the state container of the example applications
+// and workload generators.
+type Registers struct {
+	mu   sync.Mutex
+	regs map[string]int64
+}
+
+// NewRegisters returns an empty register file.
+func NewRegisters() *Registers {
+	return &Registers{regs: make(map[string]int64)}
+}
+
+var _ Manager = (*Registers)(nil)
+
+// Get returns the value of a register (0 when never written).
+func (r *Registers) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.regs[name]
+}
+
+// Set writes a register.
+func (r *Registers) Set(name string, v int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regs[name] = v
+}
+
+// Add increments a register and returns the new value.
+func (r *Registers) Add(name string, delta int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regs[name] += delta
+	return r.regs[name]
+}
+
+// Names returns the register names, sorted.
+func (r *Registers) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.regs))
+	for k := range r.regs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot is the serialized form of Registers.
+type snapshot struct {
+	Regs map[string]int64
+}
+
+// CaptureState serializes the register file.
+func (r *Registers) CaptureState() ([]byte, error) {
+	r.mu.Lock()
+	regs := make(map[string]int64, len(r.regs))
+	for k, v := range r.regs {
+		regs[k] = v
+	}
+	r.mu.Unlock()
+	return transport.Encode(snapshot{Regs: regs})
+}
+
+// RestoreState replaces the register file with a capture.
+func (r *Registers) RestoreState(data []byte) error {
+	var s snapshot
+	if err := transport.Decode(data, &s); err != nil {
+		return fmt.Errorf("appstate: restore: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.regs = make(map[string]int64, len(s.Regs))
+	for k, v := range s.Regs {
+		r.regs[k] = v
+	}
+	return nil
+}
+
+// Opaque is a Manager over state the application refuses to expose: both
+// operations fail with ErrNoAccess. Attaching a checkpointing FTM to such
+// an application is the inconsistency Table 1 forbids, and tests use this
+// to verify the consistency checker catches it.
+type Opaque struct{}
+
+var _ Manager = Opaque{}
+
+// CaptureState always fails.
+func (Opaque) CaptureState() ([]byte, error) { return nil, ErrNoAccess }
+
+// RestoreState always fails.
+func (Opaque) RestoreState([]byte) error { return ErrNoAccess }
+
+// Checkpoint is what a passive-replication master ships to its slave: the
+// application state paired with the reply-log snapshot that preserves
+// at-most-once semantics across failover, and the sequence number of the
+// last request folded into the state.
+type Checkpoint struct {
+	AppState []byte
+	ReplyLog []byte
+	LastSeq  uint64
+}
+
+// EncodeCheckpoint serializes a checkpoint for transmission.
+func EncodeCheckpoint(cp Checkpoint) ([]byte, error) { return transport.Encode(cp) }
+
+// DecodeCheckpoint deserializes a checkpoint.
+func DecodeCheckpoint(data []byte) (Checkpoint, error) {
+	var cp Checkpoint
+	err := transport.Decode(data, &cp)
+	return cp, err
+}

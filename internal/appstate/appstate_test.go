@@ -1,0 +1,123 @@
+package appstate
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistersBasicOps(t *testing.T) {
+	r := NewRegisters()
+	if got := r.Get("x"); got != 0 {
+		t.Fatalf("Get on fresh register = %d", got)
+	}
+	r.Set("x", 10)
+	if got := r.Add("x", 5); got != 15 {
+		t.Fatalf("Add = %d, want 15", got)
+	}
+	r.Set("y", -1)
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	r := NewRegisters()
+	r.Set("a", 1)
+	r.Set("b", 2)
+	data, err := r.CaptureState()
+	if err != nil {
+		t.Fatalf("CaptureState: %v", err)
+	}
+	r.Set("a", 99)
+	r.Set("c", 3)
+	if err := r.RestoreState(data); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if r.Get("a") != 1 || r.Get("b") != 2 || r.Get("c") != 0 {
+		t.Fatalf("restored state wrong: a=%d b=%d c=%d", r.Get("a"), r.Get("b"), r.Get("c"))
+	}
+}
+
+func TestRestoreIntoFreshInstance(t *testing.T) {
+	r := NewRegisters()
+	r.Set("k", 7)
+	data, err := r.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRegisters()
+	if err := fresh.RestoreState(data); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if fresh.Get("k") != 7 {
+		t.Fatalf("fresh.Get(k) = %d", fresh.Get("k"))
+	}
+}
+
+func TestRestoreGarbageFails(t *testing.T) {
+	r := NewRegisters()
+	if err := r.RestoreState([]byte{1, 2, 3}); err == nil {
+		t.Fatal("RestoreState accepted garbage")
+	}
+}
+
+// Property: capture/restore is lossless for any register contents.
+func TestCaptureRestoreProperty(t *testing.T) {
+	f := func(keys []string, values []int64) bool {
+		r := NewRegisters()
+		for i, k := range keys {
+			if i < len(values) {
+				r.Set(k, values[i])
+			}
+		}
+		data, err := r.CaptureState()
+		if err != nil {
+			return false
+		}
+		clone := NewRegisters()
+		if err := clone.RestoreState(data); err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(clone.Names(), r.Names()) {
+			return false
+		}
+		for _, k := range r.Names() {
+			if clone.Get(k) != r.Get(k) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpaqueRefusesAccess(t *testing.T) {
+	var o Opaque
+	if _, err := o.CaptureState(); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("CaptureState: err = %v, want ErrNoAccess", err)
+	}
+	if err := o.RestoreState(nil); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("RestoreState: err = %v, want ErrNoAccess", err)
+	}
+}
+
+func TestCheckpointEncodeDecode(t *testing.T) {
+	cp := Checkpoint{AppState: []byte{1, 2}, ReplyLog: []byte{3}, LastSeq: 9}
+	data, err := EncodeCheckpoint(cp)
+	if err != nil {
+		t.Fatalf("EncodeCheckpoint: %v", err)
+	}
+	out, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if !reflect.DeepEqual(out, cp) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, cp)
+	}
+}

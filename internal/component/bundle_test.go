@@ -1,0 +1,132 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBundleVerifyRoundTrip(t *testing.T) {
+	b := NewBundle("ftm.pbr.syncAfter", 4096, "ftm.duplex")
+	if err := b.Verify(); err != nil {
+		t.Fatalf("Verify fresh bundle: %v", err)
+	}
+	if b.Size() != 4096 {
+		t.Fatalf("Size = %d, want 4096", b.Size())
+	}
+}
+
+func TestBundleVerifyDetectsTampering(t *testing.T) {
+	b := NewBundle("ftm.lfr.syncBefore", 1024)
+	b.Code[17] ^= 0xff
+	if err := b.Verify(); !errors.Is(err, ErrBundle) {
+		t.Fatalf("Verify tampered bundle: err = %v, want ErrBundle", err)
+	}
+}
+
+func TestEmptyBundleVerifies(t *testing.T) {
+	var b Bundle
+	if err := b.Verify(); err != nil {
+		t.Fatalf("Verify empty bundle: %v", err)
+	}
+}
+
+func TestBundleDeterministic(t *testing.T) {
+	a := NewBundle("t", 512, "x", "y")
+	b := NewBundle("t", 512, "x", "y")
+	if a.Checksum != b.Checksum {
+		t.Fatal("bundles of identical inputs differ")
+	}
+}
+
+// Property: any single bit flip anywhere in the code blob is detected.
+func TestBundleBitFlipDetected_Property(t *testing.T) {
+	b := NewBundle("prop", 256)
+	f := func(pos uint16, bit uint8) bool {
+		c := b
+		c.Code = append([]byte(nil), b.Code...)
+		c.Code[int(pos)%len(c.Code)] ^= 1 << (bit % 8)
+		return errors.Is(c.Verify(), ErrBundle)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryRegisterResolve(t *testing.T) {
+	r := NewRegistry()
+	factory := func(map[string]any) (Content, error) { return newEchoContent(), nil }
+	if err := r.Register("test.echo", factory); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register("test.echo", factory); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("double Register: err = %v, want ErrAlreadyExists", err)
+	}
+	if _, err := r.Resolve("test.echo"); err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if _, err := r.Resolve("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Resolve missing: err = %v, want ErrNotFound", err)
+	}
+	if got := r.Types(); !reflect.DeepEqual(got, []string{"test.echo"}) {
+		t.Fatalf("Types = %v", got)
+	}
+}
+
+func TestRegistryLink(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("dep", func(map[string]any) (Content, error) { return newEchoContent(), nil })
+	ok := NewBundle("pkg", 128, "dep")
+	if err := r.Link(ok); err != nil {
+		t.Fatalf("Link resolvable bundle: %v", err)
+	}
+	bad := NewBundle("pkg2", 128, "missing")
+	if err := r.Link(bad); !errors.Is(err, ErrBundle) {
+		t.Fatalf("Link unresolvable bundle: err = %v, want ErrBundle", err)
+	}
+}
+
+func TestDeployFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister("test.echo", func(props map[string]any) (Content, error) {
+		c := newEchoContent()
+		for k, v := range props {
+			c.props[k] = v
+		}
+		return c, nil
+	})
+	rt := NewRuntime(r)
+	def := Definition{
+		Name:       "deployed",
+		Type:       "test.echo",
+		Services:   []string{"svc"},
+		Properties: map[string]any{"role": "leader"},
+		Bundle:     NewBundle("test.echo", 2048),
+	}
+	c, err := rt.AddComponent("", def)
+	if err != nil {
+		t.Fatalf("AddComponent from registry: %v", err)
+	}
+	if err := rt.Start(context.Background(), "deployed"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	ep, err := c.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("ServiceEndpoint: %v", err)
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", "ok")); err != nil {
+		t.Fatalf("Invoke deployed component: %v", err)
+	}
+}
+
+func TestDeployUnknownTypeFails(t *testing.T) {
+	rt := NewRuntime(nil)
+	_, err := rt.AddComponent("", Definition{Name: "x", Type: "unknown"})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deploy unknown type: err = %v, want ErrNotFound", err)
+	}
+}

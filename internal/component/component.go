@@ -1,0 +1,270 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// State is the lifecycle state of a component. A freshly added component
+// is Stopped; Start opens its invocation gate; Remove is terminal.
+type State int
+
+// Lifecycle states.
+const (
+	StateStopped State = iota + 1
+	StateStarted
+	StateRemoved
+)
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	switch s {
+	case StateStopped:
+		return "stopped"
+	case StateStarted:
+		return "started"
+	case StateRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Component is a runtime component instance: a Content implementation
+// framed by a membrane that enforces lifecycle gating (quiescence),
+// reference injection and property pushes.
+type Component struct {
+	mu    sync.Mutex
+	def   Definition
+	state State
+	g     *gate
+	// wires maps reference name -> current wire, for introspection and
+	// integrity checking. The actual call path is the injected proxy.
+	wires map[string]*Wire
+	// interceptors wrap every service invocation, outermost first.
+	interceptors []Interceptor
+}
+
+func newComponent(def Definition) *Component {
+	return &Component{
+		def:   def.clone(),
+		state: StateStopped,
+		g:     newGate(),
+		wires: make(map[string]*Wire),
+	}
+}
+
+// Name returns the component's name inside its composite.
+func (c *Component) Name() string { return c.def.Name }
+
+// Type returns the component's type identifier.
+func (c *Component) Type() string { return c.def.Type }
+
+// Definition returns a copy of the component's definition.
+func (c *Component) Definition() Definition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.def.clone()
+}
+
+// State returns the current lifecycle state.
+func (c *Component) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Start runs the content's OnStart hook (if any) and opens the gate,
+// releasing any invocations buffered while the component was stopped.
+func (c *Component) Start(ctx context.Context) error {
+	c.mu.Lock()
+	switch c.state {
+	case StateRemoved:
+		c.mu.Unlock()
+		return fmt.Errorf("%w: start %q", ErrBadState, c.def.Name)
+	case StateStarted:
+		c.mu.Unlock()
+		return nil
+	}
+	content := c.def.Content
+	c.mu.Unlock()
+
+	if lc, ok := content.(Lifecycle); ok {
+		if err := lc.OnStart(ctx); err != nil {
+			return fmt.Errorf("component %q: OnStart: %w", c.def.Name, err)
+		}
+	}
+	c.mu.Lock()
+	c.state = StateStarted
+	c.mu.Unlock()
+	c.g.openGate()
+	return nil
+}
+
+// Stop closes the gate, waits for in-flight invocations to drain
+// (quiescence, paper §5.3) and then runs the content's OnStop hook.
+// Invocations arriving while stopped block until the component is
+// restarted or removed.
+func (c *Component) Stop(ctx context.Context) error {
+	c.mu.Lock()
+	switch c.state {
+	case StateRemoved:
+		c.mu.Unlock()
+		return fmt.Errorf("%w: stop %q", ErrBadState, c.def.Name)
+	case StateStopped:
+		c.mu.Unlock()
+		return nil
+	}
+	content := c.def.Content
+	c.mu.Unlock()
+
+	if err := c.g.close(ctx); err != nil {
+		// The gate is now shut but quiescence was not reached; reopen so
+		// the architecture is not left half-stopped.
+		c.g.openGate()
+		return fmt.Errorf("component %q: %w", c.def.Name, err)
+	}
+	if lc, ok := content.(Lifecycle); ok {
+		if err := lc.OnStop(ctx); err != nil {
+			c.g.openGate()
+			return fmt.Errorf("component %q: OnStop: %w", c.def.Name, err)
+		}
+	}
+	c.mu.Lock()
+	c.state = StateStopped
+	c.mu.Unlock()
+	return nil
+}
+
+// markRemoved transitions the component to its terminal state, failing
+// buffered and future invocations.
+func (c *Component) markRemoved() {
+	c.mu.Lock()
+	c.state = StateRemoved
+	c.mu.Unlock()
+	c.g.remove()
+}
+
+// ServiceEndpoint returns the invocable endpoint for the named service.
+// The endpoint enforces the component's gate on every call, which is what
+// buffers invocations during reconfiguration.
+func (c *Component) ServiceEndpoint(service string) (Service, error) {
+	if !c.def.HasService(service) {
+		return nil, fmt.Errorf("%w: service %q on component %q", ErrNotFound, service, c.def.Name)
+	}
+	return ServiceFunc(func(ctx context.Context, msg Message) (Message, error) {
+		if err := c.g.enter(ctx); err != nil {
+			return Message{}, fmt.Errorf("component %q service %q: %w", c.def.Name, service, err)
+		}
+		defer c.g.leave()
+		return c.dispatch(ctx, service, msg)
+	}), nil
+}
+
+// setReference injects target (possibly nil) into the content under the
+// declared reference name.
+func (c *Component) setReference(name string, target Service) error {
+	if _, ok := c.def.Reference(name); !ok {
+		return fmt.Errorf("%w: reference %q on component %q", ErrNotFound, name, c.def.Name)
+	}
+	rr, ok := c.def.Content.(RefReceiver)
+	if !ok {
+		return fmt.Errorf("component %q declares references but content does not implement RefReceiver", c.def.Name)
+	}
+	rr.SetReference(name, target)
+	return nil
+}
+
+// SetProperty pushes a property value into the content and records it in
+// the definition for introspection.
+func (c *Component) SetProperty(name string, value any) error {
+	c.mu.Lock()
+	if c.state == StateRemoved {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: set property on %q", ErrBadState, c.def.Name)
+	}
+	if c.def.Properties == nil {
+		c.def.Properties = make(map[string]any)
+	}
+	c.def.Properties[name] = value
+	content := c.def.Content
+	c.mu.Unlock()
+
+	if pr, ok := content.(PropertyReceiver); ok {
+		if err := pr.SetProperty(name, value); err != nil {
+			return fmt.Errorf("component %q: property %q: %w", c.def.Name, name, err)
+		}
+	}
+	return nil
+}
+
+// DeleteProperty removes a property record (the content keeps whatever
+// value was last pushed). Used to roll back a SetProperty that introduced
+// a previously-absent property.
+func (c *Component) DeleteProperty(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.def.Properties, name)
+}
+
+// Property returns a property value recorded on the component.
+func (c *Component) Property(name string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.def.Properties[name]
+	return v, ok
+}
+
+// recordWire registers the wire attached to one of this component's
+// references.
+func (c *Component) recordWire(w *Wire) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wires[w.Reference] = w
+}
+
+// dropWire forgets the wire attached to the named reference.
+func (c *Component) dropWire(reference string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.wires, reference)
+}
+
+// WireFor returns the wire currently attached to the named reference.
+func (c *Component) WireFor(reference string) (*Wire, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.wires[reference]
+	return w, ok
+}
+
+// Wires returns the component's outgoing wires sorted by reference name.
+func (c *Component) Wires() []*Wire {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Wire, 0, len(c.wires))
+	for _, w := range c.wires {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Reference < out[j].Reference })
+	return out
+}
+
+// Wire records a reference-to-service connection between two components.
+type Wire struct {
+	// From is the path of the component owning the reference.
+	From string
+	// Reference is the reference name on From.
+	Reference string
+	// To is the path of the component providing the service.
+	To string
+	// Service is the service name on To.
+	Service string
+}
+
+// String renders the wire as "from.ref -> to.svc".
+func (w *Wire) String() string {
+	return fmt.Sprintf("%s.%s -> %s.%s", w.From, w.Reference, w.To, w.Service)
+}

@@ -1,0 +1,564 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoContent is a minimal content echoing its payload and counting
+// invocations; it records injected references and properties.
+type echoContent struct {
+	mu       sync.Mutex
+	calls    int
+	refs     map[string]Service
+	props    map[string]any
+	started  atomic.Bool
+	startErr error
+	stopErr  error
+}
+
+func newEchoContent() *echoContent {
+	return &echoContent{refs: make(map[string]Service), props: make(map[string]any)}
+}
+
+func (e *echoContent) Invoke(ctx context.Context, service string, msg Message) (Message, error) {
+	e.mu.Lock()
+	e.calls++
+	e.mu.Unlock()
+	if msg.Op == "delegate" {
+		e.mu.Lock()
+		next := e.refs["next"]
+		e.mu.Unlock()
+		if next == nil {
+			return Message{}, ErrRefUnwired
+		}
+		return next.Invoke(ctx, NewMessage("echo", msg.Payload))
+	}
+	return NewMessage("reply", fmt.Sprintf("%s:%v", service, msg.Payload)), nil
+}
+
+func (e *echoContent) SetReference(name string, target Service) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.refs[name] = target
+}
+
+func (e *echoContent) SetProperty(name string, value any) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.props[name] = value
+	return nil
+}
+
+func (e *echoContent) OnStart(ctx context.Context) error {
+	e.started.Store(true)
+	return e.startErr
+}
+
+func (e *echoContent) OnStop(ctx context.Context) error {
+	e.started.Store(false)
+	return e.stopErr
+}
+
+func (e *echoContent) callCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+var (
+	_ Content          = (*echoContent)(nil)
+	_ RefReceiver      = (*echoContent)(nil)
+	_ PropertyReceiver = (*echoContent)(nil)
+	_ Lifecycle        = (*echoContent)(nil)
+)
+
+func echoDef(name string) Definition {
+	return Definition{
+		Name:       name,
+		Type:       "test.echo",
+		Services:   []string{"svc"},
+		References: []Ref{{Name: "next", Required: false}},
+		Content:    newEchoContent(),
+	}
+}
+
+func mustAdd(t *testing.T, rt *Runtime, parent string, def Definition) *Component {
+	t.Helper()
+	c, err := rt.AddComponent(parent, def)
+	if err != nil {
+		t.Fatalf("AddComponent(%q, %q): %v", parent, def.Name, err)
+	}
+	return c
+}
+
+func mustStart(t *testing.T, rt *Runtime, path string) {
+	t.Helper()
+	if err := rt.Start(context.Background(), path); err != nil {
+		t.Fatalf("Start(%q): %v", path, err)
+	}
+}
+
+func TestComponentLifecycle(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	if got := c.State(); got != StateStopped {
+		t.Fatalf("initial state = %v, want stopped", got)
+	}
+	mustStart(t, rt, "a")
+	if got := c.State(); got != StateStarted {
+		t.Fatalf("state after start = %v, want started", got)
+	}
+	content := c.Definition().Content.(*echoContent)
+	if !content.started.Load() {
+		t.Fatal("OnStart hook did not run")
+	}
+	if err := rt.Stop(context.Background(), "a"); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if got := c.State(); got != StateStopped {
+		t.Fatalf("state after stop = %v, want stopped", got)
+	}
+	if content.started.Load() {
+		t.Fatal("OnStop hook did not run")
+	}
+}
+
+func TestStartIsIdempotent(t *testing.T) {
+	rt := NewRuntime(nil)
+	mustAdd(t, rt, "", echoDef("a"))
+	mustStart(t, rt, "a")
+	if err := rt.Start(context.Background(), "a"); err != nil {
+		t.Fatalf("second Start: %v", err)
+	}
+	if err := rt.Stop(context.Background(), "a"); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if err := rt.Stop(context.Background(), "a"); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestInvocationThroughEndpoint(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	mustStart(t, rt, "a")
+	ep, err := c.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("ServiceEndpoint: %v", err)
+	}
+	reply, err := ep.Invoke(context.Background(), NewMessage("echo", "hi"))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if reply.Payload != "svc:hi" {
+		t.Fatalf("reply payload = %v, want svc:hi", reply.Payload)
+	}
+}
+
+func TestUndeclaredServiceRejected(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	if _, err := c.ServiceEndpoint("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("endpoint for undeclared service: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoppedComponentBuffersInvocations(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	ep, err := c.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("ServiceEndpoint: %v", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Invoke(context.Background(), NewMessage("echo", 1))
+		done <- err
+	}()
+
+	select {
+	case err := <-done:
+		t.Fatalf("invocation on stopped component returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	mustStart(t, rt, "a")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("buffered invocation failed after start: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered invocation was not released by Start")
+	}
+}
+
+func TestStopWaitsForQuiescence(t *testing.T) {
+	rt := NewRuntime(nil)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	slow := ContentFunc(func(ctx context.Context, service string, msg Message) (Message, error) {
+		close(entered)
+		<-release
+		return NewMessage("done", nil), nil
+	})
+	c := mustAdd(t, rt, "", Definition{Name: "slow", Type: "test.slow", Services: []string{"svc"}, Content: slow})
+	mustStart(t, rt, "slow")
+	ep, err := c.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("ServiceEndpoint: %v", err)
+	}
+
+	invDone := make(chan struct{})
+	go func() {
+		defer close(invDone)
+		if _, err := ep.Invoke(context.Background(), NewMessage("go", nil)); err != nil {
+			t.Errorf("in-flight invocation failed: %v", err)
+		}
+	}()
+	<-entered
+
+	stopDone := make(chan error, 1)
+	go func() { stopDone <- rt.Stop(context.Background(), "slow") }()
+	select {
+	case err := <-stopDone:
+		t.Fatalf("Stop returned before quiescence: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-stopDone; err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	<-invDone
+}
+
+func TestStopQuiescenceTimeout(t *testing.T) {
+	rt := NewRuntime(nil)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	slow := ContentFunc(func(ctx context.Context, service string, msg Message) (Message, error) {
+		close(entered)
+		<-release
+		return Message{}, nil
+	})
+	c := mustAdd(t, rt, "", Definition{Name: "slow", Type: "test.slow", Services: []string{"svc"}, Content: slow})
+	mustStart(t, rt, "slow")
+	ep, _ := c.ServiceEndpoint("svc")
+	go func() {
+		_, _ = ep.Invoke(context.Background(), NewMessage("go", nil))
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := rt.Stop(ctx, "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Stop with stuck invocation: err = %v, want deadline exceeded", err)
+	}
+	// The gate must have been reopened so the architecture is usable.
+	if c.State() != StateStarted {
+		t.Fatalf("state after failed stop = %v, want started", c.State())
+	}
+	close(release)
+}
+
+func TestRemovedComponentFailsInvocations(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	ep, err := c.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("ServiceEndpoint: %v", err)
+	}
+	if err := rt.Remove("a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", nil)); !errors.Is(err, ErrRemoved) {
+		t.Fatalf("invoke on removed: err = %v, want ErrRemoved", err)
+	}
+	if rt.Exists("a") {
+		t.Fatal("component still addressable after Remove")
+	}
+}
+
+func TestRemoveStartedRefused(t *testing.T) {
+	rt := NewRuntime(nil)
+	mustAdd(t, rt, "", echoDef("a"))
+	mustStart(t, rt, "a")
+	if err := rt.Remove("a"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Remove started: err = %v, want ErrBadState", err)
+	}
+}
+
+func TestWireAndInvokeThroughReference(t *testing.T) {
+	rt := NewRuntime(nil)
+	a := mustAdd(t, rt, "", echoDef("a"))
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	mustStart(t, rt, "a")
+	mustStart(t, rt, "b")
+	ep, _ := a.ServiceEndpoint("svc")
+	reply, err := ep.Invoke(context.Background(), NewMessage("delegate", "x"))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if reply.Payload != "svc:x" {
+		t.Fatalf("delegated reply = %v, want svc:x", reply.Payload)
+	}
+}
+
+func TestDoubleWireRefused(t *testing.T) {
+	rt := NewRuntime(nil)
+	mustAdd(t, rt, "", echoDef("a"))
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if err := rt.Wire("a", "next", "b", "svc"); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("second Wire: err = %v, want ErrAlreadyExists", err)
+	}
+}
+
+func TestUnwireDisconnects(t *testing.T) {
+	rt := NewRuntime(nil)
+	a := mustAdd(t, rt, "", echoDef("a"))
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if err := rt.Unwire("a", "next"); err != nil {
+		t.Fatalf("Unwire: %v", err)
+	}
+	mustStart(t, rt, "a")
+	ep, _ := a.ServiceEndpoint("svc")
+	if _, err := ep.Invoke(context.Background(), NewMessage("delegate", "x")); !errors.Is(err, ErrRefUnwired) {
+		t.Fatalf("invoke through unwired ref: err = %v, want ErrRefUnwired", err)
+	}
+	if err := rt.Unwire("a", "next"); !errors.Is(err, ErrRefUnwired) {
+		t.Fatalf("double Unwire: err = %v, want ErrRefUnwired", err)
+	}
+}
+
+func TestRemoveTargetOfWireRefused(t *testing.T) {
+	rt := NewRuntime(nil)
+	mustAdd(t, rt, "", echoDef("a"))
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if err := rt.Remove("b"); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Remove wired target: err = %v, want ErrIntegrity", err)
+	}
+	if err := rt.Unwire("a", "next"); err != nil {
+		t.Fatalf("Unwire: %v", err)
+	}
+	if err := rt.Remove("b"); err != nil {
+		t.Fatalf("Remove after unwire: %v", err)
+	}
+}
+
+func TestCompositePromotionAndSwap(t *testing.T) {
+	rt := NewRuntime(nil)
+	cp, err := rt.AddComposite("ftm")
+	if err != nil {
+		t.Fatalf("AddComposite: %v", err)
+	}
+	mustAdd(t, rt, "ftm", echoDef("inner"))
+	mustStart(t, rt, "ftm/inner")
+	if err := cp.Promote("svc", "inner", "svc"); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	ep, err := cp.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatalf("composite endpoint: %v", err)
+	}
+	reply, err := ep.Invoke(context.Background(), NewMessage("echo", "q"))
+	if err != nil {
+		t.Fatalf("Invoke via promotion: %v", err)
+	}
+	if reply.Payload != "svc:q" {
+		t.Fatalf("promoted reply = %v, want svc:q", reply.Payload)
+	}
+
+	// Swap the child behind the promotion: the held endpoint must follow.
+	if err := rt.Stop(context.Background(), "ftm/inner"); err != nil {
+		t.Fatalf("Stop inner: %v", err)
+	}
+	if err := cp.Demote("svc"); err != nil {
+		t.Fatalf("Demote: %v", err)
+	}
+	if err := rt.Remove("ftm/inner"); err != nil {
+		t.Fatalf("Remove inner: %v", err)
+	}
+	def2 := echoDef("inner2")
+	mustAdd(t, rt, "ftm", def2)
+	mustStart(t, rt, "ftm/inner2")
+	if err := cp.Promote("svc", "inner2", "svc"); err != nil {
+		t.Fatalf("re-Promote: %v", err)
+	}
+	reply, err = ep.Invoke(context.Background(), NewMessage("echo", "r"))
+	if err != nil {
+		t.Fatalf("Invoke after swap: %v", err)
+	}
+	if reply.Payload != "svc:r" {
+		t.Fatalf("post-swap reply = %v, want svc:r", reply.Payload)
+	}
+}
+
+func TestCompositeBoundaryBuffersDuringStop(t *testing.T) {
+	rt := NewRuntime(nil)
+	cp, err := rt.AddComposite("ftm")
+	if err != nil {
+		t.Fatalf("AddComposite: %v", err)
+	}
+	mustAdd(t, rt, "ftm", echoDef("inner"))
+	mustStart(t, rt, "ftm/inner")
+	if err := cp.Promote("svc", "inner", "svc"); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if err := rt.Stop(context.Background(), "ftm"); err != nil {
+		t.Fatalf("Stop composite: %v", err)
+	}
+	ep, _ := cp.ServiceEndpoint("svc")
+	done := make(chan error, 1)
+	go func() {
+		_, err := ep.Invoke(context.Background(), NewMessage("echo", 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("boundary call completed on stopped composite: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	mustStart(t, rt, "ftm")
+	if err := <-done; err != nil {
+		t.Fatalf("buffered boundary call failed: %v", err)
+	}
+}
+
+func TestPropertiesPushedToContent(t *testing.T) {
+	rt := NewRuntime(nil)
+	def := echoDef("a")
+	def.Properties = map[string]any{"role": "primary"}
+	c := mustAdd(t, rt, "", def)
+	content := c.Definition().Content.(*echoContent)
+	content.mu.Lock()
+	got := content.props["role"]
+	content.mu.Unlock()
+	if got != "primary" {
+		t.Fatalf("deploy-time property = %v, want primary", got)
+	}
+	if err := rt.SetProperty("a", "role", "backup"); err != nil {
+		t.Fatalf("SetProperty: %v", err)
+	}
+	content.mu.Lock()
+	got = content.props["role"]
+	content.mu.Unlock()
+	if got != "backup" {
+		t.Fatalf("reconfigured property = %v, want backup", got)
+	}
+	if v, ok := c.Property("role"); !ok || v != "backup" {
+		t.Fatalf("introspected property = %v/%v, want backup/true", v, ok)
+	}
+}
+
+func TestIntegrityDetectsUnwiredRequiredReference(t *testing.T) {
+	rt := NewRuntime(nil)
+	def := echoDef("a")
+	def.References = []Ref{{Name: "next", Required: true}}
+	mustAdd(t, rt, "", def)
+	mustStart(t, rt, "a")
+	violations := rt.CheckIntegrity()
+	if len(violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one", violations)
+	}
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	if violations := rt.CheckIntegrity(); len(violations) != 0 {
+		t.Fatalf("violations after wiring = %v, want none", violations)
+	}
+}
+
+func TestDuplicateNameRefused(t *testing.T) {
+	rt := NewRuntime(nil)
+	mustAdd(t, rt, "", echoDef("a"))
+	if _, err := rt.AddComponent("", echoDef("a")); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("duplicate add: err = %v, want ErrAlreadyExists", err)
+	}
+}
+
+func TestNestedPathsResolve(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.AddComposite("outer"); err != nil {
+		t.Fatalf("AddComposite outer: %v", err)
+	}
+	if _, err := rt.AddComposite("outer/inner"); err != nil {
+		t.Fatalf("AddComposite outer/inner: %v", err)
+	}
+	mustAdd(t, rt, "outer/inner", echoDef("leaf"))
+	if _, err := rt.Lookup("outer/inner/leaf"); err != nil {
+		t.Fatalf("Lookup nested: %v", err)
+	}
+	if _, err := rt.Lookup("outer/missing/leaf"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup missing: err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDescribeListsArchitecture(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.AddComposite("ftm"); err != nil {
+		t.Fatalf("AddComposite: %v", err)
+	}
+	mustAdd(t, rt, "ftm", echoDef("proto"))
+	mustAdd(t, rt, "ftm", echoDef("sync"))
+	if err := rt.Wire("ftm/proto", "next", "ftm/sync", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	d, err := rt.Describe("ftm")
+	if err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	paths := d.ComponentPaths()
+	if len(paths) != 2 || paths[0] != "ftm/proto" || paths[1] != "ftm/sync" {
+		t.Fatalf("component paths = %v", paths)
+	}
+	text := d.String()
+	for _, want := range []string{"ftm/proto", "ftm/sync", "ftm/proto.next -> ftm/sync.svc"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Describe output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentInvocationsAreSafe(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	mustStart(t, rt, "a")
+	ep, _ := c.ServiceEndpoint("svc")
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			if _, err := ep.Invoke(context.Background(), NewMessage("echo", i)); err != nil {
+				t.Errorf("Invoke %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.Definition().Content.(*echoContent).callCount(); got != n {
+		t.Fatalf("call count = %d, want %d", got, n)
+	}
+}

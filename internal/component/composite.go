@@ -1,0 +1,276 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// node is the common shape of composite children.
+type node interface {
+	Name() string
+	State() State
+	Start(ctx context.Context) error
+	Stop(ctx context.Context) error
+	// endpoint returns the invocable endpoint for a provided (possibly
+	// promoted) service.
+	endpoint(service string) (Service, error)
+	markRemoved()
+}
+
+var (
+	_ node = (*Component)(nil)
+	_ node = (*Composite)(nil)
+)
+
+func (c *Component) endpoint(service string) (Service, error) {
+	return c.ServiceEndpoint(service)
+}
+
+// Promotion exposes a child's service on the composite boundary.
+type Promotion struct {
+	// Service is the name under which the composite exposes the service.
+	Service string
+	// Child is the name of the providing child.
+	Child string
+	// ChildService is the service name on the child.
+	ChildService string
+}
+
+// Composite is a hierarchical container of components and nested
+// composites. It has its own boundary gate so that a reconfiguration can
+// atomically buffer external traffic while rearranging the inside.
+type Composite struct {
+	name string
+	g    *gate
+
+	mu         sync.Mutex
+	state      State
+	children   map[string]node
+	promotions map[string]Promotion
+}
+
+func newComposite(name string) *Composite {
+	return &Composite{
+		name:       name,
+		g:          newGate(),
+		state:      StateStopped,
+		children:   make(map[string]node),
+		promotions: make(map[string]Promotion),
+	}
+}
+
+// Name returns the composite's name inside its parent.
+func (cp *Composite) Name() string { return cp.name }
+
+// State returns the composite boundary state.
+func (cp *Composite) State() State {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.state
+}
+
+// Start opens the composite boundary gate.
+func (cp *Composite) Start(ctx context.Context) error {
+	cp.mu.Lock()
+	if cp.state == StateRemoved {
+		cp.mu.Unlock()
+		return fmt.Errorf("%w: start composite %q", ErrBadState, cp.name)
+	}
+	cp.state = StateStarted
+	cp.mu.Unlock()
+	cp.g.openGate()
+	return nil
+}
+
+// Stop closes the boundary gate after draining in-flight boundary
+// invocations. Inner components keep their own states.
+func (cp *Composite) Stop(ctx context.Context) error {
+	cp.mu.Lock()
+	if cp.state == StateRemoved {
+		cp.mu.Unlock()
+		return fmt.Errorf("%w: stop composite %q", ErrBadState, cp.name)
+	}
+	cp.mu.Unlock()
+	if err := cp.g.close(ctx); err != nil {
+		cp.g.openGate()
+		return fmt.Errorf("composite %q: %w", cp.name, err)
+	}
+	cp.mu.Lock()
+	cp.state = StateStopped
+	cp.mu.Unlock()
+	return nil
+}
+
+func (cp *Composite) markRemoved() {
+	cp.mu.Lock()
+	cp.state = StateRemoved
+	children := make([]node, 0, len(cp.children))
+	for _, ch := range cp.children {
+		children = append(children, ch)
+	}
+	cp.mu.Unlock()
+	cp.g.remove()
+	for _, ch := range children {
+		ch.markRemoved()
+	}
+}
+
+// Promote exposes child's childService as service on the composite
+// boundary.
+func (cp *Composite) Promote(service, child, childService string) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, ok := cp.children[child]; !ok {
+		return fmt.Errorf("%w: child %q in composite %q", ErrNotFound, child, cp.name)
+	}
+	if _, ok := cp.promotions[service]; ok {
+		return fmt.Errorf("%w: promotion %q in composite %q", ErrAlreadyExists, service, cp.name)
+	}
+	cp.promotions[service] = Promotion{Service: service, Child: child, ChildService: childService}
+	return nil
+}
+
+// Demote removes a promoted service from the boundary.
+func (cp *Composite) Demote(service string) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if _, ok := cp.promotions[service]; !ok {
+		return fmt.Errorf("%w: promotion %q in composite %q", ErrNotFound, service, cp.name)
+	}
+	delete(cp.promotions, service)
+	return nil
+}
+
+// Promotions returns the boundary promotions sorted by service name.
+func (cp *Composite) Promotions() []Promotion {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]Promotion, 0, len(cp.promotions))
+	for _, p := range cp.promotions {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// endpoint resolves a promoted boundary service. The returned endpoint
+// re-resolves the promotion on every call, so re-pointing a promotion to
+// a replacement child takes effect immediately — that is what allows a
+// differential transition to swap a brick without touching its callers.
+func (cp *Composite) endpoint(service string) (Service, error) {
+	cp.mu.Lock()
+	_, ok := cp.promotions[service]
+	cp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: promoted service %q on composite %q", ErrNotFound, service, cp.name)
+	}
+	return ServiceFunc(func(ctx context.Context, msg Message) (Message, error) {
+		if err := cp.g.enter(ctx); err != nil {
+			return Message{}, fmt.Errorf("composite %q service %q: %w", cp.name, service, err)
+		}
+		defer cp.g.leave()
+
+		cp.mu.Lock()
+		p, ok := cp.promotions[service]
+		var child node
+		if ok {
+			child = cp.children[p.Child]
+		}
+		cp.mu.Unlock()
+		if !ok || child == nil {
+			return Message{}, fmt.Errorf("%w: promoted service %q on composite %q", ErrNotFound, service, cp.name)
+		}
+		ep, err := child.endpoint(p.ChildService)
+		if err != nil {
+			return Message{}, err
+		}
+		return ep.Invoke(ctx, msg)
+	}), nil
+}
+
+// ServiceEndpoint returns the invocable endpoint of a promoted boundary
+// service.
+func (cp *Composite) ServiceEndpoint(service string) (Service, error) {
+	return cp.endpoint(service)
+}
+
+// child returns the named child.
+func (cp *Composite) child(name string) (node, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ch, ok := cp.children[name]
+	return ch, ok
+}
+
+// addChild inserts a child node.
+func (cp *Composite) addChild(n node) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.state == StateRemoved {
+		return fmt.Errorf("%w: add into removed composite %q", ErrBadState, cp.name)
+	}
+	if _, ok := cp.children[n.Name()]; ok {
+		return fmt.Errorf("%w: %q in composite %q", ErrAlreadyExists, n.Name(), cp.name)
+	}
+	cp.children[n.Name()] = n
+	return nil
+}
+
+// removeChild deletes a child node and any promotions pointing at it.
+func (cp *Composite) removeChild(name string) (node, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ch, ok := cp.children[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in composite %q", ErrNotFound, name, cp.name)
+	}
+	delete(cp.children, name)
+	for svc, p := range cp.promotions {
+		if p.Child == name {
+			delete(cp.promotions, svc)
+		}
+	}
+	return ch, nil
+}
+
+// Children returns the child names, sorted.
+func (cp *Composite) Children() []string {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]string, 0, len(cp.children))
+	for name := range cp.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Components returns the direct child components, sorted by name.
+func (cp *Composite) Components() []*Component {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]*Component, 0, len(cp.children))
+	for _, ch := range cp.children {
+		if c, ok := ch.(*Component); ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Composites returns the direct child composites, sorted by name.
+func (cp *Composite) Composites() []*Composite {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	out := make([]*Composite, 0, len(cp.children))
+	for _, ch := range cp.children {
+		if c, ok := ch.(*Composite); ok {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

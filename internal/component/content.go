@@ -1,0 +1,97 @@
+package component
+
+import "context"
+
+// Content is the implementation object hosted inside a component. The
+// runtime dispatches every invocation on any of the component's services
+// to Invoke with the service name.
+type Content interface {
+	Invoke(ctx context.Context, service string, msg Message) (Message, error)
+}
+
+// ContentFunc adapts a function to the Content interface.
+type ContentFunc func(ctx context.Context, service string, msg Message) (Message, error)
+
+// Invoke calls f.
+func (f ContentFunc) Invoke(ctx context.Context, service string, msg Message) (Message, error) {
+	return f(ctx, service, msg)
+}
+
+var _ Content = (ContentFunc)(nil)
+
+// RefReceiver is implemented by content that consumes references. The
+// runtime injects the wire proxy when a reference is wired and nil when it
+// is unwired.
+type RefReceiver interface {
+	SetReference(name string, target Service)
+}
+
+// PropertyReceiver is implemented by content that consumes configuration
+// properties. Properties are pushed at deployment time and on SetProperty
+// reconfigurations.
+type PropertyReceiver interface {
+	SetProperty(name string, value any) error
+}
+
+// Lifecycle is implemented by content that needs start/stop hooks. OnStart
+// runs before the component's gate opens; OnStop runs after quiescence.
+type Lifecycle interface {
+	OnStart(ctx context.Context) error
+	OnStop(ctx context.Context) error
+}
+
+// Ref declares a reference (required interface) of a component.
+type Ref struct {
+	Name     string
+	Required bool
+}
+
+// Definition describes a component to be instantiated in a composite: its
+// name, its component type (resolved against a Registry when deploying
+// from a transition package), the services it provides, the references it
+// requires, its configuration properties, and the deployable bundle whose
+// verification models the deployment cost.
+type Definition struct {
+	Name       string
+	Type       string
+	Services   []string
+	References []Ref
+	Properties map[string]any
+	Content    Content
+	Bundle     Bundle
+}
+
+// clone returns a deep-enough copy of d so that runtime mutations never
+// alias caller-owned maps or slices.
+func (d Definition) clone() Definition {
+	out := d
+	out.Services = append([]string(nil), d.Services...)
+	out.References = append([]Ref(nil), d.References...)
+	if d.Properties != nil {
+		out.Properties = make(map[string]any, len(d.Properties))
+		for k, v := range d.Properties {
+			out.Properties[k] = v
+		}
+	}
+	return out
+}
+
+// HasService reports whether d declares the named service.
+func (d Definition) HasService(name string) bool {
+	for _, s := range d.Services {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Reference returns the declared reference with the given name.
+func (d Definition) Reference(name string) (Ref, bool) {
+	for _, r := range d.References {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Ref{}, false
+}

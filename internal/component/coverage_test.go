@@ -1,0 +1,225 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMessageMeta(t *testing.T) {
+	m := NewMessage("op", 1)
+	if m.MetaValue("k") != "" {
+		t.Fatal("fresh message has meta")
+	}
+	m2 := m.WithMeta("k", "v").WithMeta("k2", "v2")
+	if m2.MetaValue("k") != "v" || m2.MetaValue("k2") != "v2" {
+		t.Fatalf("meta = %v", m2.Meta)
+	}
+	// The original is untouched (copy-on-write).
+	if m.Meta != nil {
+		t.Fatal("WithMeta mutated the receiver")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := map[State]string{
+		StateStopped: "stopped",
+		StateStarted: "started",
+		StateRemoved: "removed",
+		State(99):    "state(99)",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestComponentTypeAndRuntimeAccessors(t *testing.T) {
+	reg := NewRegistry()
+	rt := NewRuntime(reg)
+	if rt.Registry() != reg {
+		t.Fatal("Registry accessor wrong")
+	}
+	if rt.Root() == nil {
+		t.Fatal("Root accessor wrong")
+	}
+	c := mustAdd(t, rt, "", echoDef("a"))
+	if c.Type() != "test.echo" {
+		t.Fatalf("Type = %q", c.Type())
+	}
+	mustAdd(t, rt, "", echoDef("b"))
+	if err := rt.Wire("a", "next", "b", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	wires := rt.Wires()
+	if len(wires) != 1 || wires[0].String() != "a.next -> b.svc" {
+		t.Fatalf("Wires = %v", wires)
+	}
+}
+
+func TestDeletePropertyRemovesRecord(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	if err := rt.SetProperty("a", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	c.DeleteProperty("k")
+	if _, ok := c.Property("k"); ok {
+		t.Fatal("property survived deletion")
+	}
+}
+
+func TestMustRegisterPanicsOnDuplicate(t *testing.T) {
+	r := NewRegistry()
+	f := func(map[string]any) (Content, error) { return newEchoContent(), nil }
+	r.MustRegister("t", f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on duplicate")
+		}
+	}()
+	r.MustRegister("t", f)
+}
+
+func TestCompositeRemovalCascades(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.AddComposite("box"); err != nil {
+		t.Fatal(err)
+	}
+	a := mustAdd(t, rt, "box", echoDef("a"))
+	mustAdd(t, rt, "box", echoDef("b"))
+	if err := rt.Wire("box/a", "next", "box/b", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	mustStart(t, rt, "box/a")
+	ep, err := a.ServiceEndpoint("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removal of the whole composite (internal wiring included) requires
+	// only a stopped boundary; children become removed too.
+	if err := rt.Stop(context.Background(), "box"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Stop(context.Background(), "box/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Remove("box"); err != nil {
+		t.Fatalf("Remove composite: %v", err)
+	}
+	if a.State() != StateRemoved {
+		t.Fatalf("child state = %v, want removed", a.State())
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", 1)); !errors.Is(err, ErrRemoved) {
+		t.Fatalf("invoke on removed child: %v", err)
+	}
+	if rt.Exists("box/b") {
+		t.Fatal("nested child still addressable")
+	}
+}
+
+func TestRemoveCompositeWithInboundWireRefused(t *testing.T) {
+	rt := NewRuntime(nil)
+	if _, err := rt.AddComposite("box"); err != nil {
+		t.Fatal(err)
+	}
+	inner := mustAdd(t, rt, "box", echoDef("inner"))
+	_ = inner
+	mustAdd(t, rt, "", echoDef("outside"))
+	if err := rt.Wire("outside", "next", "box/inner", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Stop(context.Background(), "box"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Remove("box"); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Remove with inbound wire: %v, want ErrIntegrity", err)
+	}
+}
+
+func TestCompositeChildAccessors(t *testing.T) {
+	rt := NewRuntime(nil)
+	cp, err := rt.AddComposite("box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddComposite("box/nested"); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, rt, "box", echoDef("leaf"))
+	comps := cp.Components()
+	if len(comps) != 1 || comps[0].Name() != "leaf" {
+		t.Fatalf("Components = %v", comps)
+	}
+	subs := cp.Composites()
+	if len(subs) != 1 || subs[0].Name() != "nested" {
+		t.Fatalf("Composites = %v", subs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Path: "a/b", Detail: "unwired"}
+	if v.String() != "a/b: unwired" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestIntegrityDetectsDanglingWireAfterForcedRemoval(t *testing.T) {
+	// Integrity checking must flag a wire whose target service was
+	// demoted out from under it.
+	rt := NewRuntime(nil)
+	cp, err := rt.AddComposite("box")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, rt, "box", echoDef("inner"))
+	if err := cp.Promote("svc", "inner", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, rt, "", echoDef("outside"))
+	if err := rt.Wire("outside", "next", "box", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.CheckIntegrity()) != 0 {
+		t.Fatal("healthy promotion flagged")
+	}
+	if err := cp.Demote("svc"); err != nil {
+		t.Fatal(err)
+	}
+	violations := rt.CheckIntegrity()
+	if len(violations) != 1 || !strings.Contains(violations[0].String(), "unpromoted") {
+		t.Fatalf("violations = %v", violations)
+	}
+}
+
+func TestRenderPropertyValueVariants(t *testing.T) {
+	cases := map[string]any{
+		"<nil>":      nil,
+		"text":       "text",
+		"42":         42,
+		"true":       true,
+		"1.5":        1.5,
+		"1s":         time.Second, // fmt.Stringer
+		"<[]int>":    []int{1},
+		"<chan int>": make(chan int),
+	}
+	for want, v := range cases {
+		if got := renderPropertyValue(v); got != want {
+			t.Errorf("renderPropertyValue(%T) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestGateIsOpen(t *testing.T) {
+	g := newGate()
+	if g.isOpen() {
+		t.Fatal("fresh gate open")
+	}
+	g.openGate()
+	if !g.isOpen() {
+		t.Fatal("opened gate closed")
+	}
+}

@@ -1,0 +1,177 @@
+package component
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Description is a serializable snapshot of a subtree of the component
+// architecture, produced by introspection. It backs the paper's Figure 6
+// (component architecture of an FTM) and the live derivation of Table 2.
+type Description struct {
+	Path         string
+	Kind         string // "component" or "composite"
+	Type         string
+	State        string
+	Services     []string
+	References   []string
+	Properties   map[string]string
+	Wires        []string
+	Promotions   []string
+	Interceptors []string
+	Children     []Description
+}
+
+// Describe produces a Description of the subtree rooted at path.
+func (rt *Runtime) Describe(path string) (Description, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n, err := rt.find(path)
+	if err != nil {
+		return Description{}, err
+	}
+	return describeNode(normalizePath(path), n), nil
+}
+
+func describeNode(path string, n node) Description {
+	switch t := n.(type) {
+	case *Component:
+		def := t.Definition()
+		d := Description{
+			Path:     path,
+			Kind:     "component",
+			Type:     def.Type,
+			State:    t.State().String(),
+			Services: append([]string(nil), def.Services...),
+		}
+		for _, r := range def.References {
+			suffix := ""
+			if r.Required {
+				suffix = " (required)"
+			}
+			d.References = append(d.References, r.Name+suffix)
+		}
+		if len(def.Properties) > 0 {
+			d.Properties = make(map[string]string, len(def.Properties))
+			for k, v := range def.Properties {
+				d.Properties[k] = renderPropertyValue(v)
+			}
+		}
+		for _, w := range t.Wires() {
+			d.Wires = append(d.Wires, w.String())
+		}
+		d.Interceptors = t.Interceptors()
+		return d
+	case *Composite:
+		d := Description{
+			Path:  path,
+			Kind:  "composite",
+			State: t.State().String(),
+		}
+		for _, p := range t.Promotions() {
+			d.Promotions = append(d.Promotions, fmt.Sprintf("%s => %s.%s", p.Service, p.Child, p.ChildService))
+		}
+		for _, name := range t.Children() {
+			ch, ok := t.child(name)
+			if !ok {
+				continue
+			}
+			childPath := name
+			if path != "" {
+				childPath = path + "/" + name
+			}
+			d.Children = append(d.Children, describeNode(childPath, ch))
+		}
+		sort.Slice(d.Children, func(i, j int) bool { return d.Children[i].Path < d.Children[j].Path })
+		return d
+	default:
+		return Description{Path: path, Kind: "unknown"}
+	}
+}
+
+// renderPropertyValue keeps introspection output readable: scalar
+// configuration prints literally, injected runtime objects print as an
+// opaque type tag.
+func renderPropertyValue(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "<nil>"
+	case string:
+		return t
+	case bool, int, int8, int16, int32, int64, uint, uint8, uint16, uint32, uint64, float32, float64:
+		return fmt.Sprint(t)
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprintf("<%T>", v)
+	}
+}
+
+// String renders the description as an indented architecture listing.
+func (d Description) String() string {
+	var b strings.Builder
+	d.render(&b, 0)
+	return b.String()
+}
+
+func (d Description) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	name := d.Path
+	if name == "" {
+		name = "<root>"
+	}
+	fmt.Fprintf(b, "%s%s %s [%s]", indent, d.Kind, name, d.State)
+	if d.Type != "" {
+		fmt.Fprintf(b, " type=%s", d.Type)
+	}
+	b.WriteByte('\n')
+	if len(d.Services) > 0 {
+		fmt.Fprintf(b, "%s  services: %s\n", indent, strings.Join(d.Services, ", "))
+	}
+	if len(d.References) > 0 {
+		fmt.Fprintf(b, "%s  references: %s\n", indent, strings.Join(d.References, ", "))
+	}
+	if len(d.Properties) > 0 {
+		keys := make([]string, 0, len(d.Properties))
+		for k := range d.Properties {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([]string, 0, len(keys))
+		for _, k := range keys {
+			pairs = append(pairs, k+"="+d.Properties[k])
+		}
+		fmt.Fprintf(b, "%s  properties: %s\n", indent, strings.Join(pairs, ", "))
+	}
+	for _, w := range d.Wires {
+		fmt.Fprintf(b, "%s  wire: %s\n", indent, w)
+	}
+	if len(d.Interceptors) > 0 {
+		fmt.Fprintf(b, "%s  interceptors: %s\n", indent, strings.Join(d.Interceptors, ", "))
+	}
+	for _, p := range d.Promotions {
+		fmt.Fprintf(b, "%s  promotes: %s\n", indent, p)
+	}
+	for _, ch := range d.Children {
+		ch.render(b, depth+1)
+	}
+}
+
+// ComponentPaths returns the paths of all components in the subtree, in
+// sorted order.
+func (d Description) ComponentPaths() []string {
+	var out []string
+	var rec func(Description)
+	rec = func(x Description) {
+		if x.Kind == "component" {
+			out = append(out, x.Path)
+		}
+		for _, ch := range x.Children {
+			rec(ch)
+		}
+	}
+	rec(d)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,36 @@
+package component
+
+import "errors"
+
+// Sentinel errors reported by the runtime. Callers match them with
+// errors.Is; most are wrapped with path/name context at the call site.
+var (
+	// ErrNotFound reports a component, service or reference that does not
+	// exist at the addressed path.
+	ErrNotFound = errors.New("component: not found")
+
+	// ErrAlreadyExists reports a name collision inside a composite.
+	ErrAlreadyExists = errors.New("component: already exists")
+
+	// ErrBadState reports a lifecycle operation invalid in the current
+	// state (for example starting a removed component).
+	ErrBadState = errors.New("component: bad lifecycle state")
+
+	// ErrRemoved reports an invocation on a component that has been
+	// removed from its composite.
+	ErrRemoved = errors.New("component: removed")
+
+	// ErrIntegrity reports a violated architecture integrity constraint.
+	ErrIntegrity = errors.New("component: integrity constraint violated")
+
+	// ErrUnknownOp reports an operation not understood by a service.
+	ErrUnknownOp = errors.New("component: unknown operation")
+
+	// ErrRefUnwired reports an invocation through a reference that is not
+	// currently wired to any service.
+	ErrRefUnwired = errors.New("component: reference not wired")
+
+	// ErrBundle reports a transition-package bundle that failed
+	// verification or symbol resolution at deployment time.
+	ErrBundle = errors.New("component: bundle verification failed")
+)

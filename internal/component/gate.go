@@ -1,0 +1,110 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// gate implements the quiescence protocol of the runtime (paper §5.3):
+// invocations on a stopped component block (they are buffered as waiting
+// goroutines) until the component is restarted, and stopping a component
+// waits for all in-flight invocations to drain before returning.
+type gate struct {
+	mu       sync.Mutex
+	open     bool
+	removed  bool
+	inflight int
+	// changed is closed and replaced on every state change; waiters
+	// re-check the condition after it fires (a channel-based broadcast).
+	changed chan struct{}
+}
+
+func newGate() *gate {
+	return &gate{changed: make(chan struct{})}
+}
+
+func (g *gate) broadcastLocked() {
+	close(g.changed)
+	g.changed = make(chan struct{})
+}
+
+// enter blocks until the gate is open, then registers one in-flight
+// invocation. It fails when the component is removed or ctx is done.
+func (g *gate) enter(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		if g.removed {
+			g.mu.Unlock()
+			return ErrRemoved
+		}
+		if g.open {
+			g.inflight++
+			g.mu.Unlock()
+			return nil
+		}
+		wait := g.changed
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("component: invocation buffered at stopped component: %w", ctx.Err())
+		case <-wait:
+		}
+	}
+}
+
+// leave unregisters one in-flight invocation.
+func (g *gate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.inflight--
+	g.broadcastLocked()
+}
+
+// close shuts the gate and waits for quiescence (no in-flight
+// invocations). New invocations block until openGate or remove.
+func (g *gate) close(ctx context.Context) error {
+	g.mu.Lock()
+	g.open = false
+	g.broadcastLocked()
+	g.mu.Unlock()
+	for {
+		g.mu.Lock()
+		if g.inflight == 0 {
+			g.mu.Unlock()
+			return nil
+		}
+		wait := g.changed
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("component: waiting for quiescence: %w", ctx.Err())
+		case <-wait:
+		}
+	}
+}
+
+// openGate opens the gate, releasing buffered invocations.
+func (g *gate) openGate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.open = true
+	g.broadcastLocked()
+}
+
+// remove marks the gate permanently removed, failing buffered and future
+// invocations with ErrRemoved.
+func (g *gate) remove() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.removed = true
+	g.open = false
+	g.broadcastLocked()
+}
+
+// isOpen reports whether invocations currently pass.
+func (g *gate) isOpen() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.open
+}

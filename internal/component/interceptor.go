@@ -1,0 +1,187 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Invoker continues an intercepted invocation.
+type Invoker func(ctx context.Context, msg Message) (Message, error)
+
+// Interceptor wraps every invocation of a component's services — the
+// membrane-level interception a reflective component model provides for
+// non-functional concerns (metrics, tracing, policy) without touching
+// content code.
+type Interceptor struct {
+	// Name identifies the interceptor for introspection and removal.
+	Name string
+	// Around runs instead of the invocation; call next to proceed.
+	Around func(ctx context.Context, service string, msg Message, next Invoker) (Message, error)
+}
+
+// AddInterceptor installs an interceptor on the component. Interceptors
+// run in installation order, outermost first.
+func (c *Component) AddInterceptor(i Interceptor) error {
+	if i.Name == "" || i.Around == nil {
+		return fmt.Errorf("%w: interceptor needs a name and an Around function", ErrBadState)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, existing := range c.interceptors {
+		if existing.Name == i.Name {
+			return fmt.Errorf("%w: interceptor %q on %q", ErrAlreadyExists, i.Name, c.def.Name)
+		}
+	}
+	c.interceptors = append(c.interceptors, i)
+	return nil
+}
+
+// RemoveInterceptor uninstalls an interceptor by name.
+func (c *Component) RemoveInterceptor(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for idx, existing := range c.interceptors {
+		if existing.Name == name {
+			c.interceptors = append(c.interceptors[:idx], c.interceptors[idx+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: interceptor %q on %q", ErrNotFound, name, c.def.Name)
+}
+
+// Interceptors returns the installed interceptor names, in order.
+func (c *Component) Interceptors() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.interceptors))
+	for _, i := range c.interceptors {
+		out = append(out, i.Name)
+	}
+	return out
+}
+
+// interceptorChain snapshots the chain for one invocation.
+func (c *Component) interceptorChain() []Interceptor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Interceptor(nil), c.interceptors...)
+}
+
+// dispatch runs an invocation through the interceptor chain into the
+// content.
+func (c *Component) dispatch(ctx context.Context, service string, msg Message) (Message, error) {
+	chain := c.interceptorChain()
+	var next Invoker = func(ctx context.Context, m Message) (Message, error) {
+		return c.def.Content.Invoke(ctx, service, m)
+	}
+	for idx := len(chain) - 1; idx >= 0; idx-- {
+		i := chain[idx]
+		inner := next
+		next = func(ctx context.Context, m Message) (Message, error) {
+			return i.Around(ctx, service, m, inner)
+		}
+	}
+	return next(ctx, msg)
+}
+
+// ServiceMetrics aggregates one service's invocation statistics.
+type ServiceMetrics struct {
+	Invocations uint64
+	Errors      uint64
+	Total       time.Duration
+}
+
+// Mean returns the mean invocation latency.
+func (m ServiceMetrics) Mean() time.Duration {
+	if m.Invocations == 0 {
+		return 0
+	}
+	return m.Total / time.Duration(m.Invocations)
+}
+
+// InvocationMetrics collects per-service invocation statistics; attach it
+// with Interceptor() and feed monitoring probes from Snapshot(). This is
+// the membrane-level resource observation the paper's Monitoring Engine
+// needs for the R dimension.
+type InvocationMetrics struct {
+	mu       sync.Mutex
+	services map[string]ServiceMetrics
+}
+
+// NewInvocationMetrics returns an empty collector.
+func NewInvocationMetrics() *InvocationMetrics {
+	return &InvocationMetrics{services: make(map[string]ServiceMetrics)}
+}
+
+// Interceptor returns the interceptor feeding this collector.
+func (m *InvocationMetrics) Interceptor(name string) Interceptor {
+	return Interceptor{
+		Name: name,
+		Around: func(ctx context.Context, service string, msg Message, next Invoker) (Message, error) {
+			start := time.Now()
+			reply, err := next(ctx, msg)
+			m.record(service, time.Since(start), err != nil)
+			return reply, err
+		},
+	}
+}
+
+func (m *InvocationMetrics) record(service string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.services[service]
+	s.Invocations++
+	s.Total += d
+	if failed {
+		s.Errors++
+	}
+	m.services[service] = s
+}
+
+// Snapshot returns a copy of the per-service statistics.
+func (m *InvocationMetrics) Snapshot() map[string]ServiceMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]ServiceMetrics, len(m.services))
+	for k, v := range m.services {
+		out[k] = v
+	}
+	return out
+}
+
+// TotalInvocations sums invocations across services.
+func (m *InvocationMetrics) TotalInvocations() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, s := range m.services {
+		n += s.Invocations
+	}
+	return n
+}
+
+// BusyTime sums processing time across services — a CPU-load proxy.
+func (m *InvocationMetrics) BusyTime() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var d time.Duration
+	for _, s := range m.services {
+		d += s.Total
+	}
+	return d
+}
+
+// Services returns the observed service names, sorted.
+func (m *InvocationMetrics) Services() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.services))
+	for k := range m.services {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,157 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInterceptorOrderAndShortCircuit(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	mustStart(t, rt, "a")
+
+	var mu sync.Mutex
+	var trace []string
+	logStep := func(name string) Interceptor {
+		return Interceptor{
+			Name: name,
+			Around: func(ctx context.Context, service string, msg Message, next Invoker) (Message, error) {
+				mu.Lock()
+				trace = append(trace, name+">")
+				mu.Unlock()
+				reply, err := next(ctx, msg)
+				mu.Lock()
+				trace = append(trace, "<"+name)
+				mu.Unlock()
+				return reply, err
+			},
+		}
+	}
+	if err := c.AddInterceptor(logStep("outer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInterceptor(logStep("inner")); err != nil {
+		t.Fatal(err)
+	}
+
+	ep, _ := c.ServiceEndpoint("svc")
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", 1)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := strings.Join(trace, " ")
+	mu.Unlock()
+	if got != "outer> inner> <inner <outer" {
+		t.Fatalf("trace = %q", got)
+	}
+
+	// A short-circuiting interceptor blocks the content.
+	deny := Interceptor{
+		Name: "deny",
+		Around: func(ctx context.Context, service string, msg Message, next Invoker) (Message, error) {
+			return Message{}, errors.New("denied by policy")
+		},
+	}
+	if err := c.AddInterceptor(deny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", 2)); err == nil {
+		t.Fatal("policy interceptor did not block")
+	}
+	if err := c.RemoveInterceptor("deny"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("echo", 3)); err != nil {
+		t.Fatalf("invocation after removal: %v", err)
+	}
+}
+
+func TestInterceptorValidation(t *testing.T) {
+	rt := NewRuntime(nil)
+	c := mustAdd(t, rt, "", echoDef("a"))
+	if err := c.AddInterceptor(Interceptor{}); err == nil {
+		t.Fatal("nameless interceptor accepted")
+	}
+	ok := Interceptor{Name: "x", Around: func(ctx context.Context, s string, m Message, n Invoker) (Message, error) {
+		return n(ctx, m)
+	}}
+	if err := c.AddInterceptor(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddInterceptor(ok); !errors.Is(err, ErrAlreadyExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := c.RemoveInterceptor("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove ghost: %v", err)
+	}
+	if got := c.Interceptors(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Interceptors = %v", got)
+	}
+}
+
+func TestInvocationMetrics(t *testing.T) {
+	rt := NewRuntime(nil)
+	def := echoDef("a")
+	slow := ContentFunc(func(ctx context.Context, service string, msg Message) (Message, error) {
+		time.Sleep(time.Millisecond)
+		if msg.Op == "boom" {
+			return Message{}, errors.New("kaput")
+		}
+		return NewMessage("ok", nil), nil
+	})
+	def.Content = slow
+	c := mustAdd(t, rt, "", def)
+	mustStart(t, rt, "a")
+
+	metrics := NewInvocationMetrics()
+	if err := c.AddInterceptor(metrics.Interceptor("metrics")); err != nil {
+		t.Fatal(err)
+	}
+	ep, _ := c.ServiceEndpoint("svc")
+	for i := 0; i < 5; i++ {
+		if _, err := ep.Invoke(context.Background(), NewMessage("echo", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ep.Invoke(context.Background(), NewMessage("boom", nil)); err == nil {
+		t.Fatal("want error")
+	}
+
+	snap := metrics.Snapshot()
+	svc := snap["svc"]
+	if svc.Invocations != 6 || svc.Errors != 1 {
+		t.Fatalf("metrics = %+v", svc)
+	}
+	if svc.Mean() < time.Millisecond {
+		t.Fatalf("mean latency = %v, want >= 1ms", svc.Mean())
+	}
+	if metrics.TotalInvocations() != 6 {
+		t.Fatalf("total = %d", metrics.TotalInvocations())
+	}
+	if metrics.BusyTime() < 6*time.Millisecond {
+		t.Fatalf("busy = %v", metrics.BusyTime())
+	}
+	if got := metrics.Services(); len(got) != 1 || got[0] != "svc" {
+		t.Fatalf("services = %v", got)
+	}
+
+	// The interceptor shows up in introspection.
+	d, err := rt.Describe("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(d.String(), "interceptors: metrics") {
+		t.Fatalf("describe missing interceptor:\n%s", d)
+	}
+}
+
+func TestEmptyMetricsMean(t *testing.T) {
+	var m ServiceMetrics
+	if m.Mean() != 0 {
+		t.Fatal("zero-division in Mean")
+	}
+}

@@ -1,0 +1,60 @@
+// Package component implements a reflective component model in the spirit
+// of SCA/FraSCAti: hierarchical composites of components exposing named
+// services and references connected by wires, with runtime introspection
+// and consistent dynamic reconfiguration.
+//
+// The model is deliberately uniform: every service is invoked through the
+// single Service interface. That uniformity is what makes the runtime
+// reflective — wires, lifecycle gates (quiescence) and reconfiguration
+// scripts can manipulate any binding without per-interface adapters.
+package component
+
+import "context"
+
+// Message is the uniform unit of exchange between component services.
+// Op selects an operation on the target service; Payload carries the
+// operation argument, and Meta carries small string annotations (request
+// ids, replica roles, ...).
+type Message struct {
+	Op      string
+	Payload any
+	Meta    map[string]string
+}
+
+// NewMessage returns a Message for op carrying payload.
+func NewMessage(op string, payload any) Message {
+	return Message{Op: op, Payload: payload}
+}
+
+// WithMeta returns a copy of m with key=value added to its metadata.
+// The original message is not modified.
+func (m Message) WithMeta(key, value string) Message {
+	meta := make(map[string]string, len(m.Meta)+1)
+	for k, v := range m.Meta {
+		meta[k] = v
+	}
+	meta[key] = value
+	m.Meta = meta
+	return m
+}
+
+// Meta returns the metadata value for key, or "" when absent.
+func (m Message) MetaValue(key string) string {
+	return m.Meta[key]
+}
+
+// Service is the uniform invocation interface implemented by every
+// component service endpoint and every wire proxy.
+type Service interface {
+	Invoke(ctx context.Context, msg Message) (Message, error)
+}
+
+// ServiceFunc adapts a function to the Service interface.
+type ServiceFunc func(ctx context.Context, msg Message) (Message, error)
+
+// Invoke calls f.
+func (f ServiceFunc) Invoke(ctx context.Context, msg Message) (Message, error) {
+	return f(ctx, msg)
+}
+
+var _ Service = (ServiceFunc)(nil)

@@ -1,0 +1,132 @@
+package component
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// reconfigMachine drives random-but-valid reconfiguration sequences
+// against a runtime, used by the integrity property test.
+type reconfigMachine struct {
+	t       *testing.T
+	rt      *Runtime
+	rng     *rand.Rand
+	nextID  int
+	members []string // live component paths
+}
+
+func (m *reconfigMachine) randomMember() (string, bool) {
+	if len(m.members) == 0 {
+		return "", false
+	}
+	return m.members[m.rng.Intn(len(m.members))], true
+}
+
+// step performs one random operation from the runtime's reconfiguration
+// vocabulary. Operations that are invalid in the current architecture
+// are allowed to fail; what must never happen is a violated integrity
+// constraint afterwards.
+func (m *reconfigMachine) step(ctx context.Context) {
+	switch m.rng.Intn(6) {
+	case 0: // add
+		name := fmt.Sprintf("c%d", m.nextID)
+		m.nextID++
+		if _, err := m.rt.AddComponent("", echoDef(name)); err != nil {
+			m.t.Fatalf("add %s: %v", name, err)
+		}
+		m.members = append(m.members, name)
+	case 1: // remove (must be stopped and untargeted; failures tolerated)
+		path, ok := m.randomMember()
+		if !ok {
+			return
+		}
+		_ = m.rt.Stop(ctx, path)
+		if err := m.rt.Remove(path); err == nil {
+			for i, p := range m.members {
+				if p == path {
+					m.members = append(m.members[:i], m.members[i+1:]...)
+					break
+				}
+			}
+		} else if !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrBadState) {
+			m.t.Fatalf("remove %s: unexpected error class %v", path, err)
+		}
+	case 2: // wire
+		from, ok := m.randomMember()
+		if !ok {
+			return
+		}
+		to, _ := m.randomMember()
+		err := m.rt.Wire(from, "next", to, "svc")
+		if err != nil && !errors.Is(err, ErrAlreadyExists) {
+			m.t.Fatalf("wire %s->%s: %v", from, to, err)
+		}
+	case 3: // unwire
+		from, ok := m.randomMember()
+		if !ok {
+			return
+		}
+		err := m.rt.Unwire(from, "next")
+		if err != nil && !errors.Is(err, ErrRefUnwired) {
+			m.t.Fatalf("unwire %s: %v", from, err)
+		}
+	case 4: // start
+		path, ok := m.randomMember()
+		if !ok {
+			return
+		}
+		if err := m.rt.Start(ctx, path); err != nil {
+			m.t.Fatalf("start %s: %v", path, err)
+		}
+	case 5: // stop
+		path, ok := m.randomMember()
+		if !ok {
+			return
+		}
+		if err := m.rt.Stop(ctx, path); err != nil {
+			m.t.Fatalf("stop %s: %v", path, err)
+		}
+	}
+}
+
+// TestRandomReconfigurationPreservesIntegrity is the architecture
+// invariant property: any sequence of runtime reconfiguration operations
+// — whatever succeeds or fails individually — leaves the component graph
+// without integrity violations, and live components keep answering.
+func TestRandomReconfigurationPreservesIntegrity(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			m := &reconfigMachine{t: t, rt: NewRuntime(nil), rng: rand.New(rand.NewSource(seed))}
+			for step := 0; step < 300; step++ {
+				m.step(ctx)
+				// The optional 'next' reference means no violation is
+				// ever acceptable mid-sequence either.
+				if violations := m.rt.CheckIntegrity(); len(violations) != 0 {
+					t.Fatalf("step %d: integrity violated: %v", step, violations)
+				}
+			}
+			// Every started member still answers.
+			for _, path := range m.members {
+				c, err := m.rt.Lookup(path)
+				if err != nil {
+					t.Fatalf("lookup %s: %v", path, err)
+				}
+				if c.State() != StateStarted {
+					continue
+				}
+				ep, err := c.ServiceEndpoint("svc")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := ep.Invoke(ctx, NewMessage("echo", path)); err != nil {
+					t.Fatalf("invoke %s: %v", path, err)
+				}
+			}
+		})
+	}
+}

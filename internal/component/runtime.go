@@ -1,0 +1,437 @@
+package component
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Runtime is the reflective membrane of one replica: a rooted tree of
+// composites and components addressed by slash-separated paths, a type
+// registry for deploying components from transition packages, and the
+// reconfiguration operations the paper identifies as the minimal API for
+// fine-grained adaptation (lifecycle control, binding control).
+type Runtime struct {
+	mu       sync.Mutex
+	root     *Composite
+	registry *Registry
+}
+
+// NewRuntime returns a runtime with an empty, started root composite and
+// the given type registry (a fresh one when nil).
+func NewRuntime(registry *Registry) *Runtime {
+	if registry == nil {
+		registry = NewRegistry()
+	}
+	rt := &Runtime{root: newComposite(""), registry: registry}
+	rt.root.g.openGate()
+	rt.root.state = StateStarted
+	return rt
+}
+
+// Registry returns the runtime's component type registry.
+func (rt *Runtime) Registry() *Registry { return rt.registry }
+
+// Root returns the root composite.
+func (rt *Runtime) Root() *Composite { return rt.root }
+
+// splitPath splits "a/b/c" into segments, rejecting empty segments.
+func splitPath(path string) ([]string, error) {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil, nil
+	}
+	segs := strings.Split(path, "/")
+	for _, s := range segs {
+		if s == "" {
+			return nil, fmt.Errorf("%w: empty segment in path %q", ErrNotFound, path)
+		}
+	}
+	return segs, nil
+}
+
+// find resolves a path to a node. The empty path resolves to the root.
+func (rt *Runtime) find(path string) (node, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	var cur node = rt.root
+	for i, s := range segs {
+		cp, ok := cur.(*Composite)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q is not a composite", ErrNotFound, strings.Join(segs[:i], "/"))
+		}
+		next, ok := cp.child(s)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, strings.Join(segs[:i+1], "/"))
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Lookup returns the component at path.
+func (rt *Runtime) Lookup(path string) (*Component, error) {
+	n, err := rt.find(path)
+	if err != nil {
+		return nil, err
+	}
+	c, ok := n.(*Component)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not a component", ErrNotFound, path)
+	}
+	return c, nil
+}
+
+// LookupComposite returns the composite at path ("" is the root).
+func (rt *Runtime) LookupComposite(path string) (*Composite, error) {
+	n, err := rt.find(path)
+	if err != nil {
+		return nil, err
+	}
+	cp, ok := n.(*Composite)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q is not a composite", ErrNotFound, path)
+	}
+	return cp, nil
+}
+
+// Exists reports whether a node exists at path.
+func (rt *Runtime) Exists(path string) bool {
+	_, err := rt.find(path)
+	return err == nil
+}
+
+// parentOf resolves the parent composite and leaf name of path.
+func (rt *Runtime) parentOf(path string) (*Composite, string, error) {
+	segs, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(segs) == 0 {
+		return nil, "", fmt.Errorf("%w: root has no parent", ErrNotFound)
+	}
+	parent := strings.Join(segs[:len(segs)-1], "/")
+	cp, err := rt.LookupComposite(parent)
+	if err != nil {
+		return nil, "", err
+	}
+	return cp, segs[len(segs)-1], nil
+}
+
+// AddComposite creates an empty composite at path and starts its
+// boundary.
+func (rt *Runtime) AddComposite(path string) (*Composite, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	parent, name, err := rt.parentOf(path)
+	if err != nil {
+		return nil, err
+	}
+	cp := newComposite(name)
+	if err := parent.addChild(cp); err != nil {
+		return nil, err
+	}
+	if err := cp.Start(context.Background()); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// AddComponent instantiates def as a child of the composite at
+// parentPath. When def.Content is nil the component is deployed from its
+// type: the bundle is verified and linked against the registry and the
+// factory constructs the content — this is the deployment path taken by
+// transition packages. The new component is left Stopped.
+func (rt *Runtime) AddComponent(parentPath string, def Definition) (*Component, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.addComponentLocked(parentPath, def)
+}
+
+func (rt *Runtime) addComponentLocked(parentPath string, def Definition) (*Component, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("%w: component definition without name", ErrBadState)
+	}
+	parent, err := rt.LookupComposite(parentPath)
+	if err != nil {
+		return nil, err
+	}
+	if def.Content == nil {
+		if err := rt.registry.Link(def.Bundle); err != nil {
+			return nil, err
+		}
+		factory, err := rt.registry.Resolve(def.Type)
+		if err != nil {
+			return nil, err
+		}
+		content, err := factory(def.Properties)
+		if err != nil {
+			return nil, fmt.Errorf("component %q: factory for type %q: %w", def.Name, def.Type, err)
+		}
+		def.Content = content
+	}
+	c := newComponent(def)
+	if pr, ok := def.Content.(PropertyReceiver); ok {
+		for k, v := range def.Properties {
+			if err := pr.SetProperty(k, v); err != nil {
+				return nil, fmt.Errorf("component %q: property %q: %w", def.Name, k, err)
+			}
+		}
+	}
+	if err := parent.addChild(c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Remove deletes the stopped node at path. Removal is refused while other
+// components hold wires to the node, or while a component is started —
+// the same integrity discipline FScript enforces.
+func (rt *Runtime) Remove(path string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.removeLocked(path)
+}
+
+func (rt *Runtime) removeLocked(path string) error {
+	n, err := rt.find(path)
+	if err != nil {
+		return err
+	}
+	if n.State() == StateStarted {
+		return fmt.Errorf("%w: remove started node %q", ErrBadState, path)
+	}
+	norm := normalizePath(path)
+	inSubtree := func(p string) bool {
+		return p == norm || strings.HasPrefix(p, norm+"/")
+	}
+	for _, w := range rt.allWiresLocked() {
+		// Wires wholly inside the removed subtree disappear with it; a
+		// wire reaching in from outside makes removal inconsistent.
+		if inSubtree(w.To) && !inSubtree(w.From) {
+			return fmt.Errorf("%w: wire %s still targets %q", ErrIntegrity, w, path)
+		}
+		if c, ok := n.(*Component); ok && w.From == norm {
+			// Outgoing wires of the removed component disappear with it;
+			// silently discard their records.
+			c.dropWire(w.Reference)
+		}
+	}
+	parent, name, err := rt.parentOf(path)
+	if err != nil {
+		return err
+	}
+	removed, err := parent.removeChild(name)
+	if err != nil {
+		return err
+	}
+	removed.markRemoved()
+	return nil
+}
+
+// Start opens the node at path.
+func (rt *Runtime) Start(ctx context.Context, path string) error {
+	n, err := rt.find(path)
+	if err != nil {
+		return err
+	}
+	return n.Start(ctx)
+}
+
+// Stop drains and closes the node at path.
+func (rt *Runtime) Stop(ctx context.Context, path string) error {
+	n, err := rt.find(path)
+	if err != nil {
+		return err
+	}
+	return n.Stop(ctx)
+}
+
+// normalizePath canonicalizes a path for wire bookkeeping.
+func normalizePath(path string) string {
+	return strings.Trim(path, "/")
+}
+
+// Wire connects fromPath's reference to toPath's service. The injected
+// proxy resolves the target endpoint at wire time; gating at the target
+// keeps invocations safe across that component's lifecycle changes.
+func (rt *Runtime) Wire(fromPath, reference, toPath, service string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.wireLocked(fromPath, reference, toPath, service)
+}
+
+func (rt *Runtime) wireLocked(fromPath, reference, toPath, service string) error {
+	from, err := rt.Lookup(fromPath)
+	if err != nil {
+		return err
+	}
+	target, err := rt.find(toPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := from.WireFor(reference); ok {
+		return fmt.Errorf("%w: reference %q on %q is already wired", ErrAlreadyExists, reference, fromPath)
+	}
+	ep, err := target.endpoint(service)
+	if err != nil {
+		return err
+	}
+	if err := from.setReference(reference, ep); err != nil {
+		return err
+	}
+	from.recordWire(&Wire{
+		From:      normalizePath(fromPath),
+		Reference: reference,
+		To:        normalizePath(toPath),
+		Service:   service,
+	})
+	return nil
+}
+
+// Unwire disconnects fromPath's reference.
+func (rt *Runtime) Unwire(fromPath, reference string) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.unwireLocked(fromPath, reference)
+}
+
+func (rt *Runtime) unwireLocked(fromPath, reference string) error {
+	from, err := rt.Lookup(fromPath)
+	if err != nil {
+		return err
+	}
+	if _, ok := from.WireFor(reference); !ok {
+		return fmt.Errorf("%w: reference %q on %q", ErrRefUnwired, reference, fromPath)
+	}
+	if err := from.setReference(reference, nil); err != nil {
+		return err
+	}
+	from.dropWire(reference)
+	return nil
+}
+
+// SetProperty pushes a property to the component at path.
+func (rt *Runtime) SetProperty(path, name string, value any) error {
+	c, err := rt.Lookup(path)
+	if err != nil {
+		return err
+	}
+	return c.SetProperty(name, value)
+}
+
+// walk visits every node under (and including) the composite at prefix.
+func walk(prefix string, n node, visit func(path string, n node)) {
+	visit(prefix, n)
+	cp, ok := n.(*Composite)
+	if !ok {
+		return
+	}
+	for _, name := range cp.Children() {
+		ch, ok := cp.child(name)
+		if !ok {
+			continue
+		}
+		childPath := name
+		if prefix != "" {
+			childPath = prefix + "/" + name
+		}
+		walk(childPath, ch, visit)
+	}
+}
+
+// allWiresLocked collects every wire in the tree, sorted by origin.
+func (rt *Runtime) allWiresLocked() []*Wire {
+	var out []*Wire
+	walk("", rt.root, func(path string, n node) {
+		if c, ok := n.(*Component); ok {
+			out = append(out, c.Wires()...)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Reference < out[j].Reference
+	})
+	return out
+}
+
+// Wires returns every wire in the runtime.
+func (rt *Runtime) Wires() []*Wire {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.allWiresLocked()
+}
+
+// Violation describes one failed integrity constraint.
+type Violation struct {
+	Path   string
+	Detail string
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.Path + ": " + v.Detail }
+
+// CheckIntegrity verifies the architecture's integrity constraints: every
+// started component has all required references wired, and every wire
+// targets an existing node that provides the named service. It returns
+// all violations found.
+func (rt *Runtime) CheckIntegrity() []Violation {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []Violation
+	walk("", rt.root, func(path string, n node) {
+		c, ok := n.(*Component)
+		if !ok {
+			return
+		}
+		def := c.Definition()
+		if c.State() == StateStarted {
+			for _, ref := range def.References {
+				if !ref.Required {
+					continue
+				}
+				if _, wired := c.WireFor(ref.Name); !wired {
+					out = append(out, Violation{
+						Path:   path,
+						Detail: fmt.Sprintf("required reference %q of started component is unwired", ref.Name),
+					})
+				}
+			}
+		}
+		for _, w := range c.Wires() {
+			target, err := rt.find(w.To)
+			if err != nil {
+				out = append(out, Violation{Path: path, Detail: fmt.Sprintf("wire %s targets missing node", w)})
+				continue
+			}
+			if target.State() == StateRemoved {
+				out = append(out, Violation{Path: path, Detail: fmt.Sprintf("wire %s targets removed node", w)})
+				continue
+			}
+			switch t := target.(type) {
+			case *Component:
+				if !t.Definition().HasService(w.Service) {
+					out = append(out, Violation{Path: path, Detail: fmt.Sprintf("wire %s targets undeclared service", w)})
+				}
+			case *Composite:
+				found := false
+				for _, p := range t.Promotions() {
+					if p.Service == w.Service {
+						found = true
+						break
+					}
+				}
+				if !found {
+					out = append(out, Violation{Path: path, Detail: fmt.Sprintf("wire %s targets unpromoted service", w)})
+				}
+			}
+		}
+	})
+	return out
+}

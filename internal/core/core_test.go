@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func resources(bw, cpu float64) ResourceState {
+	return ResourceState{BandwidthKbps: bw, CPUFree: cpu, Energy: 1, Hosts: 2}
+}
+
+func TestFaultModelOps(t *testing.T) {
+	m := NewFaultModel(FaultCrash)
+	if !m.Has(FaultCrash) || m.Has(FaultTransientValue) {
+		t.Fatal("Has wrong")
+	}
+	m2 := m.With(FaultTransientValue)
+	if !m2.Has(FaultCrash) || !m2.Has(FaultTransientValue) {
+		t.Fatal("With wrong")
+	}
+	if m.Has(FaultTransientValue) {
+		t.Fatal("With mutated the receiver")
+	}
+	if !m2.Covers(m) || m.Covers(m2) {
+		t.Fatal("Covers wrong")
+	}
+	m3 := m2.Without(FaultTransientValue)
+	if !m3.Equal(m) {
+		t.Fatalf("Without wrong: %s", m3)
+	}
+	if got := m2.String(); got != "crash+transient-value" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := NewFaultModel().String(); got != "none" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// TestTable1 pins the catalogue to the paper's Table 1 values.
+func TestTable1(t *testing.T) {
+	cases := []struct {
+		id               ID
+		crash, trans     bool
+		permanent        bool
+		needsDet         bool
+		needsState       bool
+		bandwidth, cpu   ResourceLevel
+		supportsNonDeter bool
+	}{
+		{PBR, true, false, false, false, true, LevelHigh, LevelLow, true},
+		{LFR, true, false, false, true, false, LevelLow, LevelLow, false},
+		{TR, false, true, false, true, true, LevelNA, LevelHigh, false},
+		// A&Duplex tolerates crash, transient and permanent value faults.
+		{APBR, true, true, true, true, true, LevelHigh, LevelHigh, false},
+		{ALFR, true, true, true, true, false, LevelLow, LevelHigh, false},
+		// Compositions.
+		{PBRTR, true, true, false, true, true, LevelHigh, LevelHigh, false},
+		{LFRTR, true, true, false, true, true, LevelLow, LevelHigh, false},
+	}
+	for _, tc := range cases {
+		d, err := Lookup(tc.id)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", tc.id, err)
+		}
+		if d.Tolerates.Has(FaultCrash) != tc.crash {
+			t.Errorf("%s: crash tolerance = %v", tc.id, !tc.crash)
+		}
+		if d.Tolerates.Has(FaultTransientValue) != tc.trans {
+			t.Errorf("%s: transient tolerance = %v", tc.id, !tc.trans)
+		}
+		if d.Tolerates.Has(FaultPermanentValue) != tc.permanent {
+			t.Errorf("%s: permanent tolerance = %v", tc.id, !tc.permanent)
+		}
+		if d.NeedsDeterminism != tc.needsDet {
+			t.Errorf("%s: NeedsDeterminism = %v", tc.id, d.NeedsDeterminism)
+		}
+		if d.NeedsStateAccess != tc.needsState {
+			t.Errorf("%s: NeedsStateAccess = %v", tc.id, d.NeedsStateAccess)
+		}
+		if d.Bandwidth != tc.bandwidth {
+			t.Errorf("%s: Bandwidth = %v, want %v", tc.id, d.Bandwidth, tc.bandwidth)
+		}
+		if d.CPU != tc.cpu {
+			t.Errorf("%s: CPU = %v, want %v", tc.id, d.CPU, tc.cpu)
+		}
+		if !d.NeedsDeterminism != tc.supportsNonDeter {
+			t.Errorf("%s: non-determinism support = %v", tc.id, !d.NeedsDeterminism)
+		}
+	}
+}
+
+// TestTable2Schemes pins the generic execution schemes to Table 2.
+func TestTable2Schemes(t *testing.T) {
+	cases := []struct {
+		id     ID
+		role   Role
+		scheme Scheme
+	}{
+		// PBR (Primary): Nothing / Compute / Checkpoint to Backup.
+		{PBR, RoleMaster, Scheme{TypeNop, TypeComputeProceed, TypePBRCheckpoint}},
+		// PBR (Backup): Nothing / Nothing / Process checkpoint.
+		{PBR, RoleSlave, Scheme{TypeNop, TypeNoProceed, TypePBRApply}},
+		// LFR (Leader): Forward request / Compute / Notify Follower.
+		{LFR, RoleMaster, Scheme{TypeLFRForward, TypeComputeProceed, TypeLFRNotify}},
+		// LFR (Follower): Receive request / Compute / Process notification.
+		{LFR, RoleSlave, Scheme{TypeLFRReceive, TypeComputeProceed, TypeLFRAck}},
+		// TR: Capture state / Compute / Restore state.
+		{TR, RoleMaster, Scheme{TypeTRCapture, TypeTRProceed, TypeTRRestore}},
+		// A&Duplex: Nothing / Compute / Assert output (over the PBR base).
+		{APBR, RoleMaster, Scheme{TypeNop, TypeAssertProceed, TypePBRCheckpoint}},
+	}
+	for _, tc := range cases {
+		got := MustLookup(tc.id).Scheme(tc.role)
+		if got != tc.scheme {
+			t.Errorf("%s/%s scheme = %+v, want %+v", tc.id, tc.role, got, tc.scheme)
+		}
+	}
+}
+
+// TestDiffCounts pins the differential-transition sizes the evaluation
+// relies on (Figure 9: 1, 2 and 3 components replaced).
+func TestDiffCounts(t *testing.T) {
+	cases := []struct {
+		from, to ID
+		want     int
+	}{
+		{LFR, LFRTR, 1},  // replace proceed only
+		{PBR, LFR, 2},    // replace syncBefore and syncAfter
+		{PBR, LFRTR, 3},  // replace all three variable features
+		{PBR, PBRTR, 1},  // replace proceed only
+		{PBRTR, APBR, 1}, // swap TR proceed for assertion proceed
+		{PBRTR, LFRTR, 2},
+		{LFRTR, ALFR, 1},
+		{PBR, APBR, 1},
+		{LFR, ALFR, 1},
+		{APBR, ALFR, 3}, // different duplex base and nothing shared but compute? before+after+proceed? assert==assert
+	}
+	for _, tc := range cases {
+		from := MustLookup(tc.from).MasterScheme
+		to := MustLookup(tc.to).MasterScheme
+		got := len(Diff(from, to))
+		want := tc.want
+		if tc.from == APBR && tc.to == ALFR {
+			// Both use the assertion proceed: only the duplex sync pair
+			// differs.
+			want = 2
+		}
+		if got != want {
+			t.Errorf("Diff(%s -> %s) = %d components, want %d", tc.from, tc.to, got, want)
+		}
+	}
+}
+
+func TestDiffSymmetric(t *testing.T) {
+	set := DeployableSet()
+	for _, a := range set {
+		for _, b := range set {
+			ab := len(Diff(MustLookup(a).MasterScheme, MustLookup(b).MasterScheme))
+			ba := len(Diff(MustLookup(b).MasterScheme, MustLookup(a).MasterScheme))
+			if ab != ba {
+				t.Errorf("Diff(%s,%s)=%d but Diff(%s,%s)=%d", a, b, ab, b, a, ba)
+			}
+			if a == b && ab != 0 {
+				t.Errorf("Diff(%s,%s) = %d, want 0", a, b, ab)
+			}
+		}
+	}
+}
+
+func TestValidateDetectsEachInconsistency(t *testing.T) {
+	th := DefaultThresholds()
+	det := AppTraits{Deterministic: true, StateAccess: true}
+
+	// FT: PBR cannot tolerate transient value faults.
+	inc := Validate(MustLookup(PBR), NewFaultModel(FaultCrash, FaultTransientValue), det, resources(5000, 0.9), th)
+	if len(inc) != 1 || inc[0].Param != "FT" {
+		t.Fatalf("FT violation = %v", inc)
+	}
+	// A: LFR needs determinism.
+	inc = Validate(MustLookup(LFR), NewFaultModel(FaultCrash), AppTraits{Deterministic: false}, resources(5000, 0.9), th)
+	if len(inc) != 1 || inc[0].Param != "A" {
+		t.Fatalf("A violation (determinism) = %v", inc)
+	}
+	// A: PBR needs state access.
+	inc = Validate(MustLookup(PBR), NewFaultModel(FaultCrash), AppTraits{Deterministic: true}, resources(5000, 0.9), th)
+	if len(inc) != 1 || inc[0].Param != "A" {
+		t.Fatalf("A violation (state) = %v", inc)
+	}
+	// R: PBR needs bandwidth.
+	inc = Validate(MustLookup(PBR), NewFaultModel(FaultCrash), det, resources(100, 0.9), th)
+	if len(inc) != 1 || inc[0].Param != "R" {
+		t.Fatalf("R violation (bandwidth) = %v", inc)
+	}
+	// R: LFR⊕TR needs CPU.
+	inc = Validate(MustLookup(LFRTR), NewFaultModel(FaultCrash, FaultTransientValue), det, resources(5000, 0.1), th)
+	if len(inc) != 1 || inc[0].Param != "R" {
+		t.Fatalf("R violation (CPU) = %v", inc)
+	}
+	// R: duplex needs two hosts.
+	oneHost := ResourceState{BandwidthKbps: 5000, CPUFree: 0.9, Energy: 1, Hosts: 1}
+	inc = Validate(MustLookup(LFR), NewFaultModel(FaultCrash), det, oneHost, th)
+	if len(inc) != 1 || inc[0].Param != "R" {
+		t.Fatalf("R violation (hosts) = %v", inc)
+	}
+	// Consistent: no violations.
+	inc = Validate(MustLookup(PBR), NewFaultModel(FaultCrash), det, resources(5000, 0.9), th)
+	if len(inc) != 0 {
+		t.Fatalf("consistent configuration flagged: %v", inc)
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	th := DefaultThresholds()
+	crash := NewFaultModel(FaultCrash)
+	crashTransient := crash.With(FaultTransientValue)
+	all := crashTransient.With(FaultPermanentValue)
+
+	cases := []struct {
+		name string
+		ft   FaultModel
+		a    AppTraits
+		r    ResourceState
+		want ID
+	}{
+		{"crash, non-deterministic app -> PBR (only duplex allowing it)",
+			crash, AppTraits{Deterministic: false, StateAccess: true}, resources(5000, 0.9), PBR},
+		{"crash, deterministic, plenty of everything -> PBR (lowest CPU cost)",
+			crash, AppTraits{Deterministic: true, StateAccess: true}, resources(5000, 0.9), PBR},
+		{"crash, bandwidth-constrained -> LFR",
+			crash, AppTraits{Deterministic: true, StateAccess: true}, resources(100, 0.9), LFR},
+		{"crash, no state access -> LFR",
+			crash, AppTraits{Deterministic: true, StateAccess: false}, resources(5000, 0.9), LFR},
+		{"crash+transient, state access, low bandwidth -> LFR⊕TR",
+			crashTransient, AppTraits{Deterministic: true, StateAccess: true}, resources(100, 0.9), LFRTR},
+		{"crash+transient, no state access -> A&LFR",
+			crashTransient, AppTraits{Deterministic: true, StateAccess: false}, resources(5000, 0.9), ALFR},
+		{"all faults, state access -> A&PBR or A&LFR (assertion duplex)",
+			all, AppTraits{Deterministic: true, StateAccess: true}, resources(5000, 0.9), APBR},
+		{"transient only, single host -> TR",
+			NewFaultModel(FaultTransientValue), AppTraits{Deterministic: true, StateAccess: true},
+			ResourceState{BandwidthKbps: 0, CPUFree: 0.9, Energy: 1, Hosts: 1}, TR},
+	}
+	for _, tc := range cases {
+		got, err := Select(tc.ft, tc.a, tc.r, th)
+		if err != nil {
+			t.Errorf("%s: Select: %v", tc.name, err)
+			continue
+		}
+		if got.ID != tc.want {
+			t.Errorf("%s: Select = %s, want %s", tc.name, got.ID, tc.want)
+		}
+	}
+}
+
+func TestSelectNoGenericSolution(t *testing.T) {
+	// Non-deterministic application without state access: the paper's
+	// illustrative set has no generic solution (the Figure 8 dead end);
+	// the semi-active extension (Delta-4 XPA style) fills exactly that
+	// gap, so Select now resolves it.
+	d, err := Select(NewFaultModel(FaultCrash),
+		AppTraits{Deterministic: false, StateAccess: false},
+		resources(5000, 0.9), DefaultThresholds())
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if d.ID != SemiActive {
+		t.Fatalf("Select = %s, want the semi-active extension", d.ID)
+	}
+	// A combination nothing covers: software faults in a
+	// non-deterministic application (recovery blocks need determinism for
+	// their acceptance comparison).
+	_, err = Select(NewFaultModel(FaultCrash, FaultSoftware),
+		AppTraits{Deterministic: false, StateAccess: true},
+		resources(5000, 0.9), DefaultThresholds())
+	if !errors.Is(err, ErrNoGenericSolution) {
+		t.Fatalf("Select = %v, want ErrNoGenericSolution", err)
+	}
+}
+
+func TestSelectedFTMAlwaysValid(t *testing.T) {
+	th := DefaultThresholds()
+	models := []FaultModel{
+		NewFaultModel(FaultCrash),
+		NewFaultModel(FaultTransientValue),
+		NewFaultModel(FaultCrash, FaultTransientValue),
+		NewFaultModel(FaultCrash, FaultTransientValue, FaultPermanentValue),
+	}
+	traits := []AppTraits{
+		{Deterministic: true, StateAccess: true},
+		{Deterministic: true, StateAccess: false},
+		{Deterministic: false, StateAccess: true},
+	}
+	states := []ResourceState{resources(5000, 0.9), resources(100, 0.9), resources(5000, 0.1)}
+	for _, ft := range models {
+		for _, a := range traits {
+			for _, r := range states {
+				d, err := Select(ft, a, r, th)
+				if errors.Is(err, ErrNoGenericSolution) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("Select(%s,%s): %v", ft, a, err)
+				}
+				if inc := Validate(d, ft, a, r, th); len(inc) != 0 {
+					t.Errorf("Select(%s,%s,%+v) returned invalid %s: %v", ft, a, r, d.ID, inc)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure2Graph(t *testing.T) {
+	edges := TransitionGraph()
+	if len(edges) != 8 {
+		t.Fatalf("Figure 2 has %d edges, want 8", len(edges))
+	}
+	vertices := GraphVertices()
+	if len(vertices) != 5 {
+		t.Fatalf("Figure 2 has %d vertices, want 5", len(vertices))
+	}
+	// The passive<->active swaps are labelled A,R; compositions FT.
+	nb := Neighbors(VertexPBR)
+	if labels := nb[VertexLFR]; len(labels) != 2 {
+		t.Fatalf("PBR<->LFR labels = %v", labels)
+	}
+	if labels := nb[VertexPBRTR]; len(labels) != 1 || labels[0] != ParamFT {
+		t.Fatalf("PBR<->PBR⊕TR labels = %v", labels)
+	}
+	// Every deployable FTM maps onto a Figure 2 vertex.
+	for _, id := range DeployableSet() {
+		if _, err := VertexFor(id); err != nil {
+			t.Errorf("VertexFor(%s): %v", id, err)
+		}
+	}
+}
+
+// TestFigure2EdgeLabelsConsistent checks each edge's labels against the
+// Table 1 deltas of its endpoints: an FT label requires differing fault
+// models; an A label differing application assumptions; an R label
+// differing resource profiles.
+func TestFigure2EdgeLabelsConsistent(t *testing.T) {
+	// Representative descriptor per vertex (A&Duplex -> A&LFR).
+	rep := map[GraphVertex]Descriptor{
+		VertexPBR:     MustLookup(PBR),
+		VertexLFR:     MustLookup(LFR),
+		VertexPBRTR:   MustLookup(PBRTR),
+		VertexLFRTR:   MustLookup(LFRTR),
+		VertexADuplex: MustLookup(ALFR),
+	}
+	// The A label of a composed pair refers to the assumptions of its
+	// duplex base (PBR⊕TR vs LFR⊕TR trade state access for determinism
+	// exactly as PBR vs LFR do).
+	baseOf := func(d Descriptor) Descriptor {
+		if d.Base != "" {
+			return MustLookup(d.Base)
+		}
+		return d
+	}
+	for _, e := range TransitionGraph() {
+		a, b := rep[e.A], rep[e.B]
+		for _, label := range e.Labels {
+			switch label {
+			case ParamFT:
+				if a.Tolerates.Equal(b.Tolerates) {
+					t.Errorf("edge %s: FT label but same fault model", e)
+				}
+			case ParamA:
+				ba, bb := baseOf(a), baseOf(b)
+				ownDiffer := a.NeedsDeterminism != b.NeedsDeterminism || a.NeedsStateAccess != b.NeedsStateAccess
+				baseDiffer := ba.NeedsDeterminism != bb.NeedsDeterminism || ba.NeedsStateAccess != bb.NeedsStateAccess
+				if !ownDiffer && !baseDiffer {
+					t.Errorf("edge %s: A label but same application assumptions", e)
+				}
+			case ParamR:
+				if a.Bandwidth == b.Bandwidth && a.CPUCost == b.CPUCost {
+					t.Errorf("edge %s: R label but same resource profile", e)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioGraphClassification(t *testing.T) {
+	for _, e := range ScenarioGraph() {
+		class := TriggerClass(e.Trigger)
+		if class == "" {
+			t.Errorf("edge %s: trigger has no class", e)
+			continue
+		}
+		// Paper §5.4: R changes are probe-detected, A and FT changes need
+		// manager input; A and R transitions are reactive, FT proactive.
+		switch class {
+		case ParamR:
+			if e.Detection != ByProbe || e.Nature != Reactive {
+				t.Errorf("edge %s: R trigger must be probe/reactive", e)
+			}
+		case ParamA:
+			if e.Detection != ByManager || e.Nature != Reactive {
+				t.Errorf("edge %s: A trigger must be manager/reactive", e)
+			}
+		case ParamFT:
+			if e.Detection != ByManager || e.Nature != Proactive {
+				t.Errorf("edge %s: FT trigger must be manager/proactive", e)
+			}
+		}
+	}
+}
+
+// TestScenarioNoMandatoryOscillation verifies the stability argument of
+// §5.4: the reverse of a mandatory transition is never mandatory, so a
+// parameter oscillating near a threshold cannot flip the system back and
+// forth automatically.
+func TestScenarioNoMandatoryOscillation(t *testing.T) {
+	mandatory := make(map[[2]ScenState]bool)
+	for _, e := range ScenarioGraph() {
+		if e.Kind == Mandatory {
+			mandatory[[2]ScenState{e.From, e.To}] = true
+		}
+	}
+	for pair := range mandatory {
+		if mandatory[[2]ScenState{pair[1], pair[0]}] {
+			t.Errorf("mandatory cycle between %s and %s", pair[0], pair[1])
+		}
+	}
+}
+
+func TestScenarioEveryMandatoryLeavesInvalidState(t *testing.T) {
+	// Sanity: every non-None state has at least one outgoing mandatory
+	// edge (there is always a way to be invalidated) and the None state
+	// has a (manager-gated) way out.
+	mandatoryOut := make(map[ScenState]int)
+	anyOut := make(map[ScenState]int)
+	for _, e := range ScenarioGraph() {
+		anyOut[e.From]++
+		if e.Kind == Mandatory {
+			mandatoryOut[e.From]++
+		}
+	}
+	for _, s := range ScenarioStates() {
+		if s == StNone {
+			continue
+		}
+		if mandatoryOut[s] == 0 {
+			t.Errorf("state %s has no mandatory exit", s)
+		}
+	}
+	if anyOut[StNone] == 0 {
+		t.Error("no way out of the no-generic-solution state")
+	}
+}
+
+func TestStateForFTMForRoundTrip(t *testing.T) {
+	traits := []AppTraits{
+		{Deterministic: true, StateAccess: true},
+		{Deterministic: true, StateAccess: false},
+		{Deterministic: false, StateAccess: true},
+	}
+	for _, a := range traits {
+		for _, id := range DeployableSet() {
+			st, err := StateFor(id, a)
+			if err != nil {
+				t.Fatalf("StateFor(%s): %v", id, err)
+			}
+			back, err := FTMFor(st, a)
+			if err != nil {
+				t.Fatalf("FTMFor(%s): %v", st, err)
+			}
+			// The round trip maps into the same Figure 2 vertex (A&PBR
+			// and A&LFR share the A&Duplex state; PBR⊕TR shares PBR's).
+			v1, err := VertexFor(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v2, err := VertexFor(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id == PBRTR {
+				continue // folds into the PBR state by construction
+			}
+			if v1 != v2 {
+				t.Errorf("round trip %s -> %s -> %s crosses vertices (%s -> %s)", id, st, back, v1, v2)
+			}
+		}
+	}
+	if _, err := FTMFor(StNone, AppTraits{}); !errors.Is(err, ErrNoGenericSolution) {
+		t.Fatalf("FTMFor(None) err = %v", err)
+	}
+}
+
+func TestOutgoing(t *testing.T) {
+	edges := Outgoing(StPBRDet, TrigBandwidthDrop)
+	if len(edges) != 1 || edges[0].To != StLFRState || edges[0].Kind != Mandatory {
+		t.Fatalf("Outgoing(PBRdet, bandwidth-drop) = %v", edges)
+	}
+	if edges := Outgoing(StPBRDet, TrigHardwareReplaced); len(edges) != 0 {
+		t.Fatalf("unexpected edges: %v", edges)
+	}
+}
+
+func TestStateForScenarioGraphClosure(t *testing.T) {
+	// Every edge endpoint is a state the mapping functions understand.
+	for _, e := range ScenarioGraph() {
+		for _, s := range []ScenState{e.From, e.To} {
+			if s == StNone {
+				continue
+			}
+			if _, err := FTMFor(s, AppTraits{Deterministic: true, StateAccess: true}); err != nil {
+				t.Errorf("state %s is not deployable: %v", s, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID identifies a fault tolerance mechanism.
+type ID string
+
+// The FTM catalogue: the paper's illustrative set (§3.2.1) plus the
+// compositions of Figure 3 that the evaluation deploys (Table 3).
+const (
+	// PBR is Primary-Backup Replication (passive duplex).
+	PBR ID = "pbr"
+	// LFR is Leader-Follower Replication (active duplex).
+	LFR ID = "lfr"
+	// TR is Time Redundancy on a single host.
+	TR ID = "tr"
+	// PBRTR is PBR composed with Time Redundancy (PBR⊕TR).
+	PBRTR ID = "pbr_tr"
+	// LFRTR is LFR composed with Time Redundancy (LFR⊕TR).
+	LFRTR ID = "lfr_tr"
+	// APBR is Assertion&Duplex over PBR (A&PBR).
+	APBR ID = "a_pbr"
+	// ALFR is Assertion&Duplex over LFR (A&LFR).
+	ALFR ID = "a_lfr"
+
+	// Extension mechanisms (paper §3.2.1, "Dealing with more complex
+	// fault tolerance strategies"): implemented beyond the illustrative
+	// set. Their updates demonstrate the paper's point that the Lego
+	// approach upgrades a technique without changing its execution
+	// logic — for RB by changing the acceptance test, for TMR by
+	// replacing the decision algorithm (both are property updates, no
+	// brick replacement).
+
+	// RBPBR is Recovery Blocks (diversified alternates behind an
+	// acceptance test) composed over the PBR duplex — the distributed
+	// recovery blocks of [14].
+	RBPBR ID = "rb_pbr"
+	// TMRT is temporal triple-modular redundancy on a single host:
+	// three executions and a pluggable decision algorithm.
+	TMRT ID = "tmr"
+	// SemiActive is semi-active replication in the style of Delta-4 XPA
+	// (the paper's reference [6]): the leader computes, capturing its
+	// non-deterministic decisions, and the follower replays them — so
+	// crash tolerance works for non-deterministic applications without
+	// state access.
+	SemiActive ID = "lfr_nd"
+)
+
+// Role distinguishes the two replicas of a duplex FTM.
+type Role string
+
+// Replica roles.
+const (
+	// RoleMaster is the replica answering clients (primary / leader).
+	RoleMaster Role = "master"
+	// RoleSlave is the standby replica (backup / follower).
+	RoleSlave Role = "slave"
+)
+
+// Scheme is one row of Table 2: which variable-feature component fills
+// each step of the Before-Proceed-After generic execution scheme. Values
+// are component type names resolved by the FTM package's registry.
+type Scheme struct {
+	Before  string
+	Proceed string
+	After   string
+}
+
+// Slots returns the scheme as an ordered slot-name -> type map entry
+// list, the shape transition diffs operate on.
+func (s Scheme) Slots() map[string]string {
+	return map[string]string{
+		SlotBefore:  s.Before,
+		SlotProceed: s.Proceed,
+		SlotAfter:   s.After,
+	}
+}
+
+// Variable-feature slot names — also the component names inside an FTM
+// composite (Figure 6).
+const (
+	SlotBefore  = "syncBefore"
+	SlotProceed = "proceed"
+	SlotAfter   = "syncAfter"
+)
+
+// Component type names of the variable features. The ftm package
+// registers an implementation for each.
+const (
+	TypeNop            = "ftm.nop"             // "Nothing" entries of Table 2
+	TypeComputeProceed = "ftm.proceed.compute" // plain request processing
+	TypeTRProceed      = "ftm.proceed.tr"      // time-redundant processing
+	TypeAssertProceed  = "ftm.proceed.assert"  // processing + safety assertion
+	TypeNoProceed      = "ftm.proceed.none"    // PBR backup: no processing
+	TypePBRCheckpoint  = "ftm.after.pbr.checkpoint"
+	TypePBRApply       = "ftm.after.pbr.apply"
+	TypeLFRForward     = "ftm.before.lfr.forward"
+	TypeLFRReceive     = "ftm.before.lfr.receive"
+	TypeLFRNotify      = "ftm.after.lfr.notify"
+	TypeLFRAck         = "ftm.after.lfr.ack"
+	TypeTRCapture      = "ftm.before.tr.capture"
+	TypeTRRestore      = "ftm.after.tr.restore"
+	TypeRBProceed      = "ftm.proceed.rb"     // recovery blocks: alternates + acceptance test
+	TypeTMRProceed     = "ftm.proceed.tmr"    // temporal TMR: 3 executions + decider
+	TypeRecordProceed  = "ftm.proceed.record" // semi-active leader: compute + capture decisions
+	TypeXPANotify      = "ftm.after.xpa.notify"
+	TypeXPAApply       = "ftm.after.xpa.apply"
+)
+
+// Descriptor is the catalogue entry of one FTM: its Table 1
+// characteristics, its Table 2 execution schemes per role, and cost
+// ordinals the selection policy uses for tie-breaking.
+type Descriptor struct {
+	ID   ID
+	Name string
+
+	// Tolerates is the FT column: the fault model covered.
+	Tolerates FaultModel
+	// NeedsDeterminism is true when the FTM only works for
+	// behaviourally-deterministic applications.
+	NeedsDeterminism bool
+	// NeedsStateAccess is true for checkpointing-based strategies.
+	NeedsStateAccess bool
+	// Bandwidth and CPU are the R columns of Table 1.
+	Bandwidth ResourceLevel
+	CPU       ResourceLevel
+	// Hosts is how many hosts the FTM occupies.
+	Hosts int
+
+	// CPUCost orders FTMs by processing demand (Table 1's coarse levels
+	// hide that LFR computes on both replicas; the scenario graph of
+	// Figure 8 relies on this finer ordering).
+	CPUCost int
+	// BandwidthCost orders FTMs by inter-replica traffic.
+	BandwidthCost int
+	// Preference ranks equally-valid FTMs; the selection policy breaks
+	// ties toward the lowest rank (passive replication is the classic
+	// default, matching the scenario graph's PBR start state).
+	Preference int
+	// Base is the duplex protocol a composition builds on (empty for
+	// non-composed FTMs).
+	Base ID
+
+	// MasterScheme and SlaveScheme are the Table 2 rows.
+	MasterScheme Scheme
+	SlaveScheme  Scheme
+}
+
+// Scheme returns the execution scheme for a role.
+func (d Descriptor) Scheme(role Role) Scheme {
+	if role == RoleSlave {
+		return d.SlaveScheme
+	}
+	return d.MasterScheme
+}
+
+// catalogue is the static FTM catalogue (Table 1 + Table 2 + Figure 3
+// compositions).
+var catalogue = map[ID]Descriptor{
+	PBR: {
+		ID:   PBR,
+		Name: "Primary-Backup Replication",
+		// PBR tolerates crash faults; works for deterministic and
+		// non-deterministic applications; requires state access; high
+		// bandwidth (checkpoints), low CPU.
+		Tolerates:        NewFaultModel(FaultCrash),
+		NeedsDeterminism: false,
+		NeedsStateAccess: true,
+		Bandwidth:        LevelHigh,
+		CPU:              LevelLow,
+		Hosts:            2,
+		CPUCost:          1,
+		BandwidthCost:    3,
+		Preference:       1,
+		MasterScheme:     Scheme{Before: TypeNop, Proceed: TypeComputeProceed, After: TypePBRCheckpoint},
+		SlaveScheme:      Scheme{Before: TypeNop, Proceed: TypeNoProceed, After: TypePBRApply},
+	},
+	LFR: {
+		ID:   LFR,
+		Name: "Leader-Follower Replication",
+		// LFR tolerates crash faults; deterministic applications only; no
+		// state access needed; low bandwidth, both replicas compute.
+		Tolerates:        NewFaultModel(FaultCrash),
+		NeedsDeterminism: true,
+		NeedsStateAccess: false,
+		Bandwidth:        LevelLow,
+		CPU:              LevelLow,
+		Hosts:            2,
+		CPUCost:          2,
+		BandwidthCost:    1,
+		Preference:       2,
+		MasterScheme:     Scheme{Before: TypeLFRForward, Proceed: TypeComputeProceed, After: TypeLFRNotify},
+		SlaveScheme:      Scheme{Before: TypeLFRReceive, Proceed: TypeComputeProceed, After: TypeLFRAck},
+	},
+	TR: {
+		ID:   TR,
+		Name: "Time Redundancy",
+		// TR tolerates transient value faults on a single host; needs
+		// determinism (result comparison) and state access (restore
+		// between executions); no bandwidth, high CPU.
+		Tolerates:        NewFaultModel(FaultTransientValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: true,
+		Bandwidth:        LevelNA,
+		CPU:              LevelHigh,
+		Hosts:            1,
+		CPUCost:          3,
+		BandwidthCost:    0,
+		Preference:       7,
+		MasterScheme:     Scheme{Before: TypeTRCapture, Proceed: TypeTRProceed, After: TypeTRRestore},
+		SlaveScheme:      Scheme{},
+	},
+	PBRTR: {
+		ID:               PBRTR,
+		Name:             "PBR ⊕ TR",
+		Tolerates:        NewFaultModel(FaultCrash, FaultTransientValue),
+		NeedsDeterminism: true, // TR's re-execution comparison
+		NeedsStateAccess: true,
+		Bandwidth:        LevelHigh,
+		CPU:              LevelHigh,
+		Hosts:            2,
+		CPUCost:          4,
+		BandwidthCost:    3,
+		Preference:       3,
+		Base:             PBR,
+		MasterScheme:     Scheme{Before: TypeNop, Proceed: TypeTRProceed, After: TypePBRCheckpoint},
+		SlaveScheme:      Scheme{Before: TypeNop, Proceed: TypeNoProceed, After: TypePBRApply},
+	},
+	LFRTR: {
+		ID:               LFRTR,
+		Name:             "LFR ⊕ TR",
+		Tolerates:        NewFaultModel(FaultCrash, FaultTransientValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: true, // TR restores state between executions
+		Bandwidth:        LevelLow,
+		CPU:              LevelHigh,
+		Hosts:            2,
+		CPUCost:          5,
+		BandwidthCost:    1,
+		Preference:       4,
+		Base:             LFR,
+		MasterScheme:     Scheme{Before: TypeLFRForward, Proceed: TypeTRProceed, After: TypeLFRNotify},
+		SlaveScheme:      Scheme{Before: TypeLFRReceive, Proceed: TypeTRProceed, After: TypeLFRAck},
+	},
+	APBR: {
+		ID:   APBR,
+		Name: "A&PBR (Assertion ⊕ PBR)",
+		// Assertion catches value faults (including permanent ones: the
+		// re-execution moves to the other host); the duplex base adds
+		// crash tolerance.
+		Tolerates:        NewFaultModel(FaultCrash, FaultTransientValue, FaultPermanentValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: true, // PBR base checkpoints
+		Bandwidth:        LevelHigh,
+		CPU:              LevelHigh,
+		Hosts:            2,
+		CPUCost:          4,
+		BandwidthCost:    3,
+		Preference:       5,
+		Base:             PBR,
+		MasterScheme:     Scheme{Before: TypeNop, Proceed: TypeAssertProceed, After: TypePBRCheckpoint},
+		SlaveScheme:      Scheme{Before: TypeNop, Proceed: TypeNoProceed, After: TypePBRApply},
+	},
+	ALFR: {
+		ID:               ALFR,
+		Name:             "A&LFR (Assertion ⊕ LFR)",
+		Tolerates:        NewFaultModel(FaultCrash, FaultTransientValue, FaultPermanentValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: false,
+		Bandwidth:        LevelLow,
+		CPU:              LevelHigh,
+		Hosts:            2,
+		CPUCost:          5,
+		BandwidthCost:    1,
+		Preference:       6,
+		Base:             LFR,
+		MasterScheme:     Scheme{Before: TypeLFRForward, Proceed: TypeAssertProceed, After: TypeLFRNotify},
+		SlaveScheme:      Scheme{Before: TypeLFRReceive, Proceed: TypeAssertProceed, After: TypeLFRAck},
+	},
+}
+
+// extensionCatalogue holds the beyond-the-paper mechanisms.
+var extensionCatalogue = map[ID]Descriptor{
+	RBPBR: {
+		ID:   RBPBR,
+		Name: "Recovery Blocks ⊕ PBR",
+		// Recovery blocks tolerate development faults in the primary
+		// variant (the acceptance test rejects them, the diversified
+		// alternate recovers) plus transient value faults caught by the
+		// same test; the PBR base adds crash tolerance.
+		Tolerates:        NewFaultModel(FaultCrash, FaultSoftware, FaultTransientValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: true, // rollback to the recovery point
+		Bandwidth:        LevelHigh,
+		CPU:              LevelHigh,
+		Hosts:            2,
+		CPUCost:          4,
+		BandwidthCost:    3,
+		Preference:       8,
+		Base:             PBR,
+		MasterScheme:     Scheme{Before: TypeNop, Proceed: TypeRBProceed, After: TypePBRCheckpoint},
+		SlaveScheme:      Scheme{Before: TypeNop, Proceed: TypeNoProceed, After: TypePBRApply},
+	},
+	TMRT: {
+		ID:   TMRT,
+		Name: "Temporal TMR",
+		// Three executions and a decision algorithm on one host: like TR
+		// but with an always-voting decider that can be upgraded (e.g.
+		// majority -> median) without touching the execution logic.
+		Tolerates:        NewFaultModel(FaultTransientValue),
+		NeedsDeterminism: true,
+		NeedsStateAccess: true,
+		Bandwidth:        LevelNA,
+		CPU:              LevelHigh,
+		Hosts:            1,
+		CPUCost:          4,
+		BandwidthCost:    0,
+		Preference:       9,
+		MasterScheme:     Scheme{Before: TypeTRCapture, Proceed: TypeTMRProceed, After: TypeTRRestore},
+		SlaveScheme:      Scheme{},
+	},
+	SemiActive: {
+		ID:   SemiActive,
+		Name: "Semi-Active Replication (XPA)",
+		// The leader computes first, capturing its non-deterministic
+		// decisions; the follower replays deterministically given those
+		// decisions. Crash tolerance without determinism and without
+		// state access — the combination the illustrative set lacks.
+		Tolerates:        NewFaultModel(FaultCrash),
+		NeedsDeterminism: false,
+		NeedsStateAccess: false,
+		Bandwidth:        LevelLow,
+		CPU:              LevelLow,
+		Hosts:            2,
+		CPUCost:          2,
+		BandwidthCost:    1,
+		Preference:       10,
+		Base:             LFR,
+		MasterScheme:     Scheme{Before: TypeNop, Proceed: TypeRecordProceed, After: TypeXPANotify},
+		SlaveScheme:      Scheme{Before: TypeNop, Proceed: TypeNoProceed, After: TypeXPAApply},
+	},
+}
+
+// Lookup returns the descriptor of an FTM (catalogue or extension).
+func Lookup(id ID) (Descriptor, error) {
+	if d, ok := catalogue[id]; ok {
+		return d, nil
+	}
+	if d, ok := extensionCatalogue[id]; ok {
+		return d, nil
+	}
+	return Descriptor{}, fmt.Errorf("core: unknown FTM %q", id)
+}
+
+// MustLookup is Lookup that panics on unknown IDs.
+func MustLookup(id ID) Descriptor {
+	d, err := Lookup(id)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Catalogue returns the illustrative-set descriptors, ordered by ID.
+func Catalogue() []Descriptor {
+	out := make([]Descriptor, 0, len(catalogue))
+	for _, d := range catalogue {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Extensions returns the beyond-the-paper mechanism descriptors, ordered
+// by ID.
+func Extensions() []Descriptor {
+	out := make([]Descriptor, 0, len(extensionCatalogue))
+	for _, d := range extensionCatalogue {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DeployableSet is the Table 3 evaluation set: the six stand-alone duplex
+// FTMs between which every differential transition is measured.
+func DeployableSet() []ID {
+	return []ID{PBR, LFR, PBRTR, LFRTR, APBR, ALFR}
+}
+
+// Diff returns the variable-feature slots whose component type differs
+// between two schemes — the components a differential transition
+// replaces. Slots are returned in pipeline order.
+func Diff(from, to Scheme) []string {
+	var out []string
+	fromSlots, toSlots := from.Slots(), to.Slots()
+	for _, slot := range []string{SlotBefore, SlotProceed, SlotAfter} {
+		if fromSlots[slot] != toSlots[slot] {
+			out = append(out, slot)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ParamClass names one of the three parameter classes whose variation
+// labels transition-graph edges.
+type ParamClass string
+
+// Parameter classes.
+const (
+	ParamFT ParamClass = "FT"
+	ParamA  ParamClass = "A"
+	ParamR  ParamClass = "R"
+)
+
+// GraphVertex names a vertex of the Figure 2 transition graph. The graph
+// abstracts the two Assertion&Duplex variants into one "A&Duplex" vertex,
+// as the paper draws it.
+type GraphVertex string
+
+// Figure 2 vertices.
+const (
+	VertexPBR     GraphVertex = "PBR"
+	VertexLFR     GraphVertex = "LFR"
+	VertexPBRTR   GraphVertex = "PBR⊕TR"
+	VertexLFRTR   GraphVertex = "LFR⊕TR"
+	VertexADuplex GraphVertex = "A&Duplex"
+)
+
+// GraphEdge is one undirected edge of Figure 2: transitions can occur in
+// both directions, triggered by variation of the labelled parameters.
+type GraphEdge struct {
+	A, B   GraphVertex
+	Labels []ParamClass
+}
+
+// String renders the edge as the figure labels it.
+func (e GraphEdge) String() string {
+	labels := make([]string, 0, len(e.Labels))
+	for _, l := range e.Labels {
+		labels = append(labels, string(l))
+	}
+	return fmt.Sprintf("%s <-> %s [%s]", e.A, e.B, strings.Join(labels, ","))
+}
+
+// TransitionGraph returns the Figure 2 graph of possible transitions
+// between the illustrative FTM set.
+func TransitionGraph() []GraphEdge {
+	return []GraphEdge{
+		// Passive <-> active swaps react to application characteristics
+		// or resources.
+		{A: VertexPBR, B: VertexLFR, Labels: []ParamClass{ParamA, ParamR}},
+		{A: VertexPBRTR, B: VertexLFRTR, Labels: []ParamClass{ParamA, ParamR}},
+		// Composing/decomposing time redundancy follows the fault model.
+		{A: VertexPBR, B: VertexPBRTR, Labels: []ParamClass{ParamFT}},
+		{A: VertexLFR, B: VertexLFRTR, Labels: []ParamClass{ParamFT}},
+		// Moving to assertion-based duplex follows the fault model.
+		{A: VertexPBR, B: VertexADuplex, Labels: []ParamClass{ParamFT}},
+		{A: VertexLFR, B: VertexADuplex, Labels: []ParamClass{ParamFT}},
+		// From the TR compositions, A&Duplex swaps both the value-fault
+		// strategy (FT) and drops the state-access assumption (A).
+		{A: VertexPBRTR, B: VertexADuplex, Labels: []ParamClass{ParamA, ParamFT}},
+		{A: VertexLFRTR, B: VertexADuplex, Labels: []ParamClass{ParamA, ParamFT}},
+	}
+}
+
+// Neighbors returns the vertices adjacent to v in the Figure 2 graph,
+// sorted, with the edge labels.
+func Neighbors(v GraphVertex) map[GraphVertex][]ParamClass {
+	out := make(map[GraphVertex][]ParamClass)
+	for _, e := range TransitionGraph() {
+		switch v {
+		case e.A:
+			out[e.B] = append([]ParamClass(nil), e.Labels...)
+		case e.B:
+			out[e.A] = append([]ParamClass(nil), e.Labels...)
+		}
+	}
+	return out
+}
+
+// GraphVertices returns the Figure 2 vertices, sorted.
+func GraphVertices() []GraphVertex {
+	seen := make(map[GraphVertex]bool)
+	for _, e := range TransitionGraph() {
+		seen[e.A] = true
+		seen[e.B] = true
+	}
+	out := make([]GraphVertex, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VertexFor maps a deployable FTM to its Figure 2 vertex.
+func VertexFor(id ID) (GraphVertex, error) {
+	switch id {
+	case PBR:
+		return VertexPBR, nil
+	case LFR:
+		return VertexLFR, nil
+	case PBRTR:
+		return VertexPBRTR, nil
+	case LFRTR:
+		return VertexLFRTR, nil
+	case APBR, ALFR:
+		return VertexADuplex, nil
+	default:
+		return "", fmt.Errorf("core: FTM %q has no Figure 2 vertex", id)
+	}
+}

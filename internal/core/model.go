@@ -1,0 +1,223 @@
+// Package core encodes the paper's conceptual model: the three parameter
+// classes governing FTM choice — fault tolerance requirements (FT),
+// application characteristics (A) and available resources (R) — the
+// catalogue of fault tolerance mechanisms with their Table 1
+// characteristics and Table 2 generic execution schemes, the validity and
+// selection logic, and the transition graphs of Figures 2 and 8.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FaultClass is one class of the paper's fault model taxonomy.
+type FaultClass int
+
+// Fault classes considered by the paper (hardware faults).
+const (
+	// FaultCrash is a fail-silent node crash.
+	FaultCrash FaultClass = iota + 1
+	// FaultTransientValue is a transient hardware value fault (bit flip):
+	// a re-execution computes cleanly.
+	FaultTransientValue
+	// FaultPermanentValue is a permanent hardware value fault: every
+	// computation on the afflicted host is corrupted.
+	FaultPermanentValue
+	// FaultSoftware is a development (design) fault: a deterministic bug
+	// in the primary implementation, the class recovery blocks address
+	// with diversified alternates.
+	FaultSoftware
+)
+
+// String returns the fault class name.
+func (f FaultClass) String() string {
+	switch f {
+	case FaultCrash:
+		return "crash"
+	case FaultTransientValue:
+		return "transient-value"
+	case FaultPermanentValue:
+		return "permanent-value"
+	case FaultSoftware:
+		return "software"
+	default:
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+}
+
+// FaultModel is the FT parameter: the set of fault classes the system
+// must tolerate.
+type FaultModel struct {
+	classes map[FaultClass]bool
+}
+
+// NewFaultModel returns a fault model covering the given classes.
+func NewFaultModel(classes ...FaultClass) FaultModel {
+	m := FaultModel{classes: make(map[FaultClass]bool, len(classes))}
+	for _, c := range classes {
+		m.classes[c] = true
+	}
+	return m
+}
+
+// Has reports whether the model includes a class.
+func (m FaultModel) Has(c FaultClass) bool { return m.classes[c] }
+
+// With returns a model extended by the given classes.
+func (m FaultModel) With(classes ...FaultClass) FaultModel {
+	all := m.Classes()
+	all = append(all, classes...)
+	return NewFaultModel(all...)
+}
+
+// Without returns a model with the given classes removed.
+func (m FaultModel) Without(classes ...FaultClass) FaultModel {
+	drop := make(map[FaultClass]bool, len(classes))
+	for _, c := range classes {
+		drop[c] = true
+	}
+	var keep []FaultClass
+	for _, c := range m.Classes() {
+		if !drop[c] {
+			keep = append(keep, c)
+		}
+	}
+	return NewFaultModel(keep...)
+}
+
+// Classes returns the classes in the model, sorted.
+func (m FaultModel) Classes() []FaultClass {
+	out := make([]FaultClass, 0, len(m.classes))
+	for c := range m.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Covers reports whether every class of other is in m.
+func (m FaultModel) Covers(other FaultModel) bool {
+	for c := range other.classes {
+		if !m.classes[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether two models cover exactly the same classes.
+func (m FaultModel) Equal(other FaultModel) bool {
+	return m.Covers(other) && other.Covers(m)
+}
+
+// String renders the model as "crash+transient-value".
+func (m FaultModel) String() string {
+	classes := m.Classes()
+	if len(classes) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, c.String())
+	}
+	return strings.Join(parts, "+")
+}
+
+// AppTraits is the A parameter class: the application characteristics
+// that constrain FTM choice.
+type AppTraits struct {
+	// Deterministic reports behavioural determinism: same inputs produce
+	// same outputs in the absence of faults (mandatory for active
+	// replication and time redundancy).
+	Deterministic bool
+	// StateAccess reports whether the application exposes capture/restore
+	// hooks (mandatory for checkpointing-based strategies).
+	StateAccess bool
+	// Version identifies the installed application version; version
+	// changes are the typical source of A variations.
+	Version string
+}
+
+// String renders the traits compactly.
+func (a AppTraits) String() string {
+	det := "non-deterministic"
+	if a.Deterministic {
+		det = "deterministic"
+	}
+	st := "no-state-access"
+	if a.StateAccess {
+		st = "state-access"
+	}
+	return det + "/" + st
+}
+
+// ResourceLevel is the coarse resource-demand qualifier of Table 1.
+type ResourceLevel int
+
+// Resource demand levels.
+const (
+	// LevelNA marks a resource the FTM does not use (single host ⇒ no
+	// bandwidth).
+	LevelNA ResourceLevel = iota + 1
+	// LevelLow is a modest demand.
+	LevelLow
+	// LevelHigh is a heavy demand.
+	LevelHigh
+)
+
+// String returns "n/a", "low" or "high".
+func (l ResourceLevel) String() string {
+	switch l {
+	case LevelNA:
+		return "n/a"
+	case LevelLow:
+		return "low"
+	case LevelHigh:
+		return "high"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// ResourceState is the R parameter class as observed by the monitoring
+// engine: current availabilities on the hosts running the FTM.
+type ResourceState struct {
+	// BandwidthKbps is the available inter-replica bandwidth.
+	BandwidthKbps float64
+	// CPUFree is the free CPU fraction (0..1) on the replica hosts.
+	CPUFree float64
+	// Energy is the remaining energy budget fraction (0..1).
+	Energy float64
+	// Hosts is the number of distinct hosts available.
+	Hosts int
+}
+
+// Thresholds partition the continuous resource state into the coarse
+// levels the selection logic reasons about.
+type Thresholds struct {
+	// LowBandwidthKbps is the floor under which high-bandwidth FTMs
+	// (checkpointing) become invalid.
+	LowBandwidthKbps float64
+	// LowCPUFree is the floor under which high-CPU FTMs (multiple
+	// executions) become invalid.
+	LowCPUFree float64
+}
+
+// DefaultThresholds are the thresholds used by the examples and
+// experiments.
+func DefaultThresholds() Thresholds {
+	return Thresholds{LowBandwidthKbps: 1000, LowCPUFree: 0.25}
+}
+
+// BandwidthConstrained reports whether the state cannot sustain a
+// high-bandwidth FTM.
+func (t Thresholds) BandwidthConstrained(r ResourceState) bool {
+	return r.BandwidthKbps < t.LowBandwidthKbps
+}
+
+// CPUConstrained reports whether the state cannot sustain a high-CPU FTM.
+func (t Thresholds) CPUConstrained(r ResourceState) bool {
+	return r.CPUFree < t.LowCPUFree
+}

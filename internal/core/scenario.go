@@ -1,0 +1,300 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScenState is a vertex of the Figure 8 extended scenario graph: an FTM
+// paired with the application-characteristic configuration it runs under.
+type ScenState string
+
+// Figure 8 states.
+const (
+	StPBRDet     ScenState = "PBR/determinism"
+	StPBRNonDet  ScenState = "PBR/non-determinism"
+	StLFRState   ScenState = "LFR/state-access"
+	StLFRNoState ScenState = "LFR/no-state-access"
+	StLFRTR      ScenState = "LFR⊕TR"
+	StADuplex    ScenState = "A&Duplex"
+	StNone       ScenState = "no-generic-solution"
+)
+
+// TransitionKind classifies an edge of the scenario graph.
+type TransitionKind int
+
+// Transition kinds (paper §5.4).
+const (
+	// Mandatory transitions follow parameter variations that invalidate
+	// the current FTM; they execute automatically.
+	Mandatory TransitionKind = iota + 1
+	// Possible transitions follow variations that merely make another
+	// FTM preferable; the system manager decides.
+	Possible
+	// Intra transitions reconfigure the current FTM without changing it.
+	Intra
+)
+
+// String returns the kind name.
+func (k TransitionKind) String() string {
+	switch k {
+	case Mandatory:
+		return "mandatory"
+	case Possible:
+		return "possible"
+	case Intra:
+		return "intra-FTM"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Detection says who observes the triggering change.
+type Detection int
+
+// Detection modes.
+const (
+	// ByProbe marks changes detected automatically by monitoring probes
+	// (the R variations).
+	ByProbe Detection = iota + 1
+	// ByManager marks changes requiring input from the application
+	// developer or system manager (A and FT variations).
+	ByManager
+)
+
+// String returns the detection mode name.
+func (d Detection) String() string {
+	switch d {
+	case ByProbe:
+		return "probe"
+	case ByManager:
+		return "manager"
+	default:
+		return fmt.Sprintf("detection(%d)", int(d))
+	}
+}
+
+// Nature says when the transition must fire relative to the change.
+type Nature int
+
+// Transition natures (paper §5.4).
+const (
+	// Reactive transitions respond to a change that already happened
+	// (A and R variations).
+	Reactive Nature = iota + 1
+	// Proactive transitions fire in advance of a foreseen fault-model
+	// change (FT variations) — before the current FTM becomes unable to
+	// tolerate the new faults.
+	Proactive
+)
+
+// String returns the nature name.
+func (n Nature) String() string {
+	switch n {
+	case Reactive:
+		return "reactive"
+	case Proactive:
+		return "proactive"
+	default:
+		return fmt.Sprintf("nature(%d)", int(n))
+	}
+}
+
+// Trigger is a named adaptation trigger computed by the monitoring engine
+// or supplied by the system manager.
+type Trigger string
+
+// Triggers labelling Figure 8 edges.
+const (
+	TrigBandwidthDrop     Trigger = "bandwidth-drop"
+	TrigBandwidthIncrease Trigger = "bandwidth-increase"
+	TrigCPUDrop           Trigger = "cpu-drop"
+	TrigCPUIncrease       Trigger = "cpu-increase"
+	TrigStateAccessLoss   Trigger = "state-access-loss"
+	TrigStateAccess       Trigger = "state-access"
+	TrigAppDeterminism    Trigger = "application-determinism"
+	TrigAppNonDeterminism Trigger = "application-non-determinism"
+	TrigHardwareAging     Trigger = "hardware-aging"
+	TrigHardwareReplaced  Trigger = "hardware-replaced"
+	TrigCriticalPhase     Trigger = "start-more-critical-phase"
+	TrigLessCriticalPhase Trigger = "start-less-critical-phase"
+)
+
+// TriggerClass returns the parameter class a trigger varies.
+func TriggerClass(t Trigger) ParamClass {
+	switch t {
+	case TrigBandwidthDrop, TrigBandwidthIncrease, TrigCPUDrop, TrigCPUIncrease:
+		return ParamR
+	case TrigStateAccessLoss, TrigStateAccess, TrigAppDeterminism, TrigAppNonDeterminism:
+		return ParamA
+	case TrigHardwareAging, TrigHardwareReplaced, TrigCriticalPhase, TrigLessCriticalPhase:
+		return ParamFT
+	default:
+		return ""
+	}
+}
+
+// ScenarioEdge is one edge of the Figure 8 extended graph of transition
+// scenarios.
+type ScenarioEdge struct {
+	From, To  ScenState
+	Trigger   Trigger
+	Kind      TransitionKind
+	Detection Detection
+	Nature    Nature
+}
+
+// String renders the edge.
+func (e ScenarioEdge) String() string {
+	return fmt.Sprintf("%s --%s--> %s [%s, %s, %s]",
+		e.From, e.Trigger, e.To, e.Kind, e.Detection, e.Nature)
+}
+
+// edge builds a ScenarioEdge deriving detection and nature from the
+// trigger's parameter class: R changes are probe-detected and reactive,
+// A changes are manager-reported and reactive, FT changes are
+// manager-anticipated and proactive (paper §5.4).
+func edge(from ScenState, trig Trigger, to ScenState, kind TransitionKind) ScenarioEdge {
+	e := ScenarioEdge{From: from, To: to, Trigger: trig, Kind: kind}
+	switch TriggerClass(trig) {
+	case ParamR:
+		e.Detection, e.Nature = ByProbe, Reactive
+	case ParamA:
+		e.Detection, e.Nature = ByManager, Reactive
+	case ParamFT:
+		e.Detection, e.Nature = ByManager, Proactive
+	}
+	return e
+}
+
+// ScenarioGraph returns the Figure 8 extended graph of transition
+// scenarios. The figure's edge set is reconstructed from its labels;
+// every mandatory edge's reverse, when present, is possible — the
+// oscillation guard of §5.4 (verified by tests).
+func ScenarioGraph() []ScenarioEdge {
+	return []ScenarioEdge{
+		// --- Mandatory inter-FTM transitions (current FTM invalidated).
+		// PBR's checkpoints need bandwidth and state access.
+		edge(StPBRDet, TrigBandwidthDrop, StLFRState, Mandatory),
+		edge(StPBRDet, TrigStateAccessLoss, StLFRNoState, Mandatory),
+		// A non-deterministic application without state access has no
+		// generic solution.
+		edge(StPBRNonDet, TrigStateAccessLoss, StNone, Mandatory),
+		// LFR needs determinism; PBR is the fallback, or nothing.
+		edge(StLFRState, TrigAppNonDeterminism, StPBRNonDet, Mandatory),
+		edge(StLFRNoState, TrigAppNonDeterminism, StNone, Mandatory),
+		edge(StLFRTR, TrigAppNonDeterminism, StPBRNonDet, Mandatory),
+		edge(StADuplex, TrigAppNonDeterminism, StNone, Mandatory),
+		// TR needs state access; assertion-based duplex does not.
+		edge(StLFRTR, TrigStateAccessLoss, StADuplex, Mandatory),
+		// Fault-model hardening (proactive): transient faults appear with
+		// hardware aging; critical phases demand the assertion-checked
+		// duplex derived from the safety analysis.
+		edge(StLFRState, TrigHardwareAging, StLFRTR, Mandatory),
+		edge(StLFRNoState, TrigHardwareAging, StADuplex, Mandatory),
+		edge(StLFRState, TrigCriticalPhase, StADuplex, Mandatory),
+		edge(StLFRNoState, TrigCriticalPhase, StADuplex, Mandatory),
+		edge(StLFRTR, TrigCriticalPhase, StADuplex, Mandatory),
+		// --- Possible inter-FTM transitions (manager's choice).
+		// Leaving the dead end once the blocking characteristic returns:
+		// re-attaching an FTM is the manager's call, and making these
+		// possible rather than mandatory keeps every mandatory edge's
+		// reverse non-mandatory (the oscillation guard).
+		edge(StNone, TrigStateAccess, StPBRNonDet, Possible),
+		edge(StNone, TrigAppDeterminism, StLFRNoState, Possible),
+		// More CPU headroom permits the active strategy.
+		edge(StPBRDet, TrigCPUIncrease, StLFRState, Possible),
+		// Bandwidth back / CPU pressure permit returning to the passive
+		// strategy (the reverse of the mandatory bandwidth-drop edge).
+		edge(StLFRState, TrigBandwidthIncrease, StPBRDet, Possible),
+		edge(StLFRState, TrigCPUDrop, StPBRDet, Possible),
+		// A newly deterministic application may move to LFR.
+		edge(StPBRNonDet, TrigAppDeterminism, StLFRState, Possible),
+		// (State access returning on LFR is the intra-FTM edge below: the
+		// FTM does not change, only its configuration.)
+		// Fault-model relaxation (reverse of the proactive hardening).
+		edge(StLFRTR, TrigHardwareReplaced, StLFRState, Possible),
+		edge(StADuplex, TrigHardwareReplaced, StLFRNoState, Possible),
+		edge(StADuplex, TrigLessCriticalPhase, StLFRState, Possible),
+		edge(StADuplex, TrigLessCriticalPhase, StLFRNoState, Possible),
+		edge(StADuplex, TrigStateAccess, StLFRTR, Possible),
+
+		// --- Intra-FTM transitions (configuration change, same FTM).
+		edge(StPBRNonDet, TrigAppDeterminism, StPBRDet, Intra),
+		edge(StPBRDet, TrigAppNonDeterminism, StPBRNonDet, Intra),
+		edge(StLFRState, TrigStateAccessLoss, StLFRNoState, Intra),
+		edge(StLFRNoState, TrigStateAccess, StLFRState, Intra),
+	}
+}
+
+// ScenarioStates returns the graph's states, sorted.
+func ScenarioStates() []ScenState {
+	seen := make(map[ScenState]bool)
+	for _, e := range ScenarioGraph() {
+		seen[e.From] = true
+		seen[e.To] = true
+	}
+	out := make([]ScenState, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// StateFor maps a deployed FTM plus application traits to its Figure 8
+// state.
+func StateFor(id ID, a AppTraits) (ScenState, error) {
+	switch id {
+	case PBR, PBRTR:
+		if a.Deterministic {
+			return StPBRDet, nil
+		}
+		return StPBRNonDet, nil
+	case LFR:
+		if a.StateAccess {
+			return StLFRState, nil
+		}
+		return StLFRNoState, nil
+	case LFRTR:
+		return StLFRTR, nil
+	case APBR, ALFR:
+		return StADuplex, nil
+	default:
+		return "", fmt.Errorf("core: FTM %q has no Figure 8 state", id)
+	}
+}
+
+// FTMFor maps a Figure 8 state back to the deployable FTM the adaptation
+// engine instantiates for it (A&Duplex resolves to the state-access
+// variant when available).
+func FTMFor(state ScenState, a AppTraits) (ID, error) {
+	switch state {
+	case StPBRDet, StPBRNonDet:
+		return PBR, nil
+	case StLFRState, StLFRNoState:
+		return LFR, nil
+	case StLFRTR:
+		return LFRTR, nil
+	case StADuplex:
+		if a.StateAccess {
+			return APBR, nil
+		}
+		return ALFR, nil
+	case StNone:
+		return "", ErrNoGenericSolution
+	default:
+		return "", fmt.Errorf("core: unknown scenario state %q", state)
+	}
+}
+
+// Outgoing returns the edges leaving state whose trigger matches t.
+func Outgoing(state ScenState, t Trigger) []ScenarioEdge {
+	var out []ScenarioEdge
+	for _, e := range ScenarioGraph() {
+		if e.From == state && e.Trigger == t {
+			out = append(out, e)
+		}
+	}
+	return out
+}

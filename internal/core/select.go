@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrNoGenericSolution reports that no FTM in the catalogue is valid for
+// the given (FT, A, R) — the "No generic solution" state of Figure 8
+// (typically a non-deterministic application without state access).
+var ErrNoGenericSolution = errors.New("core: no generic solution for these (FT, A, R) values")
+
+// Inconsistency is one reason an FTM is invalid for given parameters.
+type Inconsistency struct {
+	// Param names the violated parameter class: "FT", "A" or "R".
+	Param string
+	// Detail is the human-readable diagnosis.
+	Detail string
+}
+
+// String renders the inconsistency.
+func (i Inconsistency) String() string { return i.Param + ": " + i.Detail }
+
+// Validate checks an FTM against the current (FT, A, R) values and
+// returns every inconsistency found. An empty result means the FTM is
+// consistent — the resilience invariant the system maintains.
+func Validate(d Descriptor, ft FaultModel, a AppTraits, r ResourceState, th Thresholds) []Inconsistency {
+	var out []Inconsistency
+	if !d.Tolerates.Covers(ft) {
+		missing := make([]string, 0, 2)
+		for _, c := range ft.Classes() {
+			if !d.Tolerates.Has(c) {
+				missing = append(missing, c.String())
+			}
+		}
+		out = append(out, Inconsistency{
+			Param:  "FT",
+			Detail: fmt.Sprintf("%s does not tolerate %s", d.ID, strings.Join(missing, "+")),
+		})
+	}
+	if d.NeedsDeterminism && !a.Deterministic {
+		out = append(out, Inconsistency{
+			Param:  "A",
+			Detail: fmt.Sprintf("%s requires behavioural determinism", d.ID),
+		})
+	}
+	if d.NeedsStateAccess && !a.StateAccess {
+		out = append(out, Inconsistency{
+			Param:  "A",
+			Detail: fmt.Sprintf("%s requires application state access for checkpointing", d.ID),
+		})
+	}
+	if d.Hosts > r.Hosts {
+		out = append(out, Inconsistency{
+			Param:  "R",
+			Detail: fmt.Sprintf("%s needs %d hosts, %d available", d.ID, d.Hosts, r.Hosts),
+		})
+	}
+	if d.Bandwidth == LevelHigh && th.BandwidthConstrained(r) {
+		out = append(out, Inconsistency{
+			Param:  "R",
+			Detail: fmt.Sprintf("%s needs high bandwidth, %.0f kbit/s available", d.ID, r.BandwidthKbps),
+		})
+	}
+	if d.CPU == LevelHigh && th.CPUConstrained(r) {
+		out = append(out, Inconsistency{
+			Param:  "R",
+			Detail: fmt.Sprintf("%s needs high CPU, %.0f%% free", d.ID, r.CPUFree*100),
+		})
+	}
+	return out
+}
+
+// Select returns the preferred FTM for the given (FT, A, R): among the
+// catalogue entries whose assumptions hold, the one covering the fault
+// model with the least over-provisioning and the lowest resource cost.
+func Select(ft FaultModel, a AppTraits, r ResourceState, th Thresholds) (Descriptor, error) {
+	type candidate struct {
+		d     Descriptor
+		extra int // fault classes covered beyond those required
+		cost  int
+	}
+	var valid []candidate
+	all := append(Catalogue(), Extensions()...)
+	for _, d := range all {
+		if len(Validate(d, ft, a, r, th)) > 0 {
+			continue
+		}
+		extra := 0
+		for _, c := range d.Tolerates.Classes() {
+			if !ft.Has(c) {
+				extra++
+			}
+		}
+		// Under resource pressure, penalize demand on the constrained
+		// dimension so the trade-off the paper describes (more CPU vs
+		// less bandwidth) resolves toward the plentiful resource. With no
+		// pressure the cost is zero and the catalogue preference decides.
+		cost := 0
+		if th.BandwidthConstrained(r) {
+			cost += 2 * d.BandwidthCost
+		}
+		if th.CPUConstrained(r) {
+			cost += 2 * d.CPUCost
+		}
+		valid = append(valid, candidate{d: d, extra: extra, cost: cost})
+	}
+	if len(valid) == 0 {
+		return Descriptor{}, fmt.Errorf("%w: FT=%s A=%s", ErrNoGenericSolution, ft, a)
+	}
+	sort.Slice(valid, func(i, j int) bool {
+		if valid[i].extra != valid[j].extra {
+			return valid[i].extra < valid[j].extra
+		}
+		if valid[i].cost != valid[j].cost {
+			return valid[i].cost < valid[j].cost
+		}
+		return valid[i].d.Preference < valid[j].d.Preference
+	})
+	return valid[0].d, nil
+}

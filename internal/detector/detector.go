@@ -1,0 +1,207 @@
+// Package detector implements the failure-detection substrate used by all
+// duplex FTMs: a heartbeat emitter on each replica and a watchdog that
+// raises a suspicion when a peer's heartbeats stop arriving (the paper's
+// "dedicated entity (e.g., heartbeat, watchdog)" that triggers recovery).
+package detector
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"resilientft/internal/transport"
+)
+
+// KindHeartbeat is the transport message kind of heartbeats.
+const KindHeartbeat = "fd.heartbeat"
+
+// Heartbeater periodically sends heartbeats to a set of peers.
+type Heartbeater struct {
+	ep       transport.Endpoint
+	interval time.Duration
+
+	mu    sync.Mutex
+	peers []transport.Address
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewHeartbeater returns a heartbeater sending to peers every interval.
+// Call Start to begin and Stop to halt (simulating the silence of a
+// crashed replica).
+func NewHeartbeater(ep transport.Endpoint, interval time.Duration, peers ...transport.Address) *Heartbeater {
+	return &Heartbeater{
+		ep:       ep,
+		interval: interval,
+		peers:    append([]transport.Address(nil), peers...),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SetPeers replaces the peer set.
+func (h *Heartbeater) SetPeers(peers ...transport.Address) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.peers = append([]transport.Address(nil), peers...)
+}
+
+// Start launches the heartbeat loop.
+func (h *Heartbeater) Start() {
+	go func() {
+		defer close(h.done)
+		ticker := time.NewTicker(h.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-h.stop:
+				return
+			case <-ticker.C:
+				h.beat()
+			}
+		}
+	}()
+}
+
+func (h *Heartbeater) beat() {
+	h.mu.Lock()
+	peers := append([]transport.Address(nil), h.peers...)
+	h.mu.Unlock()
+	for _, p := range peers {
+		// Heartbeats are fire-and-forget; a dead peer's error is the
+		// watchdog's business, not ours.
+		_ = h.ep.Send(context.Background(), p, KindHeartbeat, []byte(h.ep.Addr()))
+	}
+}
+
+// Stop halts the heartbeat loop. Safe to call more than once.
+func (h *Heartbeater) Stop() {
+	h.once.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// Watchdog monitors heartbeat arrivals and reports peers whose
+// heartbeats have been silent for longer than the timeout.
+type Watchdog struct {
+	timeout time.Duration
+
+	mu       sync.Mutex
+	lastSeen map[transport.Address]time.Time
+	suspects map[transport.Address]bool
+	onChange func(peer transport.Address, suspected bool)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewWatchdog returns a watchdog attached to ep. onChange fires once per
+// suspicion transition (suspected true when the peer goes silent, false
+// when heartbeats resume). Monitor must be called for each watched peer.
+func NewWatchdog(ep transport.Endpoint, timeout time.Duration, onChange func(peer transport.Address, suspected bool)) *Watchdog {
+	w := &Watchdog{
+		timeout:  timeout,
+		lastSeen: make(map[transport.Address]time.Time),
+		suspects: make(map[transport.Address]bool),
+		onChange: onChange,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	ep.Handle(KindHeartbeat, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		w.observe(p.From)
+		return nil, nil
+	})
+	return w
+}
+
+// Monitor begins watching a peer; the grace period starts now.
+func (w *Watchdog) Monitor(peer transport.Address) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.lastSeen[peer] = time.Now()
+	w.suspects[peer] = false
+}
+
+// Forget stops watching a peer.
+func (w *Watchdog) Forget(peer transport.Address) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.lastSeen, peer)
+	delete(w.suspects, peer)
+}
+
+func (w *Watchdog) observe(peer transport.Address) {
+	w.mu.Lock()
+	if _, watched := w.lastSeen[peer]; !watched {
+		w.mu.Unlock()
+		return
+	}
+	w.lastSeen[peer] = time.Now()
+	wasSuspected := w.suspects[peer]
+	w.suspects[peer] = false
+	cb := w.onChange
+	w.mu.Unlock()
+	if wasSuspected && cb != nil {
+		cb(peer, false)
+	}
+}
+
+// Suspected reports whether peer is currently suspected.
+func (w *Watchdog) Suspected(peer transport.Address) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.suspects[peer]
+}
+
+// Start launches the periodic silence check (at a quarter of the
+// timeout).
+func (w *Watchdog) Start() {
+	go func() {
+		defer close(w.done)
+		period := w.timeout / 4
+		if period <= 0 {
+			period = time.Millisecond
+		}
+		ticker := time.NewTicker(period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-ticker.C:
+				w.check()
+			}
+		}
+	}()
+}
+
+func (w *Watchdog) check() {
+	now := time.Now()
+	type transition struct {
+		peer transport.Address
+	}
+	var fired []transition
+	w.mu.Lock()
+	for peer, seen := range w.lastSeen {
+		if !w.suspects[peer] && now.Sub(seen) > w.timeout {
+			w.suspects[peer] = true
+			fired = append(fired, transition{peer: peer})
+		}
+	}
+	cb := w.onChange
+	w.mu.Unlock()
+	if cb == nil {
+		return
+	}
+	for _, tr := range fired {
+		cb(tr.peer, true)
+	}
+}
+
+// Stop halts the watchdog. Safe to call more than once.
+func (w *Watchdog) Stop() {
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}

@@ -1,0 +1,152 @@
+package detector
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"resilientft/internal/transport"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+type changeLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (c *changeLog) record(peer transport.Address, suspected bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	state := "alive"
+	if suspected {
+		state = "suspected"
+	}
+	c.events = append(c.events, string(peer)+":"+state)
+}
+
+func (c *changeLog) list() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.events...)
+}
+
+func TestWatchdogDetectsSilence(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	bEp, _ := n.Endpoint("b")
+
+	log := &changeLog{}
+	w := NewWatchdog(aEp, 50*time.Millisecond, log.record)
+	w.Monitor("b")
+	w.Start()
+	defer w.Stop()
+
+	hb := NewHeartbeater(bEp, 10*time.Millisecond, "a")
+	hb.Start()
+
+	// While heartbeating, no suspicion should form.
+	time.Sleep(120 * time.Millisecond)
+	if w.Suspected("b") {
+		t.Fatal("peer suspected while heartbeating")
+	}
+
+	// Crash: heartbeats stop, suspicion must follow.
+	hb.Stop()
+	waitFor(t, 2*time.Second, func() bool { return w.Suspected("b") }, "silent peer never suspected")
+	events := log.list()
+	if len(events) == 0 || events[len(events)-1] != "b:suspected" {
+		t.Fatalf("events = %v, want trailing b:suspected", events)
+	}
+}
+
+func TestWatchdogRecoversOnHeartbeatResume(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	bEp, _ := n.Endpoint("b")
+
+	log := &changeLog{}
+	w := NewWatchdog(aEp, 40*time.Millisecond, log.record)
+	w.Monitor("b")
+	w.Start()
+	defer w.Stop()
+
+	waitFor(t, 2*time.Second, func() bool { return w.Suspected("b") }, "silent peer never suspected")
+
+	hb := NewHeartbeater(bEp, 10*time.Millisecond, "a")
+	hb.Start()
+	defer hb.Stop()
+	waitFor(t, 2*time.Second, func() bool { return !w.Suspected("b") }, "peer never un-suspected after resume")
+}
+
+func TestWatchdogIgnoresUnmonitoredPeers(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	bEp, _ := n.Endpoint("b")
+	w := NewWatchdog(aEp, 30*time.Millisecond, nil)
+	w.Start()
+	defer w.Stop()
+	hb := NewHeartbeater(bEp, 10*time.Millisecond, "a")
+	hb.Start()
+	defer hb.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if w.Suspected("b") {
+		t.Fatal("unmonitored peer reported suspected")
+	}
+}
+
+func TestWatchdogForget(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	w := NewWatchdog(aEp, 20*time.Millisecond, nil)
+	w.Monitor("b")
+	w.Start()
+	defer w.Stop()
+	waitFor(t, 2*time.Second, func() bool { return w.Suspected("b") }, "peer never suspected")
+	w.Forget("b")
+	if w.Suspected("b") {
+		t.Fatal("forgotten peer still suspected")
+	}
+}
+
+func TestHeartbeaterStopIdempotent(t *testing.T) {
+	n := transport.NewMemNetwork()
+	ep, _ := n.Endpoint("a")
+	hb := NewHeartbeater(ep, 5*time.Millisecond, "b")
+	hb.Start()
+	hb.Stop()
+	hb.Stop() // must not panic or hang
+}
+
+func TestPartitionCausesSuspicionBothWaysHeals(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	bEp, _ := n.Endpoint("b")
+	wa := NewWatchdog(aEp, 40*time.Millisecond, nil)
+	wa.Monitor("b")
+	wa.Start()
+	defer wa.Stop()
+	hb := NewHeartbeater(bEp, 10*time.Millisecond, "a")
+	hb.Start()
+	defer hb.Stop()
+
+	time.Sleep(60 * time.Millisecond)
+	if wa.Suspected("b") {
+		t.Fatal("suspected while connected")
+	}
+	n.Partition("a", "b")
+	waitFor(t, 2*time.Second, func() bool { return wa.Suspected("b") }, "partitioned peer never suspected")
+	n.Heal("a", "b")
+	waitFor(t, 2*time.Second, func() bool { return !wa.Suspected("b") }, "healed peer never un-suspected")
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"resilientft/internal/adaptation"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
+	"resilientft/internal/workload"
+)
+
+// SweepPoint is one application-state size in the PBR-vs-LFR sweep.
+type SweepPoint struct {
+	Registers       int
+	CheckpointBytes int
+	PBRLatency      time.Duration
+	LFRLatency      time.Duration
+}
+
+// StateSweep quantifies the R trade-off behind Table 1's bandwidth row:
+// PBR ships a checkpoint per request, so its request latency grows with
+// the application state footprint, while LFR's stays flat (the follower
+// recomputes instead). The crossover justifies the paper's PBR→LFR
+// mandatory transition on bandwidth loss.
+func StateSweep(ctx context.Context, sizes []int, opsPerPoint int) ([]SweepPoint, error) {
+	if opsPerPoint < 1 {
+		opsPerPoint = 50
+	}
+	out := make([]SweepPoint, 0, len(sizes))
+	for _, size := range sizes {
+		point := SweepPoint{Registers: size}
+		for _, ftmID := range []core.ID{core.PBR, core.LFR} {
+			latency, cpBytes, err := measureLatency(ctx, ftmID, size, opsPerPoint)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep %s@%d: %w", ftmID, size, err)
+			}
+			switch ftmID {
+			case core.PBR:
+				point.PBRLatency = latency
+				point.CheckpointBytes = cpBytes
+			case core.LFR:
+				point.LFRLatency = latency
+			}
+		}
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// measureLatency runs a seeded workload against a fresh system under the
+// given FTM with the given state footprint and returns the mean request
+// latency plus the application checkpoint size.
+func measureLatency(ctx context.Context, ftmID core.ID, registers, ops int) (time.Duration, int, error) {
+	sys, err := ftm.NewSystem(ctx, ftm.SystemConfig{
+		System:            "sweep",
+		FTM:               ftmID,
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspectTimeout:    30 * time.Second,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Shutdown()
+	client, err := sys.NewClient(rpc.WithCallTimeout(10 * time.Second))
+	if err != nil {
+		return 0, 0, err
+	}
+	gen := workload.New(workload.Config{Seed: int64(registers), Registers: registers, WriteRatio: 1.0})
+
+	run := func(op workload.Op) error {
+		resp, err := client.Invoke(ctx, op.Name, ftm.EncodeArg(op.Arg))
+		if err != nil {
+			return err
+		}
+		got, err := ftm.DecodeResult(resp.Payload)
+		if err != nil {
+			return err
+		}
+		if got != op.Expected {
+			return fmt.Errorf("wrong result for %s: got %d, want %d", op.Name, got, op.Expected)
+		}
+		return nil
+	}
+	// Prefill establishes the state footprint.
+	for _, op := range gen.Prefill() {
+		if err := run(op); err != nil {
+			return 0, 0, err
+		}
+	}
+	start := time.Now()
+	for _, op := range gen.Stream(ops) {
+		if err := run(op); err != nil {
+			return 0, 0, err
+		}
+	}
+	latency := time.Since(start) / time.Duration(ops)
+
+	state, err := sys.Master().App().StateManager().CaptureState()
+	if err != nil {
+		return 0, 0, err
+	}
+	return latency, len(state), nil
+}
+
+// RenderSweep formats the sweep.
+func RenderSweep(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("State-size sweep: request latency under PBR vs LFR (mean per request)\n")
+	fmt.Fprintf(&b, "%-12s %-16s %-14s %-14s %-10s\n",
+		"Registers", "Checkpoint (B)", "PBR", "LFR", "PBR/LFR")
+	for _, p := range points {
+		ratio := float64(p.PBRLatency) / float64(p.LFRLatency)
+		fmt.Fprintf(&b, "%-12d %-16d %-14v %-14v %-10.2f\n",
+			p.Registers, p.CheckpointBytes,
+			p.PBRLatency.Round(time.Microsecond), p.LFRLatency.Round(time.Microsecond), ratio)
+	}
+	b.WriteString("(PBR ships a checkpoint per request: latency grows with state; LFR recomputes: flat.\n")
+	b.WriteString(" This is the R trade-off behind the mandatory PBR->LFR transition on bandwidth loss.)\n")
+	return b.String()
+}
+
+// AblationResult compares the differential transition against a
+// monolithic replacement of the whole FTM composite.
+type AblationResult struct {
+	Differential time.Duration
+	Monolithic   time.Duration
+	Runs         int
+}
+
+// AblationDifferential measures the design choice at the heart of the
+// paper: a PBR→LFR differential transition (swap two bricks) vs a
+// monolithic replacement (tear the composite down, redeploy the target
+// FTM from scratch, transfer state explicitly).
+func AblationDifferential(ctx context.Context, runs int) (*AblationResult, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	res := &AblationResult{Runs: runs}
+	engine := adaptation.NewEngine(nil)
+
+	for run := 0; run < runs; run++ {
+		// Differential.
+		r, h, err := soloReplica(ctx, fmt.Sprintf("abl-d-%d", run), core.PBR)
+		if err != nil {
+			return nil, err
+		}
+		report := engine.TransitionReplica(ctx, r, core.LFR)
+		if report.Err != nil {
+			h.Crash()
+			return nil, report.Err
+		}
+		res.Differential += report.Steps.Total()
+		h.Crash()
+
+		// Monolithic: capture state, remove the composite, deploy the
+		// target FTM, restore state.
+		r, h, err = soloReplica(ctx, fmt.Sprintf("abl-m-%d", run), core.PBR)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		state, err := r.App().StateManager().CaptureState()
+		if err != nil {
+			h.Crash()
+			return nil, err
+		}
+		rt := h.Runtime()
+		if err := rt.Stop(ctx, r.Path()); err != nil {
+			h.Crash()
+			return nil, err
+		}
+		cp, err := rt.LookupComposite(r.Path())
+		if err != nil {
+			h.Crash()
+			return nil, err
+		}
+		for _, child := range cp.Components() {
+			if err := rt.Stop(ctx, r.Path()+"/"+child.Name()); err != nil {
+				h.Crash()
+				return nil, err
+			}
+		}
+		// Monolithic replacement discards the whole composite (its
+		// internal wiring goes with it).
+		if err := rt.Remove(r.Path()); err != nil {
+			h.Crash()
+			return nil, err
+		}
+		newApp := ftm.NewCalculator()
+		if err := newApp.StateManager().RestoreState(state); err != nil {
+			h.Crash()
+			return nil, err
+		}
+		if _, err := ftm.DeployFTM(ctx, h, ftm.ReplicaConfig{
+			System:            "bench",
+			FTM:               core.LFR,
+			Role:              core.RoleMaster,
+			App:               newApp,
+			HeartbeatInterval: time.Hour,
+			SuspectTimeout:    24 * time.Hour,
+		}, nil); err != nil {
+			h.Crash()
+			return nil, err
+		}
+		res.Monolithic += time.Since(start)
+		h.Crash()
+	}
+	res.Differential /= time.Duration(runs)
+	res.Monolithic /= time.Duration(runs)
+	return res, nil
+}
+
+// Render formats the ablation.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Ablation: differential transition vs monolithic FTM replacement (PBR -> LFR, one replica)\n")
+	fmt.Fprintf(&b, "  differential (swap 2 bricks):        %v\n", r.Differential.Round(time.Microsecond))
+	fmt.Fprintf(&b, "  monolithic (teardown + redeploy):    %v  (%.1fx slower, plus explicit state transfer)\n",
+		r.Monolithic.Round(time.Microsecond), float64(r.Monolithic)/float64(r.Differential))
+	fmt.Fprintf(&b, "  (mean of %d runs)\n", r.Runs)
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestStateSweepShape(t *testing.T) {
+	points, err := StateSweep(context.Background(), []int{8, 2048}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	small, large := points[0], points[1]
+	// The checkpoint footprint grows with the register space.
+	if large.CheckpointBytes <= small.CheckpointBytes {
+		t.Fatalf("checkpoint did not grow: %d -> %d", small.CheckpointBytes, large.CheckpointBytes)
+	}
+	// PBR's per-request cost grows with state (it ships a checkpoint per
+	// request); the growth must outpace LFR's.
+	pbrGrowth := float64(large.PBRLatency) / float64(small.PBRLatency)
+	lfrGrowth := float64(large.LFRLatency) / float64(small.LFRLatency)
+	if pbrGrowth <= lfrGrowth {
+		t.Fatalf("PBR latency growth (%.2fx) not above LFR's (%.2fx)", pbrGrowth, lfrGrowth)
+	}
+	// At the large state size PBR must be the slower mechanism.
+	if large.PBRLatency <= large.LFRLatency {
+		t.Fatalf("PBR (%v) not slower than LFR (%v) at %d registers",
+			large.PBRLatency, large.LFRLatency, large.Registers)
+	}
+	out := RenderSweep(points)
+	if !strings.Contains(out, "State-size sweep") {
+		t.Error("render missing title")
+	}
+}
+
+func TestAblationDifferentialWins(t *testing.T) {
+	res, err := AblationDifferential(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Monolithic <= res.Differential {
+		t.Fatalf("monolithic (%v) not slower than differential (%v)", res.Monolithic, res.Differential)
+	}
+	if !strings.Contains(res.Render(), "Ablation") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,128 @@
+// Package faultinject provides the software-implemented fault injection
+// used throughout tests, examples and experiments: the fault classes of
+// the paper's FT dimension — crash faults, transient value faults
+// (one-shot bit flips) and permanent value faults (stuck-at corruption on
+// one host). All injectors are seeded and deterministic.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// ValueInjector corrupts computation results at a chosen point in the
+// server's processing path. Transient faults corrupt a bounded number of
+// results (each once — a re-execution computes cleanly, which is what
+// time redundancy exploits); a permanent fault corrupts every result
+// (what assertion-and-switch-host strategies exist for).
+type ValueInjector struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	transient int
+	permanent bool
+	// stuckMask is the corruption applied under a permanent fault; fixed
+	// per injector so the fault is consistent, like real stuck-at bits.
+	stuckMask int64
+	injected  int
+}
+
+// NewValueInjector returns an injector with a seeded random source.
+func NewValueInjector(seed int64) *ValueInjector {
+	rng := rand.New(rand.NewSource(seed))
+	return &ValueInjector{
+		rng:       rng,
+		stuckMask: 1 << (uint(rng.Intn(62)) + 1),
+	}
+}
+
+// InjectTransient arms n one-shot bit flips: each of the next n results
+// passed to Apply is corrupted once.
+func (v *ValueInjector) InjectTransient(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.transient += n
+}
+
+// SetPermanent switches permanent corruption on or off.
+func (v *ValueInjector) SetPermanent(on bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.permanent = on
+}
+
+// Apply passes a computation result through the injector, corrupting it
+// according to the armed faults.
+func (v *ValueInjector) Apply(result int64) int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.permanent {
+		v.injected++
+		return result ^ v.stuckMask
+	}
+	if v.transient > 0 {
+		v.transient--
+		v.injected++
+		bit := uint(v.rng.Intn(62)) + 1
+		return result ^ (1 << bit)
+	}
+	return result
+}
+
+// Injected returns how many corruptions were applied so far.
+func (v *ValueInjector) Injected() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.injected
+}
+
+// Armed reports whether any fault is currently armed.
+func (v *ValueInjector) Armed() bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.permanent || v.transient > 0
+}
+
+// CrashSwitch is a one-way crash flag shared between a host and the
+// entities that must fall silent with it.
+type CrashSwitch struct {
+	mu      sync.Mutex
+	tripped bool
+	onTrip  []func()
+}
+
+// OnTrip registers a callback to run when the switch trips. A callback
+// registered after tripping runs immediately.
+func (c *CrashSwitch) OnTrip(f func()) {
+	c.mu.Lock()
+	tripped := c.tripped
+	if !tripped {
+		c.onTrip = append(c.onTrip, f)
+	}
+	c.mu.Unlock()
+	if tripped {
+		f()
+	}
+}
+
+// Trip fires the crash. Idempotent.
+func (c *CrashSwitch) Trip() {
+	c.mu.Lock()
+	if c.tripped {
+		c.mu.Unlock()
+		return
+	}
+	c.tripped = true
+	callbacks := c.onTrip
+	c.onTrip = nil
+	c.mu.Unlock()
+	for _, f := range callbacks {
+		f()
+	}
+}
+
+// Tripped reports whether the crash fired.
+func (c *CrashSwitch) Tripped() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tripped
+}

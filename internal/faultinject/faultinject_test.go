@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransientCorruptsExactlyOnceEach(t *testing.T) {
+	v := NewValueInjector(1)
+	v.InjectTransient(2)
+	if !v.Armed() {
+		t.Fatal("injector not armed after InjectTransient")
+	}
+	const clean = int64(12345)
+	first := v.Apply(clean)
+	second := v.Apply(clean)
+	third := v.Apply(clean)
+	if first == clean || second == clean {
+		t.Fatalf("armed corruption did not fire: %d, %d", first, second)
+	}
+	if third != clean {
+		t.Fatalf("third result corrupted after faults exhausted: %d", third)
+	}
+	if v.Injected() != 2 {
+		t.Fatalf("Injected = %d, want 2", v.Injected())
+	}
+	if v.Armed() {
+		t.Fatal("injector still armed after exhaustion")
+	}
+}
+
+func TestPermanentCorruptsEveryResultConsistently(t *testing.T) {
+	v := NewValueInjector(2)
+	v.SetPermanent(true)
+	const clean = int64(777)
+	a := v.Apply(clean)
+	b := v.Apply(clean)
+	if a == clean || b == clean {
+		t.Fatal("permanent fault did not corrupt")
+	}
+	if a != b {
+		t.Fatalf("permanent fault is inconsistent: %d != %d (stuck-at must be stable)", a, b)
+	}
+	v.SetPermanent(false)
+	if got := v.Apply(clean); got != clean {
+		t.Fatalf("result corrupted after permanent fault cleared: %d", got)
+	}
+}
+
+func TestSeededInjectorsAreReproducible(t *testing.T) {
+	mk := func() []int64 {
+		v := NewValueInjector(99)
+		v.InjectTransient(5)
+		out := make([]int64, 5)
+		for i := range out {
+			out[i] = v.Apply(1000)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %d != %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: a corrupted value always differs from the clean value (a bit
+// flip can never be the identity), and corruption is an involution under
+// the same mask for permanent faults.
+func TestCorruptionNeverIdentity_Property(t *testing.T) {
+	f := func(seed int64, value int64) bool {
+		v := NewValueInjector(seed)
+		v.InjectTransient(1)
+		return v.Apply(value) != value
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashSwitch(t *testing.T) {
+	var c CrashSwitch
+	var fired atomic.Int32
+	c.OnTrip(func() { fired.Add(1) })
+	if c.Tripped() {
+		t.Fatal("fresh switch tripped")
+	}
+	c.Trip()
+	c.Trip() // idempotent
+	if !c.Tripped() {
+		t.Fatal("switch not tripped")
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("callback fired %d times, want 1", fired.Load())
+	}
+	// Late registration runs immediately.
+	c.OnTrip(func() { fired.Add(1) })
+	if fired.Load() != 2 {
+		t.Fatalf("late callback not fired: %d", fired.Load())
+	}
+}

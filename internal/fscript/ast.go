@@ -1,0 +1,131 @@
+package fscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stmt is one reconfiguration statement.
+type Stmt interface {
+	fmt.Stringer
+	// Line returns the source line of the statement for diagnostics.
+	Line() int
+}
+
+type stmtBase struct{ line int }
+
+func (s stmtBase) Line() int { return s.line }
+
+// AddStmt instantiates a component definition (named in the transition
+// package environment) at a path: `add <def> as <path>`.
+type AddStmt struct {
+	stmtBase
+	Def  string
+	Path string
+}
+
+func (s AddStmt) String() string { return fmt.Sprintf("add %s as %s", s.Def, s.Path) }
+
+// RemoveStmt deletes the component at a path: `remove <path>`.
+type RemoveStmt struct {
+	stmtBase
+	Path string
+}
+
+func (s RemoveStmt) String() string { return "remove " + s.Path }
+
+// WireStmt connects a reference to a service:
+// `wire <path>.<ref> -> <path>.<svc>`.
+type WireStmt struct {
+	stmtBase
+	FromPath  string
+	Reference string
+	ToPath    string
+	Service   string
+}
+
+func (s WireStmt) String() string {
+	return fmt.Sprintf("wire %s.%s -> %s.%s", s.FromPath, s.Reference, s.ToPath, s.Service)
+}
+
+// UnwireStmt disconnects a reference: `unwire <path>.<ref>`.
+type UnwireStmt struct {
+	stmtBase
+	FromPath  string
+	Reference string
+}
+
+func (s UnwireStmt) String() string { return fmt.Sprintf("unwire %s.%s", s.FromPath, s.Reference) }
+
+// StartStmt opens a node: `start <path>`.
+type StartStmt struct {
+	stmtBase
+	Path string
+}
+
+func (s StartStmt) String() string { return "start " + s.Path }
+
+// StopStmt drains and closes a node: `stop <path>`.
+type StopStmt struct {
+	stmtBase
+	Path string
+}
+
+func (s StopStmt) String() string { return "stop " + s.Path }
+
+// SetStmt pushes a property: `set <path>.<name> = <literal>`.
+type SetStmt struct {
+	stmtBase
+	Path  string
+	Name  string
+	Value any
+}
+
+func (s SetStmt) String() string { return fmt.Sprintf("set %s.%s = %v", s.Path, s.Name, s.Value) }
+
+// PromoteStmt exposes a child service on a composite boundary:
+// `promote <compositePath>:<svc> => <child>.<childSvc>`.
+type PromoteStmt struct {
+	stmtBase
+	Composite    string
+	Service      string
+	Child        string
+	ChildService string
+}
+
+func (s PromoteStmt) String() string {
+	return fmt.Sprintf("promote %s:%s => %s.%s", s.Composite, s.Service, s.Child, s.ChildService)
+}
+
+// DemoteStmt removes a promoted service: `demote <compositePath>:<svc>`.
+type DemoteStmt struct {
+	stmtBase
+	Composite string
+	Service   string
+}
+
+func (s DemoteStmt) String() string { return fmt.Sprintf("demote %s:%s", s.Composite, s.Service) }
+
+// FailStmt unconditionally raises a ScriptError: `fail "<message>"`. It
+// exists so tests and fault-injection campaigns can exercise the rollback
+// and fail-silent machinery at a chosen point.
+type FailStmt struct {
+	stmtBase
+	Message string
+}
+
+func (s FailStmt) String() string { return fmt.Sprintf("fail %q", s.Message) }
+
+// Script is a parsed reconfiguration script.
+type Script struct {
+	Stmts []Stmt
+}
+
+// String renders the script back to source form.
+func (s *Script) String() string {
+	lines := make([]string, 0, len(s.Stmts))
+	for _, st := range s.Stmts {
+		lines = append(lines, st.String())
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,330 @@
+package fscript
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"resilientft/internal/component"
+)
+
+// probe is a trivial content for script tests.
+type probe struct {
+	mu    sync.Mutex
+	refs  map[string]component.Service
+	props map[string]any
+}
+
+func newProbe() *probe {
+	return &probe{refs: make(map[string]component.Service), props: make(map[string]any)}
+}
+
+func (p *probe) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	return component.NewMessage("ok", msg.Payload), nil
+}
+
+func (p *probe) SetReference(name string, target component.Service) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refs[name] = target
+}
+
+func (p *probe) SetProperty(name string, value any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.props[name] = value
+	return nil
+}
+
+func probeDef(name string) component.Definition {
+	return component.Definition{
+		Name:       name,
+		Type:       "test.probe",
+		Services:   []string{"svc"},
+		References: []component.Ref{{Name: "next"}},
+		Content:    newProbe(),
+	}
+}
+
+func newTestRuntime(t *testing.T) *component.Runtime {
+	t.Helper()
+	rt := component.NewRuntime(nil)
+	if _, err := rt.AddComposite("ftm"); err != nil {
+		t.Fatalf("AddComposite: %v", err)
+	}
+	for _, name := range []string{"protocol", "syncBefore", "syncAfter"} {
+		if _, err := rt.AddComponent("ftm", probeDef(name)); err != nil {
+			t.Fatalf("AddComponent %s: %v", name, err)
+		}
+		if err := rt.Start(context.Background(), "ftm/"+name); err != nil {
+			t.Fatalf("Start %s: %v", name, err)
+		}
+	}
+	if err := rt.Wire("ftm/protocol", "next", "ftm/syncBefore", "svc"); err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	return rt
+}
+
+// snapshot captures a comparable view of the architecture for the
+// all-or-nothing property.
+func snapshot(t *testing.T, rt *component.Runtime) string {
+	t.Helper()
+	d, err := rt.Describe("")
+	if err != nil {
+		t.Fatalf("Describe: %v", err)
+	}
+	return d.String()
+}
+
+func TestParseRendersBack(t *testing.T) {
+	src := `
+# differential transition PBR -> LFR
+stop ftm/syncBefore
+unwire ftm/protocol.before -> ftm/syncBefore.sync
+`
+	// unwire takes no arrow; this must fail to parse.
+	if _, err := Parse(src); err == nil {
+		t.Fatal("Parse accepted malformed unwire")
+	}
+}
+
+func TestParseAllStatements(t *testing.T) {
+	src := `
+# a comment
+stop ftm/syncBefore;
+unwire ftm/protocol.before
+remove ftm/syncBefore
+add lfr_syncBefore as ftm/syncBefore // trailing comment
+wire ftm/protocol.before -> ftm/syncBefore.sync
+set ftm/syncBefore.role = "leader"
+set ftm/syncBefore.retries = 3
+set ftm/syncBefore.threshold = 0.5
+set ftm/syncBefore.enabled = true
+promote ftm:service => protocol.request
+demote ftm:service
+start ftm/syncBefore
+fail "boom"
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Stmts) != 13 {
+		t.Fatalf("parsed %d statements, want 13:\n%s", len(s.Stmts), s)
+	}
+	wantKinds := []string{"StopStmt", "UnwireStmt", "RemoveStmt", "AddStmt", "WireStmt",
+		"SetStmt", "SetStmt", "SetStmt", "SetStmt", "PromoteStmt", "DemoteStmt", "StartStmt", "FailStmt"}
+	for i, st := range s.Stmts {
+		got := fmt.Sprintf("%T", st)
+		if !strings.HasSuffix(got, wantKinds[i]) {
+			t.Errorf("stmt %d: type %s, want %s", i, got, wantKinds[i])
+		}
+	}
+	if s.Stmts[5].(SetStmt).Value != "leader" {
+		t.Errorf("string literal = %v", s.Stmts[5].(SetStmt).Value)
+	}
+	if s.Stmts[6].(SetStmt).Value != int64(3) {
+		t.Errorf("int literal = %v (%T)", s.Stmts[6].(SetStmt).Value, s.Stmts[6].(SetStmt).Value)
+	}
+	if s.Stmts[7].(SetStmt).Value != 0.5 {
+		t.Errorf("float literal = %v", s.Stmts[7].(SetStmt).Value)
+	}
+	if s.Stmts[8].(SetStmt).Value != true {
+		t.Errorf("bool literal = %v", s.Stmts[8].(SetStmt).Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`add x`,                      // missing 'as'
+		`wire a.b => c.d`,            // wrong arrow
+		`bogus path`,                 // unknown keyword
+		`set a.b = `,                 // missing literal
+		`fail unquoted`,              // fail requires string
+		`wire a.b -> c`,              // missing member
+		"add x as y extra tokens ok", // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestExecuteDifferentialSwap(t *testing.T) {
+	rt := newTestRuntime(t)
+	env := Env{Definitions: map[string]component.Definition{
+		"new_syncBefore": probeDef(""),
+	}}
+	script := MustParse(`
+stop ftm/syncBefore
+unwire ftm/protocol.next
+remove ftm/syncBefore
+add new_syncBefore as ftm/syncBefore
+wire ftm/protocol.next -> ftm/syncBefore.svc
+start ftm/syncBefore
+`)
+	res, err := Execute(context.Background(), rt, script, env)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Executed != 6 {
+		t.Fatalf("Executed = %d, want 6", res.Executed)
+	}
+	c, err := rt.Lookup("ftm/syncBefore")
+	if err != nil {
+		t.Fatalf("Lookup replacement: %v", err)
+	}
+	if c.State() != component.StateStarted {
+		t.Fatalf("replacement state = %v, want started", c.State())
+	}
+	if len(rt.CheckIntegrity()) != 0 {
+		t.Fatalf("integrity violations after swap: %v", rt.CheckIntegrity())
+	}
+}
+
+func TestExecuteRollsBackOnInjectedFailure(t *testing.T) {
+	rt := newTestRuntime(t)
+	before := snapshot(t, rt)
+	env := Env{Definitions: map[string]component.Definition{
+		"new_syncBefore": probeDef(""),
+	}}
+	script := MustParse(`
+stop ftm/syncBefore
+unwire ftm/protocol.next
+remove ftm/syncBefore
+add new_syncBefore as ftm/syncBefore
+fail "injected mid-transition"
+wire ftm/protocol.next -> ftm/syncBefore.svc
+`)
+	_, err := Execute(context.Background(), rt, script, env)
+	var serr *ScriptError
+	if !errors.As(err, &serr) {
+		t.Fatalf("Execute error = %v, want *ScriptError", err)
+	}
+	if !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("cause = %v, want ErrInjectedFailure", err)
+	}
+	if serr.RollbackErr != nil {
+		t.Fatalf("rollback failed: %v", serr.RollbackErr)
+	}
+	if after := snapshot(t, rt); after != before {
+		t.Fatalf("architecture changed despite rollback:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+}
+
+func TestExecuteRollsBackOnIntegrityViolation(t *testing.T) {
+	rt := newTestRuntime(t)
+	// Make 'next' required on protocol so unwiring it violates integrity.
+	rtReq := component.NewRuntime(nil)
+	if _, err := rtReq.AddComposite("ftm"); err != nil {
+		t.Fatal(err)
+	}
+	def := probeDef("protocol")
+	def.References = []component.Ref{{Name: "next", Required: true}}
+	if _, err := rtReq.AddComponent("ftm", def); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rtReq.AddComponent("ftm", probeDef("syncBefore")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtReq.Wire("ftm/protocol", "next", "ftm/syncBefore", "svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtReq.Start(context.Background(), "ftm/protocol"); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshot(t, rtReq)
+	script := MustParse(`unwire ftm/protocol.next`)
+	_, err := Execute(context.Background(), rtReq, script, Env{})
+	if !errors.Is(err, component.ErrIntegrity) {
+		t.Fatalf("Execute error = %v, want ErrIntegrity", err)
+	}
+	if after := snapshot(t, rtReq); after != before {
+		t.Fatalf("architecture changed despite rollback")
+	}
+	_ = rt
+}
+
+func TestExecuteUnknownDefinition(t *testing.T) {
+	rt := newTestRuntime(t)
+	script := MustParse(`add missing_def as ftm/x`)
+	_, err := Execute(context.Background(), rt, script, Env{})
+	if !errors.Is(err, component.ErrNotFound) {
+		t.Fatalf("Execute error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSetPropertyRollbackRestoresOldValue(t *testing.T) {
+	rt := newTestRuntime(t)
+	if err := rt.SetProperty("ftm/protocol", "mode", "old"); err != nil {
+		t.Fatal(err)
+	}
+	script := MustParse(`
+set ftm/protocol.mode = "new"
+fail "abort"
+`)
+	if _, err := Execute(context.Background(), rt, script, Env{}); err == nil {
+		t.Fatal("Execute succeeded, want failure")
+	}
+	c, _ := rt.Lookup("ftm/protocol")
+	if v, _ := c.Property("mode"); v != "old" {
+		t.Fatalf("property after rollback = %v, want old", v)
+	}
+}
+
+func TestSetPropertyRollbackRemovesNewProperty(t *testing.T) {
+	rt := newTestRuntime(t)
+	script := MustParse(`
+set ftm/protocol.fresh = 42
+fail "abort"
+`)
+	if _, err := Execute(context.Background(), rt, script, Env{}); err == nil {
+		t.Fatal("Execute succeeded, want failure")
+	}
+	c, _ := rt.Lookup("ftm/protocol")
+	if _, ok := c.Property("fresh"); ok {
+		t.Fatal("property survived rollback")
+	}
+}
+
+// TestRollbackProperty verifies the all-or-nothing contract of the paper:
+// for every prefix of a transition script, injecting a failure after that
+// prefix leaves the architecture exactly as it was (random failure points
+// driven by a seeded source).
+func TestRollbackProperty(t *testing.T) {
+	fullScript := []string{
+		"stop ftm/syncBefore",
+		"unwire ftm/protocol.next",
+		"remove ftm/syncBefore",
+		"add new_syncBefore as ftm/syncBefore",
+		"wire ftm/protocol.next -> ftm/syncBefore.svc",
+		"start ftm/syncBefore",
+		"stop ftm/syncAfter",
+		"set ftm/syncAfter.role = \"follower\"",
+		"start ftm/syncAfter",
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		cut := rng.Intn(len(fullScript)) // fail after this many statements
+		rt := newTestRuntime(t)
+		before := snapshot(t, rt)
+		src := strings.Join(fullScript[:cut], "\n") + "\nfail \"chaos\"\n"
+		env := Env{Definitions: map[string]component.Definition{
+			"new_syncBefore": probeDef(""),
+		}}
+		_, err := Execute(context.Background(), rt, MustParse(src), env)
+		if !errors.Is(err, ErrInjectedFailure) {
+			t.Fatalf("trial %d (cut %d): err = %v, want injected failure", trial, cut, err)
+		}
+		if after := snapshot(t, rt); after != before {
+			t.Fatalf("trial %d (cut %d): architecture changed despite rollback\nbefore:\n%s\nafter:\n%s",
+				trial, cut, before, after)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package fscript
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"resilientft/internal/component"
+)
+
+// ScriptError is the paper's ScriptException: a reconfiguration failed (a
+// statement error, an integrity-constraint violation, or an injected
+// fault) and the transaction was rolled back. When even the rollback
+// failed — leaving the architecture inconsistent — RollbackErr is set and
+// the caller must apply the fail-silent policy (kill the replica).
+type ScriptError struct {
+	Stmt        string
+	Line        int
+	Err         error
+	RollbackErr error
+}
+
+// Error renders the failure.
+func (e *ScriptError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fscript: line %d: %s: %v", e.Line, e.Stmt, e.Err)
+	if e.RollbackErr != nil {
+		fmt.Fprintf(&b, " (ROLLBACK FAILED: %v)", e.RollbackErr)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause.
+func (e *ScriptError) Unwrap() error { return e.Err }
+
+// ErrInjectedFailure is raised by the `fail` statement.
+var ErrInjectedFailure = errors.New("fscript: injected failure")
+
+// Env is the execution environment of a script: the component definitions
+// shipped in the transition package, addressable by name from `add`
+// statements.
+type Env struct {
+	Definitions map[string]component.Definition
+}
+
+// Result summarizes a successful execution.
+type Result struct {
+	// Executed is the number of statements applied.
+	Executed int
+}
+
+// inverseOp undoes one applied statement.
+type inverseOp struct {
+	describe string
+	apply    func(ctx context.Context) error
+}
+
+// Execute runs the script against rt transactionally. On any failure the
+// already-applied statements are undone in reverse order and a
+// *ScriptError is returned; the architecture is then in its initial
+// configuration (all-or-nothing semantics, paper §5.3). After the last
+// statement the runtime's integrity constraints are checked; violations
+// also abort and roll back.
+func Execute(ctx context.Context, rt *component.Runtime, script *Script, env Env) (Result, error) {
+	var inverses []inverseOp
+
+	rollback := func() error {
+		var errs []error
+		for i := len(inverses) - 1; i >= 0; i-- {
+			if err := inverses[i].apply(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("undo %s: %w", inverses[i].describe, err))
+			}
+		}
+		return errors.Join(errs...)
+	}
+
+	for _, stmt := range script.Stmts {
+		inv, err := apply(ctx, rt, stmt, env)
+		if err != nil {
+			return Result{}, &ScriptError{
+				Stmt:        stmt.String(),
+				Line:        stmt.Line(),
+				Err:         err,
+				RollbackErr: rollback(),
+			}
+		}
+		if inv != nil {
+			inverses = append(inverses, *inv)
+		}
+	}
+
+	if violations := rt.CheckIntegrity(); len(violations) > 0 {
+		details := make([]string, 0, len(violations))
+		for _, v := range violations {
+			details = append(details, v.String())
+		}
+		return Result{}, &ScriptError{
+			Stmt:        "post-conditions",
+			Line:        0,
+			Err:         fmt.Errorf("%w: %s", component.ErrIntegrity, strings.Join(details, "; ")),
+			RollbackErr: rollback(),
+		}
+	}
+	return Result{Executed: len(script.Stmts)}, nil
+}
+
+// apply executes one statement and returns its inverse.
+func apply(ctx context.Context, rt *component.Runtime, stmt Stmt, env Env) (*inverseOp, error) {
+	switch s := stmt.(type) {
+	case AddStmt:
+		def, ok := env.Definitions[s.Def]
+		if !ok {
+			return nil, fmt.Errorf("%w: definition %q in transition package", component.ErrNotFound, s.Def)
+		}
+		parent, leaf := splitParent(s.Path)
+		def.Name = leaf
+		if _, err := rt.AddComponent(parent, def); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "add " + s.Path,
+			apply:    func(ctx context.Context) error { return rt.Remove(s.Path) },
+		}, nil
+
+	case RemoveStmt:
+		c, err := rt.Lookup(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		savedDef := c.Definition()
+		savedWires := c.Wires()
+		if err := rt.Remove(s.Path); err != nil {
+			return nil, err
+		}
+		parent, leaf := splitParent(s.Path)
+		savedDef.Name = leaf
+		return &inverseOp{
+			describe: "remove " + s.Path,
+			apply: func(ctx context.Context) error {
+				if _, err := rt.AddComponent(parent, savedDef); err != nil {
+					return err
+				}
+				for _, w := range savedWires {
+					if err := rt.Wire(w.From, w.Reference, w.To, w.Service); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}, nil
+
+	case WireStmt:
+		if err := rt.Wire(s.FromPath, s.Reference, s.ToPath, s.Service); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "wire " + s.FromPath + "." + s.Reference,
+			apply:    func(ctx context.Context) error { return rt.Unwire(s.FromPath, s.Reference) },
+		}, nil
+
+	case UnwireStmt:
+		c, err := rt.Lookup(s.FromPath)
+		if err != nil {
+			return nil, err
+		}
+		saved, ok := c.WireFor(s.Reference)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", component.ErrRefUnwired, s.FromPath, s.Reference)
+		}
+		if err := rt.Unwire(s.FromPath, s.Reference); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "unwire " + s.FromPath + "." + s.Reference,
+			apply: func(ctx context.Context) error {
+				return rt.Wire(saved.From, saved.Reference, saved.To, saved.Service)
+			},
+		}, nil
+
+	case StartStmt:
+		prev, err := nodeState(rt, s.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.Start(ctx, s.Path); err != nil {
+			return nil, err
+		}
+		if prev == component.StateStarted {
+			return nil, nil // no-op, nothing to undo
+		}
+		return &inverseOp{
+			describe: "start " + s.Path,
+			apply:    func(ctx context.Context) error { return rt.Stop(ctx, s.Path) },
+		}, nil
+
+	case StopStmt:
+		prev, err := nodeState(rt, s.Path)
+		if err != nil {
+			return nil, err
+		}
+		if err := rt.Stop(ctx, s.Path); err != nil {
+			return nil, err
+		}
+		if prev == component.StateStopped {
+			return nil, nil
+		}
+		return &inverseOp{
+			describe: "stop " + s.Path,
+			apply:    func(ctx context.Context) error { return rt.Start(ctx, s.Path) },
+		}, nil
+
+	case SetStmt:
+		c, err := rt.Lookup(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		oldValue, hadValue := c.Property(s.Name)
+		if err := rt.SetProperty(s.Path, s.Name, s.Value); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "set " + s.Path + "." + s.Name,
+			apply: func(ctx context.Context) error {
+				if hadValue {
+					return rt.SetProperty(s.Path, s.Name, oldValue)
+				}
+				c.DeleteProperty(s.Name)
+				return nil
+			},
+		}, nil
+
+	case PromoteStmt:
+		cp, err := rt.LookupComposite(s.Composite)
+		if err != nil {
+			return nil, err
+		}
+		if err := cp.Promote(s.Service, s.Child, s.ChildService); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "promote " + s.Composite + ":" + s.Service,
+			apply:    func(ctx context.Context) error { return cp.Demote(s.Service) },
+		}, nil
+
+	case DemoteStmt:
+		cp, err := rt.LookupComposite(s.Composite)
+		if err != nil {
+			return nil, err
+		}
+		var saved *component.Promotion
+		for _, p := range cp.Promotions() {
+			if p.Service == s.Service {
+				saved = &p
+				break
+			}
+		}
+		if saved == nil {
+			return nil, fmt.Errorf("%w: promotion %q on %q", component.ErrNotFound, s.Service, s.Composite)
+		}
+		if err := cp.Demote(s.Service); err != nil {
+			return nil, err
+		}
+		return &inverseOp{
+			describe: "demote " + s.Composite + ":" + s.Service,
+			apply: func(ctx context.Context) error {
+				return cp.Promote(saved.Service, saved.Child, saved.ChildService)
+			},
+		}, nil
+
+	case FailStmt:
+		return nil, fmt.Errorf("%w: %s", ErrInjectedFailure, s.Message)
+
+	default:
+		return nil, fmt.Errorf("fscript: unsupported statement %T", stmt)
+	}
+}
+
+func nodeState(rt *component.Runtime, path string) (component.State, error) {
+	if c, err := rt.Lookup(path); err == nil {
+		return c.State(), nil
+	}
+	cp, err := rt.LookupComposite(path)
+	if err != nil {
+		return 0, err
+	}
+	return cp.State(), nil
+}
+
+// splitParent splits "a/b/c" into ("a/b", "c").
+func splitParent(path string) (parent, leaf string) {
+	path = strings.Trim(path, "/")
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i], path[i+1:]
+	}
+	return "", path
+}

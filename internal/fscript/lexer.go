@@ -1,0 +1,114 @@
+package fscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lex tokenizes src. Words may contain letters, digits, '_', '-' and '/'
+// (so component paths are single tokens); '.' is a separator so that
+// "path.member" splits into three tokens. Comments run from '#' or "//"
+// to end of line. Newlines and ';' terminate statements.
+func lex(src string) ([]token, error) {
+	var tokens []token
+	line := 1
+	i := 0
+	emit := func(kind tokenKind, text string) {
+		tokens = append(tokens, token{kind: kind, text: text, line: line})
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			// Collapse consecutive newlines into one terminator.
+			if n := len(tokens); n > 0 && tokens[n-1].kind != tokenTerminator {
+				emit(tokenTerminator, "\\n")
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';':
+			if n := len(tokens); n == 0 || tokens[n-1].kind != tokenTerminator {
+				emit(tokenTerminator, ";")
+			}
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '.':
+			emit(tokenDot, ".")
+			i++
+		case c == ',':
+			emit(tokenComma, ",")
+			i++
+		case c == ':':
+			emit(tokenColon, ":")
+			i++
+		case c == '=':
+			if i+1 < len(src) && src[i+1] == '>' {
+				emit(tokenDoubleArrow, "=>")
+				i += 2
+			} else {
+				emit(tokenEquals, "=")
+				i++
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			emit(tokenArrow, "->")
+			i += 2
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("fscript: line %d: unterminated string", line)
+				}
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("fscript: line %d: unterminated string", line)
+			}
+			emit(tokenString, sb.String())
+			i = j + 1
+		case isDigit(c) || (c == '-' && i+1 < len(src) && isDigit(src[i+1])):
+			j := i + 1
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.') {
+				j++
+			}
+			emit(tokenNumber, src[i:j])
+			i = j
+		case isWordChar(c):
+			j := i
+			for j < len(src) && isWordChar(src[j]) {
+				if src[j] == '-' && j+1 < len(src) && src[j+1] == '>' {
+					break // an '->' arrow begins here, not part of the word
+				}
+				j++
+			}
+			emit(tokenWord, src[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("fscript: line %d: unexpected character %q", line, string(c))
+		}
+	}
+	if n := len(tokens); n > 0 && tokens[n-1].kind != tokenTerminator {
+		emit(tokenTerminator, "eof")
+	}
+	emit(tokenEOF, "")
+	return tokens, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || isDigit(c) || c == '_' || c == '-' || c == '/' || c == '$'
+}

@@ -1,0 +1,230 @@
+package fscript
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse compiles script source into a Script.
+func Parse(src string) (*Script, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	return p.parseScript()
+}
+
+// MustParse is Parse that panics on error; for scripts embedded in the
+// transition-package catalogue where a syntax error is a programming bug.
+func MustParse(src string) *Script {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) next() token {
+	t := p.tokens[p.pos]
+	if t.kind != tokenEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return token{}, fmt.Errorf("fscript: line %d: expected %s, got %s", t.line, kind, t)
+	}
+	return t, nil
+}
+
+func (p *parser) skipTerminators() {
+	for p.peek().kind == tokenTerminator {
+		p.next()
+	}
+}
+
+func (p *parser) parseScript() (*Script, error) {
+	s := &Script{}
+	for {
+		p.skipTerminators()
+		if p.peek().kind == tokenEOF {
+			return s, nil
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, stmt)
+		if t := p.peek(); t.kind != tokenTerminator && t.kind != tokenEOF {
+			return nil, fmt.Errorf("fscript: line %d: unexpected %s after statement", t.line, t)
+		}
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	kw, err := p.expect(tokenWord)
+	if err != nil {
+		return nil, err
+	}
+	base := stmtBase{line: kw.line}
+	switch kw.text {
+	case "add":
+		def, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		if as, err := p.expect(tokenWord); err != nil || as.text != "as" {
+			return nil, fmt.Errorf("fscript: line %d: expected 'as' in add statement", kw.line)
+		}
+		path, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		return AddStmt{stmtBase: base, Def: def.text, Path: path.text}, nil
+	case "remove":
+		path, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		return RemoveStmt{stmtBase: base, Path: path.text}, nil
+	case "wire":
+		fromPath, ref, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokenArrow); err != nil {
+			return nil, err
+		}
+		toPath, svc, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		return WireStmt{stmtBase: base, FromPath: fromPath, Reference: ref, ToPath: toPath, Service: svc}, nil
+	case "unwire":
+		fromPath, ref, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		return UnwireStmt{stmtBase: base, FromPath: fromPath, Reference: ref}, nil
+	case "start":
+		path, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		return StartStmt{stmtBase: base, Path: path.text}, nil
+	case "stop":
+		path, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		return StopStmt{stmtBase: base, Path: path.text}, nil
+	case "set":
+		path, name, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokenEquals); err != nil {
+			return nil, err
+		}
+		value, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return SetStmt{stmtBase: base, Path: path, Name: name, Value: value}, nil
+	case "promote":
+		composite, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokenColon); err != nil {
+			return nil, err
+		}
+		svc, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokenDoubleArrow); err != nil {
+			return nil, err
+		}
+		child, childSvc, err := p.parseMember()
+		if err != nil {
+			return nil, err
+		}
+		return PromoteStmt{stmtBase: base, Composite: composite.text, Service: svc.text, Child: child, ChildService: childSvc}, nil
+	case "demote":
+		composite, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokenColon); err != nil {
+			return nil, err
+		}
+		svc, err := p.expect(tokenWord)
+		if err != nil {
+			return nil, err
+		}
+		return DemoteStmt{stmtBase: base, Composite: composite.text, Service: svc.text}, nil
+	case "fail":
+		msg, err := p.expect(tokenString)
+		if err != nil {
+			return nil, err
+		}
+		return FailStmt{stmtBase: base, Message: msg.text}, nil
+	default:
+		return nil, fmt.Errorf("fscript: line %d: unknown statement %q", kw.line, kw.text)
+	}
+}
+
+// parseMember parses `<path>.<ident>`.
+func (p *parser) parseMember() (path, member string, err error) {
+	pathTok, err := p.expect(tokenWord)
+	if err != nil {
+		return "", "", err
+	}
+	if _, err := p.expect(tokenDot); err != nil {
+		return "", "", err
+	}
+	memberTok, err := p.expect(tokenWord)
+	if err != nil {
+		return "", "", err
+	}
+	return pathTok.text, memberTok.text, nil
+}
+
+func (p *parser) parseLiteral() (any, error) {
+	t := p.next()
+	switch t.kind {
+	case tokenString:
+		return t.text, nil
+	case tokenNumber:
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			return i, nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fscript: line %d: bad number %q", t.line, t.text)
+		}
+		return f, nil
+	case tokenWord:
+		switch t.text {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return t.text, nil
+	default:
+		return nil, fmt.Errorf("fscript: line %d: expected literal, got %s", t.line, t)
+	}
+}

@@ -1,0 +1,163 @@
+package fscript
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"resilientft/internal/component"
+)
+
+// TestRenderParseRoundTrip: rendering a parsed script and re-parsing it
+// yields the same AST — the String methods emit valid source.
+func TestRenderParseRoundTrip(t *testing.T) {
+	src := `
+stop ftm/syncBefore
+unwire ftm/protocol.before
+remove ftm/syncBefore
+add new_brick as ftm/syncBefore
+wire ftm/protocol.before -> ftm/syncBefore.sync
+set ftm/syncBefore.role = "leader"
+set ftm/syncBefore.count = 3
+promote ftm:request => protocol.request
+demote ftm:request
+start ftm/syncBefore
+fail "boom"
+`
+	first, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := first.String()
+	second, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered script failed: %v\n%s", err, rendered)
+	}
+	// Line numbers reflect source offsets and legitimately differ; the
+	// rendered forms must agree.
+	if second.String() != rendered {
+		t.Fatalf("round trip changed the script:\nfirst:\n%s\nsecond:\n%s", rendered, second.String())
+	}
+	if len(first.Stmts) != len(second.Stmts) {
+		t.Fatalf("statement counts differ: %d vs %d", len(first.Stmts), len(second.Stmts))
+	}
+	for i := range first.Stmts {
+		if reflect.TypeOf(first.Stmts[i]) != reflect.TypeOf(second.Stmts[i]) {
+			t.Fatalf("stmt %d type changed: %T vs %T", i, first.Stmts[i], second.Stmts[i])
+		}
+	}
+	// Spot-check renderings.
+	for _, want := range []string{
+		"add new_brick as ftm/syncBefore",
+		"wire ftm/protocol.before -> ftm/syncBefore.sync",
+		`set ftm/syncBefore.role = leader`,
+		"promote ftm:request => protocol.request",
+		"demote ftm:request",
+		`fail "boom"`,
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered script missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestScriptErrorRendering(t *testing.T) {
+	e := &ScriptError{Stmt: "remove x", Line: 3, Err: ErrInjectedFailure}
+	if !strings.Contains(e.Error(), "line 3") || !strings.Contains(e.Error(), "remove x") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	e.RollbackErr = errors.New("undo failed")
+	if !strings.Contains(e.Error(), "ROLLBACK FAILED") {
+		t.Fatalf("Error() with rollback failure = %q", e.Error())
+	}
+	if !errors.Is(e, ErrInjectedFailure) {
+		t.Fatal("Unwrap broken")
+	}
+}
+
+func TestPromoteDemoteStatements(t *testing.T) {
+	rt := component.NewRuntime(nil)
+	if _, err := rt.AddComposite("box"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.AddComponent("box", probeDef("inner")); err != nil {
+		t.Fatal(err)
+	}
+	script := MustParse(`promote box:svc => inner.svc`)
+	if _, err := Execute(context.Background(), rt, script, Env{}); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	cp, _ := rt.LookupComposite("box")
+	if len(cp.Promotions()) != 1 {
+		t.Fatal("promotion not applied")
+	}
+	// Demote and roll back: the promotion must return.
+	script = MustParse("demote box:svc\nfail \"abort\"")
+	if _, err := Execute(context.Background(), rt, script, Env{}); err == nil {
+		t.Fatal("want failure")
+	}
+	if len(cp.Promotions()) != 1 {
+		t.Fatal("demote was not rolled back")
+	}
+	// Promote roll back: the promotion must vanish.
+	script = MustParse("demote box:svc\npromote box:svc => inner.svc\nfail \"abort\"")
+	if _, err := Execute(context.Background(), rt, script, Env{}); err == nil {
+		t.Fatal("want failure")
+	}
+	if len(cp.Promotions()) != 1 {
+		t.Fatal("nested promote/demote rollback broken")
+	}
+}
+
+func TestCompositeLifecycleStatements(t *testing.T) {
+	rt := component.NewRuntime(nil)
+	if _, err := rt.AddComposite("box"); err != nil {
+		t.Fatal(err)
+	}
+	script := MustParse("stop box\nstart box")
+	if _, err := Execute(context.Background(), rt, script, Env{}); err != nil {
+		t.Fatalf("composite lifecycle: %v", err)
+	}
+	cp, _ := rt.LookupComposite("box")
+	if cp.State() != component.StateStarted {
+		t.Fatalf("state = %v", cp.State())
+	}
+	// Rolling back a composite stop restarts it.
+	script = MustParse("stop box\nfail \"abort\"")
+	if _, err := Execute(context.Background(), rt, script, Env{}); err == nil {
+		t.Fatal("want failure")
+	}
+	if cp.State() != component.StateStarted {
+		t.Fatalf("composite stop not rolled back: %v", cp.State())
+	}
+}
+
+func TestDemoteMissingPromotion(t *testing.T) {
+	rt := component.NewRuntime(nil)
+	if _, err := rt.AddComposite("box"); err != nil {
+		t.Fatal(err)
+	}
+	script := MustParse("demote box:ghost")
+	if _, err := Execute(context.Background(), rt, script, Env{}); !errors.Is(err, component.ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStatementsOnMissingTargets(t *testing.T) {
+	rt := component.NewRuntime(nil)
+	for _, src := range []string{
+		"stop ghost",
+		"start ghost",
+		"remove ghost",
+		"set ghost.x = 1",
+		"wire ghost.a -> ghost.b",
+		"unwire ghost.a",
+		"promote ghost:svc => child.svc",
+	} {
+		if _, err := Execute(context.Background(), rt, MustParse(src), Env{}); err == nil {
+			t.Errorf("Execute(%q) succeeded on empty runtime", src)
+		}
+	}
+}

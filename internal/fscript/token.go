@@ -1,0 +1,70 @@
+// Package fscript implements the reconfiguration script language of the
+// adaptation layer — the analogue of FScript in the paper. A script is a
+// sequence of architecture reconfiguration statements executed against a
+// component runtime with all-or-nothing semantics: every statement records
+// its inverse, post-execution integrity constraints are verified, and any
+// failure rolls the architecture back to its initial configuration and
+// surfaces a *ScriptError (the paper's ScriptException).
+package fscript
+
+import "fmt"
+
+// tokenKind enumerates lexical token kinds.
+type tokenKind int
+
+const (
+	tokenWord tokenKind = iota + 1
+	tokenString
+	tokenNumber
+	tokenDot
+	tokenComma
+	tokenEquals
+	tokenArrow       // ->
+	tokenDoubleArrow // =>
+	tokenColon
+	tokenTerminator // ';' or newline
+	tokenEOF
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokenWord:
+		return "word"
+	case tokenString:
+		return "string"
+	case tokenNumber:
+		return "number"
+	case tokenDot:
+		return "'.'"
+	case tokenComma:
+		return "','"
+	case tokenEquals:
+		return "'='"
+	case tokenArrow:
+		return "'->'"
+	case tokenDoubleArrow:
+		return "'=>'"
+	case tokenColon:
+		return "':'"
+	case tokenTerminator:
+		return "statement terminator"
+	case tokenEOF:
+		return "end of script"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source line for diagnostics.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.text != "" {
+		return fmt.Sprintf("%s %q (line %d)", t.kind, t.text, t.line)
+	}
+	return fmt.Sprintf("%s (line %d)", t.kind, t.line)
+}

@@ -1,0 +1,159 @@
+package ftm
+
+import (
+	"errors"
+	"testing"
+
+	"resilientft/internal/appstate"
+	"resilientft/internal/faultinject"
+)
+
+func TestCalculatorOps(t *testing.T) {
+	c := NewCalculator()
+	cases := []struct {
+		op     string
+		arg    int64
+		want   int64
+		before int64
+	}{
+		{"set:x", 10, 10, 0},
+		{"add:x", 5, 15, 10},
+		{"sub:x", 3, 12, 15},
+		{"get:x", 0, 12, 12},
+		{"add:y", 7, 7, 0},
+	}
+	for _, tc := range cases {
+		got, before, err := c.Process(tc.op, tc.arg)
+		if err != nil {
+			t.Fatalf("Process(%s, %d): %v", tc.op, tc.arg, err)
+		}
+		if got != tc.want || before != tc.before {
+			t.Fatalf("Process(%s, %d) = (%d, %d), want (%d, %d)",
+				tc.op, tc.arg, got, before, tc.want, tc.before)
+		}
+	}
+}
+
+func TestCalculatorBadOps(t *testing.T) {
+	c := NewCalculator()
+	for _, op := range []string{"", "add", "add:", ":x", "frob:x"} {
+		if _, _, err := c.Process(op, 1); !errors.Is(err, ErrBadOp) {
+			t.Errorf("Process(%q): err = %v, want ErrBadOp", op, err)
+		}
+	}
+}
+
+func TestCalculatorAssert(t *testing.T) {
+	c := NewCalculator()
+	// Clean results satisfy the assertion.
+	cases := []struct {
+		op                  string
+		arg, before, result int64
+		want                bool
+	}{
+		{"add:x", 5, 10, 15, true},
+		{"add:x", 5, 10, 16, false}, // corrupted result
+		{"sub:x", 3, 10, 7, true},
+		{"sub:x", 3, 10, 8, false},
+		{"set:x", 9, 0, 9, true},
+		{"set:x", 9, 0, 8, false},
+		{"get:x", 0, 4, 4, true},
+		{"get:x", 0, 4, 5, false},
+		{"bad-op", 0, 0, 0, false},
+	}
+	for _, tc := range cases {
+		if got := c.Assert(tc.op, tc.arg, tc.before, tc.result); got != tc.want {
+			t.Errorf("Assert(%s, %d, %d, %d) = %v, want %v",
+				tc.op, tc.arg, tc.before, tc.result, got, tc.want)
+		}
+	}
+}
+
+func TestCalculatorInjectorCorruptsResults(t *testing.T) {
+	c := NewCalculator()
+	inj := faultinject.NewValueInjector(3)
+	c.SetInjector(inj)
+	inj.InjectTransient(1)
+	result, before, err := c.Process("set:x", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result == 42 {
+		t.Fatal("armed injector did not corrupt the result")
+	}
+	if !errorsAssert(c, "set:x", 42, before, result) {
+		// The corrupted result must violate the assertion.
+	} else {
+		t.Fatal("assertion accepted a corrupted result")
+	}
+	// State remains clean: corruption models an output bit flip.
+	if got := c.regs.Get("x"); got != 42 {
+		t.Fatalf("register corrupted: %d", got)
+	}
+	// Next processing is clean again.
+	result, _, _ = c.Process("get:x", 0)
+	if result != 42 {
+		t.Fatalf("post-fault result = %d", result)
+	}
+}
+
+func errorsAssert(c *Calculator, op string, arg, before, result int64) bool {
+	return c.Assert(op, arg, before, result)
+}
+
+func TestCalculatorStateRoundTrip(t *testing.T) {
+	c := NewCalculator()
+	if _, _, err := c.Process("set:x", 5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := c.StateManager().CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Process("add:x", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StateManager().RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	result, _, _ := c.Process("get:x", 0)
+	if result != 5 {
+		t.Fatalf("restored register = %d, want 5", result)
+	}
+}
+
+func TestOpaqueWrapperHidesState(t *testing.T) {
+	app := Opaque{Application: NewCalculator()}
+	if _, err := app.StateManager().CaptureState(); !errors.Is(err, appstate.ErrNoAccess) {
+		t.Fatalf("CaptureState through Opaque: err = %v", err)
+	}
+	// Processing still works.
+	if _, _, err := app.Process("set:x", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonDeterministicWrapper(t *testing.T) {
+	app := NonDeterministic{Application: NewCalculator()}
+	if app.Deterministic() {
+		t.Fatal("wrapper reports deterministic")
+	}
+	if _, _, err := app.Process("set:x", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultCodec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 62, -(1 << 62)} {
+		got, err := DecodeResult(EncodeResult(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != v {
+			t.Fatalf("round trip %d -> %d", v, got)
+		}
+	}
+	if _, err := DecodeResult([]byte{1, 2}); err == nil {
+		t.Fatal("DecodeResult accepted short payload")
+	}
+}

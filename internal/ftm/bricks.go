@@ -1,0 +1,551 @@
+package ftm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"resilientft/internal/appstate"
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// The bricks in this file are the variable features of the
+// Before-Proceed-After generic execution scheme (Table 2): small,
+// stateless components that differential transitions add and remove.
+// Everything stateful (reply log, server, protocol) lives elsewhere and
+// survives transitions untouched.
+
+// brickRefs is the shared reference receiver of all bricks.
+type brickRefs struct {
+	mu   sync.Mutex
+	refs map[string]component.Service
+}
+
+func (b *brickRefs) SetReference(name string, target component.Service) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.refs == nil {
+		b.refs = make(map[string]component.Service)
+	}
+	if target == nil {
+		delete(b.refs, name)
+		return
+	}
+	b.refs[name] = target
+}
+
+func (b *brickRefs) ref(name string) component.Service {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.refs[name]
+}
+
+func callPayload(msg component.Message) (*Call, error) {
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return nil, fmt.Errorf("ftm: brick payload is %T, want *Call", msg.Payload)
+	}
+	return call, nil
+}
+
+// --- Nothing -----------------------------------------------------------
+
+// nopBrick fills a slot whose Table 2 entry is "Nothing".
+type nopBrick struct{}
+
+func (nopBrick) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	return component.NewMessage("ok", msg.Payload), nil
+}
+
+// --- Proceed: plain computation -----------------------------------------
+
+// computeProceed forwards the request to the server (Table 2 "Compute").
+type computeProceed struct {
+	brickRefs
+}
+
+func (p *computeProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if err := (processClient{svc: p.ref("server")}).run(ctx, call); err != nil {
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// noProceed is the PBR backup's empty Proceed (Table 2 "Nothing"): the
+// backup does not compute, it applies checkpoints.
+type noProceed struct{}
+
+func (noProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	return component.NewMessage("ok", msg.Payload), nil
+}
+
+// --- Proceed: time redundancy -------------------------------------------
+
+// trProceed executes the request redundantly on one host: compute,
+// restore the pre-state, recompute, compare; on mismatch a third
+// execution votes two-out-of-three (§3.2.1). State is restored between
+// executions so exactly one execution's effects survive.
+type trProceed struct {
+	brickRefs
+}
+
+func sameOutcome(a, b rpc.Response) bool {
+	return a.Status == b.Status && a.Err == b.Err && bytes.Equal(a.Payload, b.Payload)
+}
+
+func (p *trProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	server := processClient{svc: p.ref("server")}
+	state := stateClient{svc: p.ref("state")}
+
+	snap := call.StateSnapshot
+	if !call.HasSnapshot {
+		snap, err = state.capture(ctx)
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: tr: pre-capture: %w", err)
+		}
+	}
+
+	exec := func() (rpc.Response, error) {
+		if err := server.run(ctx, call); err != nil {
+			return rpc.Response{}, err
+		}
+		return call.Result, nil
+	}
+
+	r1, err := exec()
+	if err != nil {
+		return component.Message{}, err
+	}
+	if err := state.restore(ctx, snap); err != nil {
+		return component.Message{}, fmt.Errorf("ftm: tr: restore between executions: %w", err)
+	}
+	r2, err := exec()
+	if err != nil {
+		return component.Message{}, err
+	}
+	if sameOutcome(r1, r2) {
+		call.Result = r2
+		return component.NewMessage("ok", call), nil
+	}
+	// Results differ: a transient fault hit one execution. Vote with a
+	// third.
+	if err := state.restore(ctx, snap); err != nil {
+		return component.Message{}, fmt.Errorf("ftm: tr: restore before vote: %w", err)
+	}
+	r3, err := exec()
+	if err != nil {
+		return component.Message{}, err
+	}
+	if sameOutcome(r3, r1) || sameOutcome(r3, r2) {
+		call.Result = r3
+		return component.NewMessage("ok", call), nil
+	}
+	call.Unrecoverable = true
+	return component.Message{}, fmt.Errorf("%w: request %s", ErrUnrecoverable, call.Req.ID())
+}
+
+// --- Proceed: assertion ---------------------------------------------------
+
+// assertProceed computes and then checks the application's safety
+// assertion on the result (Table 2 "Assert output"). A violation is
+// escalated to the protocol, which re-executes on the other node
+// (A&Duplex, §3.2.1).
+type assertProceed struct {
+	brickRefs
+}
+
+func (p *assertProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if err := (processClient{svc: p.ref("server")}).run(ctx, call); err != nil {
+		return component.Message{}, err
+	}
+	if call.Result.Status != rpc.StatusOK {
+		return component.NewMessage("ok", call), nil
+	}
+	ok, err := (assertClient{svc: p.ref("assert")}).check(ctx, call)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if !ok {
+		return component.Message{}, fmt.Errorf("%w: request %s", ErrAssertionFailed, call.Req.ID())
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// --- PBR bricks ------------------------------------------------------------
+
+// pbrCheckpointAfter is the primary's After (Table 2 "Checkpoint to
+// Backup"): capture application state and the reply log and ship them to
+// the backup. With no live peer the primary continues master-alone; the
+// backup resynchronizes when it rejoins.
+type pbrCheckpointAfter struct {
+	brickRefs
+}
+
+func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	data, err := buildCheckpoint(ctx,
+		stateClient{svc: a.ref("state")},
+		logClient{svc: a.ref("log")},
+		call.Req.Seq)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, MsgPBRCheckpoint, data); err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			// Degraded mode: the failure detector owns peer liveness.
+			return component.NewMessage("degraded", call), nil
+		}
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// buildCheckpoint assembles an encoded checkpoint from the live state and
+// reply log.
+func buildCheckpoint(ctx context.Context, state stateClient, log logClient, lastSeq uint64) ([]byte, error) {
+	appState, err := state.capture(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("ftm: checkpoint capture: %w", err)
+	}
+	snap, err := log.snapshot(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("ftm: checkpoint log snapshot: %w", err)
+	}
+	logData, err := transport.Encode(snap)
+	if err != nil {
+		return nil, err
+	}
+	return appstate.EncodeCheckpoint(appstate.Checkpoint{
+		AppState: appState,
+		ReplyLog: logData,
+		LastSeq:  lastSeq,
+	})
+}
+
+// applyCheckpoint restores state and reply log from an encoded
+// checkpoint.
+func applyCheckpoint(ctx context.Context, state stateClient, log logClient, data []byte) error {
+	cp, err := appstate.DecodeCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("ftm: checkpoint decode: %w", err)
+	}
+	if err := state.restore(ctx, cp.AppState); err != nil {
+		return fmt.Errorf("ftm: checkpoint state restore: %w", err)
+	}
+	var snap []rpc.Response
+	if err := transport.Decode(cp.ReplyLog, &snap); err != nil {
+		return fmt.Errorf("ftm: checkpoint log decode: %w", err)
+	}
+	if err := log.restore(ctx, snap); err != nil {
+		return fmt.Errorf("ftm: checkpoint log restore: %w", err)
+	}
+	return nil
+}
+
+// pbrApplyAfter is the backup's After (Table 2 "Process checkpoint").
+// During the pipeline it does nothing (the backup does not compute); it
+// processes checkpoints pushed by the primary through the protocol.
+type pbrApplyAfter struct {
+	brickRefs
+}
+
+func (a *pbrApplyAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	switch msg.Op {
+	case OpRun:
+		return component.NewMessage("ok", msg.Payload), nil
+	case "checkpoint":
+		data, ok := msg.Payload.([]byte)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: checkpoint payload is %T", msg.Payload)
+		}
+		err := applyCheckpoint(ctx,
+			stateClient{svc: a.ref("state")},
+			logClient{svc: a.ref("log")},
+			data)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on pbr.apply", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// --- LFR bricks ------------------------------------------------------------
+
+// lfrForwardBefore is the leader's Before (Table 2 "Forward request"):
+// ship the request to the follower so both replicas process it.
+type lfrForwardBefore struct {
+	brickRefs
+}
+
+func (b *lfrForwardBefore) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	data, err := transport.Encode(call.Req)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if _, err := (peerClient{svc: b.ref("peer")}).call(ctx, MsgLFRExec, data); err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			return component.NewMessage("degraded", call), nil
+		}
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// lfrReceiveBefore is the follower's Before (Table 2 "Receive request").
+// The protocol has already unpacked the forwarded request into the call;
+// the brick marks the reception step of the generic scheme.
+type lfrReceiveBefore struct{}
+
+func (lfrReceiveBefore) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	return component.NewMessage("ok", msg.Payload), nil
+}
+
+// commitMsg is the leader's completion notification.
+type commitMsg struct {
+	Resp rpc.Response
+}
+
+// lfrNotifyAfter is the leader's After (Table 2 "Notify Follower"): tell
+// the follower the reply went out, so its reply log converges on the
+// leader's outcome.
+type lfrNotifyAfter struct {
+	brickRefs
+}
+
+func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	data, err := transport.Encode(commitMsg{Resp: call.Result})
+	if err != nil {
+		return component.Message{}, err
+	}
+	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, MsgLFRCommit, data); err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			return component.NewMessage("degraded", call), nil
+		}
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// lfrAckAfter is the follower's After (Table 2 "Process notification"):
+// record the computed reply in the follower's own reply log so a
+// failover preserves at-most-once semantics, and fold in the leader's
+// commit notifications.
+type lfrAckAfter struct {
+	brickRefs
+}
+
+func (a *lfrAckAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	log := logClient{svc: a.ref("log")}
+	switch msg.Op {
+	case OpRun:
+		call, err := callPayload(msg)
+		if err != nil {
+			return component.Message{}, err
+		}
+		if err := log.record(ctx, call.Result); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", call), nil
+	case "commit":
+		cm, ok := msg.Payload.(commitMsg)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: commit payload is %T", msg.Payload)
+		}
+		if err := log.record(ctx, cm.Resp); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on lfr.ack", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// --- Standalone TR bricks ---------------------------------------------------
+
+// trCaptureBefore is standalone TR's Before (Table 2 "Capture state").
+type trCaptureBefore struct {
+	brickRefs
+}
+
+func (b *trCaptureBefore) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	snap, err := (stateClient{svc: b.ref("state")}).capture(ctx)
+	if err != nil {
+		return component.Message{}, fmt.Errorf("ftm: tr.capture: %w", err)
+	}
+	call.StateSnapshot = snap
+	call.HasSnapshot = true
+	return component.NewMessage("ok", call), nil
+}
+
+// trRestoreAfter is standalone TR's After (Table 2 "Restore state"): when
+// the redundant executions could not agree, put the application back in
+// its pre-request state so the failed request has no effect.
+type trRestoreAfter struct {
+	brickRefs
+}
+
+func (a *trRestoreAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if call.Unrecoverable && call.HasSnapshot {
+		if err := (stateClient{svc: a.ref("state")}).restore(ctx, call.StateSnapshot); err != nil {
+			return component.Message{}, fmt.Errorf("ftm: tr.restore: %w", err)
+		}
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// brickDefinition returns the Definition template of a variable-feature
+// component type: its services, references and deployment bundle.
+func brickDefinition(typ string) (component.Definition, error) {
+	def := component.Definition{
+		Type:     typ,
+		Services: []string{SvcSync},
+		Bundle:   BundleFor(typ),
+	}
+	switch typ {
+	case core.TypeNop:
+	case core.TypeComputeProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{{Name: "server", Required: true}}
+	case core.TypeNoProceed:
+		def.Services = []string{SvcExec}
+	case core.TypeTRProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{
+			{Name: "server", Required: true},
+			{Name: "state", Required: true},
+		}
+	case core.TypeAssertProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{
+			{Name: "server", Required: true},
+			{Name: "assert", Required: true},
+		}
+	case core.TypePBRCheckpoint:
+		def.References = []component.Ref{
+			{Name: "state", Required: true},
+			{Name: "log", Required: true},
+			{Name: "peer", Required: true},
+		}
+	case core.TypePBRApply:
+		def.References = []component.Ref{
+			{Name: "state", Required: true},
+			{Name: "log", Required: true},
+		}
+	case core.TypeLFRForward, core.TypeLFRNotify:
+		def.References = []component.Ref{{Name: "peer", Required: true}}
+	case core.TypeLFRReceive:
+	case core.TypeLFRAck:
+		def.References = []component.Ref{{Name: "log", Required: true}}
+	case core.TypeTRCapture, core.TypeTRRestore:
+		def.References = []component.Ref{{Name: "state", Required: true}}
+	case core.TypeRBProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{
+			{Name: "server", Required: true},
+			{Name: "alternate", Required: true},
+			{Name: "assert", Required: true},
+			{Name: "state", Required: true},
+		}
+	case core.TypeTMRProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{
+			{Name: "server", Required: true},
+			{Name: "state", Required: true},
+		}
+	case core.TypeRecordProceed:
+		def.Services = []string{SvcExec}
+		def.References = []component.Ref{{Name: "record", Required: true}}
+	case core.TypeXPANotify:
+		def.References = []component.Ref{{Name: "peer", Required: true}}
+	case core.TypeXPAApply:
+		def.References = []component.Ref{
+			{Name: "replay", Required: true},
+			{Name: "log", Required: true},
+		}
+	default:
+		return component.Definition{}, fmt.Errorf("ftm: unknown brick type %q", typ)
+	}
+	return def, nil
+}
+
+// newBrickContent constructs the content of a brick type.
+func newBrickContent(typ string) (component.Content, error) {
+	switch typ {
+	case core.TypeNop:
+		return nopBrick{}, nil
+	case core.TypeComputeProceed:
+		return &computeProceed{}, nil
+	case core.TypeNoProceed:
+		return noProceed{}, nil
+	case core.TypeTRProceed:
+		return &trProceed{}, nil
+	case core.TypeAssertProceed:
+		return &assertProceed{}, nil
+	case core.TypePBRCheckpoint:
+		return &pbrCheckpointAfter{}, nil
+	case core.TypePBRApply:
+		return &pbrApplyAfter{}, nil
+	case core.TypeLFRForward:
+		return &lfrForwardBefore{}, nil
+	case core.TypeLFRReceive:
+		return lfrReceiveBefore{}, nil
+	case core.TypeLFRNotify:
+		return &lfrNotifyAfter{}, nil
+	case core.TypeLFRAck:
+		return &lfrAckAfter{}, nil
+	case core.TypeTRCapture:
+		return &trCaptureBefore{}, nil
+	case core.TypeTRRestore:
+		return &trRestoreAfter{}, nil
+	case core.TypeRBProceed:
+		return &rbProceed{}, nil
+	case core.TypeTMRProceed:
+		return &tmrProceed{}, nil
+	case core.TypeRecordProceed:
+		return &recordProceed{}, nil
+	case core.TypeXPANotify:
+		return &xpaNotify{}, nil
+	case core.TypeXPAApply:
+		return &xpaApply{}, nil
+	default:
+		return nil, fmt.Errorf("ftm: unknown brick type %q", typ)
+	}
+}

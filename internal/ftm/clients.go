@@ -1,0 +1,103 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+
+	"resilientft/internal/component"
+)
+
+// The typed facades below wrap the uniform component services so brick
+// and protocol code reads like the protocol it implements. Each facade
+// holds the injected wire proxy; a nil proxy reports the unwired
+// reference.
+
+// brickClient drives a pipeline slot (syncBefore/proceed/syncAfter).
+type brickClient struct {
+	svc component.Service
+}
+
+func (b brickClient) run(ctx context.Context, call *Call) error {
+	if b.svc == nil {
+		return component.ErrRefUnwired
+	}
+	_, err := b.svc.Invoke(ctx, component.Message{Op: OpRun, Payload: call})
+	return err
+}
+
+// processClient drives the server's computation service.
+type processClient struct {
+	svc component.Service
+}
+
+func (p processClient) run(ctx context.Context, call *Call) error {
+	if p.svc == nil {
+		return component.ErrRefUnwired
+	}
+	_, err := p.svc.Invoke(ctx, component.Message{Op: OpRun, Payload: call})
+	return err
+}
+
+// stateClient drives the server's state service.
+type stateClient struct {
+	svc component.Service
+}
+
+func (s stateClient) capture(ctx context.Context) ([]byte, error) {
+	if s.svc == nil {
+		return nil, component.ErrRefUnwired
+	}
+	reply, err := s.svc.Invoke(ctx, component.Message{Op: OpCapture})
+	if err != nil {
+		return nil, err
+	}
+	data, ok := reply.Payload.([]byte)
+	if !ok {
+		return nil, fmt.Errorf("ftm: capture reply is %T", reply.Payload)
+	}
+	return data, nil
+}
+
+func (s stateClient) restore(ctx context.Context, data []byte) error {
+	if s.svc == nil {
+		return component.ErrRefUnwired
+	}
+	_, err := s.svc.Invoke(ctx, component.Message{Op: OpRestoreState, Payload: data})
+	return err
+}
+
+// assertClient drives the server's assertion service.
+type assertClient struct {
+	svc component.Service
+}
+
+func (a assertClient) check(ctx context.Context, call *Call) (bool, error) {
+	if a.svc == nil {
+		return false, component.ErrRefUnwired
+	}
+	reply, err := a.svc.Invoke(ctx, component.Message{Op: OpRun, Payload: call})
+	if err != nil {
+		return false, err
+	}
+	ok, _ := reply.Payload.(bool)
+	return ok, nil
+}
+
+// peerClient drives the inter-replica bridge.
+type peerClient struct {
+	svc component.Service
+}
+
+func (p peerClient) call(ctx context.Context, kind string, payload []byte) ([]byte, error) {
+	if p.svc == nil {
+		return nil, component.ErrRefUnwired
+	}
+	msg := component.Message{Op: OpCall, Payload: payload}
+	msg = msg.WithMeta(MetaKind, kind)
+	reply, err := p.svc.Invoke(ctx, msg)
+	if err != nil {
+		return nil, err
+	}
+	data, _ := reply.Payload.([]byte)
+	return data, nil
+}

@@ -1,0 +1,199 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// ClusterConfig assembles a multi-replica fault-tolerant system (one
+// master, N-1 backups) — the paper's "multiple Backups or Followers"
+// variant.
+type ClusterConfig struct {
+	// System names the protected application.
+	System string
+	// FTM is the mechanism to deploy (a duplex-based one).
+	FTM core.ID
+	// Replicas is the group size (>= 2).
+	Replicas int
+	// AppFactory builds one application instance per replica.
+	AppFactory func() Application
+	// Net is the network (fresh seeded one when nil).
+	Net *transport.MemNetwork
+	// HostPrefix names the hosts "<prefix>0", "<prefix>1", ...
+	HostPrefix string
+	// HeartbeatInterval and SuspectTimeout tune failover speed; the
+	// suspect timeout is also the rank stagger unit.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// EventHook receives replica life-cycle events.
+	EventHook func(hostName, event string)
+}
+
+// Cluster is a running multi-replica fault-tolerant application.
+type Cluster struct {
+	Net      *transport.MemNetwork
+	Registry *component.Registry
+
+	mu       sync.Mutex
+	cfg      ClusterConfig
+	members  []transport.Address
+	hosts    []*host.Host
+	replicas []*Replica
+	clients  int
+}
+
+// NewCluster boots the group: the rank-0 host is the initial master.
+func NewCluster(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Replicas < 2 {
+		return nil, fmt.Errorf("ftm: cluster needs at least 2 replicas, got %d", cfg.Replicas)
+	}
+	if cfg.System == "" {
+		cfg.System = "app"
+	}
+	if cfg.AppFactory == nil {
+		cfg.AppFactory = func() Application { return NewCalculator() }
+	}
+	if cfg.HostPrefix == "" {
+		cfg.HostPrefix = "node"
+	}
+	if cfg.Net == nil {
+		cfg.Net = transport.NewMemNetwork(transport.WithSeed(1))
+	}
+	c := &Cluster{Net: cfg.Net, Registry: NewRegistry(), cfg: cfg}
+
+	for i := 0; i < cfg.Replicas; i++ {
+		h, err := host.New(fmt.Sprintf("%s%d", cfg.HostPrefix, i), cfg.Net, c.Registry)
+		if err != nil {
+			return nil, err
+		}
+		c.hosts = append(c.hosts, h)
+		c.members = append(c.members, h.Addr())
+	}
+	for i, h := range c.hosts {
+		role := core.RoleSlave
+		if i == 0 {
+			role = core.RoleMaster
+		}
+		r, err := c.deployReplica(ctx, h, role, c.members[0])
+		if err != nil {
+			return nil, err
+		}
+		c.replicas = append(c.replicas, r)
+	}
+	return c, nil
+}
+
+func (c *Cluster) deployReplica(ctx context.Context, h *host.Host, role core.Role, master transport.Address) (*Replica, error) {
+	rcfg := ReplicaConfig{
+		System:            c.cfg.System,
+		FTM:               c.cfg.FTM,
+		Role:              role,
+		Peer:              master,
+		Members:           append([]transport.Address(nil), c.members...),
+		App:               c.cfg.AppFactory(),
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		SuspectTimeout:    c.cfg.SuspectTimeout,
+	}
+	if role == core.RoleMaster {
+		rcfg.Peer = ""
+	}
+	var opts []ReplicaOption
+	if c.cfg.EventHook != nil {
+		hook := c.cfg.EventHook
+		name := h.Name()
+		opts = append(opts, WithEventHook(func(e string) { hook(name, e) }))
+	}
+	return NewReplica(ctx, h, rcfg, opts...)
+}
+
+// Members returns the static membership in rank order.
+func (c *Cluster) Members() []transport.Address {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.Address(nil), c.members...)
+}
+
+// Replicas returns the replicas in rank order.
+func (c *Cluster) Replicas() []*Replica {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Replica(nil), c.replicas...)
+}
+
+// Hosts returns the hosts in rank order.
+func (c *Cluster) Hosts() []*host.Host {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*host.Host(nil), c.hosts...)
+}
+
+// Master returns the live master, or nil.
+func (c *Cluster) Master() *Replica {
+	for _, r := range c.Replicas() {
+		if r != nil && !r.Host().Crashed() && r.Role() == core.RoleMaster {
+			return r
+		}
+	}
+	return nil
+}
+
+// LiveBackups returns the live slaves in rank order.
+func (c *Cluster) LiveBackups() []*Replica {
+	var out []*Replica
+	for _, r := range c.Replicas() {
+		if r != nil && !r.Host().Crashed() && r.Role() == core.RoleSlave {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NewClient attaches a client aware of every member.
+func (c *Cluster) NewClient(opts ...rpc.ClientOption) (*rpc.Client, error) {
+	c.mu.Lock()
+	c.clients++
+	id := fmt.Sprintf("cclient-%d", c.clients)
+	c.mu.Unlock()
+	ep, err := c.Net.Endpoint(transport.Address(id))
+	if err != nil {
+		return nil, err
+	}
+	addrs := c.Members()
+	if m := c.Master(); m != nil {
+		// Master-first ordering saves the first round trip.
+		reordered := []transport.Address{m.Host().Addr()}
+		for _, a := range addrs {
+			if a != m.Host().Addr() {
+				reordered = append(reordered, a)
+			}
+		}
+		addrs = reordered
+	}
+	return rpc.NewClient(id, ep, addrs, opts...), nil
+}
+
+// CrashMaster crashes the live master's host.
+func (c *Cluster) CrashMaster() *Replica {
+	m := c.Master()
+	if m != nil {
+		m.Host().Crash()
+	}
+	return m
+}
+
+// Shutdown crashes every host.
+func (c *Cluster) Shutdown() {
+	for _, h := range c.Hosts() {
+		if h != nil && !h.Crashed() {
+			h.Crash()
+		}
+	}
+}

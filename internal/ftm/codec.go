@@ -1,0 +1,21 @@
+package ftm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeResult serializes an int64 application result.
+func EncodeResult(v int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	return buf[:]
+}
+
+// DecodeResult deserializes an int64 application result.
+func DecodeResult(b []byte) (int64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("ftm: result payload has %d bytes, want 8", len(b))
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}

@@ -1,0 +1,223 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/host"
+	"resilientft/internal/transport"
+)
+
+// ReplicaConfig describes one replica of a fault-tolerant application.
+type ReplicaConfig struct {
+	// System names the protected application; it is also the composite
+	// path on the host and the key under which configurations are
+	// committed to stable storage.
+	System string
+	// FTM selects the mechanism to deploy.
+	FTM core.ID
+	// Role is this replica's initial role.
+	Role core.Role
+	// Peer is the other replica's address (empty for single-host FTMs).
+	Peer transport.Address
+	// Members is the full ordered membership of a multi-replica group
+	// (index 0 = initial master); empty for classic duplex pairs. With
+	// members set, a master broadcasts to every other member and backups
+	// promote with rank-staggered delays (the paper's "multiple Backups
+	// or Followers" variant).
+	Members []transport.Address
+	// App is the protected application.
+	App Application
+	// Retention bounds the reply log (responses per client).
+	Retention int
+	// HeartbeatInterval and SuspectTimeout tune the failure detector.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+}
+
+func (cfg ReplicaConfig) validate() error {
+	if cfg.System == "" {
+		return fmt.Errorf("ftm: replica config without system name")
+	}
+	if cfg.App == nil {
+		return fmt.Errorf("ftm: replica config without application")
+	}
+	if _, err := core.Lookup(cfg.FTM); err != nil {
+		return err
+	}
+	if cfg.Role != core.RoleMaster && cfg.Role != core.RoleSlave {
+		return fmt.Errorf("ftm: bad role %q", cfg.Role)
+	}
+	return nil
+}
+
+// wireDeclaredRefs wires every declared reference of the component at
+// path according to the static wiring plan, skipping targets that do not
+// exist in this composite (e.g. no peer on single-host FTMs).
+func wireDeclaredRefs(rt *component.Runtime, compositePath, name string) error {
+	path := compositePath + "/" + name
+	c, err := rt.Lookup(path)
+	if err != nil {
+		return err
+	}
+	for _, ref := range c.Definition().References {
+		target, ok := refTarget[ref.Name]
+		if !ok {
+			return fmt.Errorf("ftm: no wiring plan for reference %q of %s", ref.Name, path)
+		}
+		targetPath := compositePath + "/" + target[0]
+		if !rt.Exists(targetPath) {
+			if ref.Required {
+				return fmt.Errorf("ftm: required reference %q of %s targets missing %s", ref.Name, path, targetPath)
+			}
+			continue
+		}
+		if err := rt.Wire(path, ref.Name, targetPath, target[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeployFTM assembles a complete FTM composite on a host: every
+// component is deployed from its bundle through the host's registry
+// (bundle verification + linking — the full-deployment cost of Table 3),
+// wired per the Figure 6 architecture, promoted and started. control
+// receives the protocol's escalations. It returns the composite path.
+func DeployFTM(ctx context.Context, h *host.Host, cfg ReplicaConfig, control Control) (string, error) {
+	if err := cfg.validate(); err != nil {
+		return "", err
+	}
+	rt := h.Runtime()
+	if rt == nil {
+		return "", host.ErrCrashed
+	}
+	desc := core.MustLookup(cfg.FTM)
+	scheme := desc.Scheme(cfg.Role)
+	path := cfg.System
+
+	if _, err := rt.AddComposite(path); err != nil {
+		return "", err
+	}
+
+	retention := cfg.Retention
+	if retention <= 0 {
+		retention = 64
+	}
+
+	// Resolve the peer set: classic duplex pairs unicast to their single
+	// peer; multi-replica masters broadcast to every other member while
+	// backups talk to (and watch) the master.
+	peerList := []string{string(cfg.Peer)}
+	watch := string(cfg.Peer)
+	if len(cfg.Members) > 0 {
+		if cfg.Role == core.RoleMaster {
+			peerList = peerList[:0]
+			for _, m := range cfg.Members {
+				if m != h.Addr() {
+					peerList = append(peerList, string(m))
+				}
+			}
+			if len(peerList) > 0 {
+				watch = peerList[0]
+			}
+		} else {
+			master := cfg.Peer
+			if master == "" {
+				master = cfg.Members[0]
+			}
+			peerList = []string{string(master)}
+			watch = string(master)
+		}
+	}
+
+	// Infrastructure components (the stable common parts).
+	infra := []struct {
+		typ   string
+		props map[string]any
+		skip  bool
+	}{
+		{typ: TypeProtocol, props: map[string]any{
+			"system": cfg.System, "role": string(cfg.Role), "control": control,
+		}},
+		{typ: TypeReplyLog, props: map[string]any{"retention": retention}},
+		{typ: TypeServer, props: map[string]any{"app": cfg.App}},
+		{typ: TypePeer, props: map[string]any{
+			"endpoint": h.Endpoint(), "peers": peerList, "system": cfg.System,
+		}, skip: desc.Hosts < 2},
+		{typ: TypeDetector, props: map[string]any{
+			"endpoint": h.Endpoint(), "peer": watch, "crash": h.CrashSwitch(),
+			"interval": cfg.HeartbeatInterval, "timeout": cfg.SuspectTimeout,
+		}, skip: desc.Hosts < 2},
+	}
+	for _, item := range infra {
+		if item.skip {
+			continue
+		}
+		def, err := infraDefinition(item.typ)
+		if err != nil {
+			return "", err
+		}
+		def.Properties = item.props
+		if _, err := rt.AddComponent(path, def); err != nil {
+			return "", err
+		}
+	}
+
+	// Variable-feature bricks per the FTM's Table 2 scheme.
+	slots := scheme.Slots()
+	for _, slot := range []string{core.SlotBefore, core.SlotProceed, core.SlotAfter} {
+		typ := slots[slot]
+		if typ == "" {
+			return "", fmt.Errorf("ftm: %s has no %s brick for role %s", cfg.FTM, slot, cfg.Role)
+		}
+		def, err := brickDefinition(typ)
+		if err != nil {
+			return "", err
+		}
+		def.Name = slot
+		if _, err := rt.AddComponent(path, def); err != nil {
+			return "", err
+		}
+	}
+
+	// Wiring per the static plan.
+	names := []string{NameProtocol, NameReplyLog, NameServer, core.SlotBefore, core.SlotProceed, core.SlotAfter}
+	if desc.Hosts >= 2 {
+		names = append(names, NamePeer, NameDetector)
+	}
+	for _, name := range names {
+		if err := wireDeclaredRefs(rt, path, name); err != nil {
+			return "", err
+		}
+	}
+
+	// Boundary promotions: the composite's external services.
+	cp, err := rt.LookupComposite(path)
+	if err != nil {
+		return "", err
+	}
+	if err := cp.Promote(SvcRequest, NameProtocol, SvcRequest); err != nil {
+		return "", err
+	}
+	if err := cp.Promote(SvcReplica, NameProtocol, SvcReplica); err != nil {
+		return "", err
+	}
+
+	// Start everything, integrity-check, open the boundary.
+	for _, name := range names {
+		if err := rt.Start(ctx, path+"/"+name); err != nil {
+			return "", err
+		}
+	}
+	if violations := rt.CheckIntegrity(); len(violations) > 0 {
+		return "", fmt.Errorf("%w: %v", component.ErrIntegrity, violations)
+	}
+	if err := rt.Start(ctx, path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,136 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/detector"
+	"resilientft/internal/faultinject"
+	"resilientft/internal/transport"
+)
+
+// TypeDetector is the component type of the failure-detector component.
+const TypeDetector = "ftm.detector"
+
+// detectorContent wraps the heartbeat/watchdog substrate as the "failure
+// detector" component of Figure 6. It heartbeats the peer, watches the
+// peer's heartbeats, and reports suspicion transitions to the protocol's
+// control service. It falls silent with the host's crash switch.
+type detectorContent struct {
+	brickRefs
+
+	mu       sync.Mutex
+	ep       transport.Endpoint
+	peer     transport.Address
+	crash    *faultinject.CrashSwitch
+	interval time.Duration
+	timeout  time.Duration
+
+	hb *detector.Heartbeater
+	wd *detector.Watchdog
+}
+
+func newDetectorContent(ep transport.Endpoint, peer transport.Address, crash *faultinject.CrashSwitch, interval, timeout time.Duration) *detectorContent {
+	if interval <= 0 {
+		interval = 15 * time.Millisecond
+	}
+	if timeout <= 0 {
+		timeout = 80 * time.Millisecond
+	}
+	return &detectorContent{ep: ep, peer: peer, crash: crash, interval: interval, timeout: timeout}
+}
+
+var (
+	_ component.Content          = (*detectorContent)(nil)
+	_ component.Lifecycle        = (*detectorContent)(nil)
+	_ component.PropertyReceiver = (*detectorContent)(nil)
+)
+
+// SetProperty re-points the watched peer at runtime (membership changes
+// after a failover in a multi-replica group).
+func (d *detectorContent) SetProperty(name string, value any) error {
+	if name != "peer" {
+		return nil
+	}
+	var peer transport.Address
+	switch v := value.(type) {
+	case string:
+		peer = transport.Address(v)
+	case transport.Address:
+		peer = v
+	default:
+		return fmt.Errorf("ftm: detector peer property is %T", value)
+	}
+	d.mu.Lock()
+	old := d.peer
+	d.peer = peer
+	hb, wd := d.hb, d.wd
+	d.mu.Unlock()
+	if hb != nil {
+		hb.SetPeers(peer)
+	}
+	if wd != nil && old != peer {
+		wd.Forget(old)
+		if peer != "" {
+			wd.Monitor(peer)
+		}
+	}
+	return nil
+}
+
+// OnStart launches the heartbeat and watchdog loops.
+func (d *detectorContent) OnStart(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hb = detector.NewHeartbeater(d.ep, d.interval, d.peer)
+	d.wd = detector.NewWatchdog(d.ep, d.timeout, func(peer transport.Address, suspected bool) {
+		protocol := d.ref("protocol")
+		if protocol == nil {
+			return
+		}
+		_, _ = protocol.Invoke(context.Background(), component.Message{Op: OpPeerChange, Payload: suspected})
+	})
+	d.wd.Monitor(d.peer)
+	d.hb.Start()
+	d.wd.Start()
+	hb, wd := d.hb, d.wd
+	if d.crash != nil {
+		d.crash.OnTrip(func() {
+			// A crashed host stops heartbeating and watching; Stop is
+			// idempotent so a later OnStop is safe.
+			go func() {
+				hb.Stop()
+				wd.Stop()
+			}()
+		})
+	}
+	return nil
+}
+
+// OnStop halts the loops.
+func (d *detectorContent) OnStop(ctx context.Context) error {
+	d.mu.Lock()
+	hb, wd := d.hb, d.wd
+	d.mu.Unlock()
+	if hb != nil {
+		hb.Stop()
+	}
+	if wd != nil {
+		wd.Stop()
+	}
+	return nil
+}
+
+func (d *detectorContent) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	if service != "status" {
+		return component.Message{}, fmt.Errorf("%w: service %q on detector", component.ErrNotFound, service)
+	}
+	d.mu.Lock()
+	wd, peer := d.wd, d.peer
+	d.mu.Unlock()
+	suspected := wd != nil && wd.Suspected(peer)
+	return component.NewMessage("ok", suspected), nil
+}

@@ -1,0 +1,397 @@
+package ftm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"resilientft/internal/component"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// This file implements the extension bricks of §3.2.1: recovery blocks
+// and temporal TMR. Both demonstrate the paper's claim that the Lego
+// approach upgrades a technique without changing its execution logic —
+// the RB acceptance test and the TMR decision algorithm are component
+// properties, changed by an intra-FTM `set` reconfiguration.
+
+// Acceptance-test modes of the RB brick.
+const (
+	// AcceptInverse uses the application's safety assertion (the inverse
+	// check derived from the safety analysis).
+	AcceptInverse = "inverse"
+	// AcceptRange accepts results whose magnitude stays under a bound;
+	// the property value is "range:<bound>".
+	AcceptRange = "range"
+	// AcceptNone accepts everything (a deliberately weak test, for
+	// demonstrating acceptance-test upgrades).
+	AcceptNone = "none"
+)
+
+// rbProceed is the recovery-blocks Proceed: run the primary variant,
+// check the acceptance test, and on rejection roll the state back and
+// run the diversified alternate ("ensure acceptance by primary else by
+// alternate else error"). Changing the acceptance test is a property
+// update.
+type rbProceed struct {
+	brickRefs
+	mu         sync.Mutex
+	acceptance string
+}
+
+var (
+	_ component.Content          = (*rbProceed)(nil)
+	_ component.PropertyReceiver = (*rbProceed)(nil)
+)
+
+func (p *rbProceed) SetProperty(name string, value any) error {
+	if name != "acceptance" {
+		return nil
+	}
+	s, ok := value.(string)
+	if !ok {
+		return fmt.Errorf("ftm: rb acceptance property is %T", value)
+	}
+	mode := strings.SplitN(s, ":", 2)[0]
+	switch mode {
+	case AcceptInverse, AcceptNone:
+	case AcceptRange:
+		if _, err := parseRangeBound(s); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("ftm: unknown acceptance test %q", s)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acceptance = s
+	return nil
+}
+
+func parseRangeBound(spec string) (int64, error) {
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("ftm: range acceptance needs a bound: %q", spec)
+	}
+	bound, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("ftm: range acceptance bound %q: %w", parts[1], err)
+	}
+	return bound, nil
+}
+
+// accept evaluates the configured acceptance test on the call's result.
+func (p *rbProceed) accept(ctx context.Context, call *Call) (bool, error) {
+	p.mu.Lock()
+	spec := p.acceptance
+	p.mu.Unlock()
+	if spec == "" {
+		spec = AcceptInverse
+	}
+	switch strings.SplitN(spec, ":", 2)[0] {
+	case AcceptNone:
+		return true, nil
+	case AcceptRange:
+		bound, err := parseRangeBound(spec)
+		if err != nil {
+			return false, err
+		}
+		v, err := call.ResultValue()
+		if err != nil {
+			return false, nil
+		}
+		if v < 0 {
+			v = -v
+		}
+		return v <= bound, nil
+	default: // AcceptInverse
+		return (assertClient{svc: p.ref("assert")}).check(ctx, call)
+	}
+}
+
+func (p *rbProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	server := processClient{svc: p.ref("server")}
+	alternate := processClient{svc: p.ref("alternate")}
+	state := stateClient{svc: p.ref("state")}
+
+	// Establish the recovery point.
+	snap, err := state.capture(ctx)
+	if err != nil {
+		return component.Message{}, fmt.Errorf("ftm: rb: recovery point: %w", err)
+	}
+
+	// Primary variant.
+	if err := server.run(ctx, call); err != nil {
+		return component.Message{}, err
+	}
+	if call.Result.Status == rpc.StatusOK {
+		ok, err := p.accept(ctx, call)
+		if err != nil {
+			return component.Message{}, err
+		}
+		if ok {
+			return component.NewMessage("ok", call), nil
+		}
+	}
+
+	// Roll back and try the diversified alternate.
+	if err := state.restore(ctx, snap); err != nil {
+		return component.Message{}, fmt.Errorf("ftm: rb: rollback: %w", err)
+	}
+	if err := alternate.run(ctx, call); err != nil {
+		return component.Message{}, err
+	}
+	if call.Result.Status == rpc.StatusOK {
+		ok, err := p.accept(ctx, call)
+		if err != nil {
+			return component.Message{}, err
+		}
+		if ok {
+			return component.NewMessage("ok", call), nil
+		}
+	}
+
+	// Both variants rejected: restore the recovery point and give up.
+	if err := state.restore(ctx, snap); err != nil {
+		return component.Message{}, fmt.Errorf("ftm: rb: final rollback: %w", err)
+	}
+	call.Unrecoverable = true
+	return component.Message{}, fmt.Errorf("%w: request %s rejected by both variants", ErrUnrecoverable, call.Req.ID())
+}
+
+// Decision algorithms of the temporal-TMR brick.
+const (
+	// DecideMajority requires two matching results out of three.
+	DecideMajority = "majority"
+	// DecideUnanimous requires all three results to match.
+	DecideUnanimous = "unanimous"
+	// DecideMedian returns the median result — it still produces an
+	// answer when all three executions disagree (the coverage upgrade a
+	// decider replacement buys).
+	DecideMedian = "median"
+)
+
+// tmrProceed is the temporal-TMR Proceed: three executions with state
+// restored between them, then a pluggable decision algorithm over the
+// three results. Replacing the decider is a property update.
+type tmrProceed struct {
+	brickRefs
+	mu      sync.Mutex
+	decider string
+}
+
+var (
+	_ component.Content          = (*tmrProceed)(nil)
+	_ component.PropertyReceiver = (*tmrProceed)(nil)
+)
+
+func (p *tmrProceed) SetProperty(name string, value any) error {
+	if name != "decider" {
+		return nil
+	}
+	s, ok := value.(string)
+	if !ok {
+		return fmt.Errorf("ftm: tmr decider property is %T", value)
+	}
+	switch s {
+	case DecideMajority, DecideUnanimous, DecideMedian:
+	default:
+		return fmt.Errorf("ftm: unknown decision algorithm %q", s)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.decider = s
+	return nil
+}
+
+func (p *tmrProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	server := processClient{svc: p.ref("server")}
+	state := stateClient{svc: p.ref("state")}
+
+	snap := call.StateSnapshot
+	if !call.HasSnapshot {
+		snap, err = state.capture(ctx)
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: tmr: pre-capture: %w", err)
+		}
+	}
+
+	results := make([]rpc.Response, 0, 3)
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			if err := state.restore(ctx, snap); err != nil {
+				return component.Message{}, fmt.Errorf("ftm: tmr: restore before execution %d: %w", i+1, err)
+			}
+		}
+		if err := server.run(ctx, call); err != nil {
+			return component.Message{}, err
+		}
+		results = append(results, call.Result)
+	}
+
+	p.mu.Lock()
+	decider := p.decider
+	p.mu.Unlock()
+	if decider == "" {
+		decider = DecideMajority
+	}
+	decided, ok := decide(decider, results)
+	if !ok {
+		call.Unrecoverable = true
+		return component.Message{}, fmt.Errorf("%w: %s decider found no agreement for %s",
+			ErrUnrecoverable, decider, call.Req.ID())
+	}
+	call.Result = decided
+	return component.NewMessage("ok", call), nil
+}
+
+// --- Semi-active replication (Delta-4 XPA) bricks ---------------------------
+
+// xpaMsg ships a request plus the leader's captured decisions (and its
+// result, for divergence auditing) to the follower.
+type xpaMsg struct {
+	Req       rpc.Request
+	Decisions []int64
+	Result    rpc.Response
+}
+
+// recordProceed is the semi-active leader's Proceed: compute through the
+// decision-capturing path so non-deterministic choices land in the call.
+type recordProceed struct {
+	brickRefs
+}
+
+func (p *recordProceed) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	if err := (processClient{svc: p.ref("record")}).run(ctx, call); err != nil {
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// xpaNotify is the semi-active leader's After: ship the request, the
+// captured decisions and the result to the follower for replay.
+type xpaNotify struct {
+	brickRefs
+}
+
+func (a *xpaNotify) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	call, err := callPayload(msg)
+	if err != nil {
+		return component.Message{}, err
+	}
+	data, err := transport.Encode(xpaMsg{Req: call.Req, Decisions: call.Decisions, Result: call.Result})
+	if err != nil {
+		return component.Message{}, err
+	}
+	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, MsgXPAExec, data); err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			return component.NewMessage("degraded", call), nil
+		}
+		return component.Message{}, err
+	}
+	return component.NewMessage("ok", call), nil
+}
+
+// xpaApply is the semi-active follower's After: replay the leader's
+// execution with its decisions and log the reply.
+type xpaApply struct {
+	brickRefs
+}
+
+func (a *xpaApply) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	switch msg.Op {
+	case OpRun:
+		return component.NewMessage("ok", msg.Payload), nil
+	case "xpa.exec":
+		m, ok := msg.Payload.(xpaMsg)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: xpa payload is %T", msg.Payload)
+		}
+		log := logClient{svc: a.ref("log")}
+		if _, found, err := log.lookup(ctx, m.Req.ClientID, m.Req.Seq); err == nil && found {
+			return component.NewMessage("ok", nil), nil
+		}
+		call := &Call{Req: m.Req, Decisions: m.Decisions}
+		if err := (processClient{svc: a.ref("replay")}).run(ctx, call); err != nil {
+			return component.Message{}, err
+		}
+		if !sameOutcome(call.Result, m.Result) {
+			// Replay divergence means the decision capture is incomplete
+			// for this operation — surface it rather than logging a
+			// reply that contradicts the leader's.
+			return component.Message{}, fmt.Errorf("%w: xpa replay diverged for %s",
+				ErrUnrecoverable, m.Req.ID())
+		}
+		if err := log.record(ctx, call.Result); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on xpa.apply", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// decide applies a decision algorithm over three results.
+func decide(algorithm string, results []rpc.Response) (rpc.Response, bool) {
+	switch algorithm {
+	case DecideUnanimous:
+		if sameOutcome(results[0], results[1]) && sameOutcome(results[1], results[2]) {
+			return results[0], true
+		}
+		return rpc.Response{}, false
+	case DecideMedian:
+		// Median over the numeric payloads of successful results; the
+		// final state corresponds to the last execution, which the
+		// single-transient-fault assumption leaves clean or voted-out.
+		type pair struct {
+			v int64
+			r rpc.Response
+		}
+		var pairs []pair
+		for _, r := range results {
+			if r.Status != rpc.StatusOK {
+				continue
+			}
+			v, err := DecodeResult(r.Payload)
+			if err != nil {
+				continue
+			}
+			pairs = append(pairs, pair{v: v, r: r})
+		}
+		if len(pairs) < 2 {
+			return rpc.Response{}, false
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+		return pairs[len(pairs)/2].r, true
+	default: // DecideMajority
+		for i := 0; i < len(results); i++ {
+			matches := 0
+			for j := 0; j < len(results); j++ {
+				if sameOutcome(results[i], results[j]) {
+					matches++
+				}
+			}
+			if matches >= 2 {
+				return results[i], true
+			}
+		}
+		return rpc.Response{}, false
+	}
+}

@@ -1,0 +1,342 @@
+package ftm
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/faultinject"
+	"resilientft/internal/fscript"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+func TestCalculatorAlternateMatchesPrimary(t *testing.T) {
+	primary := NewCalculator()
+	alternate := NewCalculator()
+	ops := []struct {
+		op  string
+		arg int64
+	}{
+		{"set:x", 10}, {"add:x", 5}, {"sub:x", 3}, {"get:x", 0},
+		{"add:y", -7}, {"sub:y", -2}, {"set:z", 0}, {"get:z", 0},
+	}
+	for _, tc := range ops {
+		p, pb, err := primary.Process(tc.op, tc.arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, ab, err := alternate.ProcessAlternate(tc.op, tc.arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != a || pb != ab {
+			t.Fatalf("%s %d: primary (%d,%d) vs alternate (%d,%d)", tc.op, tc.arg, p, pb, a, ab)
+		}
+	}
+}
+
+func TestCalculatorBugOnlyAffectsPrimary(t *testing.T) {
+	c := NewCalculator()
+	c.SetBug("add")
+	got, _, err := c.Process("add:x", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 5 {
+		t.Fatal("bug did not fire in the primary path")
+	}
+	// State stayed correct; only the reported result is wrong.
+	if c.regs.Get("x") != 5 {
+		t.Fatalf("state corrupted by the reply-path bug: %d", c.regs.Get("x"))
+	}
+	alt, _, err := c.ProcessAlternate("add:x", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt != 10 {
+		t.Fatalf("alternate affected by the primary's bug: %d", alt)
+	}
+	c.SetBug("")
+	if got, _, _ := c.Process("get:x", 0); got != 10 {
+		t.Fatalf("bug not cleared: %d", got)
+	}
+}
+
+// rbSystem deploys a single-host-per-replica RB⊕PBR system with the
+// master application exposed for fault planting.
+func rbSystem(t *testing.T, ftmID core.ID) (*System, *Calculator) {
+	t.Helper()
+	var masterApp *Calculator
+	cfg := SystemConfig{
+		System:            "rb",
+		FTM:               ftmID,
+		HeartbeatInterval: 10 * time.Millisecond,
+		SuspectTimeout:    60 * time.Millisecond,
+		AppFactory: func() Application {
+			c := NewCalculator()
+			if masterApp == nil {
+				masterApp = c
+			}
+			return c
+		},
+	}
+	s, err := NewSystem(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("NewSystem(%s): %v", ftmID, err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s, masterApp
+}
+
+func TestRecoveryBlocksMaskSoftwareFault(t *testing.T) {
+	s, app := rbSystem(t, core.RBPBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 100)
+
+	// Plant a development fault in the primary variant: without recovery
+	// blocks every add would be answered wrongly, and time redundancy
+	// would NOT catch it (both executions are equally wrong).
+	app.SetBug("add")
+	if got := invoke(t, c, "add:x", 11); got != 111 {
+		t.Fatalf("RB result under software fault = %d, want 111", got)
+	}
+	if got := invoke(t, c, "get:x", 0); got != 111 {
+		t.Fatalf("state after RB recovery = %d, want 111", got)
+	}
+}
+
+func TestTimeRedundancyDoesNotMaskSoftwareFault(t *testing.T) {
+	// Negative control for the RB claim: LFR⊕TR re-executes the same
+	// buggy code and happily agrees with itself.
+	s, app := rbSystem(t, core.LFRTR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 100)
+	app.SetBug("add")
+	if got := invoke(t, c, "add:x", 11); got == 111 {
+		t.Fatal("TR unexpectedly masked a deterministic software fault")
+	}
+}
+
+func TestRecoveryBlocksMaskTransientFault(t *testing.T) {
+	s, app := rbSystem(t, core.RBPBR)
+	inj := faultinject.NewValueInjector(31)
+	app.SetInjector(inj)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 50)
+	inj.InjectTransient(1)
+	if got := invoke(t, c, "add:x", 5); got != 55 {
+		t.Fatalf("RB result under transient fault = %d, want 55", got)
+	}
+}
+
+func TestAcceptanceTestUpdateByReconfiguration(t *testing.T) {
+	// The paper: "for RB, an update consists of changing the acceptance
+	// test" — an intra-FTM property reconfiguration, no brick replaced.
+	s, app := rbSystem(t, core.RBPBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := s.Master()
+	rt := master.Host().Runtime()
+
+	// Degrade the acceptance test to the trivial one via a script.
+	script := fscript.MustParse(`set rb/proceed.acceptance = "none"`)
+	if _, err := fscript.Execute(context.Background(), rt, script, fscript.Env{}); err != nil {
+		t.Fatalf("acceptance update: %v", err)
+	}
+	app.SetBug("add")
+	invoke(t, c, "set:x", 10)
+	if got := invoke(t, c, "add:x", 5); got == 15 {
+		t.Fatal("trivial acceptance test still rejected the bug (update had no effect)")
+	}
+
+	// Upgrade back to the inverse check: the bug is rejected again.
+	script = fscript.MustParse(`set rb/proceed.acceptance = "inverse"`)
+	if _, err := fscript.Execute(context.Background(), rt, script, fscript.Env{}); err != nil {
+		t.Fatalf("acceptance upgrade: %v", err)
+	}
+	if got := invoke(t, c, "add:x", 5); got != 20 {
+		t.Fatalf("inverse acceptance test did not recover: %d, want 20", got)
+	}
+}
+
+func TestRBRejectsBadAcceptanceSpecs(t *testing.T) {
+	brick := &rbProceed{}
+	if err := brick.SetProperty("acceptance", "bogus"); err == nil {
+		t.Fatal("bogus acceptance mode accepted")
+	}
+	if err := brick.SetProperty("acceptance", "range:abc"); err == nil {
+		t.Fatal("malformed range bound accepted")
+	}
+	if err := brick.SetProperty("acceptance", "range:1000"); err != nil {
+		t.Fatalf("valid range rejected: %v", err)
+	}
+}
+
+func newTMRReplica(t *testing.T) (*Replica, *Calculator, *rpc.Client) {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(3))
+	h, err := host.New("tmr-host", net, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Crash)
+	app := NewCalculator()
+	r, err := NewReplica(context.Background(), h, ReplicaConfig{
+		System: "tmr",
+		FTM:    core.TMRT,
+		Role:   core.RoleMaster,
+		App:    app,
+	})
+	if err != nil {
+		t.Fatalf("NewReplica(TMRT): %v", err)
+	}
+	cep, err := net.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, app, rpc.NewClient("c1", cep, []transport.Address{h.Addr()})
+}
+
+func TestTMRMasksTransientFault(t *testing.T) {
+	_, app, c := newTMRReplica(t)
+	inj := faultinject.NewValueInjector(41)
+	app.SetInjector(inj)
+	invoke(t, c, "set:x", 9)
+	inj.InjectTransient(1)
+	if got := invoke(t, c, "add:x", 1); got != 10 {
+		t.Fatalf("TMR result under transient fault = %d, want 10", got)
+	}
+}
+
+func TestTMRDeciderUpgradeByReconfiguration(t *testing.T) {
+	// The paper: "for TMR, an update consists of replacing the decision
+	// algorithm". Three distinct corruptions defeat majority voting but
+	// not the median decider.
+	r, app, c := newTMRReplica(t)
+	inj := faultinject.NewValueInjector(43)
+	app.SetInjector(inj)
+	invoke(t, c, "set:x", 9)
+
+	inj.InjectTransient(3) // every execution corrupted differently
+	resp, err := c.Invoke(context.Background(), "add:x", EncodeArg(1))
+	if err == nil {
+		v, _ := DecodeResult(resp.Payload)
+		if v != 10 {
+			t.Fatalf("majority decider answered %d under triple corruption", v)
+		}
+	}
+
+	// Upgrade the decider via an intra-FTM reconfiguration.
+	rt := r.Host().Runtime()
+	script := fscript.MustParse(`set tmr/proceed.decider = "median"`)
+	if _, err := fscript.Execute(context.Background(), rt, script, fscript.Env{}); err != nil {
+		t.Fatalf("decider update: %v", err)
+	}
+	for inj.Armed() {
+		inj.Apply(0) // drain leftovers deterministically
+	}
+	invoke(t, c, "set:x", 9)
+	inj.InjectTransient(1)
+	if got := invoke(t, c, "add:x", 1); got != 10 {
+		t.Fatalf("median decider result = %d, want 10", got)
+	}
+}
+
+func TestTMRUnanimousDecider(t *testing.T) {
+	r, app, c := newTMRReplica(t)
+	rt := r.Host().Runtime()
+	script := fscript.MustParse(`set tmr/proceed.decider = "unanimous"`)
+	if _, err := fscript.Execute(context.Background(), rt, script, fscript.Env{}); err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 4)
+	// Clean run passes unanimously.
+	if got := invoke(t, c, "add:x", 1); got != 5 {
+		t.Fatalf("unanimous clean run = %d", got)
+	}
+	// A single corruption defeats unanimity (majority would mask it) —
+	// the client gets an error, not a wrong value.
+	inj := faultinject.NewValueInjector(47)
+	app.SetInjector(inj)
+	inj.InjectTransient(1)
+	resp, err := c.Invoke(context.Background(), "add:x", EncodeArg(1))
+	if err == nil {
+		v, _ := DecodeResult(resp.Payload)
+		if v != 6 {
+			t.Fatalf("unanimous decider delivered a wrong value: %d", v)
+		}
+	}
+}
+
+func TestExtensionCatalogue(t *testing.T) {
+	ext := core.Extensions()
+	if len(ext) != 3 {
+		t.Fatalf("extensions = %d", len(ext))
+	}
+	rb := core.MustLookup(core.RBPBR)
+	if !rb.Tolerates.Has(core.FaultSoftware) {
+		t.Fatal("RB does not claim software-fault tolerance")
+	}
+	// Selection reaches the extension when software faults are required.
+	d, err := core.Select(
+		core.NewFaultModel(core.FaultCrash, core.FaultSoftware),
+		core.AppTraits{Deterministic: true, StateAccess: true},
+		core.ResourceState{BandwidthKbps: 10_000, CPUFree: 0.9, Energy: 1, Hosts: 2},
+		core.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != core.RBPBR {
+		t.Fatalf("Select for software faults = %s", d.ID)
+	}
+}
+
+func TestDifferentialTransitionToRB(t *testing.T) {
+	// A running PBR system hardens against software faults by swapping
+	// one brick: proceed.compute -> proceed.rb.
+	s, app := rbSystem(t, core.PBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 7)
+
+	master := s.Master()
+	rt := master.Host().Runtime()
+	from := core.MustLookup(core.PBR).MasterScheme
+	to := core.MustLookup(core.RBPBR).MasterScheme
+	if diff := core.Diff(from, to); len(diff) != 1 {
+		t.Fatalf("PBR -> RB⊕PBR replaces %v, want just the proceed", diff)
+	}
+	script, env, err := TransitionScript(master.Path(), from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Stop(context.Background(), master.Path()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fscript.Execute(context.Background(), rt, script, env); err != nil {
+		t.Fatalf("transition to RB: %v", err)
+	}
+	if err := rt.Start(context.Background(), master.Path()); err != nil {
+		t.Fatal(err)
+	}
+	app.SetBug("add")
+	if got := invoke(t, c, "add:x", 3); got != 10 {
+		t.Fatalf("post-transition RB result = %d, want 10", got)
+	}
+}

@@ -1,0 +1,157 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/transport"
+)
+
+// TypePeer is the component type of the inter-replica bridge.
+const TypePeer = "ftm.peer"
+
+// replicaEnvelope frames one inter-replica message on the wire.
+type replicaEnvelope struct {
+	Kind    string
+	From    string
+	System  string
+	Payload []byte
+}
+
+// peerContent bridges the FTM composite to the remote replica set:
+// outbound inter-replica calls go through its single "send" service, so
+// the rest of the FTM never touches the transport directly. With one
+// peer it unicasts; with several (the paper's "multiple Backups or
+// Followers" variant) it broadcasts best-effort, succeeding when at
+// least one peer answered.
+type peerContent struct {
+	mu      sync.Mutex
+	ep      transport.Endpoint
+	peers   []transport.Address
+	system  string
+	timeout time.Duration
+}
+
+func newPeerContent(ep transport.Endpoint, peer transport.Address, system string) *peerContent {
+	p := &peerContent{ep: ep, system: system, timeout: 2 * time.Second}
+	if peer != "" {
+		p.peers = []transport.Address{peer}
+	}
+	return p
+}
+
+var _ component.Content = (*peerContent)(nil)
+
+// parsePeers accepts a single address, a comma-separated list, or typed
+// slices — "peers" must stay settable from an fscript `set` statement.
+func parsePeers(value any) ([]transport.Address, error) {
+	switch v := value.(type) {
+	case string:
+		if v == "" {
+			return nil, nil
+		}
+		var out []transport.Address
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			if part != "" {
+				out = append(out, transport.Address(part))
+			}
+		}
+		return out, nil
+	case transport.Address:
+		if v == "" {
+			return nil, nil
+		}
+		return []transport.Address{v}, nil
+	case []string:
+		out := make([]transport.Address, 0, len(v))
+		for _, s := range v {
+			if s != "" {
+				out = append(out, transport.Address(s))
+			}
+		}
+		return out, nil
+	case []transport.Address:
+		return append([]transport.Address(nil), v...), nil
+	default:
+		return nil, fmt.Errorf("ftm: peer address property is %T", value)
+	}
+}
+
+// SetProperty accepts peer-set updates (reconfiguration when replicas
+// are replaced or the membership changes).
+func (p *peerContent) SetProperty(name string, value any) error {
+	switch name {
+	case "peer", "peers":
+		peers, err := parsePeers(value)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.peers = peers
+		return nil
+	default:
+		return nil // unknown properties are inert
+	}
+}
+
+// Peers returns the current peer set.
+func (p *peerContent) Peers() []transport.Address {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]transport.Address(nil), p.peers...)
+}
+
+func (p *peerContent) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	if service != SvcSend {
+		return component.Message{}, fmt.Errorf("%w: service %q on peer", component.ErrNotFound, service)
+	}
+	if msg.Op != OpCall {
+		return component.Message{}, fmt.Errorf("%w: %q on peer.send", component.ErrUnknownOp, msg.Op)
+	}
+	kind := msg.MetaValue(MetaKind)
+	if kind == "" {
+		return component.Message{}, fmt.Errorf("ftm: peer.send without %q meta", MetaKind)
+	}
+	payload, _ := msg.Payload.([]byte)
+
+	p.mu.Lock()
+	ep, peers, system, timeout := p.ep, append([]transport.Address(nil), p.peers...), p.system, p.timeout
+	p.mu.Unlock()
+	if len(peers) == 0 {
+		return component.Message{}, ErrNoPeer
+	}
+	env := replicaEnvelope{Kind: kind, From: string(ep.Addr()), System: system, Payload: payload}
+	data, err := transport.Encode(env)
+	if err != nil {
+		return component.Message{}, err
+	}
+
+	// Best-effort broadcast: every peer is attempted; the first
+	// successful reply is returned; total failure reports ErrNoPeer.
+	var firstReply []byte
+	var replied bool
+	var lastErr error
+	for _, peer := range peers {
+		callCtx, cancel := context.WithTimeout(ctx, timeout)
+		reply, err := ep.Call(callCtx, peer, KindReplica, data)
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if !replied {
+			firstReply = reply
+			replied = true
+		}
+	}
+	if !replied {
+		return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, lastErr)
+	}
+	return component.NewMessage("ok", firstReply), nil
+}

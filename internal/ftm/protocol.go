@@ -1,0 +1,424 @@
+package ftm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// TypeProtocol is the component type of the protocol component.
+const TypeProtocol = "ftm.protocol"
+
+// Control is the protocol's backdoor to the replica runtime for
+// decisions that transcend one request: failover on peer loss and
+// fail-silent shutdown on repeated assertion failures.
+type Control interface {
+	// OnPeerChange fires on failure-detector transitions.
+	OnPeerChange(suspected bool)
+	// OnAssertionPermanent fires when local assertion failures exceed the
+	// permanent-fault threshold; the replica must fall silent.
+	OnAssertionPermanent()
+}
+
+// protocolContent is the stable heart of every FTM composite: the
+// factorized FaultToleranceProtocol (client communication, at-most-once
+// semantics, forwarding to the processing step) and DuplexProtocol
+// (inter-replica dispatch, roles) concerns of the two design loops
+// (Figure 3). Differential transitions never replace it.
+type protocolContent struct {
+	brickRefs
+
+	mu             sync.Mutex
+	role           core.Role
+	masterSince    time.Time
+	masterAlone    bool
+	system         string
+	control        Control
+	assertFailures int
+	assertLimit    int
+}
+
+func newProtocolContent(system string) *protocolContent {
+	return &protocolContent{role: core.RoleSlave, system: system, assertLimit: 3}
+}
+
+var (
+	_ component.Content          = (*protocolContent)(nil)
+	_ component.RefReceiver      = (*protocolContent)(nil)
+	_ component.PropertyReceiver = (*protocolContent)(nil)
+)
+
+// SetProperty accepts role changes ("role"), the control backdoor
+// ("control") and the permanent-fault threshold ("assertLimit").
+func (p *protocolContent) SetProperty(name string, value any) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch name {
+	case "role":
+		var role core.Role
+		switch v := value.(type) {
+		case string:
+			role = core.Role(v)
+		case core.Role:
+			role = v
+		default:
+			return fmt.Errorf("ftm: role property is %T", value)
+		}
+		if role == core.RoleMaster && p.role != core.RoleMaster {
+			p.masterSince = time.Now()
+		}
+		p.role = role
+	case "control":
+		ctrl, ok := value.(Control)
+		if !ok && value != nil {
+			return fmt.Errorf("ftm: control property is %T", value)
+		}
+		p.control = ctrl
+	case "assertLimit":
+		limit, ok := value.(int)
+		if !ok {
+			return fmt.Errorf("ftm: assertLimit property is %T", value)
+		}
+		p.assertLimit = limit
+	case "masterAlone":
+		alone, ok := value.(bool)
+		if !ok {
+			return fmt.Errorf("ftm: masterAlone property is %T", value)
+		}
+		p.masterAlone = alone
+	}
+	return nil
+}
+
+// Role returns the current replica role.
+func (p *protocolContent) Role() core.Role {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.role
+}
+
+func (p *protocolContent) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	switch service {
+	case SvcRequest:
+		return p.handleRequest(ctx, msg)
+	case SvcReplica:
+		return p.handleReplica(ctx, msg)
+	case SvcControl:
+		return p.handleControl(ctx, msg)
+	default:
+		return component.Message{}, fmt.Errorf("%w: service %q on protocol", component.ErrNotFound, service)
+	}
+}
+
+// --- Client requests ---------------------------------------------------
+
+func (p *protocolContent) handleRequest(ctx context.Context, msg component.Message) (component.Message, error) {
+	req, ok := msg.Payload.(rpc.Request)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: request payload is %T", msg.Payload)
+	}
+	if p.Role() != core.RoleMaster {
+		return component.NewMessage("reply", rpc.Response{
+			ClientID: req.ClientID, Seq: req.Seq, Status: rpc.StatusNotMaster,
+		}), nil
+	}
+	resp := p.execute(ctx, req)
+	return component.NewMessage("reply", resp), nil
+}
+
+// execute runs one request through at-most-once filtering and the
+// Before-Proceed-After pipeline.
+func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Response {
+	log := logClient{svc: p.ref("log")}
+	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+		return prev
+	}
+
+	call := &Call{Req: req}
+	pipeline := func() error {
+		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
+			return err
+		}
+		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
+			return err
+		}
+		return (brickClient{svc: p.ref("after")}).run(ctx, call)
+	}
+	err := pipeline()
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrAssertionFailed):
+		// A&Duplex: the local result violated the safety assertion;
+		// re-execute on the other node (§3.2.1).
+		resp, escErr := p.escalateAssertion(ctx, req)
+		if escErr != nil {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: escErr.Error()}
+		}
+		call.Result = resp
+	case errors.Is(err, ErrUnrecoverable):
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusAppError, Err: err.Error()}
+	default:
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: err.Error()}
+	}
+
+	if recErr := log.record(ctx, call.Result); recErr != nil {
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: recErr.Error()}
+	}
+	return call.Result
+}
+
+// escalateAssertion ships the request to the peer for clean re-execution
+// and tracks local assertion failures toward the permanent-fault
+// threshold.
+func (p *protocolContent) escalateAssertion(ctx context.Context, req rpc.Request) (rpc.Response, error) {
+	p.mu.Lock()
+	p.assertFailures++
+	failures, limit, ctrl := p.assertFailures, p.assertLimit, p.control
+	p.mu.Unlock()
+
+	data, err := transport.Encode(req)
+	if err != nil {
+		return rpc.Response{}, err
+	}
+	replyData, err := (peerClient{svc: p.ref("peer")}).call(ctx, MsgAssertExec, data)
+	if err != nil {
+		// No healthy peer to re-execute on: the value fault cannot be
+		// masked. Report unavailability; repeated failures below will
+		// silence this replica.
+		if failures >= limit && ctrl != nil {
+			ctrl.OnAssertionPermanent()
+		}
+		return rpc.Response{}, fmt.Errorf("ftm: assertion escalation: %w", err)
+	}
+	var resp rpc.Response
+	if err := transport.Decode(replyData, &resp); err != nil {
+		return rpc.Response{}, err
+	}
+	if failures >= limit && ctrl != nil {
+		// This host fails its assertion persistently: treat as a
+		// permanent value fault and fall silent so the peer takes over.
+		ctrl.OnAssertionPermanent()
+	}
+	return resp, nil
+}
+
+// --- Inter-replica messages ---------------------------------------------
+
+// roleInfo is the MsgRoleQuery reply payload.
+type roleInfo struct {
+	Role            string
+	MasterSinceNano int64
+}
+
+func (p *protocolContent) handleReplica(ctx context.Context, msg component.Message) (component.Message, error) {
+	payload, _ := msg.Payload.([]byte)
+
+	// Slave-role messages are refused on a master: after a spurious
+	// promotion (split brain), running the follower path on a master
+	// would forward the request straight back, ping-ponging executions
+	// between the two masters.
+	switch msg.Op {
+	case MsgPBRCheckpoint, MsgLFRExec, MsgLFRCommit, MsgXPAExec:
+		if p.Role() != core.RoleSlave {
+			return component.Message{}, fmt.Errorf("%w: refusing %q", ErrNotSlave, msg.Op)
+		}
+	}
+
+	switch msg.Op {
+	case MsgRoleQuery:
+		p.mu.Lock()
+		info := roleInfo{Role: string(p.role), MasterSinceNano: p.masterSince.UnixNano()}
+		p.mu.Unlock()
+		data, err := transport.Encode(info)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", data), nil
+
+	case MsgPBRCheckpoint:
+		if _, err := p.afterSpecial(ctx, "checkpoint", payload); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", []byte("ack")), nil
+
+	case MsgPBRPull:
+		data, err := buildCheckpoint(ctx,
+			stateClient{svc: p.ref("state")},
+			logClient{svc: p.ref("log")}, 0)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", data), nil
+
+	case MsgLFRExec:
+		var req rpc.Request
+		if err := transport.Decode(payload, &req); err != nil {
+			return component.Message{}, err
+		}
+		resp := p.followerExecute(ctx, req)
+		data, err := transport.Encode(resp)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", data), nil
+
+	case MsgLFRCommit:
+		var cm commitMsg
+		if err := transport.Decode(payload, &cm); err != nil {
+			return component.Message{}, err
+		}
+		if _, err := p.afterSpecialPayload(ctx, "commit", cm); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", []byte("ack")), nil
+
+	case MsgXPAExec:
+		var m xpaMsg
+		if err := transport.Decode(payload, &m); err != nil {
+			return component.Message{}, err
+		}
+		if _, err := p.afterSpecialPayload(ctx, "xpa.exec", m); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", []byte("ack")), nil
+
+	case MsgAssertExec:
+		var req rpc.Request
+		if err := transport.Decode(payload, &req); err != nil {
+			return component.Message{}, err
+		}
+		resp, err := p.remoteAssertExecute(ctx, req)
+		if err != nil {
+			return component.Message{}, err
+		}
+		data, err := transport.Encode(resp)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", data), nil
+
+	default:
+		return component.Message{}, fmt.Errorf("%w: replica message %q", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// afterSpecial drives the syncAfter brick with a non-pipeline operation
+// carrying raw bytes.
+func (p *protocolContent) afterSpecial(ctx context.Context, op string, payload []byte) (component.Message, error) {
+	after := p.ref("after")
+	if after == nil {
+		return component.Message{}, component.ErrRefUnwired
+	}
+	return after.Invoke(ctx, component.Message{Op: op, Payload: payload})
+}
+
+// afterSpecialPayload drives the syncAfter brick with a typed payload.
+func (p *protocolContent) afterSpecialPayload(ctx context.Context, op string, payload any) (component.Message, error) {
+	after := p.ref("after")
+	if after == nil {
+		return component.Message{}, component.ErrRefUnwired
+	}
+	return after.Invoke(ctx, component.Message{Op: op, Payload: payload})
+}
+
+// followerExecute runs a forwarded request through the follower's own
+// pipeline (Receive / Compute / Process-notification), with at-most-once
+// filtering against the follower's reply log.
+func (p *protocolContent) followerExecute(ctx context.Context, req rpc.Request) rpc.Response {
+	log := logClient{svc: p.ref("log")}
+	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+		return prev
+	}
+	call := &Call{Req: req}
+	run := func() error {
+		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
+			return err
+		}
+		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
+			return err
+		}
+		return (brickClient{svc: p.ref("after")}).run(ctx, call)
+	}
+	if err := run(); err != nil {
+		if errors.Is(err, ErrAssertionFailed) {
+			// The follower's own computation failed its assertion: count
+			// toward this host's permanent-fault threshold.
+			p.mu.Lock()
+			p.assertFailures++
+			failures, limit, ctrl := p.assertFailures, p.assertLimit, p.control
+			p.mu.Unlock()
+			if failures >= limit && ctrl != nil {
+				ctrl.OnAssertionPermanent()
+			}
+		}
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: err.Error()}
+	}
+	return call.Result
+}
+
+// remoteAssertExecute serves a peer's escalated request: execute locally,
+// check the assertion, and log the reply (it becomes the client-visible
+// outcome).
+func (p *protocolContent) remoteAssertExecute(ctx context.Context, req rpc.Request) (rpc.Response, error) {
+	log := logClient{svc: p.ref("log")}
+	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+		return prev, nil
+	}
+	call := &Call{Req: req}
+	if err := (processClient{svc: p.ref("server")}).run(ctx, call); err != nil {
+		return rpc.Response{}, err
+	}
+	if call.Result.Status == rpc.StatusOK {
+		ok, err := (assertClient{svc: p.ref("assert")}).check(ctx, call)
+		if err != nil {
+			return rpc.Response{}, err
+		}
+		if !ok {
+			return rpc.Response{}, fmt.Errorf("%w: on both replicas", ErrAssertionFailed)
+		}
+	}
+	if err := log.record(ctx, call.Result); err != nil {
+		return rpc.Response{}, err
+	}
+	return call.Result, nil
+}
+
+// --- Control -------------------------------------------------------------
+
+func (p *protocolContent) handleControl(ctx context.Context, msg component.Message) (component.Message, error) {
+	switch msg.Op {
+	case OpPeerChange:
+		suspected, _ := msg.Payload.(bool)
+		p.mu.Lock()
+		ctrl := p.control
+		if p.role == core.RoleMaster {
+			p.masterAlone = suspected
+		}
+		p.mu.Unlock()
+		if ctrl != nil {
+			ctrl.OnPeerChange(suspected)
+		}
+		return component.NewMessage("ok", nil), nil
+	case OpRole:
+		return component.NewMessage("ok", string(p.Role())), nil
+	case OpMasterOnly:
+		p.mu.Lock()
+		alone := p.masterAlone
+		p.mu.Unlock()
+		return component.NewMessage("ok", alone), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on protocol.control", component.ErrUnknownOp, msg.Op)
+	}
+}

@@ -1,0 +1,647 @@
+package ftm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/fscript"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/stablestore"
+	"resilientft/internal/transport"
+)
+
+// Replica is one half of a fault-tolerant application: an FTM composite
+// deployed on a host, the transport glue routing client and inter-replica
+// traffic into it, and the failover logic (promotion on peer loss,
+// fail-silence on persistent assertion failures).
+type Replica struct {
+	h    *host.Host
+	path string
+
+	mu        sync.Mutex
+	cfg       ReplicaConfig
+	promoting bool
+	// masterSince orders competing masters for split-brain resolution:
+	// the younger mastership yields.
+	masterSince time.Time
+	events      []string
+	onEvent     func(string)
+
+	// reconfigMu serializes architecture reconfigurations: an adaptation
+	// transition and a failover promotion must not interleave on the
+	// same composite.
+	reconfigMu sync.Mutex
+}
+
+// LockReconfig acquires the replica's reconfiguration lock and returns
+// the unlock function. The adaptation engine and the promotion path both
+// hold it across their stop-script-start sequence.
+func (r *Replica) LockReconfig() func() {
+	r.reconfigMu.Lock()
+	return r.reconfigMu.Unlock
+}
+
+// ReplicaOption configures a Replica.
+type ReplicaOption func(*Replica)
+
+// WithEventHook registers a callback receiving replica life-cycle events
+// (promotions, fail-silence, degraded mode), useful in tests and demos.
+func WithEventHook(f func(string)) ReplicaOption {
+	return func(r *Replica) { r.onEvent = f }
+}
+
+var _ Control = (*Replica)(nil)
+
+// NewReplica deploys cfg's FTM on h and wires the host's transport into
+// the composite. The replica commits its configuration to the host's
+// stable store.
+func NewReplica(ctx context.Context, h *host.Host, cfg ReplicaConfig, opts ...ReplicaOption) (*Replica, error) {
+	r := &Replica{h: h, cfg: cfg}
+	if cfg.Role == core.RoleMaster {
+		r.masterSince = time.Now()
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	path, err := DeployFTM(ctx, h, cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	r.path = path
+	r.registerTransport()
+	if err := r.commitConfig(); err != nil {
+		return nil, err
+	}
+	r.event(fmt.Sprintf("deployed %s as %s", cfg.FTM, cfg.Role))
+	return r, nil
+}
+
+func (r *Replica) event(s string) {
+	r.mu.Lock()
+	r.events = append(r.events, s)
+	hook := r.onEvent
+	r.mu.Unlock()
+	if hook != nil {
+		hook(s)
+	}
+}
+
+// Events returns the replica's life-cycle event log.
+func (r *Replica) Events() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+// Host returns the replica's host.
+func (r *Replica) Host() *host.Host { return r.h }
+
+// Path returns the FTM composite path on the host runtime.
+func (r *Replica) Path() string { return r.path }
+
+// System returns the protected application's name.
+func (r *Replica) System() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.System
+}
+
+// FTM returns the currently deployed mechanism.
+func (r *Replica) FTM() core.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.FTM
+}
+
+// SetFTM records the mechanism after a committed transition (called by
+// the adaptation engine).
+func (r *Replica) SetFTM(id core.ID) {
+	r.mu.Lock()
+	r.cfg.FTM = id
+	r.mu.Unlock()
+	if err := r.commitConfig(); err != nil {
+		r.event(fmt.Sprintf("stable-store commit failed: %v", err))
+	}
+}
+
+// Role returns the replica's current role.
+func (r *Replica) Role() core.Role {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.Role
+}
+
+// App returns the protected application instance.
+func (r *Replica) App() Application {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.App
+}
+
+// commitConfig records the active configuration in stable storage — the
+// recovery-of-adaptation anchor (§5.3).
+func (r *Replica) commitConfig() error {
+	r.mu.Lock()
+	rec := stablestore.ConfigRecord{
+		System:    r.cfg.System,
+		FTM:       string(r.cfg.FTM),
+		Committed: time.Now(),
+	}
+	r.mu.Unlock()
+	if cur, ok, err := r.h.Store().Current(rec.System); err == nil && ok {
+		rec.Version = cur.Version + 1
+	} else {
+		rec.Version = 1
+	}
+	return r.h.Store().Commit(rec)
+}
+
+// registerTransport routes the host endpoint's traffic into the
+// composite's promoted boundary services.
+func (r *Replica) registerTransport() {
+	ep := r.h.Endpoint()
+
+	rpc.Serve(ep, func(ctx context.Context, req rpc.Request) rpc.Response {
+		svc, err := r.boundary(SvcRequest)
+		if err != nil {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: err.Error()}
+		}
+		reply, err := svc.Invoke(ctx, component.NewMessage("request", req))
+		if err != nil {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: err.Error()}
+		}
+		resp, ok := reply.Payload.(rpc.Response)
+		if !ok {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: "ftm: bad reply payload"}
+		}
+		return resp
+	})
+
+	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		var env replicaEnvelope
+		if err := transport.Decode(p.Payload, &env); err != nil {
+			return nil, err
+		}
+		svc, err := r.boundary(SvcReplica)
+		if err != nil {
+			return nil, err
+		}
+		reply, err := svc.Invoke(ctx, component.Message{Op: env.Kind, Payload: env.Payload})
+		if err != nil {
+			return nil, err
+		}
+		data, _ := reply.Payload.([]byte)
+		return data, nil
+	})
+}
+
+// boundary resolves a promoted boundary service of the FTM composite.
+func (r *Replica) boundary(service string) (component.Service, error) {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return nil, host.ErrCrashed
+	}
+	cp, err := rt.LookupComposite(r.path)
+	if err != nil {
+		return nil, err
+	}
+	return cp.ServiceEndpoint(service)
+}
+
+// AttachMetrics installs an invocation-metrics interceptor on the
+// replica's server component and returns the collector — the
+// membrane-level load observation the Monitoring Engine's R probes feed
+// on. Attaching twice returns an error from the duplicate interceptor.
+func (r *Replica) AttachMetrics() (*component.InvocationMetrics, error) {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return nil, host.ErrCrashed
+	}
+	server, err := rt.Lookup(r.path + "/" + NameServer)
+	if err != nil {
+		return nil, err
+	}
+	metrics := component.NewInvocationMetrics()
+	if err := server.AddInterceptor(metrics.Interceptor("metrics")); err != nil {
+		return nil, err
+	}
+	return metrics, nil
+}
+
+// CurrentScheme reads the live variable-feature composition from the
+// architecture (introspection, not bookkeeping).
+func (r *Replica) CurrentScheme() (core.Scheme, error) {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return core.Scheme{}, host.ErrCrashed
+	}
+	var scheme core.Scheme
+	for slot, dst := range map[string]*string{
+		core.SlotBefore:  &scheme.Before,
+		core.SlotProceed: &scheme.Proceed,
+		core.SlotAfter:   &scheme.After,
+	} {
+		c, err := rt.Lookup(r.path + "/" + slot)
+		if err != nil {
+			return core.Scheme{}, err
+		}
+		*dst = c.Type()
+	}
+	return scheme, nil
+}
+
+// --- Control callbacks ---------------------------------------------------
+
+// OnPeerChange reacts to failure-detector transitions: a slave promotes
+// itself when the master goes silent (the duplex recovery action). In a
+// multi-replica group backups promote with rank-staggered delays so that
+// exactly one survivor takes over.
+func (r *Replica) OnPeerChange(suspected bool) {
+	r.mu.Lock()
+	role := r.cfg.Role
+	multi := len(r.cfg.Members) > 2
+	r.mu.Unlock()
+	if suspected && role == core.RoleSlave {
+		if multi {
+			r.event("master suspected: entering staggered takeover")
+			go r.considerPromotion()
+			return
+		}
+		r.event("peer suspected: promoting")
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := r.Promote(ctx); err != nil {
+				r.event(fmt.Sprintf("promotion failed: %v", err))
+			}
+		}()
+		return
+	}
+	if suspected {
+		r.event("peer suspected: continuing master-alone")
+		return
+	}
+	r.event("peer restored")
+	if role == core.RoleMaster {
+		// The restored peer may also believe it is master (a spurious
+		// promotion during a heartbeat hiccup): resolve the split brain.
+		go r.resolveSplitBrain()
+	}
+}
+
+// rank returns this replica's position in the static membership order
+// (0 = initial master), or -1 outside a multi-replica group.
+func (r *Replica) rank() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, m := range r.cfg.Members {
+		if m == r.h.Addr() {
+			return i
+		}
+	}
+	return -1
+}
+
+// members returns the static membership.
+func (r *Replica) members() []transport.Address {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]transport.Address(nil), r.cfg.Members...)
+}
+
+// considerPromotion is the multi-replica takeover protocol: wait a delay
+// proportional to this backup's rank, then promote only if no other
+// member already answers as master; otherwise re-point to the new master
+// and stay a backup.
+func (r *Replica) considerPromotion() {
+	r.mu.Lock()
+	stagger := r.cfg.SuspectTimeout
+	r.mu.Unlock()
+	if stagger <= 0 {
+		stagger = 80 * time.Millisecond
+	}
+	rank := r.rank()
+	if rank > 1 {
+		time.Sleep(time.Duration(rank-1) * stagger)
+	}
+	if r.Role() != core.RoleSlave || r.h.Crashed() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if master := r.findLiveMaster(ctx); master != "" {
+		r.event(fmt.Sprintf("takeover already handled by %s: re-pointing", master))
+		if err := r.repointTo(master); err != nil {
+			r.event(fmt.Sprintf("re-pointing failed: %v", err))
+		}
+		return
+	}
+	if err := r.Promote(ctx); err != nil {
+		r.event(fmt.Sprintf("promotion failed: %v", err))
+		return
+	}
+	// The new master broadcasts to every other member and stops watching
+	// the dead one.
+	if err := r.adoptGroupMastership(); err != nil {
+		r.event(fmt.Sprintf("group mastership reconfiguration failed: %v", err))
+	}
+}
+
+// findLiveMaster role-queries every other member and returns the first
+// one answering as master.
+func (r *Replica) findLiveMaster(ctx context.Context) transport.Address {
+	self := r.h.Addr()
+	for _, m := range r.members() {
+		if m == self {
+			continue
+		}
+		env := replicaEnvelope{Kind: MsgRoleQuery, From: string(self), System: r.System()}
+		data, err := transport.Encode(env)
+		if err != nil {
+			return ""
+		}
+		callCtx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+		reply, err := r.h.Endpoint().Call(callCtx, m, KindReplica, data)
+		cancel()
+		if err != nil {
+			continue
+		}
+		var info roleInfo
+		if err := transport.Decode(reply, &info); err != nil {
+			continue
+		}
+		if core.Role(info.Role) == core.RoleMaster {
+			return m
+		}
+	}
+	return ""
+}
+
+// repointTo aims this backup's peer bridge and failure detector at the
+// new master.
+func (r *Replica) repointTo(master transport.Address) error {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	if err := rt.SetProperty(r.path+"/"+NamePeer, "peers", []string{string(master)}); err != nil {
+		return err
+	}
+	return rt.SetProperty(r.path+"/"+NameDetector, "peer", string(master))
+}
+
+// adoptGroupMastership reconfigures a freshly promoted group master:
+// broadcast to every other member, watch the highest-ranked other
+// member.
+func (r *Replica) adoptGroupMastership() error {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	self := r.h.Addr()
+	var others []string
+	for _, m := range r.members() {
+		if m != self {
+			others = append(others, string(m))
+		}
+	}
+	if err := rt.SetProperty(r.path+"/"+NamePeer, "peers", others); err != nil {
+		return err
+	}
+	watch := ""
+	if len(others) > 0 {
+		watch = others[len(others)-1] // the deepest backup is likeliest alive
+	}
+	return rt.SetProperty(r.path+"/"+NameDetector, "peer", watch)
+}
+
+// resolveSplitBrain queries the peer's role; when both replicas are
+// master, the younger mastership (ties broken by host name) demotes
+// itself back to slave.
+func (r *Replica) resolveSplitBrain() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	r.mu.Lock()
+	peer := r.cfg.Peer
+	mySince := r.masterSince
+	r.mu.Unlock()
+	if peer == "" {
+		return
+	}
+	env := replicaEnvelope{Kind: MsgRoleQuery, From: string(r.h.Addr()), System: r.System()}
+	data, err := transport.Encode(env)
+	if err != nil {
+		return
+	}
+	reply, err := r.h.Endpoint().Call(ctx, peer, KindReplica, data)
+	if err != nil {
+		return // peer unreachable again; the detector owns that case
+	}
+	var info roleInfo
+	if err := transport.Decode(reply, &info); err != nil {
+		return
+	}
+	if core.Role(info.Role) != core.RoleMaster || r.Role() != core.RoleMaster {
+		return
+	}
+	peerSince := time.Unix(0, info.MasterSinceNano)
+	yieldToPeer := peerSince.Before(mySince) ||
+		(peerSince.Equal(mySince) && string(peer) < r.h.Name())
+	if !yieldToPeer {
+		return
+	}
+	r.event("split brain detected: demoting (younger mastership)")
+	if err := r.Demote(ctx); err != nil {
+		r.event(fmt.Sprintf("demotion failed: %v", err))
+	}
+}
+
+// Demote switches a master back to slave through the same differential
+// machinery as Promote, then resynchronizes from the surviving master
+// when the mechanism supports state transfer.
+func (r *Replica) Demote(ctx context.Context) error {
+	unlock := r.LockReconfig()
+	defer unlock()
+	r.mu.Lock()
+	if r.cfg.Role != core.RoleMaster {
+		r.mu.Unlock()
+		return nil
+	}
+	ftmID := r.cfg.FTM
+	r.mu.Unlock()
+
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	desc, err := core.Lookup(ftmID)
+	if err != nil {
+		return err
+	}
+	script, env, err := TransitionScript(r.path,
+		desc.Scheme(core.RoleMaster), desc.Scheme(core.RoleSlave),
+		RoleChangeStmt(r.path, core.RoleSlave))
+	if err != nil {
+		return err
+	}
+	if err := rt.Stop(ctx, r.path); err != nil {
+		return err
+	}
+	if _, err := fscript.Execute(ctx, rt, script, env); err != nil {
+		var serr *fscript.ScriptError
+		if errors.As(err, &serr) && serr.RollbackErr != nil {
+			r.event("demotion rollback failed: killing replica")
+			r.h.Crash()
+			return err
+		}
+		_ = rt.Start(ctx, r.path)
+		return err
+	}
+	if err := rt.Start(ctx, r.path); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.cfg.Role = core.RoleSlave
+	r.mu.Unlock()
+	r.event("demoted to slave")
+	if desc.NeedsStateAccess {
+		if err := r.SyncFromPeer(ctx); err != nil {
+			r.event(fmt.Sprintf("post-demotion sync failed: %v", err))
+		}
+	}
+	return nil
+}
+
+// OnAssertionPermanent makes the replica fall silent: its host computes
+// wrong values persistently (permanent value fault), so the safe move is
+// to crash and let the peer take over.
+func (r *Replica) OnAssertionPermanent() {
+	r.event("persistent assertion failures: failing silent")
+	go func() {
+		// Let the in-flight reply drain before the endpoint closes.
+		time.Sleep(10 * time.Millisecond)
+		r.h.Crash()
+	}()
+}
+
+// --- Failover -------------------------------------------------------------
+
+// Promote switches a slave to master through a differential intra-FTM
+// reconfiguration: only the variable features whose master-role bricks
+// differ are swapped; requests buffered at the composite boundary during
+// the swap replay in the new configuration. A script failure applies the
+// fail-silent policy (§5.3): the replica kills its host.
+func (r *Replica) Promote(ctx context.Context) error {
+	unlock := r.LockReconfig()
+	defer unlock()
+	r.mu.Lock()
+	if r.cfg.Role == core.RoleMaster || r.promoting {
+		r.mu.Unlock()
+		return nil
+	}
+	r.promoting = true
+	ftmID := r.cfg.FTM
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.promoting = false
+		r.mu.Unlock()
+	}()
+
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	desc, err := core.Lookup(ftmID)
+	if err != nil {
+		return err
+	}
+	script, env, err := TransitionScript(r.path,
+		desc.Scheme(core.RoleSlave), desc.Scheme(core.RoleMaster),
+		RoleChangeStmt(r.path, core.RoleMaster))
+	if err != nil {
+		return err
+	}
+
+	if err := rt.Stop(ctx, r.path); err != nil {
+		return err
+	}
+	if _, err := fscript.Execute(ctx, rt, script, env); err != nil {
+		var serr *fscript.ScriptError
+		if errors.As(err, &serr) && serr.RollbackErr != nil {
+			// The architecture is inconsistent: enforce fail-silence.
+			r.event("promotion rollback failed: killing replica")
+			r.h.Crash()
+			return err
+		}
+		_ = rt.Start(ctx, r.path) // rollback succeeded; reopen as slave
+		return err
+	}
+	if err := rt.Start(ctx, r.path); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.cfg.Role = core.RoleMaster
+	r.masterSince = time.Now()
+	r.mu.Unlock()
+	r.event("promoted to master")
+	return nil
+}
+
+// SyncFromPeer pulls a full checkpoint from the live master and applies
+// it — the state transfer a rejoining slave performs. It requires a
+// checkpoint-capable configuration on both sides (state access on the
+// master, a checkpoint-applying After locally or direct state/log
+// access).
+func (r *Replica) SyncFromPeer(ctx context.Context) error {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	peerComp, err := rt.Lookup(r.path + "/" + NamePeer)
+	if err != nil {
+		return fmt.Errorf("ftm: sync without a peer bridge: %w", err)
+	}
+	svc, err := peerComp.ServiceEndpoint(SvcSend)
+	if err != nil {
+		return err
+	}
+	data, err := (peerClient{svc: svc}).call(ctx, MsgPBRPull, nil)
+	if err != nil {
+		return fmt.Errorf("ftm: checkpoint pull: %w", err)
+	}
+	// Apply directly through the server and reply log services.
+	server, err := rt.Lookup(r.path + "/" + NameServer)
+	if err != nil {
+		return err
+	}
+	stateSvc, err := server.ServiceEndpoint(SvcState)
+	if err != nil {
+		return err
+	}
+	logComp, err := rt.Lookup(r.path + "/" + NameReplyLog)
+	if err != nil {
+		return err
+	}
+	logSvc, err := logComp.ServiceEndpoint(SvcLog)
+	if err != nil {
+		return err
+	}
+	return applyCheckpoint(ctx, stateClient{svc: stateSvc}, logClient{svc: logSvc}, data)
+}
+
+// Kill crashes the replica's host (fail-silent).
+func (r *Replica) Kill() {
+	r.event("killed")
+	r.h.Crash()
+}

@@ -1,0 +1,108 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+
+	"resilientft/internal/component"
+	"resilientft/internal/rpc"
+)
+
+// TypeReplyLog is the component type of the reply log.
+const TypeReplyLog = "ftm.replylog"
+
+// lookupQuery is the payload of an OpLookup on the reply log.
+type lookupQuery struct {
+	ClientID string
+	Seq      uint64
+}
+
+// lookupResult is the reply payload of an OpLookup.
+type lookupResult struct {
+	Resp  rpc.Response
+	Found bool
+}
+
+// replyLogContent wraps an rpc.ReplyLog as a component (the "replyLog"
+// component of Figure 6). It is FTM state that transitions never touch:
+// the differential approach's point is precisely that swapping bricks
+// does not lose this state.
+type replyLogContent struct {
+	log *rpc.ReplyLog
+}
+
+func newReplyLogContent(retention int) *replyLogContent {
+	return &replyLogContent{log: rpc.NewReplyLog(retention)}
+}
+
+var _ component.Content = (*replyLogContent)(nil)
+
+func (r *replyLogContent) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	if service != SvcLog {
+		return component.Message{}, fmt.Errorf("%w: service %q on replyLog", component.ErrNotFound, service)
+	}
+	switch msg.Op {
+	case OpLookup:
+		q, ok := msg.Payload.(lookupQuery)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: replyLog lookup payload is %T", msg.Payload)
+		}
+		resp, found := r.log.Lookup(q.ClientID, q.Seq)
+		return component.NewMessage("ok", lookupResult{Resp: resp, Found: found}), nil
+	case OpRecord:
+		resp, ok := msg.Payload.(rpc.Response)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: replyLog record payload is %T", msg.Payload)
+		}
+		r.log.Record(resp)
+		return component.NewMessage("ok", nil), nil
+	case OpSnapshot:
+		return component.NewMessage("ok", r.log.Snapshot()), nil
+	case OpRestoreL:
+		snap, ok := msg.Payload.([]rpc.Response)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: replyLog restore payload is %T", msg.Payload)
+		}
+		r.log.Restore(snap)
+		return component.NewMessage("ok", nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on replyLog", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// logClient is a typed facade over the reply log's uniform service,
+// used by the protocol and the bricks holding a "log" reference.
+type logClient struct {
+	svc component.Service
+}
+
+func (l logClient) lookup(ctx context.Context, clientID string, seq uint64) (rpc.Response, bool, error) {
+	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpLookup, Payload: lookupQuery{ClientID: clientID, Seq: seq}})
+	if err != nil {
+		return rpc.Response{}, false, err
+	}
+	res, ok := reply.Payload.(lookupResult)
+	if !ok {
+		return rpc.Response{}, false, fmt.Errorf("ftm: lookup reply is %T", reply.Payload)
+	}
+	return res.Resp, res.Found, nil
+}
+
+func (l logClient) record(ctx context.Context, resp rpc.Response) error {
+	_, err := l.svc.Invoke(ctx, component.Message{Op: OpRecord, Payload: resp})
+	return err
+}
+
+func (l logClient) snapshot(ctx context.Context) ([]rpc.Response, error) {
+	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpSnapshot})
+	if err != nil {
+		return nil, err
+	}
+	snap, _ := reply.Payload.([]rpc.Response)
+	return snap, nil
+}
+
+func (l logClient) restore(ctx context.Context, snap []rpc.Response) error {
+	_, err := l.svc.Invoke(ctx, component.Message{Op: OpRestoreL, Payload: snap})
+	return err
+}

@@ -1,0 +1,216 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+
+	"resilientft/internal/component"
+	"resilientft/internal/rpc"
+)
+
+// TypeServer is the component type of the application server.
+const TypeServer = "ftm.server"
+
+// serverContent hosts the Application inside the FTM composite (the
+// "server" component of Figure 6). It exposes three services: process
+// (computation), state (capture/restore/access) and assert (the safety
+// assertion hook).
+type serverContent struct {
+	app Application
+}
+
+// newServerContent builds the server around an application.
+func newServerContent(app Application) *serverContent {
+	return &serverContent{app: app}
+}
+
+var _ component.Content = (*serverContent)(nil)
+
+func (s *serverContent) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	switch service {
+	case SvcProcess:
+		return s.process(msg)
+	case SvcState:
+		return s.state(msg)
+	case SvcAssert:
+		return s.assert(msg)
+	case SvcAlternate:
+		return s.alternate(msg)
+	case SvcRecord:
+		return s.record(msg)
+	case SvcReplay:
+		return s.replay(msg)
+	default:
+		return component.Message{}, fmt.Errorf("%w: service %q on server", component.ErrNotFound, service)
+	}
+}
+
+// DecisionRecorder is implemented by applications whose non-deterministic
+// decisions can be captured on one replica and replayed on another
+// (semi-active replication, Delta-4 XPA style).
+type DecisionRecorder interface {
+	// ProcessRecording executes op, returning the captured decisions.
+	ProcessRecording(op string, arg int64) (result, before int64, decisions []int64, err error)
+	// ProcessReplaying executes op consuming captured decisions.
+	ProcessReplaying(op string, arg int64, decisions []int64) (result, before int64, err error)
+}
+
+func (s *serverContent) record(msg component.Message) (component.Message, error) {
+	rec, ok := s.app.(DecisionRecorder)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: application %T cannot record decisions", s.app)
+	}
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: server.record payload is %T, want *Call", msg.Payload)
+	}
+	result, before, decisions, err := rec.ProcessRecording(call.Req.Op, decodeArg(call.Req.Payload))
+	if err != nil {
+		call.Result = rpc.Response{ClientID: call.Req.ClientID, Seq: call.Req.Seq,
+			Status: rpc.StatusAppError, Err: err.Error()}
+		return component.NewMessage("done", call), nil
+	}
+	call.Before = before
+	call.Decisions = decisions
+	call.Result = rpc.Response{ClientID: call.Req.ClientID, Seq: call.Req.Seq,
+		Status: rpc.StatusOK, Payload: EncodeResult(result)}
+	return component.NewMessage("done", call), nil
+}
+
+func (s *serverContent) replay(msg component.Message) (component.Message, error) {
+	rec, ok := s.app.(DecisionRecorder)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: application %T cannot replay decisions", s.app)
+	}
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: server.replay payload is %T, want *Call", msg.Payload)
+	}
+	result, before, err := rec.ProcessReplaying(call.Req.Op, decodeArg(call.Req.Payload), call.Decisions)
+	if err != nil {
+		call.Result = rpc.Response{ClientID: call.Req.ClientID, Seq: call.Req.Seq,
+			Status: rpc.StatusAppError, Err: err.Error()}
+		return component.NewMessage("done", call), nil
+	}
+	call.Before = before
+	call.Result = rpc.Response{ClientID: call.Req.ClientID, Seq: call.Req.Seq,
+		Status: rpc.StatusOK, Payload: EncodeResult(result)}
+	return component.NewMessage("done", call), nil
+}
+
+// AlternateProvider is implemented by applications shipping a
+// diversified secondary variant of their computation (recovery blocks).
+type AlternateProvider interface {
+	// ProcessAlternate executes op through the alternate implementation.
+	ProcessAlternate(op string, arg int64) (result int64, before int64, err error)
+}
+
+func (s *serverContent) alternate(msg component.Message) (component.Message, error) {
+	alt, ok := s.app.(AlternateProvider)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: application %T provides no diversified alternate", s.app)
+	}
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: server.alternate payload is %T, want *Call", msg.Payload)
+	}
+	result, before, err := alt.ProcessAlternate(call.Req.Op, decodeArg(call.Req.Payload))
+	if err != nil {
+		call.Result = rpc.Response{
+			ClientID: call.Req.ClientID,
+			Seq:      call.Req.Seq,
+			Status:   rpc.StatusAppError,
+			Err:      err.Error(),
+		}
+		return component.NewMessage("done", call), nil
+	}
+	call.Before = before
+	call.Result = rpc.Response{
+		ClientID: call.Req.ClientID,
+		Seq:      call.Req.Seq,
+		Status:   rpc.StatusOK,
+		Payload:  EncodeResult(result),
+	}
+	return component.NewMessage("done", call), nil
+}
+
+func (s *serverContent) process(msg component.Message) (component.Message, error) {
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: server.process payload is %T, want *Call", msg.Payload)
+	}
+	result, before, err := s.app.Process(call.Req.Op, decodeArg(call.Req.Payload))
+	if err != nil {
+		call.Result = rpc.Response{
+			ClientID: call.Req.ClientID,
+			Seq:      call.Req.Seq,
+			Status:   rpc.StatusAppError,
+			Err:      err.Error(),
+		}
+		return component.NewMessage("done", call), nil
+	}
+	call.Before = before
+	call.Result = rpc.Response{
+		ClientID: call.Req.ClientID,
+		Seq:      call.Req.Seq,
+		Status:   rpc.StatusOK,
+		Payload:  EncodeResult(result),
+	}
+	return component.NewMessage("done", call), nil
+}
+
+func (s *serverContent) state(msg component.Message) (component.Message, error) {
+	mgr := s.app.StateManager()
+	switch msg.Op {
+	case OpAccess:
+		_, err := mgr.CaptureState()
+		return component.NewMessage("ok", err == nil), nil
+	case OpCapture:
+		data, err := mgr.CaptureState()
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: capture: %w", err)
+		}
+		return component.NewMessage("ok", data), nil
+	case OpRestoreState:
+		data, ok := msg.Payload.([]byte)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: server.state restore payload is %T", msg.Payload)
+		}
+		if err := mgr.RestoreState(data); err != nil {
+			return component.Message{}, fmt.Errorf("ftm: restore: %w", err)
+		}
+		return component.NewMessage("ok", nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on server.state", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+func (s *serverContent) assert(msg component.Message) (component.Message, error) {
+	call, ok := msg.Payload.(*Call)
+	if !ok {
+		return component.Message{}, fmt.Errorf("ftm: server.assert payload is %T, want *Call", msg.Payload)
+	}
+	if call.Result.Status != rpc.StatusOK {
+		// Application errors are deterministic outcomes, not value
+		// faults; the assertion does not apply.
+		return component.NewMessage("ok", true), nil
+	}
+	result, err := call.ResultValue()
+	if err != nil {
+		return component.NewMessage("ok", false), nil
+	}
+	ok = s.app.Assert(call.Req.Op, decodeArg(call.Req.Payload), call.Before, result)
+	return component.NewMessage("ok", ok), nil
+}
+
+// decodeArg decodes the request's int64 argument (0 when absent).
+func decodeArg(payload []byte) int64 {
+	v, err := DecodeResult(payload)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// EncodeArg serializes a request argument.
+func EncodeArg(v int64) []byte { return EncodeResult(v) }

@@ -1,0 +1,268 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// SystemConfig assembles a complete two-replica fault-tolerant system on
+// a simulated network.
+type SystemConfig struct {
+	// System names the protected application.
+	System string
+	// FTM is the initial mechanism.
+	FTM core.ID
+	// AppFactory builds one application instance per replica.
+	AppFactory func() Application
+	// Net is the network to attach to (a fresh seeded one when nil).
+	Net *transport.MemNetwork
+	// HostNames name the two hosts (default "alpha", "beta").
+	HostNames [2]string
+	// HeartbeatInterval and SuspectTimeout tune failover speed.
+	HeartbeatInterval time.Duration
+	SuspectTimeout    time.Duration
+	// EventHook receives replica life-cycle events.
+	EventHook func(hostName, event string)
+}
+
+// System is a running two-replica fault-tolerant application plus the
+// harness around it (network, hosts, registry) used by tests, examples
+// and the benchmark suite.
+type System struct {
+	Net      *transport.MemNetwork
+	Registry *component.Registry
+
+	mu       sync.Mutex
+	cfg      SystemConfig
+	hosts    [2]*host.Host
+	replicas [2]*Replica
+	clients  int
+}
+
+// NewSystem boots two hosts and deploys cfg.FTM with the master on the
+// first host.
+func NewSystem(ctx context.Context, cfg SystemConfig) (*System, error) {
+	if cfg.System == "" {
+		cfg.System = "app"
+	}
+	if cfg.AppFactory == nil {
+		cfg.AppFactory = func() Application { return NewCalculator() }
+	}
+	if cfg.HostNames[0] == "" {
+		cfg.HostNames = [2]string{"alpha", "beta"}
+	}
+	if cfg.Net == nil {
+		cfg.Net = transport.NewMemNetwork(transport.WithSeed(1))
+	}
+	s := &System{Net: cfg.Net, Registry: NewRegistry(), cfg: cfg}
+
+	for i, name := range cfg.HostNames {
+		h, err := host.New(name, cfg.Net, s.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.hosts[i] = h
+	}
+	roles := [2]core.Role{core.RoleMaster, core.RoleSlave}
+	for i := range s.hosts {
+		r, err := s.deployReplica(ctx, i, cfg.FTM, roles[i])
+		if err != nil {
+			return nil, err
+		}
+		s.replicas[i] = r
+	}
+	return s, nil
+}
+
+func (s *System) deployReplica(ctx context.Context, idx int, ftmID core.ID, role core.Role) (*Replica, error) {
+	h := s.hosts[idx]
+	peer := s.hosts[1-idx].Addr()
+	if core.MustLookup(ftmID).Hosts < 2 {
+		peer = ""
+	}
+	cfg := ReplicaConfig{
+		System:            s.cfg.System,
+		FTM:               ftmID,
+		Role:              role,
+		Peer:              peer,
+		App:               s.cfg.AppFactory(),
+		HeartbeatInterval: s.cfg.HeartbeatInterval,
+		SuspectTimeout:    s.cfg.SuspectTimeout,
+	}
+	var opts []ReplicaOption
+	if s.cfg.EventHook != nil {
+		hook := s.cfg.EventHook
+		name := h.Name()
+		opts = append(opts, WithEventHook(func(e string) { hook(name, e) }))
+	}
+	return NewReplica(ctx, h, cfg, opts...)
+}
+
+// Hosts returns the two hosts.
+func (s *System) Hosts() [2]*host.Host {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hosts
+}
+
+// Replicas returns the two replicas (some may be dead after crashes).
+func (s *System) Replicas() [2]*Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicas
+}
+
+// Master returns the current master replica, or nil.
+func (s *System) Master() *Replica {
+	for _, r := range s.Replicas() {
+		if r != nil && !r.Host().Crashed() && r.Role() == core.RoleMaster {
+			return r
+		}
+	}
+	return nil
+}
+
+// Slave returns the current slave replica, or nil.
+func (s *System) Slave() *Replica {
+	for _, r := range s.Replicas() {
+		if r != nil && !r.Host().Crashed() && r.Role() == core.RoleSlave {
+			return r
+		}
+	}
+	return nil
+}
+
+// Addresses returns the replica addresses, master first when known.
+func (s *System) Addresses() []transport.Address {
+	var out []transport.Address
+	if m := s.Master(); m != nil {
+		out = append(out, m.Host().Addr())
+	}
+	for _, r := range s.Replicas() {
+		if r == nil {
+			continue
+		}
+		addr := r.Host().Addr()
+		dup := false
+		for _, a := range out {
+			if a == addr {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// NewClient attaches a new client to the system.
+func (s *System) NewClient(opts ...rpc.ClientOption) (*rpc.Client, error) {
+	s.mu.Lock()
+	s.clients++
+	id := fmt.Sprintf("client-%d", s.clients)
+	s.mu.Unlock()
+	ep, err := s.Net.Endpoint(transport.Address(id))
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(id, ep, s.Addresses(), opts...), nil
+}
+
+// CrashMaster crashes the current master's host and returns its index.
+func (s *System) CrashMaster() int {
+	m := s.Master()
+	if m == nil {
+		return -1
+	}
+	return s.crashReplica(m)
+}
+
+// CrashSlave crashes the current slave's host and returns its index.
+func (s *System) CrashSlave() int {
+	sl := s.Slave()
+	if sl == nil {
+		return -1
+	}
+	return s.crashReplica(sl)
+}
+
+func (s *System) crashReplica(r *Replica) int {
+	s.mu.Lock()
+	idx := -1
+	for i, rep := range s.replicas {
+		if rep == r {
+			idx = i
+		}
+	}
+	s.mu.Unlock()
+	r.Host().Crash()
+	return idx
+}
+
+// RestartReplica restarts a crashed host and redeploys its replica as a
+// slave of the surviving master, in the FTM committed to stable storage,
+// then pulls a checkpoint when the configuration supports it — the
+// recovery-of-adaptation path (§5.3).
+func (s *System) RestartReplica(ctx context.Context, idx int) (*Replica, error) {
+	s.mu.Lock()
+	h := s.hosts[idx]
+	system := s.cfg.System
+	s.mu.Unlock()
+
+	// The surviving replica may have committed a newer configuration; a
+	// real deployment reads the shared stable store. Capture the
+	// survivor's FTM before the restart makes the stale replica object
+	// on this host look alive again.
+	var survivorFTM core.ID
+	if m := s.Master(); m != nil && m.Host() != h {
+		survivorFTM = m.FTM()
+	}
+
+	if err := h.Restart(); err != nil {
+		return nil, err
+	}
+	rec, ok, err := h.Store().Current(system)
+	if err != nil {
+		return nil, err
+	}
+	ftmID := s.cfg.FTM
+	if ok {
+		ftmID = core.ID(rec.FTM)
+	}
+	if survivorFTM != "" {
+		ftmID = survivorFTM
+	}
+	r, err := s.deployReplica(ctx, idx, ftmID, core.RoleSlave)
+	if err != nil {
+		return nil, err
+	}
+	// Best-effort state transfer; configurations without state access
+	// rely on determinism instead.
+	if desc := core.MustLookup(ftmID); desc.NeedsStateAccess {
+		if err := r.SyncFromPeer(ctx); err != nil {
+			return nil, fmt.Errorf("ftm: rejoin sync: %w", err)
+		}
+	}
+	s.mu.Lock()
+	s.replicas[idx] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Shutdown crashes both hosts, silencing all background activity.
+func (s *System) Shutdown() {
+	for _, h := range s.Hosts() {
+		if h != nil && !h.Crashed() {
+			h.Crash()
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package ftm
+
+import (
+	"fmt"
+	"strings"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/fscript"
+)
+
+// SlotRef returns the protocol reference name driving a pipeline slot.
+func SlotRef(slot string) string {
+	switch slot {
+	case core.SlotBefore:
+		return "before"
+	case core.SlotProceed:
+		return "proceed"
+	case core.SlotAfter:
+		return "after"
+	default:
+		return ""
+	}
+}
+
+// TransitionScript builds the differential reconfiguration from one
+// execution scheme to another on the composite at path: for each variable
+// feature that differs, the old brick is stopped, unwired and removed,
+// and the replacement is added, rewired and started — nothing else is
+// touched (§5.2). extra statements (e.g. a role change) are appended
+// before the script's end. The returned environment carries the new
+// bricks' definitions, deployable through the host registry.
+func TransitionScript(path string, from, to core.Scheme, extra ...string) (*fscript.Script, fscript.Env, error) {
+	var b strings.Builder
+	env := fscript.Env{Definitions: make(map[string]component.Definition)}
+	for _, slot := range core.Diff(from, to) {
+		toType := to.Slots()[slot]
+		defName := "new_" + slot
+		def, err := brickDefinition(toType)
+		if err != nil {
+			return nil, fscript.Env{}, err
+		}
+		def.Name = slot
+		env.Definitions[defName] = def
+
+		ref := SlotRef(slot)
+		fmt.Fprintf(&b, "stop %s/%s\n", path, slot)
+		fmt.Fprintf(&b, "unwire %s/%s.%s\n", path, NameProtocol, ref)
+		fmt.Fprintf(&b, "remove %s/%s\n", path, slot)
+		fmt.Fprintf(&b, "add %s as %s/%s\n", defName, path, slot)
+		for _, r := range def.References {
+			target, ok := refTarget[r.Name]
+			if !ok {
+				return nil, fscript.Env{}, fmt.Errorf("ftm: no wiring plan for reference %q", r.Name)
+			}
+			fmt.Fprintf(&b, "wire %s/%s.%s -> %s/%s.%s\n", path, slot, r.Name, path, target[0], target[1])
+		}
+		fmt.Fprintf(&b, "wire %s/%s.%s -> %s/%s.%s\n", path, NameProtocol, ref, path, slot, SlotService(slot))
+		fmt.Fprintf(&b, "start %s/%s\n", path, slot)
+	}
+	for _, stmt := range extra {
+		b.WriteString(stmt)
+		b.WriteByte('\n')
+	}
+	script, err := fscript.Parse(b.String())
+	if err != nil {
+		return nil, fscript.Env{}, fmt.Errorf("ftm: generated transition script: %w", err)
+	}
+	return script, env, nil
+}
+
+// RoleChangeStmt returns the script statement switching the protocol's
+// role on the composite at path.
+func RoleChangeStmt(path string, role core.Role) string {
+	return fmt.Sprintf("set %s/%s.role = %q", path, NameProtocol, string(role))
+}

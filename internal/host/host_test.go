@@ -1,0 +1,124 @@
+package host
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"resilientft/internal/component"
+	"resilientft/internal/stablestore"
+	"resilientft/internal/transport"
+)
+
+func TestHostBoots(t *testing.T) {
+	net := transport.NewMemNetwork()
+	h, err := New("alpha", net, component.NewRegistry())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if h.Name() != "alpha" || h.Addr() != "alpha" {
+		t.Fatalf("identity: %s / %s", h.Name(), h.Addr())
+	}
+	if h.Crashed() {
+		t.Fatal("fresh host crashed")
+	}
+	if h.Runtime() == nil || h.Endpoint() == nil {
+		t.Fatal("missing runtime or endpoint")
+	}
+}
+
+func TestDuplicateHostNameRefused(t *testing.T) {
+	net := transport.NewMemNetwork()
+	if _, err := New("alpha", net, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New("alpha", net, nil); err == nil {
+		t.Fatal("duplicate host name accepted")
+	}
+}
+
+func TestCrashSilencesHost(t *testing.T) {
+	net := transport.NewMemNetwork()
+	h, err := New("alpha", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Endpoint().Handle("ping", func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		return []byte("pong"), nil
+	})
+	other, _ := net.Endpoint("other")
+	if _, err := other.Call(context.Background(), "alpha", "ping", nil); err != nil {
+		t.Fatalf("pre-crash Call: %v", err)
+	}
+
+	tripped := false
+	h.CrashSwitch().OnTrip(func() { tripped = true })
+	h.Crash()
+	if !h.Crashed() || !tripped {
+		t.Fatal("crash did not propagate")
+	}
+	if h.Runtime() != nil {
+		t.Fatal("runtime survived the crash")
+	}
+	if _, err := other.Call(context.Background(), "alpha", "ping", nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("post-crash Call: err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestRestartReattaches(t *testing.T) {
+	net := transport.NewMemNetwork()
+	h, err := New("alpha", net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Restart(); err == nil {
+		t.Fatal("Restart of a live host accepted")
+	}
+	if err := h.Store().Commit(rec("app", "pbr", 1)); err != nil {
+		t.Fatal(err)
+	}
+	h.Crash()
+	if err := h.Restart(); err != nil {
+		t.Fatalf("Restart: %v", err)
+	}
+	if h.Crashed() {
+		t.Fatal("host still crashed after restart")
+	}
+	if h.Restarts() != 1 {
+		t.Fatalf("Restarts = %d", h.Restarts())
+	}
+	if h.Runtime() == nil {
+		t.Fatal("no fresh runtime after restart")
+	}
+	// Stable storage survives the crash (that is its point).
+	cur, ok, err := h.Store().Current("app")
+	if err != nil || !ok || cur.FTM != "pbr" {
+		t.Fatalf("stable store after restart: %+v %v %v", cur, ok, err)
+	}
+	// The endpoint answers again.
+	h.Endpoint().Handle("ping", func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		return []byte("pong"), nil
+	})
+	other, _ := net.Endpoint("other")
+	if _, err := other.Call(context.Background(), "alpha", "ping", nil); err != nil {
+		t.Fatalf("post-restart Call: %v", err)
+	}
+}
+
+func TestResourcesModel(t *testing.T) {
+	r := NewResources(5000, 0.8, 1.0)
+	if r.Bandwidth() != 5000 || r.CPUFree() != 0.8 || r.Energy() != 1.0 {
+		t.Fatal("initial values wrong")
+	}
+	r.SetBandwidth(100)
+	r.SetCPUFree(0.1)
+	r.SetEnergy(0.5)
+	if r.Bandwidth() != 100 || r.CPUFree() != 0.1 || r.Energy() != 0.5 {
+		t.Fatal("setters wrong")
+	}
+}
+
+// rec builds a stable-store record.
+func rec(system, ftm string, version uint64) stablestore.ConfigRecord {
+	return stablestore.ConfigRecord{System: system, FTM: ftm, Version: version}
+}

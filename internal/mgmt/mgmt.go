@@ -1,0 +1,176 @@
+// Package mgmt is the management-plane protocol spoken between the
+// resilientd daemon and the ftmctl tool: replica status introspection,
+// remotely requested differential transitions, and application
+// invocations for smoke-testing a deployment.
+package mgmt
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientft/internal/adaptation"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/transport"
+)
+
+// Kind is the transport message kind of management traffic.
+const Kind = "mgmt"
+
+// Ops.
+const (
+	OpStatus     = "status"
+	OpTransition = "transition"
+	OpDescribe   = "describe"
+)
+
+// Request is a management command.
+type Request struct {
+	Op string
+	// To is the target FTM of a transition.
+	To string
+}
+
+// Status reports a replica's state.
+type Status struct {
+	System string
+	Host   string
+	FTM    string
+	Role   string
+	Scheme core.Scheme
+	Events []string
+}
+
+// TransitionOutcome reports a remotely requested transition.
+type TransitionOutcome struct {
+	From, To string
+	Replaced []string
+	DeployUS int64
+	ScriptUS int64
+	RemoveUS int64
+	Err      string
+}
+
+// reply is the wire envelope of every management response.
+type reply struct {
+	Status     *Status
+	Transition *TransitionOutcome
+	Describe   string
+	Err        string
+}
+
+// Serve installs the management handler for a replica on its endpoint.
+// The engine executes remotely requested transitions.
+func Serve(ep transport.Endpoint, r *ftm.Replica, engine *adaptation.Engine) {
+	ep.Handle(Kind, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		var req Request
+		if err := transport.Decode(p.Payload, &req); err != nil {
+			return nil, err
+		}
+		var out reply
+		switch req.Op {
+		case OpStatus:
+			scheme, err := r.CurrentScheme()
+			if err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Status = &Status{
+				System: r.System(),
+				Host:   r.Host().Name(),
+				FTM:    string(r.FTM()),
+				Role:   string(r.Role()),
+				Scheme: scheme,
+				Events: r.Events(),
+			}
+		case OpTransition:
+			from := r.FTM()
+			report := engine.TransitionReplica(ctx, r, core.ID(req.To))
+			out.Transition = &TransitionOutcome{
+				From:     string(from),
+				To:       req.To,
+				Replaced: report.Replaced,
+				DeployUS: report.Steps.Deploy.Microseconds(),
+				ScriptUS: report.Steps.Script.Microseconds(),
+				RemoveUS: report.Steps.Remove.Microseconds(),
+			}
+			if report.Err != nil {
+				out.Transition.Err = report.Err.Error()
+			}
+		case OpDescribe:
+			rt := r.Host().Runtime()
+			if rt == nil {
+				out.Err = "host crashed"
+				break
+			}
+			d, err := rt.Describe(r.Path())
+			if err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Describe = d.String()
+		default:
+			out.Err = fmt.Sprintf("unknown management op %q", req.Op)
+		}
+		return transport.Encode(out)
+	})
+}
+
+// call performs one management round-trip.
+func call(ctx context.Context, ep transport.Endpoint, target transport.Address, req Request) (reply, error) {
+	data, err := transport.Encode(req)
+	if err != nil {
+		return reply{}, err
+	}
+	callCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	respData, err := ep.Call(callCtx, target, Kind, data)
+	if err != nil {
+		return reply{}, err
+	}
+	var out reply
+	if err := transport.Decode(respData, &out); err != nil {
+		return reply{}, err
+	}
+	if out.Err != "" {
+		return reply{}, fmt.Errorf("mgmt: %s", out.Err)
+	}
+	return out, nil
+}
+
+// QueryStatus fetches a replica's status.
+func QueryStatus(ctx context.Context, ep transport.Endpoint, target transport.Address) (Status, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpStatus})
+	if err != nil {
+		return Status{}, err
+	}
+	if out.Status == nil {
+		return Status{}, fmt.Errorf("mgmt: empty status reply")
+	}
+	return *out.Status, nil
+}
+
+// RequestTransition asks a replica to transition to another FTM.
+func RequestTransition(ctx context.Context, ep transport.Endpoint, target transport.Address, to core.ID) (TransitionOutcome, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpTransition, To: string(to)})
+	if err != nil {
+		return TransitionOutcome{}, err
+	}
+	if out.Transition == nil {
+		return TransitionOutcome{}, fmt.Errorf("mgmt: empty transition reply")
+	}
+	if out.Transition.Err != "" {
+		return *out.Transition, fmt.Errorf("mgmt: transition failed: %s", out.Transition.Err)
+	}
+	return *out.Transition, nil
+}
+
+// QueryArchitecture fetches a replica's live component architecture.
+func QueryArchitecture(ctx context.Context, ep transport.Endpoint, target transport.Address) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpDescribe})
+	if err != nil {
+		return "", err
+	}
+	return out.Describe, nil
+}

@@ -1,0 +1,139 @@
+package mgmt
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientft/internal/adaptation"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/transport"
+)
+
+func newServedReplica(t *testing.T) (*ftm.Replica, transport.Endpoint) {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	h, err := host.New("node", net, ftm.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Crash)
+	r, err := ftm.NewReplica(context.Background(), h, ftm.ReplicaConfig{
+		System:            "calc",
+		FTM:               core.PBR,
+		Role:              core.RoleMaster,
+		App:               ftm.NewCalculator(),
+		HeartbeatInterval: time.Hour,
+		SuspectTimeout:    24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Serve(h.Endpoint(), r, adaptation.NewEngine(nil))
+	ctl, err := net.Endpoint("ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, ctl
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	r, ctl := newServedReplica(t)
+	st, err := QueryStatus(context.Background(), ctl, "node")
+	if err != nil {
+		t.Fatalf("QueryStatus: %v", err)
+	}
+	if st.System != "calc" || st.FTM != "pbr" || st.Role != "master" || st.Host != "node" {
+		t.Fatalf("status = %+v", st)
+	}
+	if st.Scheme != core.MustLookup(core.PBR).MasterScheme {
+		t.Fatalf("scheme = %+v", st.Scheme)
+	}
+	_ = r
+}
+
+func TestRemoteTransition(t *testing.T) {
+	r, ctl := newServedReplica(t)
+	out, err := RequestTransition(context.Background(), ctl, "node", core.LFR)
+	if err != nil {
+		t.Fatalf("RequestTransition: %v", err)
+	}
+	if len(out.Replaced) != 2 {
+		t.Fatalf("replaced = %v", out.Replaced)
+	}
+	if out.DeployUS <= 0 || out.ScriptUS <= 0 || out.RemoveUS <= 0 {
+		t.Fatalf("timings = %+v", out)
+	}
+	if r.FTM() != core.LFR {
+		t.Fatalf("replica FTM = %s", r.FTM())
+	}
+}
+
+func TestRemoteTransitionToUnknownFTMFails(t *testing.T) {
+	_, ctl := newServedReplica(t)
+	if _, err := RequestTransition(context.Background(), ctl, "node", core.ID("bogus")); err == nil {
+		t.Fatal("transition to bogus FTM accepted")
+	}
+}
+
+func TestQueryArchitecture(t *testing.T) {
+	_, ctl := newServedReplica(t)
+	arch, err := QueryArchitecture(context.Background(), ctl, "node")
+	if err != nil {
+		t.Fatalf("QueryArchitecture: %v", err)
+	}
+	for _, want := range []string{"protocol", "syncBefore", "proceed", "syncAfter"} {
+		if !strings.Contains(arch, want) {
+			t.Errorf("architecture missing %q", want)
+		}
+	}
+}
+
+func TestUnknownOpRejected(t *testing.T) {
+	_, ctl := newServedReplica(t)
+	if _, err := call(context.Background(), ctl, "node", Request{Op: "frob"}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestStatusOfCrashedReplica(t *testing.T) {
+	r, ctl := newServedReplica(t)
+	r.Host().Crash()
+	if _, err := QueryStatus(context.Background(), ctl, "node"); err == nil {
+		t.Fatal("status of crashed replica succeeded")
+	}
+}
+
+func TestQueryUnreachableTarget(t *testing.T) {
+	_, ctl := newServedReplica(t)
+	if _, err := QueryStatus(context.Background(), ctl, "ghost"); err == nil {
+		t.Fatal("status of unreachable target succeeded")
+	}
+	if _, err := QueryArchitecture(context.Background(), ctl, "ghost"); err == nil {
+		t.Fatal("arch of unreachable target succeeded")
+	}
+	if _, err := RequestTransition(context.Background(), ctl, "ghost", core.LFR); err == nil {
+		t.Fatal("transition on unreachable target succeeded")
+	}
+}
+
+func TestTransitionEventsVisibleInStatus(t *testing.T) {
+	r, ctl := newServedReplica(t)
+	if _, err := RequestTransition(context.Background(), ctl, "node", core.LFR); err != nil {
+		t.Fatal(err)
+	}
+	st, err := QueryStatus(context.Background(), ctl, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FTM != "lfr" {
+		t.Fatalf("status FTM = %s", st.FTM)
+	}
+	if len(st.Events) == 0 {
+		t.Fatal("no events reported")
+	}
+	_ = r
+}

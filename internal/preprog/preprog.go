@@ -1,0 +1,210 @@
+// Package preprog implements the baseline the paper compares against
+// (§6.2, related work [8][9][10]): preprogrammed adaptive fault
+// tolerance. Every FTM that may ever be needed is deployed up-front as a
+// complete composite; adaptation switches which composite is active and
+// transfers state monolithically between them. Switching is fast — the
+// code is already loaded — but the system permanently carries every
+// inactive FTM ("dead code"), and only transitions foreseen at design
+// time are possible.
+package preprog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/appstate"
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// Replica is one host carrying the full preprogrammed FTM stack: one
+// composite per supported FTM, exactly one active at a time.
+type Replica struct {
+	h *host.Host
+
+	mu         sync.Mutex
+	system     string
+	app        ftm.Application
+	active     core.ID
+	composites map[core.ID]string // FTM -> composite path
+}
+
+// NewReplica deploys every FTM in supported as a stand-alone composite on
+// a fresh host and activates the first one.
+func NewReplica(ctx context.Context, h *host.Host, system string, app ftm.Application, supported []core.ID) (*Replica, error) {
+	if len(supported) == 0 {
+		return nil, fmt.Errorf("preprog: empty FTM set")
+	}
+	r := &Replica{
+		h:          h,
+		system:     system,
+		app:        app,
+		composites: make(map[core.ID]string, len(supported)),
+	}
+	for _, id := range supported {
+		path, err := ftm.DeployFTM(ctx, h, ftm.ReplicaConfig{
+			System: system + "@" + string(id),
+			FTM:    id,
+			Role:   core.RoleMaster,
+			App:    app,
+			// Detector timing is irrelevant here; there is no peer.
+			HeartbeatInterval: time.Second,
+			SuspectTimeout:    5 * time.Second,
+		}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("preprog: deploy %s: %w", id, err)
+		}
+		r.composites[id] = path
+		// Deactivate: only the selected FTM's boundary is open.
+		if err := h.Runtime().Stop(ctx, path); err != nil {
+			return nil, err
+		}
+	}
+	first := supported[0]
+	if err := h.Runtime().Start(ctx, r.composites[first]); err != nil {
+		return nil, err
+	}
+	r.active = first
+	return r, nil
+}
+
+// Active returns the currently selected FTM.
+func (r *Replica) Active() core.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.active
+}
+
+// Supported returns the preprogrammed FTM set, in no particular order.
+func (r *Replica) Supported() []core.ID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.ID, 0, len(r.composites))
+	for id := range r.composites {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ComponentCount returns how many components the host carries — the
+// dead-code footprint the paper's agile approach avoids.
+func (r *Replica) ComponentCount() (int, error) {
+	d, err := r.h.Runtime().Describe("")
+	if err != nil {
+		return 0, err
+	}
+	return len(d.ComponentPaths()), nil
+}
+
+// Switch activates another preprogrammed FTM: stop the active composite,
+// transfer application state and reply log monolithically, start the
+// target. It returns the switch duration. Switching to an FTM outside
+// the preprogrammed set fails — the limitation motivating the paper's
+// agile approach.
+func (r *Replica) Switch(ctx context.Context, to core.ID) (time.Duration, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := time.Now()
+	if to == r.active {
+		return time.Since(start), nil
+	}
+	fromPath, ok := r.composites[r.active]
+	if !ok {
+		return 0, fmt.Errorf("preprog: active composite missing")
+	}
+	toPath, ok := r.composites[to]
+	if !ok {
+		return 0, fmt.Errorf("preprog: FTM %s was not foreseen at design time", to)
+	}
+	rt := r.h.Runtime()
+
+	// Monolithic replacement: quiesce the old FTM, transfer state, start
+	// the new one.
+	if err := rt.Stop(ctx, fromPath); err != nil {
+		return 0, err
+	}
+	cp, err := r.captureFrom(ctx, rt, fromPath)
+	if err != nil {
+		return 0, err
+	}
+	if err := rt.Start(ctx, toPath); err != nil {
+		return 0, err
+	}
+	if err := r.restoreInto(ctx, rt, toPath, cp); err != nil {
+		return 0, err
+	}
+	r.active = to
+	return time.Since(start), nil
+}
+
+// captureFrom snapshots app state and reply log from a composite.
+func (r *Replica) captureFrom(ctx context.Context, rt *component.Runtime, path string) (appstate.Checkpoint, error) {
+	stateSvc, logSvc, err := stateAndLog(rt, path)
+	if err != nil {
+		return appstate.Checkpoint{}, err
+	}
+	stateReply, err := stateSvc.Invoke(ctx, component.Message{Op: ftm.OpCapture})
+	if err != nil {
+		return appstate.Checkpoint{}, err
+	}
+	appState, _ := stateReply.Payload.([]byte)
+	logReply, err := logSvc.Invoke(ctx, component.Message{Op: ftm.OpSnapshot})
+	if err != nil {
+		return appstate.Checkpoint{}, err
+	}
+	snap, _ := logReply.Payload.([]rpc.Response)
+	logData, err := transport.Encode(snap)
+	if err != nil {
+		return appstate.Checkpoint{}, err
+	}
+	return appstate.Checkpoint{AppState: appState, ReplyLog: logData}, nil
+}
+
+// restoreInto installs a checkpoint into a composite.
+func (r *Replica) restoreInto(ctx context.Context, rt *component.Runtime, path string, cp appstate.Checkpoint) error {
+	stateSvc, logSvc, err := stateAndLog(rt, path)
+	if err != nil {
+		return err
+	}
+	if _, err := stateSvc.Invoke(ctx, component.Message{Op: ftm.OpRestoreState, Payload: cp.AppState}); err != nil {
+		return err
+	}
+	var snap []rpc.Response
+	if err := transport.Decode(cp.ReplyLog, &snap); err != nil {
+		return err
+	}
+	_, err = logSvc.Invoke(ctx, component.Message{Op: ftm.OpRestoreL, Payload: snap})
+	return err
+}
+
+func stateAndLog(rt *component.Runtime, path string) (component.Service, component.Service, error) {
+	server, err := rt.Lookup(path + "/" + ftm.NameServer)
+	if err != nil {
+		return nil, nil, err
+	}
+	stateSvc, err := server.ServiceEndpoint(ftm.SvcState)
+	if err != nil {
+		return nil, nil, err
+	}
+	logComp, err := rt.Lookup(path + "/" + ftm.NameReplyLog)
+	if err != nil {
+		return nil, nil, err
+	}
+	logSvc, err := logComp.ServiceEndpoint(ftm.SvcLog)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stateSvc, logSvc, nil
+}
+
+// Note: the preprogrammed replicas share one application instance across
+// their composites in this implementation (state transfer is still
+// performed explicitly through the checkpoint path so its cost is
+// measured), mirroring preprogrammed middleware where all strategies wrap
+// the same servant object.

@@ -1,0 +1,166 @@
+package preprog
+
+import (
+	"context"
+	"testing"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+func newReplica(t *testing.T, supported []core.ID) *Replica {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	h, err := host.New("station", net, ftm.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Crash)
+	r, err := NewReplica(context.Background(), h, "calc", ftm.NewCalculator(), supported)
+	if err != nil {
+		t.Fatalf("NewReplica: %v", err)
+	}
+	return r
+}
+
+func TestAllFTMsDeployedUpFront(t *testing.T) {
+	r := newReplica(t, core.DeployableSet())
+	if got := len(r.Supported()); got != 6 {
+		t.Fatalf("supported = %d", got)
+	}
+	count, err := r.ComponentCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six full FTM composites: the dead-code footprint. Each carries 8
+	// components (5 infrastructure + 3 bricks).
+	if count != 48 {
+		t.Fatalf("component count = %d, want 48", count)
+	}
+	if r.Active() != core.DeployableSet()[0] {
+		t.Fatalf("active = %s", r.Active())
+	}
+}
+
+func TestSwitchTransfersState(t *testing.T) {
+	r := newReplica(t, []core.ID{core.PBR, core.LFR})
+	// Mutate state through the active composite's server.
+	app := r.app
+	if _, _, err := app.Process("set:x", 41); err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.Switch(context.Background(), core.LFR)
+	if err != nil {
+		t.Fatalf("Switch: %v", err)
+	}
+	if d <= 0 {
+		t.Fatal("switch duration not measured")
+	}
+	if r.Active() != core.LFR {
+		t.Fatalf("active = %s", r.Active())
+	}
+	result, _, err := app.Process("get:x", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result != 41 {
+		t.Fatalf("state after switch = %d", result)
+	}
+}
+
+func TestSwitchOutsideForeseenSetFails(t *testing.T) {
+	r := newReplica(t, []core.ID{core.PBR, core.LFR})
+	if _, err := r.Switch(context.Background(), core.ALFR); err == nil {
+		t.Fatal("switch to unforeseen FTM accepted")
+	}
+}
+
+func TestSwitchToSelfIsNoOp(t *testing.T) {
+	r := newReplica(t, []core.ID{core.PBR, core.LFR})
+	if _, err := r.Switch(context.Background(), core.PBR); err != nil {
+		t.Fatalf("self switch: %v", err)
+	}
+}
+
+func TestOnlyActiveCompositeIsStarted(t *testing.T) {
+	r := newReplica(t, []core.ID{core.PBR, core.LFR})
+	rt := r.h.Runtime()
+	activeCP, err := rt.LookupComposite(r.composites[core.PBR])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if activeCP.State() != component.StateStarted {
+		t.Fatal("active composite not started")
+	}
+	idleCP, err := rt.LookupComposite(r.composites[core.LFR])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idleCP.State() != component.StateStopped {
+		t.Fatal("idle composite not stopped")
+	}
+}
+
+func TestSwitchBackAndForthKeepsState(t *testing.T) {
+	r := newReplica(t, []core.ID{core.PBR, core.LFR, core.LFRTR})
+	if _, _, err := r.app.Process("set:x", 11); err != nil {
+		t.Fatal(err)
+	}
+	chain := []core.ID{core.LFR, core.LFRTR, core.PBR, core.LFR}
+	for _, to := range chain {
+		if _, err := r.Switch(context.Background(), to); err != nil {
+			t.Fatalf("switch to %s: %v", to, err)
+		}
+		got, _, err := r.app.Process("get:x", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 11 {
+			t.Fatalf("state after switch to %s = %d", to, got)
+		}
+	}
+}
+
+func TestReplyLogTransfersAcrossSwitch(t *testing.T) {
+	// The monolithic switch must move the reply log too, or at-most-once
+	// breaks across switches.
+	r := newReplica(t, []core.ID{core.PBR, core.LFR})
+	rt := r.h.Runtime()
+	logComp, err := rt.Lookup(r.composites[core.PBR] + "/" + ftm.NameReplyLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := logComp.ServiceEndpoint(ftm.SvcLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Invoke(context.Background(), component.Message{
+		Op:      ftm.OpRecord,
+		Payload: rpc.Response{ClientID: "c", Seq: 1, Status: rpc.StatusOK},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Switch(context.Background(), core.LFR); err != nil {
+		t.Fatal(err)
+	}
+	target, err := rt.Lookup(r.composites[core.LFR] + "/" + ftm.NameReplyLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsvc, err := target.ServiceEndpoint(ftm.SvcLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := tsvc.Invoke(context.Background(), component.Message{Op: ftm.OpSnapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := reply.Payload.([]rpc.Response)
+	if len(snap) != 1 || snap[0].ClientID != "c" {
+		t.Fatalf("reply log after switch = %v", snap)
+	}
+}

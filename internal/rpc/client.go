@@ -1,0 +1,183 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientft/internal/transport"
+)
+
+// KindRequest is the transport message kind carrying client requests.
+const KindRequest = "rpc.request"
+
+// Client invokes a replicated service with retries and failover. The same
+// (ClientID, Seq) identity is kept across retries so the service's reply
+// log can enforce at-most-once execution.
+type Client struct {
+	id  string
+	ep  transport.Endpoint
+	seq atomic.Uint64
+
+	mu       sync.Mutex
+	replicas []transport.Address
+	// preferred indexes the replica that last answered as master.
+	preferred int
+
+	callTimeout time.Duration
+	maxRounds   int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithCallTimeout bounds each individual call attempt.
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.callTimeout = d }
+}
+
+// WithMaxRounds bounds how many full passes over the replica list a
+// single Invoke makes before giving up.
+func WithMaxRounds(n int) ClientOption {
+	return func(c *Client) { c.maxRounds = n }
+}
+
+// NewClient returns a client identified by id, calling through ep and
+// failing over across replicas (tried in order, master usually first).
+func NewClient(id string, ep transport.Endpoint, replicas []transport.Address, opts ...ClientOption) *Client {
+	c := &Client{
+		id:          id,
+		ep:          ep,
+		replicas:    append([]transport.Address(nil), replicas...),
+		callTimeout: 2 * time.Second,
+		maxRounds:   3,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// SetReplicas replaces the replica list (used when the membership
+// changes).
+func (c *Client) SetReplicas(replicas []transport.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.replicas = append([]transport.Address(nil), replicas...)
+	c.preferred = 0
+}
+
+// order returns the replica list starting at the preferred one.
+func (c *Client) order() []transport.Address {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]transport.Address, 0, len(c.replicas))
+	for i := range c.replicas {
+		out = append(out, c.replicas[(c.preferred+i)%len(c.replicas)])
+	}
+	return out
+}
+
+func (c *Client) prefer(addr transport.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, a := range c.replicas {
+		if a == addr {
+			c.preferred = i
+			return
+		}
+	}
+}
+
+// Invoke executes op(payload) on the replicated service with at-most-once
+// semantics. It walks the replica list until one accepts the request as
+// master, retrying up to the configured number of rounds.
+func (c *Client) Invoke(ctx context.Context, op string, payload []byte) (Response, error) {
+	req := Request{ClientID: c.id, Seq: c.seq.Add(1), Op: op, Payload: payload}
+	return c.deliver(ctx, req)
+}
+
+// Redeliver re-sends a request under an explicit, previously used
+// sequence number — the retry path a client takes after losing a reply.
+// The service's reply log must replay rather than re-execute it.
+func (c *Client) Redeliver(ctx context.Context, seq uint64, op string, payload []byte) (Response, error) {
+	return c.deliver(ctx, Request{ClientID: c.id, Seq: seq, Op: op, Payload: payload})
+}
+
+// deliver sends req until a replica produces a definitive response.
+func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
+	data, err := transport.Encode(req)
+	if err != nil {
+		return Response{}, err
+	}
+	var lastErr error = ErrExhausted
+	for round := 0; round < c.maxRounds; round++ {
+		for _, addr := range c.order() {
+			if err := ctx.Err(); err != nil {
+				return Response{}, err
+			}
+			callCtx, cancel := context.WithTimeout(ctx, c.callTimeout)
+			replyData, err := c.ep.Call(callCtx, addr, KindRequest, data)
+			cancel()
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			var resp Response
+			if err := transport.Decode(replyData, &resp); err != nil {
+				lastErr = err
+				continue
+			}
+			switch resp.Status {
+			case StatusOK:
+				c.prefer(addr)
+				return resp, nil
+			case StatusAppError:
+				c.prefer(addr)
+				return resp, fmt.Errorf("%w: %s", ErrApp, resp.Err)
+			case StatusNotMaster, StatusUnavailable:
+				lastErr = fmt.Errorf("rpc: %s answered %s", addr, resp.Status)
+				continue
+			default:
+				lastErr = fmt.Errorf("rpc: %s answered unknown status %d", addr, resp.Status)
+			}
+		}
+		// Brief pause between rounds: a failover may be in progress.
+		if err := sleepCtx(ctx, 50*time.Millisecond); err != nil {
+			return Response{}, err
+		}
+	}
+	return Response{}, fmt.Errorf("%w: last error: %v", ErrExhausted, lastErr)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Handler is the server-side request processor.
+type Handler func(ctx context.Context, req Request) Response
+
+// Serve registers h as the request handler on ep. The returned function
+// unregisters it.
+func Serve(ep transport.Endpoint, h Handler) func() {
+	ep.Handle(KindRequest, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		var req Request
+		if err := transport.Decode(p.Payload, &req); err != nil {
+			return nil, err
+		}
+		resp := h(ctx, req)
+		resp.ClientID = req.ClientID
+		resp.Seq = req.Seq
+		return transport.Encode(resp)
+	})
+	return func() { ep.Handle(KindRequest, nil) }
+}

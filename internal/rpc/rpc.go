@@ -1,0 +1,169 @@
+// Package rpc implements the client/server request protocol of the
+// fault-tolerant applications: client-stamped request identities, retries
+// with primary failover, and at-most-once execution semantics backed by a
+// reply log that duplex FTMs replicate to their slave (so a failover never
+// re-executes a request whose reply was already produced).
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Request is one client call. ClientID and Seq together identify the
+// request across retries and failovers.
+type Request struct {
+	ClientID string
+	Seq      uint64
+	Op       string
+	Payload  []byte
+}
+
+// ID returns the request's globally unique identity.
+func (r Request) ID() string { return fmt.Sprintf("%s#%d", r.ClientID, r.Seq) }
+
+// Status encodes the outcome class of a response.
+type Status int
+
+// Response status values.
+const (
+	// StatusOK is a successful execution.
+	StatusOK Status = iota + 1
+	// StatusAppError is a business-logic failure (deterministic, logged
+	// for at-most-once like any reply).
+	StatusAppError
+	// StatusNotMaster tells the client to fail over to another replica.
+	StatusNotMaster
+	// StatusUnavailable reports a replica that cannot serve right now
+	// (for example mid-recovery); the client retries elsewhere.
+	StatusUnavailable
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusAppError:
+		return "app-error"
+	case StatusNotMaster:
+		return "not-master"
+	case StatusUnavailable:
+		return "unavailable"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Response is the reply to a Request.
+type Response struct {
+	ClientID string
+	Seq      uint64
+	Status   Status
+	Payload  []byte
+	Err      string
+	// Replayed marks a response served from the reply log rather than by
+	// re-execution (at-most-once in action).
+	Replayed bool
+}
+
+// Errors of the rpc package.
+var (
+	// ErrExhausted reports that all replicas were tried without success.
+	ErrExhausted = errors.New("rpc: all replicas unreachable")
+	// ErrApp wraps a StatusAppError response on the client side.
+	ErrApp = errors.New("rpc: application error")
+)
+
+// ReplyLog is the at-most-once cache: the last response per client
+// request. It retains a bounded number of entries per client (a client
+// only ever retries its most recent requests). The log is part of FTM
+// state: PBR ships it inside checkpoints, LFR maintains it on both
+// replicas.
+type ReplyLog struct {
+	mu        sync.Mutex
+	perClient int
+	entries   map[string][]Response // clientID -> responses ordered by seq
+}
+
+// NewReplyLog returns a log retaining perClient responses per client
+// (minimum 1).
+func NewReplyLog(perClient int) *ReplyLog {
+	if perClient < 1 {
+		perClient = 1
+	}
+	return &ReplyLog{perClient: perClient, entries: make(map[string][]Response)}
+}
+
+// Lookup returns the logged response for (clientID, seq).
+func (l *ReplyLog) Lookup(clientID string, seq uint64) (Response, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range l.entries[clientID] {
+		if r.Seq == seq {
+			r.Replayed = true
+			return r, true
+		}
+	}
+	return Response{}, false
+}
+
+// Record stores a response, evicting the oldest entries of that client
+// beyond the retention bound.
+func (l *ReplyLog) Record(resp Response) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	list := l.entries[resp.ClientID]
+	for i, r := range list {
+		if r.Seq == resp.Seq {
+			list[i] = resp
+			return
+		}
+	}
+	list = append(list, resp)
+	sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
+	if len(list) > l.perClient {
+		list = list[len(list)-l.perClient:]
+	}
+	l.entries[resp.ClientID] = list
+}
+
+// Len returns the total number of logged responses.
+func (l *ReplyLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, list := range l.entries {
+		n += len(list)
+	}
+	return n
+}
+
+// Snapshot serializes the log for inclusion in a checkpoint.
+func (l *ReplyLog) Snapshot() []Response {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Response
+	for _, list := range l.entries {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClientID != out[j].ClientID {
+			return out[i].ClientID < out[j].ClientID
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// Restore replaces the log contents with a snapshot.
+func (l *ReplyLog) Restore(snapshot []Response) {
+	l.mu.Lock()
+	l.entries = make(map[string][]Response, len(snapshot))
+	l.mu.Unlock()
+	for _, r := range snapshot {
+		l.Record(r)
+	}
+}

@@ -1,0 +1,313 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"resilientft/internal/transport"
+)
+
+func TestRequestID(t *testing.T) {
+	r := Request{ClientID: "c1", Seq: 42}
+	if r.ID() != "c1#42" {
+		t.Fatalf("ID = %q", r.ID())
+	}
+}
+
+func TestReplyLogLookupRecord(t *testing.T) {
+	l := NewReplyLog(8)
+	if _, ok := l.Lookup("c", 1); ok {
+		t.Fatal("empty log returned an entry")
+	}
+	l.Record(Response{ClientID: "c", Seq: 1, Status: StatusOK, Payload: []byte("a")})
+	got, ok := l.Lookup("c", 1)
+	if !ok {
+		t.Fatal("recorded entry not found")
+	}
+	if !got.Replayed {
+		t.Fatal("lookup must mark the response as replayed")
+	}
+	if string(got.Payload) != "a" {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestReplyLogOverwriteSameSeq(t *testing.T) {
+	l := NewReplyLog(4)
+	l.Record(Response{ClientID: "c", Seq: 1, Payload: []byte("old")})
+	l.Record(Response{ClientID: "c", Seq: 1, Payload: []byte("new")})
+	got, _ := l.Lookup("c", 1)
+	if string(got.Payload) != "new" {
+		t.Fatalf("payload = %q, want new", got.Payload)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestReplyLogEviction(t *testing.T) {
+	l := NewReplyLog(3)
+	for seq := uint64(1); seq <= 10; seq++ {
+		l.Record(Response{ClientID: "c", Seq: seq})
+	}
+	if _, ok := l.Lookup("c", 7); ok {
+		t.Fatal("evicted entry still present")
+	}
+	for seq := uint64(8); seq <= 10; seq++ {
+		if _, ok := l.Lookup("c", seq); !ok {
+			t.Fatalf("recent entry %d missing", seq)
+		}
+	}
+	// Other clients are unaffected by c's eviction.
+	l.Record(Response{ClientID: "d", Seq: 1})
+	if _, ok := l.Lookup("d", 1); !ok {
+		t.Fatal("entry of other client missing")
+	}
+}
+
+func TestReplyLogSnapshotRestore(t *testing.T) {
+	l := NewReplyLog(8)
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.Record(Response{ClientID: "a", Seq: seq, Payload: []byte{byte(seq)}})
+		l.Record(Response{ClientID: "b", Seq: seq})
+	}
+	snap := l.Snapshot()
+	l2 := NewReplyLog(8)
+	l2.Restore(snap)
+	if !reflect.DeepEqual(l2.Snapshot(), snap) {
+		t.Fatal("snapshot/restore round trip mismatch")
+	}
+}
+
+// Property: after any sequence of Record operations, Lookup(id, seq)
+// either misses or returns the latest recorded payload for that pair.
+func TestReplyLogProperty(t *testing.T) {
+	type key struct {
+		client string
+		seq    uint64
+	}
+	f := func(ops []uint8) bool {
+		l := NewReplyLog(16)
+		latest := make(map[key][]byte)
+		for i, op := range ops {
+			k := key{client: fmt.Sprintf("c%d", op%3), seq: uint64(op % 8)}
+			payload := []byte{byte(i)}
+			l.Record(Response{ClientID: k.client, Seq: k.seq, Payload: payload})
+			latest[k] = payload
+		}
+		for k, want := range latest {
+			got, ok := l.Lookup(k.client, k.seq)
+			if !ok {
+				return false // retention 16 > 8 possible seqs per client, must hit
+			}
+			if string(got.Payload) != string(want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// replicaSim is a scripted server used to test client failover.
+type replicaSim struct {
+	mu     sync.Mutex
+	status Status
+	log    *ReplyLog
+	execs  int
+}
+
+func newReplicaSim(n *transport.MemNetwork, addr transport.Address, status Status) (*replicaSim, error) {
+	ep, err := n.Endpoint(addr)
+	if err != nil {
+		return nil, err
+	}
+	r := &replicaSim{status: status, log: NewReplyLog(8)}
+	Serve(ep, func(ctx context.Context, req Request) Response {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.status != StatusOK {
+			return Response{Status: r.status}
+		}
+		if prev, ok := r.log.Lookup(req.ClientID, req.Seq); ok {
+			return prev
+		}
+		r.execs++
+		resp := Response{ClientID: req.ClientID, Seq: req.Seq, Status: StatusOK,
+			Payload: []byte(fmt.Sprintf("exec%d", r.execs))}
+		r.log.Record(resp)
+		return resp
+	})
+	return r, nil
+}
+
+func (r *replicaSim) setStatus(s Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.status = s
+}
+
+func (r *replicaSim) execCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.execs
+}
+
+func TestClientInvokesMaster(t *testing.T) {
+	n := transport.NewMemNetwork()
+	master, err := newReplicaSim(n, "m", StatusOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cep, _ := n.Endpoint("client")
+	c := NewClient("c1", cep, []transport.Address{"m"})
+	resp, err := c.Invoke(context.Background(), "inc", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if string(resp.Payload) != "exec1" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+	if master.execCount() != 1 {
+		t.Fatalf("executions = %d", master.execCount())
+	}
+}
+
+func TestClientFailsOverOnNotMaster(t *testing.T) {
+	n := transport.NewMemNetwork()
+	backup, err := newReplicaSim(n, "backup", StatusNotMaster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newReplicaSim(n, "primary", StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	cep, _ := n.Endpoint("client")
+	// Backup listed first: the client must skip it.
+	c := NewClient("c1", cep, []transport.Address{"backup", "primary"})
+	resp, err := c.Invoke(context.Background(), "op", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+	if backup.execCount() != 0 {
+		t.Fatal("backup executed a request while not master")
+	}
+	// After failover the client prefers the working primary.
+	if got := c.order()[0]; got != "primary" {
+		t.Fatalf("preferred replica = %s, want primary", got)
+	}
+}
+
+func TestClientFailsOverOnCrash(t *testing.T) {
+	n := transport.NewMemNetwork()
+	if _, err := newReplicaSim(n, "p", StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newReplicaSim(n, "b", StatusOK); err != nil {
+		t.Fatal(err)
+	}
+	n.Partition("client", "p") // crash-like unreachability of the primary
+	cep, _ := n.Endpoint("client")
+	c := NewClient("c1", cep, []transport.Address{"p", "b"}, WithCallTimeout(100*time.Millisecond))
+	resp, err := c.Invoke(context.Background(), "op", nil)
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %v", resp.Status)
+	}
+}
+
+func TestClientExhaustsWhenAllDown(t *testing.T) {
+	n := transport.NewMemNetwork()
+	cep, _ := n.Endpoint("client")
+	c := NewClient("c1", cep, []transport.Address{"ghost1", "ghost2"},
+		WithCallTimeout(50*time.Millisecond), WithMaxRounds(2))
+	_, err := c.Invoke(context.Background(), "op", nil)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("Invoke: err = %v, want ErrExhausted", err)
+	}
+}
+
+func TestClientAppErrorSurfaced(t *testing.T) {
+	n := transport.NewMemNetwork()
+	ep, _ := n.Endpoint("s")
+	Serve(ep, func(ctx context.Context, req Request) Response {
+		return Response{Status: StatusAppError, Err: "division by zero"}
+	})
+	cep, _ := n.Endpoint("client")
+	c := NewClient("c1", cep, []transport.Address{"s"})
+	_, err := c.Invoke(context.Background(), "div", nil)
+	if !errors.Is(err, ErrApp) {
+		t.Fatalf("Invoke: err = %v, want ErrApp", err)
+	}
+}
+
+func TestAtMostOnceAcrossFailover(t *testing.T) {
+	// A client retries the same request identity against two replicas
+	// sharing a reply log (as a duplex FTM does): the request must
+	// execute exactly once.
+	n := transport.NewMemNetwork()
+	shared := NewReplyLog(8)
+	execs := 0
+	var mu sync.Mutex
+	serveShared := func(addr transport.Address, accept *bool) {
+		ep, err := n.Endpoint(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Serve(ep, func(ctx context.Context, req Request) Response {
+			mu.Lock()
+			defer mu.Unlock()
+			if !*accept {
+				return Response{Status: StatusUnavailable}
+			}
+			if prev, ok := shared.Lookup(req.ClientID, req.Seq); ok {
+				return prev
+			}
+			execs++
+			resp := Response{ClientID: req.ClientID, Seq: req.Seq, Status: StatusOK, Payload: []byte("done")}
+			shared.Record(resp)
+			return resp
+		})
+	}
+	acceptA, acceptB := true, false
+	serveShared("a", &acceptA)
+	serveShared("b", &acceptB)
+	cep, _ := n.Endpoint("client")
+	c := NewClient("c1", cep, []transport.Address{"a", "b"}, WithCallTimeout(100*time.Millisecond))
+
+	if _, err := c.Invoke(context.Background(), "op", nil); err != nil {
+		t.Fatalf("first Invoke: %v", err)
+	}
+	// Re-deliver the same request identity (as a retry after a lost
+	// reply would): role switched to b, which sees the logged reply.
+	mu.Lock()
+	acceptA, acceptB = false, true
+	mu.Unlock()
+	resp, err := c.deliver(context.Background(), Request{ClientID: "c1", Seq: 1, Op: "op"})
+	if err != nil {
+		t.Fatalf("redelivery: %v", err)
+	}
+	if !resp.Replayed {
+		t.Fatal("redelivered request was not served from the reply log")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if execs != 1 {
+		t.Fatalf("executions = %d, want 1 (at-most-once violated)", execs)
+	}
+}

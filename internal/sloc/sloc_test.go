@@ -1,0 +1,107 @@
+package sloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCountSourceClassification(t *testing.T) {
+	src := `// Package doc.
+package x
+
+/*
+block comment
+*/
+func F() int {
+	return 1 // trailing comment counts as code
+}
+`
+	got := CountSource(src)
+	if got.Code != 4 {
+		t.Errorf("Code = %d, want 4", got.Code)
+	}
+	if got.Comment != 4 {
+		t.Errorf("Comment = %d, want 4", got.Comment)
+	}
+	if got.Blank != 1 {
+		t.Errorf("Blank = %d, want 1", got.Blank)
+	}
+	if got.Files != 1 {
+		t.Errorf("Files = %d", got.Files)
+	}
+}
+
+func TestCountSourceBlockEdgeCases(t *testing.T) {
+	src := "x := 1 /* opens\nstill comment\nends */ y := 2\n"
+	got := CountSource(src)
+	if got.Code != 2 {
+		t.Errorf("Code = %d, want 2 (open line and close line with code)", got.Code)
+	}
+	if got.Comment != 1 {
+		t.Errorf("Comment = %d, want 1", got.Comment)
+	}
+}
+
+func TestCountDirFiltersTests(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.go":          "package a\nvar X = 1\n",
+		"a_test.go":     "package a\nvar T = 1\n",
+		"sub/b.go":      "package b\nvar Y = 1\nvar Z = 2\n",
+		"sub/notes.txt": "not go\n",
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := CountDir(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("files counted = %v", got)
+	}
+	total := Total(got)
+	if total.Code != 5 {
+		t.Fatalf("total code = %d, want 5", total.Code)
+	}
+
+	withTests, err := CountDir(dir, Options{IncludeTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withTests) != 3 {
+		t.Fatalf("files with tests = %d", len(withTests))
+	}
+
+	onlyB, err := CountDir(dir, Options{Match: func(name string) bool {
+		return strings.HasPrefix(name, "b")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onlyB) != 1 {
+		t.Fatalf("matched files = %v", onlyB)
+	}
+}
+
+func TestCountsThisPackage(t *testing.T) {
+	got, err := CountDir(".", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, ok := got["sloc.go"]
+	if !ok {
+		t.Fatalf("sloc.go not counted: %v", got)
+	}
+	if stats.Code < 50 {
+		t.Fatalf("sloc.go code lines = %d, suspiciously low", stats.Code)
+	}
+}

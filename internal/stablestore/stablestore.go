@@ -1,0 +1,183 @@
+// Package stablestore implements the stable storage of the adaptation
+// layer (paper §5.3, "Recovery of adaptation"): a crash-surviving,
+// append-only record of the currently-active FTM configuration per
+// replica. A replica restarted after crashing mid-transition reads its
+// counterpart's committed configuration from here and rejoins in that
+// configuration.
+package stablestore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ConfigRecord is one committed FTM configuration.
+type ConfigRecord struct {
+	// System identifies the protected application.
+	System string `json:"system"`
+	// FTM is the identifier of the active fault tolerance mechanism.
+	FTM string `json:"ftm"`
+	// Version increases with every committed transition.
+	Version uint64 `json:"version"`
+	// Committed is when the transition completed.
+	Committed time.Time `json:"committed"`
+}
+
+// Store is the stable storage contract.
+type Store interface {
+	// Commit durably appends a configuration record.
+	Commit(rec ConfigRecord) error
+	// Current returns the latest committed record for a system.
+	Current(system string) (ConfigRecord, bool, error)
+	// History returns all committed records for a system, oldest first.
+	History(system string) ([]ConfigRecord, error)
+}
+
+// MemStore is an in-memory Store for simulations and tests. Its
+// "stability" is its survival across simulated host crashes, which tear
+// down runtimes but not the store.
+type MemStore struct {
+	mu      sync.Mutex
+	records []ConfigRecord
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+var _ Store = (*MemStore)(nil)
+
+// Commit appends a record.
+func (s *MemStore) Commit(rec ConfigRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, rec)
+	return nil
+}
+
+// Current returns the latest record for system.
+func (s *MemStore) Current(system string) (ConfigRecord, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.records) - 1; i >= 0; i-- {
+		if s.records[i].System == system {
+			return s.records[i], true, nil
+		}
+	}
+	return ConfigRecord{}, false, nil
+}
+
+// History returns all records for system, oldest first.
+func (s *MemStore) History(system string) ([]ConfigRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ConfigRecord
+	for _, r := range s.records {
+		if r.System == system {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// FileStore is a file-backed Store: one JSON record per line, fsynced on
+// every commit.
+type FileStore struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileStore returns a store persisting to path (created on first
+// commit).
+func NewFileStore(path string) *FileStore { return &FileStore{path: path} }
+
+var _ Store = (*FileStore)(nil)
+
+// Commit durably appends a record.
+func (s *FileStore) Commit(rec ConfigRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("stablestore: open: %w", err)
+	}
+	defer f.Close()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("stablestore: marshal: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("stablestore: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("stablestore: sync: %w", err)
+	}
+	return nil
+}
+
+func (s *FileStore) load() ([]ConfigRecord, error) {
+	f, err := os.Open(s.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("stablestore: open: %w", err)
+	}
+	defer f.Close()
+	var out []ConfigRecord
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec ConfigRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line from a crash mid-write is tolerated;
+			// anything before it was fsynced whole.
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stablestore: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Current returns the latest record for system.
+func (s *FileStore) Current(system string) (ConfigRecord, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	records, err := s.load()
+	if err != nil {
+		return ConfigRecord{}, false, err
+	}
+	for i := len(records) - 1; i >= 0; i-- {
+		if records[i].System == system {
+			return records[i], true, nil
+		}
+	}
+	return ConfigRecord{}, false, nil
+}
+
+// History returns all records for system, oldest first.
+func (s *FileStore) History(system string) ([]ConfigRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	records, err := s.load()
+	if err != nil {
+		return nil, err
+	}
+	var out []ConfigRecord
+	for _, r := range records {
+		if r.System == system {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

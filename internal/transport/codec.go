@@ -1,0 +1,34 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Encode gob-serializes v for transmission.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-deserializes data into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode into %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustEncode is Encode that panics on error; for values whose
+// encodability is a static property of the program.
+func MustEncode(v any) []byte {
+	data, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

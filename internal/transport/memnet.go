@@ -1,0 +1,283 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-memory simulated network. Delivery incurs a
+// configurable latency (with jitter), one-way messages can be lost with a
+// configurable probability, and pairs of addresses can be partitioned.
+// All randomness is seeded, so experiments are reproducible.
+type MemNetwork struct {
+	mu         sync.Mutex
+	endpoints  map[Address]*memEndpoint
+	latency    time.Duration
+	jitter     time.Duration
+	lossRate   float64
+	rng        *rand.Rand
+	partitions map[[2]Address]bool
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency sets the base one-way delivery latency.
+func WithLatency(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithJitter sets the maximum extra random latency per delivery.
+func WithJitter(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.jitter = d }
+}
+
+// WithLoss sets the loss probability (0..1) for one-way messages.
+func WithLoss(p float64) MemOption {
+	return func(n *MemNetwork) { n.lossRate = p }
+}
+
+// WithSeed seeds the network's random source.
+func WithSeed(seed int64) MemOption {
+	return func(n *MemNetwork) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewMemNetwork returns a simulated network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{
+		endpoints:  make(map[Address]*memEndpoint),
+		rng:        rand.New(rand.NewSource(1)),
+		partitions: make(map[[2]Address]bool),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint attaches a new endpoint at addr. An address whose previous
+// endpoint was closed may be reused — that is how a restarted host
+// reclaims its address.
+func (n *MemNetwork) Endpoint(addr Address) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if prev, ok := n.endpoints[addr]; ok && !prev.isClosed() {
+		return nil, fmt.Errorf("transport: address %q already attached", addr)
+	}
+	ep := &memEndpoint{net: n, addr: addr, handlers: make(map[string]Handler)}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Partition blocks traffic between a and b in both directions.
+func (n *MemNetwork) Partition(a, b Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[pairKey(a, b)] = true
+}
+
+// Heal restores traffic between a and b.
+func (n *MemNetwork) Heal(a, b Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, pairKey(a, b))
+}
+
+// HealAll removes every partition.
+func (n *MemNetwork) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions = make(map[[2]Address]bool)
+}
+
+func pairKey(a, b Address) [2]Address {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Address{a, b}
+}
+
+// Stats returns the traffic counters of addr.
+func (n *MemNetwork) Stats(addr Address) Stats {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	n.mu.Unlock()
+	if !ok {
+		return Stats{}
+	}
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.stats
+}
+
+// route resolves delivery of a packet: the target endpoint or an error,
+// plus the delay to impose and whether a lossy send drops the packet.
+func (n *MemNetwork) route(from, to Address, oneWay bool) (*memEndpoint, time.Duration, bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.partitions[pairKey(from, to)] {
+		return nil, 0, false, fmt.Errorf("%w: %s -> %s (partitioned)", ErrUnreachable, from, to)
+	}
+	target, ok := n.endpoints[to]
+	if !ok || target.isClosed() {
+		return nil, 0, false, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	delay := n.latency
+	if n.jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	dropped := oneWay && n.lossRate > 0 && n.rng.Float64() < n.lossRate
+	return target, delay, dropped, nil
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+type memEndpoint struct {
+	net  *MemNetwork
+	addr Address
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   bool
+	stats    Stats
+}
+
+var _ Endpoint = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Addr() Address { return e.addr }
+
+func (e *memEndpoint) Handle(kind string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h == nil {
+		delete(e.handlers, kind)
+		return
+	}
+	e.handlers[kind] = h
+}
+
+func (e *memEndpoint) handler(kind string) (Handler, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	h, ok := e.handlers[kind]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q at %s", ErrNoHandler, kind, e.addr)
+	}
+	return h, nil
+}
+
+func (e *memEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+func (e *memEndpoint) account(send bool, bytes int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if send {
+		e.stats.MessagesSent++
+		e.stats.BytesSent += uint64(bytes)
+	} else {
+		e.stats.MessagesReceived++
+		e.stats.BytesReceived += uint64(bytes)
+	}
+}
+
+func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
+	if e.isClosed() {
+		return ErrClosed
+	}
+	target, delay, dropped, err := e.net.route(e.addr, to, true)
+	if err != nil {
+		return err
+	}
+	e.account(true, len(payload))
+	if dropped {
+		return nil // fire-and-forget loss is silent, like UDP
+	}
+	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
+	go func() {
+		if err := sleepCtx(context.Background(), delay); err != nil {
+			return
+		}
+		h, err := target.handler(kind)
+		if err != nil {
+			return
+		}
+		target.account(false, len(pkt.Payload))
+		_, _ = h(context.Background(), pkt)
+	}()
+	return nil
+}
+
+func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
+	if e.isClosed() {
+		return nil, ErrClosed
+	}
+	target, delay, _, err := e.net.route(e.addr, to, false)
+	if err != nil {
+		return nil, err
+	}
+	e.account(true, len(payload))
+	if err := sleepCtx(ctx, delay); err != nil {
+		return nil, err
+	}
+	h, err := target.handler(kind)
+	if err != nil {
+		return nil, err
+	}
+	if target.isClosed() {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
+	target.account(false, len(pkt.Payload))
+
+	type result struct {
+		reply []byte
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
+		reply, err := h(ctx, pkt)
+		done <- result{reply: reply, err: err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case r := <-done:
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRemote, r.err)
+		}
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
+		}
+		e.account(false, len(r.reply))
+		return r.reply, nil
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.closed = true
+	return nil
+}

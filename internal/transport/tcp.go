@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpFrame is the wire format of the TCP transport: one gob-encoded frame
+// per request or reply on a dedicated connection.
+type tcpFrame struct {
+	From    string
+	Kind    string
+	Payload []byte
+	OneWay  bool
+	// Reply fields
+	Err string
+}
+
+// TCPEndpoint implements Endpoint over real TCP connections. Addresses
+// are host:port strings. Each Call uses one connection; the simulated
+// MemNetwork remains the default for experiments, this transport backs
+// cmd/resilientd deployments.
+type TCPEndpoint struct {
+	addr     Address
+	listener net.Listener
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP starts an endpoint listening on addr ("host:port"; ":0" picks
+// a free port — read the effective address back with Addr).
+func ListenTCP(addr string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &TCPEndpoint{
+		addr:     Address(l.Addr().String()),
+		listener: l,
+		handlers: make(map[string]Handler),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.serve(conn)
+		}()
+	}
+}
+
+func (e *TCPEndpoint) serve(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var frame tcpFrame
+		if err := dec.Decode(&frame); err != nil {
+			return
+		}
+		e.mu.Lock()
+		h, ok := e.handlers[frame.Kind]
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		pkt := Packet{From: Address(frame.From), To: e.addr, Kind: frame.Kind, Payload: frame.Payload}
+		var reply tcpFrame
+		if !ok {
+			reply.Err = fmt.Sprintf("no handler for %q", frame.Kind)
+		} else {
+			out, err := h(context.Background(), pkt)
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Payload = out
+			}
+		}
+		if frame.OneWay {
+			continue
+		}
+		if err := enc.Encode(&reply); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the endpoint's effective listen address.
+func (e *TCPEndpoint) Addr() Address { return e.addr }
+
+// Handle registers the handler for a message kind.
+func (e *TCPEndpoint) Handle(kind string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if h == nil {
+		delete(e.handlers, kind)
+		return
+	}
+	e.handlers[kind] = h
+}
+
+func (e *TCPEndpoint) dial(ctx context.Context, to Address) (net.Conn, error) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	return conn, nil
+}
+
+// Send delivers a one-way message.
+func (e *TCPEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
+	conn, err := e.dial(ctx, to)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload, OneWay: true}
+	return gob.NewEncoder(conn).Encode(&frame)
+}
+
+// Call performs a request/reply round-trip.
+func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
+	conn, err := e.dial(ctx, to)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("transport: set deadline: %w", err)
+		}
+	}
+	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload}
+	if err := gob.NewEncoder(conn).Encode(&frame); err != nil {
+		return nil, fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	var reply tcpFrame
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+	}
+	if reply.Err != "" {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
+	}
+	return reply.Payload, nil
+}
+
+// Close stops the listener and waits for in-flight handlers.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	err := e.listener.Close()
+	e.wg.Wait()
+	return err
+}

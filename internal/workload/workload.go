@@ -1,0 +1,114 @@
+// Package workload generates deterministic client workloads for the
+// stress tests, benchmarks and parameter sweeps: seeded streams of
+// application operations over a configurable register space, with a
+// shadow model that predicts every expected result so correctness can be
+// checked operation by operation.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op is one generated operation with its expected outcome.
+type Op struct {
+	// Name is the application operation ("add:r3").
+	Name string
+	// Arg is the operation argument.
+	Arg int64
+	// Expected is the result a correct system returns.
+	Expected int64
+}
+
+// Config shapes a generated workload.
+type Config struct {
+	// Seed drives the generator.
+	Seed int64
+	// Registers is the size of the register space (the application state
+	// footprint; the state-sweep experiment varies it).
+	Registers int
+	// WriteRatio is the fraction of mutating operations (0..1); the rest
+	// are reads.
+	WriteRatio float64
+}
+
+// Generator produces a deterministic operation stream and tracks the
+// expected state.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	model map[string]int64
+	count int
+}
+
+// New returns a generator.
+func New(cfg Config) *Generator {
+	if cfg.Registers < 1 {
+		cfg.Registers = 1
+	}
+	if cfg.WriteRatio <= 0 {
+		cfg.WriteRatio = 0.5
+	}
+	return &Generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		model: make(map[string]int64, cfg.Registers),
+	}
+}
+
+// Next produces the next operation and the result a correct execution
+// must return.
+func (g *Generator) Next() Op {
+	g.count++
+	reg := fmt.Sprintf("r%d", g.rng.Intn(g.cfg.Registers))
+	if g.rng.Float64() >= g.cfg.WriteRatio {
+		return Op{Name: "get:" + reg, Arg: 0, Expected: g.model[reg]}
+	}
+	arg := int64(g.rng.Intn(1000) - 500)
+	switch g.rng.Intn(3) {
+	case 0:
+		g.model[reg] = arg
+		return Op{Name: "set:" + reg, Arg: arg, Expected: arg}
+	case 1:
+		g.model[reg] += arg
+		return Op{Name: "add:" + reg, Arg: arg, Expected: g.model[reg]}
+	default:
+		g.model[reg] -= arg
+		return Op{Name: "sub:" + reg, Arg: arg, Expected: g.model[reg]}
+	}
+}
+
+// Stream produces the next n operations.
+func (g *Generator) Stream(n int) []Op {
+	out := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Count returns how many operations were generated.
+func (g *Generator) Count() int { return g.count }
+
+// Model returns a copy of the expected register state.
+func (g *Generator) Model() map[string]int64 {
+	out := make(map[string]int64, len(g.model))
+	for k, v := range g.model {
+		out[k] = v
+	}
+	return out
+}
+
+// Prefill returns set operations initializing every register (the
+// state-footprint knob of the sweep experiments) and folds them into the
+// model.
+func (g *Generator) Prefill() []Op {
+	out := make([]Op, 0, g.cfg.Registers)
+	for i := 0; i < g.cfg.Registers; i++ {
+		reg := fmt.Sprintf("r%d", i)
+		v := int64(g.rng.Intn(1000))
+		g.model[reg] = v
+		out = append(out, Op{Name: "set:" + reg, Arg: v, Expected: v})
+	}
+	return out
+}

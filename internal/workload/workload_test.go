@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a := New(Config{Seed: 7, Registers: 4})
+	b := New(Config{Seed: 7, Registers: 4})
+	sa, sb := a.Stream(100), b.Stream(100)
+	if !reflect.DeepEqual(sa, sb) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := New(Config{Seed: 8, Registers: 4})
+	if reflect.DeepEqual(sa, c.Stream(100)) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestModelTracksExpectations(t *testing.T) {
+	g := New(Config{Seed: 3, Registers: 2, WriteRatio: 1.0})
+	state := map[string]int64{}
+	for _, op := range g.Stream(200) {
+		parts := strings.SplitN(op.Name, ":", 2)
+		verb, reg := parts[0], parts[1]
+		switch verb {
+		case "set":
+			state[reg] = op.Arg
+		case "add":
+			state[reg] += op.Arg
+		case "sub":
+			state[reg] -= op.Arg
+		}
+		if state[reg] != op.Expected {
+			t.Fatalf("op %q arg %d: expected %d, model says %d", op.Name, op.Arg, op.Expected, state[reg])
+		}
+	}
+	if !reflect.DeepEqual(g.Model(), state) {
+		t.Fatalf("Model() = %v, replay = %v", g.Model(), state)
+	}
+}
+
+func TestReadsDoNotMutate(t *testing.T) {
+	g := New(Config{Seed: 5, Registers: 3, WriteRatio: 0.0001})
+	before := g.Model()
+	reads := 0
+	for _, op := range g.Stream(100) {
+		if strings.HasPrefix(op.Name, "get:") {
+			reads++
+		}
+	}
+	if reads < 90 {
+		t.Fatalf("write ratio ignored: only %d reads", reads)
+	}
+	_ = before
+}
+
+func TestPrefillInitializesAllRegisters(t *testing.T) {
+	g := New(Config{Seed: 1, Registers: 16})
+	ops := g.Prefill()
+	if len(ops) != 16 {
+		t.Fatalf("prefill ops = %d", len(ops))
+	}
+	if len(g.Model()) != 16 {
+		t.Fatalf("model size = %d", len(g.Model()))
+	}
+	if g.Count() != 0 {
+		t.Fatalf("prefill counted as generated ops: %d", g.Count())
+	}
+}

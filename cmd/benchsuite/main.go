@@ -5,6 +5,7 @@
 //	benchsuite                  # all experiments
 //	benchsuite -exp table3      # one experiment
 //	benchsuite -runs 100        # the paper's repetition count
+//	benchsuite -exp bench -json BENCH.json   # request-path perf as JSON
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"resilientft/internal/experiments"
@@ -19,12 +21,20 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|fig4|fig5|fig6|fig8|fig9|agility|sweep|ablation|all")
-		runs = flag.Int("runs", 100, "repetitions per timed measurement (the paper uses 100)")
-		root = flag.String("root", ".", "repository root (for the SLOC figures)")
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|fig2|fig4|fig5|fig6|fig8|fig9|agility|sweep|ablation|bench|all")
+		runs     = flag.Int("runs", 100, "repetitions per timed measurement (the paper uses 100)")
+		root     = flag.String("root", ".", "repository root (for the SLOC figures)")
+		jsonPath = flag.String("json", "", "with -exp bench: write the perf report JSON to this file (stdout when empty)")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	switch *exp {
+	case "table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
+		"agility", "sweep", "ablation", "bench", "all":
+	default:
+		log.Fatalf("unknown experiment %q (see -exp in -help)", *exp)
+	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	section := func(title string) {
@@ -119,6 +129,25 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RenderSweep(points))
+	}
+	if *exp == "bench" {
+		// Deliberately not part of "all": the perf suite is the
+		// machine-readable request-path report (BENCH_pr1.json), not one
+		// of the paper's artifacts.
+		report, err := experiments.PerfSuite(ctx, *runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := report.JSON()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonPath == "" {
+			fmt.Println(string(data))
+		} else if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if want("ablation") {
 		section("Extra — differential vs monolithic replacement ablation")

@@ -17,6 +17,11 @@ import (
 // (checkpointing-based strategies are invalid for it, per Table 1).
 var ErrNoAccess = errors.New("appstate: application state not accessible")
 
+// ErrDeltaBase reports a delta whose base version does not match the
+// receiver's current state version; the sender must fall back to a full
+// checkpoint (the resync path).
+var ErrDeltaBase = errors.New("appstate: delta base version mismatch")
+
 // Manager is the StateManager contract of the paper: the hook an
 // application exposes so FTMs can capture and restore its state.
 type Manager interface {
@@ -26,20 +31,63 @@ type Manager interface {
 	RestoreState(data []byte) error
 }
 
+// DeltaCapturer is the optional extension of Manager for delta
+// checkpointing: a state that tracks its own write-set under a monotonic
+// version counter, so a checkpointing FTM can ship O(write-set) deltas
+// between acknowledged versions instead of the full state every request.
+// The delta payload is opaque to callers, like a full capture.
+type DeltaCapturer interface {
+	Manager
+	// StateVersion returns the current version (bumped on every mutation).
+	StateVersion() uint64
+	// CaptureVersioned is CaptureState paired atomically with the version
+	// the capture represents.
+	CaptureVersioned() (data []byte, version uint64, err error)
+	// CaptureDelta serializes the changes made after version base.
+	// ok=false means the tracker cannot answer for base (it predates the
+	// retained history); the caller must ship a full capture instead.
+	// Capturing prunes history at or below base, so bases must be taken
+	// from previously acknowledged versions and never move backward.
+	CaptureDelta(base uint64) (delta []byte, to uint64, ok bool, err error)
+	// ApplyDelta applies a delta to a state whose version equals the
+	// delta's base, returning the new version. A base mismatch returns
+	// ErrDeltaBase and leaves the state untouched.
+	ApplyDelta(delta []byte) (version uint64, err error)
+	// ApplyFull replaces the state with a full capture and adopts the
+	// sender's version, aligning the two sides for subsequent deltas.
+	ApplyFull(data []byte, version uint64) error
+}
+
 // Registers is a deterministic register-file application state: named
 // int64 registers. It is the state container of the example applications
-// and workload generators.
+// and workload generators. Every mutation bumps a version counter and
+// marks the touched register in a dirty map, which is what makes the
+// DeltaCapturer contract cheap: a delta is the dirty keys newer than the
+// requested base.
 type Registers struct {
 	mu   sync.Mutex
 	regs map[string]int64
+
+	// version counts mutations; recent maps a register to the version of
+	// its last modification, for every modification newer than floor. A
+	// register present in recent but absent from regs was deleted.
+	version uint64
+	recent  map[string]uint64
+	floor   uint64
 }
 
 // NewRegisters returns an empty register file.
 func NewRegisters() *Registers {
-	return &Registers{regs: make(map[string]int64)}
+	return &Registers{
+		regs:   make(map[string]int64),
+		recent: make(map[string]uint64),
+	}
 }
 
-var _ Manager = (*Registers)(nil)
+var (
+	_ Manager       = (*Registers)(nil)
+	_ DeltaCapturer = (*Registers)(nil)
+)
 
 // Get returns the value of a register (0 when never written).
 func (r *Registers) Get(name string) int64 {
@@ -53,6 +101,8 @@ func (r *Registers) Set(name string, v int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.regs[name] = v
+	r.version++
+	r.recent[name] = r.version
 }
 
 // Add increments a register and returns the new value.
@@ -60,6 +110,8 @@ func (r *Registers) Add(name string, delta int64) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.regs[name] += delta
+	r.version++
+	r.recent[name] = r.version
 	return r.regs[name]
 }
 
@@ -75,23 +127,46 @@ func (r *Registers) Names() []string {
 	return out
 }
 
-// snapshot is the serialized form of Registers.
+// snapshot is the serialized form of Registers. The layout is checkpoint
+// wire format and must not change.
 type snapshot struct {
 	Regs map[string]int64
 }
 
+// regDelta is the serialized form of a Registers write-set between two
+// versions.
+type regDelta struct {
+	Base    uint64
+	To      uint64
+	Regs    map[string]int64
+	Deleted []string
+}
+
 // CaptureState serializes the register file.
 func (r *Registers) CaptureState() ([]byte, error) {
+	data, _, err := r.CaptureVersioned()
+	return data, err
+}
+
+// CaptureVersioned serializes the register file along with the version
+// the capture represents.
+func (r *Registers) CaptureVersioned() ([]byte, uint64, error) {
 	r.mu.Lock()
 	regs := make(map[string]int64, len(r.regs))
 	for k, v := range r.regs {
 		regs[k] = v
 	}
+	version := r.version
 	r.mu.Unlock()
-	return transport.Encode(snapshot{Regs: regs})
+	data, err := transport.Encode(snapshot{Regs: regs})
+	return data, version, err
 }
 
-// RestoreState replaces the register file with a capture.
+// RestoreState replaces the register file with a capture. The restore is
+// applied as a diff against the current contents: only registers whose
+// value actually changes (or disappears) are marked dirty, so a
+// restore-heavy FTM combination (time redundancy restoring before every
+// retry, say) does not blow up the delta write-set.
 func (r *Registers) RestoreState(data []byte) error {
 	var s snapshot
 	if err := transport.Decode(data, &s); err != nil {
@@ -99,10 +174,104 @@ func (r *Registers) RestoreState(data []byte) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.version++
+	v := r.version
+	for k, nv := range s.Regs {
+		if ov, ok := r.regs[k]; !ok || ov != nv {
+			r.regs[k] = nv
+			r.recent[k] = v
+		}
+	}
+	for k := range r.regs {
+		if _, ok := s.Regs[k]; !ok {
+			delete(r.regs, k)
+			r.recent[k] = v // tombstone: recorded in recent, absent from regs
+		}
+	}
+	return nil
+}
+
+// StateVersion returns the current mutation counter.
+func (r *Registers) StateVersion() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// CaptureDelta serializes the registers modified after version base.
+func (r *Registers) CaptureDelta(base uint64) ([]byte, uint64, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if base < r.floor || base > r.version {
+		return nil, r.version, false, nil
+	}
+	d := regDelta{Base: base, To: r.version, Regs: make(map[string]int64)}
+	for k, mv := range r.recent {
+		if mv <= base {
+			// History at or below an acknowledged base is dead weight:
+			// future captures only ever ask for newer bases.
+			delete(r.recent, k)
+			continue
+		}
+		if val, ok := r.regs[k]; ok {
+			d.Regs[k] = val
+		} else {
+			d.Deleted = append(d.Deleted, k)
+		}
+	}
+	if base > r.floor {
+		r.floor = base
+	}
+	sort.Strings(d.Deleted)
+	data, err := transport.Encode(d)
+	if err != nil {
+		return nil, r.version, false, err
+	}
+	return data, d.To, true, nil
+}
+
+// ApplyDelta applies a delta captured against this state's exact current
+// version.
+func (r *Registers) ApplyDelta(delta []byte) (uint64, error) {
+	var d regDelta
+	if err := transport.Decode(delta, &d); err != nil {
+		return 0, fmt.Errorf("appstate: apply delta: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d.Base != r.version {
+		return r.version, fmt.Errorf("%w: at version %d, delta base %d", ErrDeltaBase, r.version, d.Base)
+	}
+	for k, v := range d.Regs {
+		r.regs[k] = v
+	}
+	for _, k := range d.Deleted {
+		delete(r.regs, k)
+	}
+	r.version = d.To
+	// The receiving side's own history is useless below the adopted
+	// version: a future capture from here starts with a full checkpoint.
+	r.recent = make(map[string]uint64)
+	r.floor = r.version
+	return r.version, nil
+}
+
+// ApplyFull replaces the register file with a full capture and adopts
+// the sender's version.
+func (r *Registers) ApplyFull(data []byte, version uint64) error {
+	var s snapshot
+	if err := transport.Decode(data, &s); err != nil {
+		return fmt.Errorf("appstate: apply full: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.regs = make(map[string]int64, len(s.Regs))
 	for k, v := range s.Regs {
 		r.regs[k] = v
 	}
+	r.version = version
+	r.recent = make(map[string]uint64)
+	r.floor = version
 	return nil
 }
 
@@ -124,10 +293,31 @@ func (Opaque) RestoreState([]byte) error { return ErrNoAccess }
 // application state paired with the reply-log snapshot that preserves
 // at-most-once semantics across failover, and the sequence number of the
 // last request folded into the state.
+//
+// StateVersion carries the sender's state version for delta-capable
+// states (zero otherwise); a field unknown to older decoders, so the gob
+// wire format stays compatible in both directions.
 type Checkpoint struct {
-	AppState []byte
-	ReplyLog []byte
-	LastSeq  uint64
+	AppState     []byte
+	ReplyLog     []byte
+	LastSeq      uint64
+	StateVersion uint64
+}
+
+// DeltaCheckpoint is the incremental counterpart of Checkpoint: the
+// state write-set between two acknowledged versions plus the reply-log
+// tail recorded since the last shipped checkpoint. It travels under its
+// own message payload tag, so mixed-version replicas never confuse the
+// two.
+type DeltaCheckpoint struct {
+	BaseVersion uint64
+	ToVersion   uint64
+	// Delta is the opaque write-set produced by DeltaCapturer.CaptureDelta.
+	Delta []byte
+	// ReplyTail is the encoded batch of responses recorded since the last
+	// acknowledged checkpoint.
+	ReplyTail []byte
+	LastSeq   uint64
 }
 
 // EncodeCheckpoint serializes a checkpoint for transmission.
@@ -138,4 +328,14 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	var cp Checkpoint
 	err := transport.Decode(data, &cp)
 	return cp, err
+}
+
+// EncodeDeltaCheckpoint serializes a delta checkpoint.
+func EncodeDeltaCheckpoint(dc DeltaCheckpoint) ([]byte, error) { return transport.Encode(dc) }
+
+// DecodeDeltaCheckpoint deserializes a delta checkpoint.
+func DecodeDeltaCheckpoint(data []byte) (DeltaCheckpoint, error) {
+	var dc DeltaCheckpoint
+	err := transport.Decode(data, &dc)
+	return dc, err
 }

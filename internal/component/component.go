@@ -36,7 +36,10 @@ func (s State) String() string {
 // framed by a membrane that enforces lifecycle gating (quiescence),
 // reference injection and property pushes.
 type Component struct {
-	mu    sync.Mutex
+	// mu is read-mostly: the invocation path reads state, wires and the
+	// interceptor chain under a read lock; lifecycle and reconfiguration
+	// take the write lock.
+	mu    sync.RWMutex
 	def   Definition
 	state State
 	g     *gate
@@ -64,15 +67,15 @@ func (c *Component) Type() string { return c.def.Type }
 
 // Definition returns a copy of the component's definition.
 func (c *Component) Definition() Definition {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.def.clone()
 }
 
 // State returns the current lifecycle state.
 func (c *Component) State() State {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return c.state
 }
 
@@ -211,8 +214,8 @@ func (c *Component) DeleteProperty(name string) {
 
 // Property returns a property value recorded on the component.
 func (c *Component) Property(name string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	v, ok := c.def.Properties[name]
 	return v, ok
 }
@@ -234,16 +237,16 @@ func (c *Component) dropWire(reference string) {
 
 // WireFor returns the wire currently attached to the named reference.
 func (c *Component) WireFor(reference string) (*Wire, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	w, ok := c.wires[reference]
 	return w, ok
 }
 
 // Wires returns the component's outgoing wires sorted by reference name.
 func (c *Component) Wires() []*Wire {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Wire, 0, len(c.wires))
 	for _, w := range c.wires {
 		out = append(out, w)

@@ -45,7 +45,10 @@ type Composite struct {
 	name string
 	g    *gate
 
-	mu         sync.Mutex
+	// mu is read-mostly: every boundary invocation resolves promotions
+	// and children under a read lock, while reconfiguration (add/remove
+	// child, promote/demote, lifecycle) takes the write lock.
+	mu         sync.RWMutex
 	state      State
 	children   map[string]node
 	promotions map[string]Promotion
@@ -66,8 +69,8 @@ func (cp *Composite) Name() string { return cp.name }
 
 // State returns the composite boundary state.
 func (cp *Composite) State() State {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	return cp.state
 }
 
@@ -145,8 +148,8 @@ func (cp *Composite) Demote(service string) error {
 
 // Promotions returns the boundary promotions sorted by service name.
 func (cp *Composite) Promotions() []Promotion {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	out := make([]Promotion, 0, len(cp.promotions))
 	for _, p := range cp.promotions {
 		out = append(out, p)
@@ -160,9 +163,9 @@ func (cp *Composite) Promotions() []Promotion {
 // a replacement child takes effect immediately — that is what allows a
 // differential transition to swap a brick without touching its callers.
 func (cp *Composite) endpoint(service string) (Service, error) {
-	cp.mu.Lock()
+	cp.mu.RLock()
 	_, ok := cp.promotions[service]
-	cp.mu.Unlock()
+	cp.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: promoted service %q on composite %q", ErrNotFound, service, cp.name)
 	}
@@ -172,13 +175,13 @@ func (cp *Composite) endpoint(service string) (Service, error) {
 		}
 		defer cp.g.leave()
 
-		cp.mu.Lock()
+		cp.mu.RLock()
 		p, ok := cp.promotions[service]
 		var child node
 		if ok {
 			child = cp.children[p.Child]
 		}
-		cp.mu.Unlock()
+		cp.mu.RUnlock()
 		if !ok || child == nil {
 			return Message{}, fmt.Errorf("%w: promoted service %q on composite %q", ErrNotFound, service, cp.name)
 		}
@@ -198,8 +201,8 @@ func (cp *Composite) ServiceEndpoint(service string) (Service, error) {
 
 // child returns the named child.
 func (cp *Composite) child(name string) (node, bool) {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	ch, ok := cp.children[name]
 	return ch, ok
 }
@@ -237,8 +240,8 @@ func (cp *Composite) removeChild(name string) (node, error) {
 
 // Children returns the child names, sorted.
 func (cp *Composite) Children() []string {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	out := make([]string, 0, len(cp.children))
 	for name := range cp.children {
 		out = append(out, name)
@@ -249,8 +252,8 @@ func (cp *Composite) Children() []string {
 
 // Components returns the direct child components, sorted by name.
 func (cp *Composite) Components() []*Component {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	out := make([]*Component, 0, len(cp.children))
 	for _, ch := range cp.children {
 		if c, ok := ch.(*Component); ok {
@@ -263,8 +266,8 @@ func (cp *Composite) Components() []*Component {
 
 // Composites returns the direct child composites, sorted by name.
 func (cp *Composite) Composites() []*Composite {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
 	out := make([]*Composite, 0, len(cp.children))
 	for _, ch := range cp.children {
 		if c, ok := ch.(*Composite); ok {

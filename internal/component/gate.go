@@ -58,7 +58,12 @@ func (g *gate) leave() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.inflight--
-	g.broadcastLocked()
+	// Only a closer waits on the in-flight count, and close shuts the
+	// gate (under this mutex) before waiting; while the gate is open
+	// nobody is watching, so skip the channel churn on the hot path.
+	if !g.open {
+		g.broadcastLocked()
+	}
 }
 
 // close shuts the gate and waits for quiescence (no in-flight

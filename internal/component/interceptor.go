@@ -54,8 +54,8 @@ func (c *Component) RemoveInterceptor(name string) error {
 
 // Interceptors returns the installed interceptor names, in order.
 func (c *Component) Interceptors() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]string, 0, len(c.interceptors))
 	for _, i := range c.interceptors {
 		out = append(out, i.Name)
@@ -65,8 +65,11 @@ func (c *Component) Interceptors() []string {
 
 // interceptorChain snapshots the chain for one invocation.
 func (c *Component) interceptorChain() []Interceptor {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.interceptors) == 0 {
+		return nil
+	}
 	return append([]Interceptor(nil), c.interceptors...)
 }
 
@@ -74,6 +77,11 @@ func (c *Component) interceptorChain() []Interceptor {
 // content.
 func (c *Component) dispatch(ctx context.Context, service string, msg Message) (Message, error) {
 	chain := c.interceptorChain()
+	if len(chain) == 0 {
+		// No interceptors: invoke the content directly instead of
+		// building a closure chain per call.
+		return c.def.Content.Invoke(ctx, service, msg)
+	}
 	var next Invoker = func(ctx context.Context, m Message) (Message, error) {
 		return c.def.Content.Invoke(ctx, service, m)
 	}

@@ -14,7 +14,10 @@ import (
 // reconfiguration operations the paper identifies as the minimal API for
 // fine-grained adaptation (lifecycle control, binding control).
 type Runtime struct {
-	mu       sync.Mutex
+	// mu serializes structural reconfiguration (add/remove/wire/unwire)
+	// against whole-tree reads (Wires, CheckIntegrity). Pure lookups go
+	// straight to the composites' own read locks.
+	mu       sync.RWMutex
 	root     *Composite
 	registry *Registry
 }
@@ -363,8 +366,8 @@ func (rt *Runtime) allWiresLocked() []*Wire {
 
 // Wires returns every wire in the runtime.
 func (rt *Runtime) Wires() []*Wire {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	return rt.allWiresLocked()
 }
 
@@ -382,8 +385,8 @@ func (v Violation) String() string { return v.Path + ": " + v.Detail }
 // targets an existing node that provides the named service. It returns
 // all violations found.
 func (rt *Runtime) CheckIntegrity() []Violation {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
 	var out []Violation
 	walk("", rt.root, func(path string, n node) {
 		c, ok := n.(*Component)

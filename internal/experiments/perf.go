@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
+)
+
+// PerfMetric is one measured point of the performance suite.
+type PerfMetric struct {
+	Name      string  `json:"name"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+}
+
+// PerfReport is the machine-readable output of the performance suite —
+// the data behind BENCH_pr1.json. `benchsuite -exp bench -json FILE`
+// regenerates it.
+type PerfReport struct {
+	Suite       string       `json:"suite"`
+	OpsPerPoint int          `json:"ops_per_point"`
+	Metrics     []PerfMetric `json:"metrics"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *PerfReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// PerfSuite measures the request-path performance families the repo's
+// benchmarks track (`go test -bench` is the precise instrument; this
+// suite is the scriptable one): client-visible request latency per FTM,
+// the state-size sweep extremes under full and delta checkpointing, and
+// aggregate multi-client throughput.
+func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
+	if ops < 1 {
+		ops = 200
+	}
+	report := &PerfReport{Suite: "request-path", OpsPerPoint: ops}
+
+	add := func(name string, ns time.Duration, reqs float64) {
+		report.Metrics = append(report.Metrics, PerfMetric{
+			Name: name, NsPerOp: ns.Nanoseconds(), ReqPerSec: reqs,
+		})
+	}
+
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		lat, _, err := measureLatency(ctx, id, 4, ops, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf latency %s: %w", id, err)
+		}
+		add("request_latency/"+string(id), lat, 0)
+	}
+
+	type sweepCase struct {
+		name     string
+		ftm      core.ID
+		regs     int
+		fullOnly bool
+	}
+	for _, c := range []sweepCase{
+		{"state_sweep/pbr_8regs", core.PBR, 8, false},
+		{"state_sweep/pbr_4096regs", core.PBR, 4096, false},
+		{"state_sweep/pbr_full_4096regs", core.PBR, 4096, true},
+		{"state_sweep/lfr_4096regs", core.LFR, 4096, false},
+	} {
+		lat, _, err := measureLatency(ctx, c.ftm, c.regs, ops, c.fullOnly)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: perf sweep %s: %w", c.name, err)
+		}
+		add(c.name, lat, 0)
+	}
+
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		for _, clients := range []int{1, 8} {
+			reqs, lat, err := measureThroughput(ctx, id, clients, ops)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: perf throughput %s@%d: %w", id, clients, err)
+			}
+			add(fmt.Sprintf("throughput/%s_%dclients", id, clients), lat, reqs)
+		}
+	}
+	return report, nil
+}
+
+// measureThroughput runs clients concurrent clients, each issuing ops
+// writes to its own register, and returns aggregate requests per second
+// plus the mean wall-clock time per request.
+func measureThroughput(ctx context.Context, ftmID core.ID, clients, ops int) (float64, time.Duration, error) {
+	sys, err := ftm.NewSystem(ctx, ftm.SystemConfig{
+		System:            "perf",
+		FTM:               ftmID,
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspectTimeout:    30 * time.Second,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer sys.Shutdown()
+
+	cls := make([]*rpc.Client, clients)
+	for i := range cls {
+		if cls[i], err = sys.NewClient(rpc.WithCallTimeout(10 * time.Second)); err != nil {
+			return 0, 0, err
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for ci, c := range cls {
+		wg.Add(1)
+		go func(c *rpc.Client, op string) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if _, err := c.Invoke(ctx, op, ftm.EncodeArg(1)); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c, fmt.Sprintf("add:r%d", ci))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	total := clients * ops
+	return float64(total) / elapsed.Seconds(), elapsed / time.Duration(total), nil
+}

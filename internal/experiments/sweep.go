@@ -14,18 +14,25 @@ import (
 )
 
 // SweepPoint is one application-state size in the PBR-vs-LFR sweep.
+// PBRFullLatency is PBR forced into the paper's original cost model
+// (full checkpoint per request); PBRLatency is PBR with delta
+// checkpoints enabled, the default.
 type SweepPoint struct {
 	Registers       int
 	CheckpointBytes int
 	PBRLatency      time.Duration
+	PBRFullLatency  time.Duration
 	LFRLatency      time.Duration
 }
 
 // StateSweep quantifies the R trade-off behind Table 1's bandwidth row:
-// PBR ships a checkpoint per request, so its request latency grows with
-// the application state footprint, while LFR's stays flat (the follower
-// recomputes instead). The crossover justifies the paper's PBR→LFR
-// mandatory transition on bandwidth loss.
+// a full-checkpointing PBR ships the whole state per request, so its
+// request latency grows with the application state footprint, while
+// LFR's stays flat (the follower recomputes instead). The crossover
+// justifies the paper's PBR→LFR mandatory transition on bandwidth loss.
+// The sweep also measures delta-checkpointing PBR, whose per-request
+// cost tracks the write-set instead of the state size — the regime that
+// removes the crossover for write-bounded workloads.
 func StateSweep(ctx context.Context, sizes []int, opsPerPoint int) ([]SweepPoint, error) {
 	if opsPerPoint < 1 {
 		opsPerPoint = 50
@@ -33,17 +40,23 @@ func StateSweep(ctx context.Context, sizes []int, opsPerPoint int) ([]SweepPoint
 	out := make([]SweepPoint, 0, len(sizes))
 	for _, size := range sizes {
 		point := SweepPoint{Registers: size}
-		for _, ftmID := range []core.ID{core.PBR, core.LFR} {
-			latency, cpBytes, err := measureLatency(ctx, ftmID, size, opsPerPoint)
+		type variant struct {
+			ftm      core.ID
+			fullOnly bool
+			dst      *time.Duration
+		}
+		for _, v := range []variant{
+			{core.PBR, false, &point.PBRLatency},
+			{core.PBR, true, &point.PBRFullLatency},
+			{core.LFR, false, &point.LFRLatency},
+		} {
+			latency, cpBytes, err := measureLatency(ctx, v.ftm, size, opsPerPoint, v.fullOnly)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep %s@%d: %w", ftmID, size, err)
+				return nil, fmt.Errorf("experiments: sweep %s@%d: %w", v.ftm, size, err)
 			}
-			switch ftmID {
-			case core.PBR:
-				point.PBRLatency = latency
+			*v.dst = latency
+			if v.ftm == core.PBR && v.fullOnly {
 				point.CheckpointBytes = cpBytes
-			case core.LFR:
-				point.LFRLatency = latency
 			}
 		}
 		out = append(out, point)
@@ -53,11 +66,17 @@ func StateSweep(ctx context.Context, sizes []int, opsPerPoint int) ([]SweepPoint
 
 // measureLatency runs a seeded workload against a fresh system under the
 // given FTM with the given state footprint and returns the mean request
-// latency plus the application checkpoint size.
-func measureLatency(ctx context.Context, ftmID core.ID, registers, ops int) (time.Duration, int, error) {
+// latency plus the application checkpoint size. fullOnly hides the state
+// manager's delta tracking, forcing full checkpoints per request.
+func measureLatency(ctx context.Context, ftmID core.ID, registers, ops int, fullOnly bool) (time.Duration, int, error) {
+	appFactory := func() ftm.Application { return ftm.NewCalculator() }
+	if fullOnly {
+		appFactory = func() ftm.Application { return ftm.FullStateOnly{Application: ftm.NewCalculator()} }
+	}
 	sys, err := ftm.NewSystem(ctx, ftm.SystemConfig{
 		System:            "sweep",
 		FTM:               ftmID,
+		AppFactory:        appFactory,
 		HeartbeatInterval: 50 * time.Millisecond,
 		SuspectTimeout:    30 * time.Second,
 	})
@@ -110,16 +129,20 @@ func measureLatency(ctx context.Context, ftmID core.ID, registers, ops int) (tim
 func RenderSweep(points []SweepPoint) string {
 	var b strings.Builder
 	b.WriteString("State-size sweep: request latency under PBR vs LFR (mean per request)\n")
-	fmt.Fprintf(&b, "%-12s %-16s %-14s %-14s %-10s\n",
-		"Registers", "Checkpoint (B)", "PBR", "LFR", "PBR/LFR")
+	fmt.Fprintf(&b, "%-12s %-16s %-14s %-14s %-14s %-10s\n",
+		"Registers", "Checkpoint (B)", "PBR(full)", "PBR(delta)", "LFR", "Full/LFR")
 	for _, p := range points {
-		ratio := float64(p.PBRLatency) / float64(p.LFRLatency)
-		fmt.Fprintf(&b, "%-12d %-16d %-14v %-14v %-10.2f\n",
+		ratio := float64(p.PBRFullLatency) / float64(p.LFRLatency)
+		fmt.Fprintf(&b, "%-12d %-16d %-14v %-14v %-14v %-10.2f\n",
 			p.Registers, p.CheckpointBytes,
-			p.PBRLatency.Round(time.Microsecond), p.LFRLatency.Round(time.Microsecond), ratio)
+			p.PBRFullLatency.Round(time.Microsecond),
+			p.PBRLatency.Round(time.Microsecond),
+			p.LFRLatency.Round(time.Microsecond), ratio)
 	}
-	b.WriteString("(PBR ships a checkpoint per request: latency grows with state; LFR recomputes: flat.\n")
-	b.WriteString(" This is the R trade-off behind the mandatory PBR->LFR transition on bandwidth loss.)\n")
+	b.WriteString("(Full-checkpoint PBR ships the whole state per request: latency grows with state;\n")
+	b.WriteString(" LFR recomputes: flat. This is the R trade-off behind the mandatory PBR->LFR\n")
+	b.WriteString(" transition on bandwidth loss. Delta-checkpoint PBR ships the write-set instead,\n")
+	b.WriteString(" which removes the growth for write-bounded workloads.)\n")
 	return b.String()
 }
 

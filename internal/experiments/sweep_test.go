@@ -19,17 +19,24 @@ func TestStateSweepShape(t *testing.T) {
 	if large.CheckpointBytes <= small.CheckpointBytes {
 		t.Fatalf("checkpoint did not grow: %d -> %d", small.CheckpointBytes, large.CheckpointBytes)
 	}
-	// PBR's per-request cost grows with state (it ships a checkpoint per
-	// request); the growth must outpace LFR's.
-	pbrGrowth := float64(large.PBRLatency) / float64(small.PBRLatency)
+	// Full-checkpoint PBR's per-request cost grows with state (it ships
+	// the whole state per request); the growth must outpace LFR's.
+	pbrGrowth := float64(large.PBRFullLatency) / float64(small.PBRFullLatency)
 	lfrGrowth := float64(large.LFRLatency) / float64(small.LFRLatency)
 	if pbrGrowth <= lfrGrowth {
-		t.Fatalf("PBR latency growth (%.2fx) not above LFR's (%.2fx)", pbrGrowth, lfrGrowth)
+		t.Fatalf("full-checkpoint PBR latency growth (%.2fx) not above LFR's (%.2fx)", pbrGrowth, lfrGrowth)
 	}
-	// At the large state size PBR must be the slower mechanism.
-	if large.PBRLatency <= large.LFRLatency {
-		t.Fatalf("PBR (%v) not slower than LFR (%v) at %d registers",
-			large.PBRLatency, large.LFRLatency, large.Registers)
+	// At the large state size full-checkpoint PBR must be the slower
+	// mechanism.
+	if large.PBRFullLatency <= large.LFRLatency {
+		t.Fatalf("full-checkpoint PBR (%v) not slower than LFR (%v) at %d registers",
+			large.PBRFullLatency, large.LFRLatency, large.Registers)
+	}
+	// Delta checkpointing removes the growth: at the large state size it
+	// must beat the full-checkpoint regime.
+	if large.PBRLatency >= large.PBRFullLatency {
+		t.Fatalf("delta PBR (%v) not faster than full-checkpoint PBR (%v) at %d registers",
+			large.PBRLatency, large.PBRFullLatency, large.Registers)
 	}
 	out := RenderSweep(points)
 	if !strings.Contains(out, "State-size sweep") {

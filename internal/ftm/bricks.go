@@ -190,12 +190,44 @@ func (p *assertProceed) Invoke(ctx context.Context, service string, msg componen
 
 // --- PBR bricks ------------------------------------------------------------
 
+// pbrFullCheckpointEvery bounds how many consecutive delta checkpoints
+// the primary ships before forcing a full one, so a backup silently
+// drifting (or a bug in delta application) self-heals within a bounded
+// number of requests.
+const pbrFullCheckpointEvery = 64
+
+// pbrResyncReply is the backup's answer to a delta whose base version
+// does not match its state; the primary reacts with a full checkpoint.
+var pbrResyncReply = []byte("resync")
+
 // pbrCheckpointAfter is the primary's After (Table 2 "Checkpoint to
 // Backup"): capture application state and the reply log and ship them to
 // the backup. With no live peer the primary continues master-alone; the
 // backup resynchronizes when it rejoins.
+//
+// After a first acknowledged full checkpoint the brick switches to delta
+// checkpoints: the state write-set since the acknowledged version plus
+// the reply-log tail since the acknowledged mark — O(write-set) per
+// request instead of O(state). A full checkpoint is forced again when
+// the state manager cannot produce the delta, the backup answers
+// "resync" (its base version mismatches, e.g. after a restart), the
+// peer was lost in between, or pbrFullCheckpointEvery deltas went out.
+// The brick is variable-feature state: a transition or promotion
+// replaces it, which zeroes the ack tracking and correctly forces a
+// full checkpoint on the next request.
 type pbrCheckpointAfter struct {
 	brickRefs
+
+	// ckptMu serializes capture+ship across concurrent requests: deltas
+	// are relative to the last acknowledged version, so two in-flight
+	// checkpoints would race on the ack bookkeeping below.
+	ckptMu sync.Mutex
+	// synced is true once the backup acknowledged a checkpoint; the
+	// fields below are only meaningful then.
+	synced      bool
+	ackVersion  uint64
+	ackMark     uint64
+	deltasSince int
 }
 
 func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
@@ -203,53 +235,139 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 	if err != nil {
 		return component.Message{}, err
 	}
-	data, err := buildCheckpoint(ctx,
-		stateClient{svc: a.ref("state")},
-		logClient{svc: a.ref("log")},
-		call.Req.Seq)
+	state := stateClient{svc: a.ref("state")}
+	log := logClient{svc: a.ref("log")}
+	peer := peerClient{svc: a.ref("peer")}
+
+	a.ckptMu.Lock()
+	defer a.ckptMu.Unlock()
+
+	if a.synced && a.deltasSince < pbrFullCheckpointEvery {
+		shipped, err := a.shipDelta(ctx, state, log, peer, call.Req.Seq)
+		if err != nil {
+			if errors.Is(err, ErrNoPeer) {
+				// Degraded mode: the failure detector owns peer liveness.
+				// The backup's state is unknown once it rejoins, so the
+				// next checkpoint must be full.
+				a.synced = false
+				return component.NewMessage("degraded", call), nil
+			}
+			return component.Message{}, err
+		}
+		if shipped {
+			return component.NewMessage("ok", call), nil
+		}
+		// Delta impossible (no tracking, pruned history, or backup
+		// resync): fall through to a full checkpoint.
+	}
+
+	data, version, mark, err := buildCheckpoint(ctx, state, log, call.Req.Seq)
 	if err != nil {
 		return component.Message{}, err
 	}
-	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, MsgPBRCheckpoint, data); err != nil {
+	if _, err := peer.call(ctx, MsgPBRCheckpoint, data); err != nil {
+		a.synced = false
 		if errors.Is(err, ErrNoPeer) {
-			// Degraded mode: the failure detector owns peer liveness.
 			return component.NewMessage("degraded", call), nil
 		}
 		return component.Message{}, err
 	}
+	a.synced = true
+	a.ackVersion = version
+	a.ackMark = mark
+	a.deltasSince = 0
 	return component.NewMessage("ok", call), nil
 }
 
-// buildCheckpoint assembles an encoded checkpoint from the live state and
-// reply log.
-func buildCheckpoint(ctx context.Context, state stateClient, log logClient, lastSeq uint64) ([]byte, error) {
-	appState, err := state.capture(ctx)
+// shipDelta attempts an incremental checkpoint against the acknowledged
+// base. It returns shipped=false (and no error) whenever the caller
+// should fall back to a full checkpoint.
+func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, log logClient, peer peerClient, lastSeq uint64) (bool, error) {
+	cd, err := state.captureDelta(ctx, a.ackVersion)
 	if err != nil {
-		return nil, fmt.Errorf("ftm: checkpoint capture: %w", err)
+		return false, fmt.Errorf("ftm: delta capture: %w", err)
 	}
-	snap, err := log.snapshot(ctx)
+	if !cd.Supported || !cd.OK {
+		return false, nil
+	}
+	since, err := log.snapshotSince(ctx, a.ackMark)
 	if err != nil {
-		return nil, fmt.Errorf("ftm: checkpoint log snapshot: %w", err)
+		return false, fmt.Errorf("ftm: delta log tail: %w", err)
+	}
+	if !since.OK {
+		return false, nil
+	}
+	tailData, err := transport.Encode(rpc.ResponseList(since.Tail))
+	if err != nil {
+		return false, err
+	}
+	data, err := appstate.EncodeDeltaCheckpoint(appstate.DeltaCheckpoint{
+		BaseVersion: a.ackVersion,
+		ToVersion:   cd.To,
+		Delta:       cd.Delta,
+		ReplyTail:   tailData,
+		LastSeq:     lastSeq,
+	})
+	if err != nil {
+		return false, err
+	}
+	reply, err := peer.call(ctx, MsgPBRDelta, data)
+	if err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			return false, err
+		}
+		// The backup may or may not have applied the delta; only a full
+		// checkpoint re-establishes a known base.
+		a.synced = false
+		return false, nil
+	}
+	if bytes.Equal(reply, pbrResyncReply) {
+		a.synced = false
+		return false, nil
+	}
+	a.ackVersion = cd.To
+	a.ackMark = since.Mark
+	a.deltasSince++
+	return true, nil
+}
+
+// buildCheckpoint assembles an encoded full checkpoint from the live
+// state and reply log, returning alongside it the state version and
+// reply-log mark the checkpoint represents (the base for later deltas).
+func buildCheckpoint(ctx context.Context, state stateClient, log logClient, lastSeq uint64) ([]byte, uint64, uint64, error) {
+	appState, version, err := state.captureVersioned(ctx)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("ftm: checkpoint capture: %w", err)
+	}
+	snap, mark, err := log.snapshotMarked(ctx)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("ftm: checkpoint log snapshot: %w", err)
 	}
 	logData, err := transport.Encode(snap)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
-	return appstate.EncodeCheckpoint(appstate.Checkpoint{
-		AppState: appState,
-		ReplyLog: logData,
-		LastSeq:  lastSeq,
+	data, err := appstate.EncodeCheckpoint(appstate.Checkpoint{
+		AppState:     appState,
+		ReplyLog:     logData,
+		LastSeq:      lastSeq,
+		StateVersion: version,
 	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return data, version, mark, nil
 }
 
-// applyCheckpoint restores state and reply log from an encoded
-// checkpoint.
+// applyCheckpoint restores state and reply log from an encoded full
+// checkpoint, adopting the sender's state version so subsequent deltas
+// line up.
 func applyCheckpoint(ctx context.Context, state stateClient, log logClient, data []byte) error {
 	cp, err := appstate.DecodeCheckpoint(data)
 	if err != nil {
 		return fmt.Errorf("ftm: checkpoint decode: %w", err)
 	}
-	if err := state.restore(ctx, cp.AppState); err != nil {
+	if err := state.applyFull(ctx, cp.AppState, cp.StateVersion); err != nil {
 		return fmt.Errorf("ftm: checkpoint state restore: %w", err)
 	}
 	var snap []rpc.Response
@@ -262,9 +380,38 @@ func applyCheckpoint(ctx context.Context, state stateClient, log logClient, data
 	return nil
 }
 
+// applyDeltaCheckpoint applies an incremental checkpoint. needResync
+// reports a base-version mismatch (the caller answers "resync", no
+// error): the delta's reply tail is then deliberately NOT applied, so
+// the backup's log never runs ahead of its state.
+func applyDeltaCheckpoint(ctx context.Context, state stateClient, log logClient, data []byte) (needResync bool, err error) {
+	dc, err := appstate.DecodeDeltaCheckpoint(data)
+	if err != nil {
+		return false, fmt.Errorf("ftm: delta checkpoint decode: %w", err)
+	}
+	res, err := state.applyDelta(ctx, dc.Delta)
+	if err != nil {
+		return false, fmt.Errorf("ftm: delta state apply: %w", err)
+	}
+	if res.BaseMismatch {
+		return true, nil
+	}
+	var tail rpc.ResponseList
+	if err := transport.Decode(dc.ReplyTail, &tail); err != nil {
+		return false, fmt.Errorf("ftm: delta log decode: %w", err)
+	}
+	if len(tail) > 0 {
+		if err := log.appendBatch(ctx, tail); err != nil {
+			return false, fmt.Errorf("ftm: delta log apply: %w", err)
+		}
+	}
+	return false, nil
+}
+
 // pbrApplyAfter is the backup's After (Table 2 "Process checkpoint").
 // During the pipeline it does nothing (the backup does not compute); it
-// processes checkpoints pushed by the primary through the protocol.
+// processes full and delta checkpoints pushed by the primary through the
+// protocol.
 type pbrApplyAfter struct {
 	brickRefs
 }
@@ -284,6 +431,22 @@ func (a *pbrApplyAfter) Invoke(ctx context.Context, service string, msg componen
 			data)
 		if err != nil {
 			return component.Message{}, err
+		}
+		return component.NewMessage("ok", nil), nil
+	case "delta":
+		data, ok := msg.Payload.([]byte)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: delta checkpoint payload is %T", msg.Payload)
+		}
+		needResync, err := applyDeltaCheckpoint(ctx,
+			stateClient{svc: a.ref("state")},
+			logClient{svc: a.ref("log")},
+			data)
+		if err != nil {
+			return component.Message{}, err
+		}
+		if needResync {
+			return component.NewMessage("resync", pbrResyncReply), nil
 		}
 		return component.NewMessage("ok", nil), nil
 	default:
@@ -326,10 +489,23 @@ func (lfrReceiveBefore) Invoke(ctx context.Context, service string, msg componen
 	return component.NewMessage("ok", msg.Payload), nil
 }
 
-// commitMsg is the leader's completion notification.
+// commitMsg is the leader's completion notification. It travels once
+// per request under LFR, so it rides the transport fast codec (the body
+// is exactly the response's fast encoding).
 type commitMsg struct {
 	Resp rpc.Response
 }
+
+var (
+	_ transport.FastMarshaler   = commitMsg{}
+	_ transport.FastUnmarshaler = (*commitMsg)(nil)
+)
+
+// AppendFast implements transport.FastMarshaler.
+func (c commitMsg) AppendFast(buf []byte) []byte { return c.Resp.AppendFast(buf) }
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (c *commitMsg) DecodeFast(data []byte) error { return c.Resp.DecodeFast(data) }
 
 // lfrNotifyAfter is the leader's After (Table 2 "Notify Follower"): tell
 // the follower the reply went out, so its reply log converges on the

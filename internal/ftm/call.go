@@ -54,11 +54,26 @@ const (
 	OpRecord   = "record"
 	OpSnapshot = "snapshot"
 	OpRestoreL = "restore"
+	// OpSnapshotMarked returns the full snapshot paired with the log's
+	// journal mark, the base for later incremental snapshots.
+	OpSnapshotMarked = "snapshot-marked"
+	// OpSnapshotSince returns the responses recorded after a mark.
+	OpSnapshotSince = "snapshot-since"
+	// OpAppendLog records a batch of responses (checkpoint-delta tails).
+	OpAppendLog = "append"
 
 	// Server state operations.
 	OpCapture      = "capture"
 	OpRestoreState = "restore"
 	OpAccess       = "access"
+	// OpCaptureVersioned captures the state paired with its version.
+	OpCaptureVersioned = "capture-versioned"
+	// OpCaptureDelta captures the write-set since a base version.
+	OpCaptureDelta = "capture-delta"
+	// OpApplyDelta applies a write-set to a matching base version.
+	OpApplyDelta = "apply-delta"
+	// OpApplyFull replaces the state and adopts the sender's version.
+	OpApplyFull = "apply-full"
 
 	// Peer bridge operation; the message Meta carries the message kind.
 	OpCall = "call"
@@ -77,8 +92,13 @@ const (
 
 // Inter-replica message kinds (within transport kind KindReplica).
 const (
-	// MsgPBRCheckpoint ships a checkpoint from primary to backup.
+	// MsgPBRCheckpoint ships a full checkpoint from primary to backup.
 	MsgPBRCheckpoint = "pbr.checkpoint"
+	// MsgPBRDelta ships an incremental checkpoint (state write-set plus
+	// reply-log tail since the last acknowledged one). The backup answers
+	// "resync" instead of "ack" when its base version mismatches, which
+	// makes the primary fall back to a full checkpoint.
+	MsgPBRDelta = "pbr.delta"
 	// MsgPBRPull asks the primary for a full checkpoint (slave rejoin).
 	MsgPBRPull = "pbr.pull"
 	// MsgLFRExec forwards a request for parallel execution on the

@@ -66,6 +66,59 @@ func (s stateClient) restore(ctx context.Context, data []byte) error {
 	return err
 }
 
+func (s stateClient) captureVersioned(ctx context.Context) ([]byte, uint64, error) {
+	if s.svc == nil {
+		return nil, 0, component.ErrRefUnwired
+	}
+	reply, err := s.svc.Invoke(ctx, component.Message{Op: OpCaptureVersioned})
+	if err != nil {
+		return nil, 0, err
+	}
+	vc, ok := reply.Payload.(versionedCapture)
+	if !ok {
+		return nil, 0, fmt.Errorf("ftm: capture-versioned reply is %T", reply.Payload)
+	}
+	return vc.Data, vc.Version, nil
+}
+
+func (s stateClient) captureDelta(ctx context.Context, base uint64) (deltaCaptureResult, error) {
+	if s.svc == nil {
+		return deltaCaptureResult{}, component.ErrRefUnwired
+	}
+	reply, err := s.svc.Invoke(ctx, component.Message{Op: OpCaptureDelta, Payload: base})
+	if err != nil {
+		return deltaCaptureResult{}, err
+	}
+	res, ok := reply.Payload.(deltaCaptureResult)
+	if !ok {
+		return deltaCaptureResult{}, fmt.Errorf("ftm: capture-delta reply is %T", reply.Payload)
+	}
+	return res, nil
+}
+
+func (s stateClient) applyDelta(ctx context.Context, delta []byte) (deltaApplyResult, error) {
+	if s.svc == nil {
+		return deltaApplyResult{}, component.ErrRefUnwired
+	}
+	reply, err := s.svc.Invoke(ctx, component.Message{Op: OpApplyDelta, Payload: delta})
+	if err != nil {
+		return deltaApplyResult{}, err
+	}
+	res, ok := reply.Payload.(deltaApplyResult)
+	if !ok {
+		return deltaApplyResult{}, fmt.Errorf("ftm: apply-delta reply is %T", reply.Payload)
+	}
+	return res, nil
+}
+
+func (s stateClient) applyFull(ctx context.Context, data []byte, version uint64) error {
+	if s.svc == nil {
+		return component.ErrRefUnwired
+	}
+	_, err := s.svc.Invoke(ctx, component.Message{Op: OpApplyFull, Payload: versionedCapture{Data: data, Version: version}})
+	return err
+}
+
 // assertClient drives the server's assertion service.
 type assertClient struct {
 	svc component.Service

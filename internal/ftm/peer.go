@@ -14,12 +14,45 @@ import (
 // TypePeer is the component type of the inter-replica bridge.
 const TypePeer = "ftm.peer"
 
-// replicaEnvelope frames one inter-replica message on the wire.
+// replicaEnvelope frames one inter-replica message on the wire. It
+// wraps every inter-replica call, so it carries its own fast binary
+// codec instead of going through gob.
 type replicaEnvelope struct {
 	Kind    string
 	From    string
 	System  string
 	Payload []byte
+}
+
+var (
+	_ transport.FastMarshaler   = replicaEnvelope{}
+	_ transport.FastUnmarshaler = (*replicaEnvelope)(nil)
+)
+
+// AppendFast implements transport.FastMarshaler.
+func (e replicaEnvelope) AppendFast(buf []byte) []byte {
+	buf = transport.AppendLenString(buf, e.Kind)
+	buf = transport.AppendLenString(buf, e.From)
+	buf = transport.AppendLenString(buf, e.System)
+	return transport.AppendLenBytes(buf, e.Payload)
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (e *replicaEnvelope) DecodeFast(data []byte) error {
+	var err error
+	if e.Kind, data, err = transport.ReadLenString(data); err != nil {
+		return fmt.Errorf("ftm: envelope kind: %w", err)
+	}
+	if e.From, data, err = transport.ReadLenString(data); err != nil {
+		return fmt.Errorf("ftm: envelope from: %w", err)
+	}
+	if e.System, data, err = transport.ReadLenString(data); err != nil {
+		return fmt.Errorf("ftm: envelope system: %w", err)
+	}
+	if e.Payload, _, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("ftm: envelope payload: %w", err)
+	}
+	return nil
 }
 
 // peerContent bridges the FTM composite to the remote replica set:

@@ -142,27 +142,29 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 	}
 
 	call := &Call{Req: req}
-	pipeline := func() error {
+	err := func() error {
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
-		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
-			return err
-		}
-		return (brickClient{svc: p.ref("after")}).run(ctx, call)
-	}
-	err := pipeline()
+		return (brickClient{svc: p.ref("proceed")}).run(ctx, call)
+	}()
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrAssertionFailed):
 		// A&Duplex: the local result violated the safety assertion;
-		// re-execute on the other node (§3.2.1).
+		// re-execute on the other node (§3.2.1). The peer executed and
+		// logged the request itself, so no After runs locally.
 		resp, escErr := p.escalateAssertion(ctx, req)
 		if escErr != nil {
 			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 				Status: rpc.StatusUnavailable, Err: escErr.Error()}
 		}
 		call.Result = resp
+		if recErr := log.record(ctx, call.Result); recErr != nil {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: recErr.Error()}
+		}
+		return call.Result
 	case errors.Is(err, ErrUnrecoverable):
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 			Status: rpc.StatusAppError, Err: err.Error()}
@@ -171,9 +173,18 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 			Status: rpc.StatusUnavailable, Err: err.Error()}
 	}
 
+	// Record the reply before the After brick runs, so a checkpoint or
+	// commit shipped by After carries this request's reply: a failover
+	// right after this request must replay it, never re-execute it.
 	if recErr := log.record(ctx, call.Result); recErr != nil {
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 			Status: rpc.StatusUnavailable, Err: recErr.Error()}
+	}
+	if aErr := (brickClient{svc: p.ref("after")}).run(ctx, call); aErr != nil {
+		// The operation executed and its reply is logged: a client
+		// retrying this sequence number will be served the logged reply.
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: aErr.Error()}
 	}
 	return call.Result
 }
@@ -229,7 +240,7 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 	// would forward the request straight back, ping-ponging executions
 	// between the two masters.
 	switch msg.Op {
-	case MsgPBRCheckpoint, MsgLFRExec, MsgLFRCommit, MsgXPAExec:
+	case MsgPBRCheckpoint, MsgPBRDelta, MsgLFRExec, MsgLFRCommit, MsgXPAExec:
 		if p.Role() != core.RoleSlave {
 			return component.Message{}, fmt.Errorf("%w: refusing %q", ErrNotSlave, msg.Op)
 		}
@@ -252,8 +263,20 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
 
+	case MsgPBRDelta:
+		reply, err := p.afterSpecial(ctx, "delta", payload)
+		if err != nil {
+			return component.Message{}, err
+		}
+		// The apply brick's reply bytes travel back to the primary: nil
+		// on success ("ack"), "resync" on a base-version mismatch.
+		if data, ok := reply.Payload.([]byte); ok && data != nil {
+			return component.NewMessage("ok", data), nil
+		}
+		return component.NewMessage("ok", []byte("ack")), nil
+
 	case MsgPBRPull:
-		data, err := buildCheckpoint(ctx,
+		data, _, _, err := buildCheckpoint(ctx,
 			stateClient{svc: p.ref("state")},
 			logClient{svc: p.ref("log")}, 0)
 		if err != nil {

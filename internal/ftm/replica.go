@@ -37,6 +37,14 @@ type Replica struct {
 	// transition and a failover promotion must not interleave on the
 	// same composite.
 	reconfigMu sync.Mutex
+
+	// boundaryMu guards the resolved boundary-service cache. The cached
+	// endpoints re-resolve promotions and respect the composite gate on
+	// every call, so they stay valid across brick swaps; the cache is
+	// keyed on the runtime so a host restart invalidates it.
+	boundaryMu  sync.RWMutex
+	boundaryRT  *component.Runtime
+	boundarySvc map[string]component.Service
 }
 
 // LockReconfig acquires the replica's reconfiguration lock and returns
@@ -204,17 +212,38 @@ func (r *Replica) registerTransport() {
 	})
 }
 
-// boundary resolves a promoted boundary service of the FTM composite.
+// boundary resolves a promoted boundary service of the FTM composite,
+// caching the resolved endpoint so the per-request path skips the
+// path walk. Safe because the endpoint re-resolves the promotion and
+// enters the composite gate on every invocation.
 func (r *Replica) boundary(service string) (component.Service, error) {
 	rt := r.h.Runtime()
 	if rt == nil {
 		return nil, host.ErrCrashed
 	}
+	r.boundaryMu.RLock()
+	svc, ok := r.boundarySvc[service]
+	hit := ok && r.boundaryRT == rt
+	r.boundaryMu.RUnlock()
+	if hit {
+		return svc, nil
+	}
 	cp, err := rt.LookupComposite(r.path)
 	if err != nil {
 		return nil, err
 	}
-	return cp.ServiceEndpoint(service)
+	svc, err = cp.ServiceEndpoint(service)
+	if err != nil {
+		return nil, err
+	}
+	r.boundaryMu.Lock()
+	if r.boundaryRT != rt {
+		r.boundarySvc = make(map[string]component.Service)
+		r.boundaryRT = rt
+	}
+	r.boundarySvc[service] = svc
+	r.boundaryMu.Unlock()
+	return svc, nil
 }
 
 // AttachMetrics installs an invocation-metrics interceptor on the

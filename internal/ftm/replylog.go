@@ -23,6 +23,20 @@ type lookupResult struct {
 	Found bool
 }
 
+// markedSnapshot is the reply payload of an OpSnapshotMarked.
+type markedSnapshot struct {
+	Snap []rpc.Response
+	Mark uint64
+}
+
+// sinceResult is the reply payload of an OpSnapshotSince. OK is false
+// when the log's journal no longer reaches back to the requested mark.
+type sinceResult struct {
+	Tail []rpc.Response
+	Mark uint64
+	OK   bool
+}
+
 // replyLogContent wraps an rpc.ReplyLog as a component (the "replyLog"
 // component of Figure 6). It is FTM state that transitions never touch:
 // the differential approach's point is precisely that swapping bricks
@@ -58,6 +72,23 @@ func (r *replyLogContent) Invoke(ctx context.Context, service string, msg compon
 		return component.NewMessage("ok", nil), nil
 	case OpSnapshot:
 		return component.NewMessage("ok", r.log.Snapshot()), nil
+	case OpSnapshotMarked:
+		snap, mark := r.log.SnapshotMarked()
+		return component.NewMessage("ok", markedSnapshot{Snap: snap, Mark: mark}), nil
+	case OpSnapshotSince:
+		mark, ok := msg.Payload.(uint64)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: replyLog snapshot-since payload is %T", msg.Payload)
+		}
+		tail, newMark, sinceOK := r.log.SnapshotSince(mark)
+		return component.NewMessage("ok", sinceResult{Tail: tail, Mark: newMark, OK: sinceOK}), nil
+	case OpAppendLog:
+		batch, ok := msg.Payload.([]rpc.Response)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: replyLog append payload is %T", msg.Payload)
+		}
+		r.log.RecordAll(batch)
+		return component.NewMessage("ok", nil), nil
 	case OpRestoreL:
 		snap, ok := msg.Payload.([]rpc.Response)
 		if !ok {
@@ -104,5 +135,34 @@ func (l logClient) snapshot(ctx context.Context) ([]rpc.Response, error) {
 
 func (l logClient) restore(ctx context.Context, snap []rpc.Response) error {
 	_, err := l.svc.Invoke(ctx, component.Message{Op: OpRestoreL, Payload: snap})
+	return err
+}
+
+func (l logClient) snapshotMarked(ctx context.Context) ([]rpc.Response, uint64, error) {
+	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpSnapshotMarked})
+	if err != nil {
+		return nil, 0, err
+	}
+	ms, ok := reply.Payload.(markedSnapshot)
+	if !ok {
+		return nil, 0, fmt.Errorf("ftm: snapshot-marked reply is %T", reply.Payload)
+	}
+	return ms.Snap, ms.Mark, nil
+}
+
+func (l logClient) snapshotSince(ctx context.Context, mark uint64) (sinceResult, error) {
+	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpSnapshotSince, Payload: mark})
+	if err != nil {
+		return sinceResult{}, err
+	}
+	res, ok := reply.Payload.(sinceResult)
+	if !ok {
+		return sinceResult{}, fmt.Errorf("ftm: snapshot-since reply is %T", reply.Payload)
+	}
+	return res, nil
+}
+
+func (l logClient) appendBatch(ctx context.Context, batch []rpc.Response) error {
+	_, err := l.svc.Invoke(ctx, component.Message{Op: OpAppendLog, Payload: batch})
 	return err
 }

@@ -2,11 +2,39 @@ package ftm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"resilientft/internal/appstate"
 	"resilientft/internal/component"
 	"resilientft/internal/rpc"
 )
+
+// versionedCapture pairs a full state capture with the version it
+// represents (zero for managers without delta support).
+type versionedCapture struct {
+	Data    []byte
+	Version uint64
+}
+
+// deltaCaptureResult is the OpCaptureDelta reply payload. Supported is
+// false when the application's state manager has no delta tracking; OK
+// is false when the tracker cannot serve the requested base. Either way
+// the caller must ship a full checkpoint.
+type deltaCaptureResult struct {
+	Supported bool
+	OK        bool
+	Delta     []byte
+	To        uint64
+}
+
+// deltaApplyResult is the OpApplyDelta reply payload. BaseMismatch
+// signals the resync condition (not an error: the sender falls back to a
+// full checkpoint).
+type deltaApplyResult struct {
+	Version      uint64
+	BaseMismatch bool
+}
 
 // TypeServer is the component type of the application server.
 const TypeServer = "ftm.server"
@@ -178,6 +206,68 @@ func (s *serverContent) state(msg component.Message) (component.Message, error) 
 		}
 		if err := mgr.RestoreState(data); err != nil {
 			return component.Message{}, fmt.Errorf("ftm: restore: %w", err)
+		}
+		return component.NewMessage("ok", nil), nil
+	case OpCaptureVersioned:
+		if dc, ok := mgr.(appstate.DeltaCapturer); ok {
+			data, version, err := dc.CaptureVersioned()
+			if err != nil {
+				return component.Message{}, fmt.Errorf("ftm: capture: %w", err)
+			}
+			return component.NewMessage("ok", versionedCapture{Data: data, Version: version}), nil
+		}
+		data, err := mgr.CaptureState()
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: capture: %w", err)
+		}
+		return component.NewMessage("ok", versionedCapture{Data: data}), nil
+	case OpCaptureDelta:
+		base, ok := msg.Payload.(uint64)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: server.state capture-delta payload is %T", msg.Payload)
+		}
+		dc, ok := mgr.(appstate.DeltaCapturer)
+		if !ok {
+			return component.NewMessage("ok", deltaCaptureResult{}), nil
+		}
+		delta, to, capOK, err := dc.CaptureDelta(base)
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: capture delta: %w", err)
+		}
+		return component.NewMessage("ok", deltaCaptureResult{Supported: true, OK: capOK, Delta: delta, To: to}), nil
+	case OpApplyDelta:
+		data, ok := msg.Payload.([]byte)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: server.state apply-delta payload is %T", msg.Payload)
+		}
+		dc, ok := mgr.(appstate.DeltaCapturer)
+		if !ok {
+			// A manager that cannot track deltas cannot apply one either:
+			// report the mismatch so the sender resyncs with a full
+			// checkpoint.
+			return component.NewMessage("ok", deltaApplyResult{BaseMismatch: true}), nil
+		}
+		version, err := dc.ApplyDelta(data)
+		if errors.Is(err, appstate.ErrDeltaBase) {
+			return component.NewMessage("ok", deltaApplyResult{Version: version, BaseMismatch: true}), nil
+		}
+		if err != nil {
+			return component.Message{}, fmt.Errorf("ftm: apply delta: %w", err)
+		}
+		return component.NewMessage("ok", deltaApplyResult{Version: version}), nil
+	case OpApplyFull:
+		vc, ok := msg.Payload.(versionedCapture)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: server.state apply-full payload is %T", msg.Payload)
+		}
+		if dc, ok := mgr.(appstate.DeltaCapturer); ok {
+			if err := dc.ApplyFull(vc.Data, vc.Version); err != nil {
+				return component.Message{}, fmt.Errorf("ftm: apply full: %w", err)
+			}
+			return component.NewMessage("ok", nil), nil
+		}
+		if err := mgr.RestoreState(vc.Data); err != nil {
+			return component.Message{}, fmt.Errorf("ftm: apply full: %w", err)
 		}
 		return component.NewMessage("ok", nil), nil
 	default:

@@ -1,0 +1,180 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+)
+
+// TestConcurrentClientsNoDoubleExecution hammers one system with many
+// concurrent clients, each redelivering every request once under its
+// original sequence number (the retry a client performs after losing a
+// reply). At-most-once must hold under concurrency: the duplicate must
+// replay the logged reply, and each client's register must reflect every
+// add exactly once.
+func TestConcurrentClientsNoDoubleExecution(t *testing.T) {
+	const (
+		clients = 8
+		opsEach = 20
+	)
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		t.Run(string(id), func(t *testing.T) {
+			s := newTestSystem(t, id)
+			var wg sync.WaitGroup
+			errs := make(chan error, clients)
+			for ci := 0; ci < clients; ci++ {
+				c, err := s.NewClient()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(ci int) {
+					defer wg.Done()
+					ctx := context.Background()
+					op := fmt.Sprintf("add:r%d", ci)
+					for i := 0; i < opsEach; i++ {
+						resp, err := c.Invoke(ctx, op, EncodeArg(1))
+						if err != nil {
+							errs <- fmt.Errorf("client %d op %d: %v", ci, i, err)
+							return
+						}
+						want, err := DecodeResult(resp.Payload)
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Duplicate delivery of the same request identity:
+						// the reply log must replay, not re-execute.
+						dup, err := c.Redeliver(ctx, resp.Seq, op, EncodeArg(1))
+						if err != nil {
+							errs <- fmt.Errorf("client %d redeliver %d: %v", ci, i, err)
+							return
+						}
+						got, err := DecodeResult(dup.Payload)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if got != want {
+							errs <- fmt.Errorf("client %d seq %d: redelivery returned %d, original %d (re-executed?)",
+								ci, resp.Seq, got, want)
+							return
+						}
+						if !dup.Replayed {
+							errs <- fmt.Errorf("client %d seq %d: duplicate not flagged as replayed", ci, resp.Seq)
+							return
+						}
+					}
+					// Every add executed exactly once.
+					final, err := c.Invoke(ctx, fmt.Sprintf("get:r%d", ci), EncodeArg(0))
+					if err != nil {
+						errs <- err
+						return
+					}
+					v, err := DecodeResult(final.Payload)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if v != opsEach {
+						errs <- fmt.Errorf("client %d register = %d, want %d", ci, v, opsEach)
+					}
+				}(ci)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestDeltaResyncAfterSlaveRestart exercises the delta-checkpoint resync
+// protocol end to end: deltas flow, the slave dies and misses writes,
+// the restarted slave resynchronizes (full checkpoint), delta shipping
+// resumes, and a subsequent failover promotes a slave whose state and
+// reply log beyond the resync point arrived only via deltas.
+func TestDeltaResyncAfterSlaveRestart(t *testing.T) {
+	s := newTestSystem(t, core.PBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Build up some state while deltas ship.
+	for i := 0; i < 8; i++ {
+		invoke(t, c, fmt.Sprintf("set:r%d", i), int64(100+i))
+	}
+	slaveApp := s.Slave().App().(*Calculator)
+	waitUntil(t, 2*time.Second, func() bool {
+		return slaveApp.regs.Get("r7") == 107
+	}, "slave never received the delta-checkpointed state")
+
+	// Crash the slave; the master keeps serving and its deltas have
+	// nowhere to go — the next checkpoint after a reconnect must be full.
+	idx := s.CrashSlave()
+	if idx < 0 {
+		t.Fatal("no slave to crash")
+	}
+	invoke(t, c, "set:x", 500)
+	invoke(t, c, "add:x", 1)
+
+	// Restart: the rejoining slave pulls a full checkpoint.
+	r, err := s.RestartReplica(ctx, idx)
+	if err != nil {
+		t.Fatalf("RestartReplica: %v", err)
+	}
+	app := r.App().(*Calculator)
+	waitUntil(t, 2*time.Second, func() bool {
+		return app.regs.Get("x") == 501
+	}, "rejoined slave never caught up on the missed writes")
+
+	// These writes reach the rejoined slave via delta checkpoints only
+	// (the first post-restart ship resynchronizes; well under the
+	// periodic-full interval thereafter).
+	for i := 0; i < 5; i++ {
+		invoke(t, c, "add:y", 10)
+	}
+	lastResp, err := c.Invoke(ctx, "add:y", EncodeArg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastVal, err := DecodeResult(lastResp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastVal != 60 {
+		t.Fatalf("y after 6 adds = %d, want 60", lastVal)
+	}
+	waitUntil(t, 2*time.Second, func() bool {
+		return app.regs.Get("y") == 60
+	}, "delta checkpoints never resumed after resync")
+
+	// Fail over: the promoted slave must serve the delta-shipped state
+	// and replay the delta-shipped reply log instead of re-executing.
+	s.CrashMaster()
+	waitUntil(t, 5*time.Second, func() bool { return s.Master() == r }, "rejoined slave never promoted")
+	if got := invoke(t, c, "get:y", 0); got != 60 {
+		t.Fatalf("y after failover = %d, want 60", got)
+	}
+	dup, err := c.Redeliver(ctx, lastResp.Seq, "add:y", EncodeArg(10))
+	if err != nil {
+		t.Fatalf("post-failover redelivery: %v", err)
+	}
+	got, err := DecodeResult(dup.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != lastVal {
+		t.Fatalf("redelivered reply = %d, want %d (reply log entry shipped via delta)", got, lastVal)
+	}
+	if v := invoke(t, c, "get:y", 0); v != 60 {
+		t.Fatalf("y after redelivery = %d, want 60 (duplicate re-executed)", v)
+	}
+}

@@ -1,0 +1,135 @@
+package rpc
+
+import (
+	"fmt"
+
+	"resilientft/internal/transport"
+)
+
+// Hand-rolled binary codecs for the per-request message types. Request
+// and Response cross the wire once (or more, under replication) per
+// client call, so they implement transport's fast-codec interfaces and
+// skip gob entirely: no reflection, no type descriptors, one buffer.
+
+var (
+	_ transport.FastMarshaler   = Request{}
+	_ transport.FastUnmarshaler = (*Request)(nil)
+	_ transport.FastMarshaler   = Response{}
+	_ transport.FastUnmarshaler = (*Response)(nil)
+	_ transport.FastMarshaler   = ResponseList(nil)
+	_ transport.FastUnmarshaler = (*ResponseList)(nil)
+)
+
+// AppendFast implements transport.FastMarshaler.
+func (r Request) AppendFast(buf []byte) []byte {
+	buf = transport.AppendLenString(buf, r.ClientID)
+	buf = transport.AppendUvarint(buf, r.Seq)
+	buf = transport.AppendLenString(buf, r.Op)
+	return transport.AppendLenBytes(buf, r.Payload)
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (r *Request) DecodeFast(data []byte) error {
+	var err error
+	if r.ClientID, data, err = transport.ReadLenString(data); err != nil {
+		return fmt.Errorf("rpc: request clientID: %w", err)
+	}
+	if r.Seq, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("rpc: request seq: %w", err)
+	}
+	if r.Op, data, err = transport.ReadLenString(data); err != nil {
+		return fmt.Errorf("rpc: request op: %w", err)
+	}
+	if r.Payload, _, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("rpc: request payload: %w", err)
+	}
+	return nil
+}
+
+// appendResponse writes one response body; shared by the single and the
+// list codecs.
+func appendResponse(buf []byte, r Response) []byte {
+	buf = transport.AppendLenString(buf, r.ClientID)
+	buf = transport.AppendUvarint(buf, r.Seq)
+	buf = transport.AppendUvarint(buf, uint64(r.Status))
+	buf = transport.AppendLenBytes(buf, r.Payload)
+	buf = transport.AppendLenString(buf, r.Err)
+	flag := byte(0)
+	if r.Replayed {
+		flag = 1
+	}
+	return append(buf, flag)
+}
+
+// readResponse consumes one response body and returns the remainder.
+func readResponse(data []byte) (Response, []byte, error) {
+	var r Response
+	var err error
+	if r.ClientID, data, err = transport.ReadLenString(data); err != nil {
+		return r, nil, fmt.Errorf("rpc: response clientID: %w", err)
+	}
+	if r.Seq, data, err = transport.ReadUvarint(data); err != nil {
+		return r, nil, fmt.Errorf("rpc: response seq: %w", err)
+	}
+	var status uint64
+	if status, data, err = transport.ReadUvarint(data); err != nil {
+		return r, nil, fmt.Errorf("rpc: response status: %w", err)
+	}
+	r.Status = Status(status)
+	if r.Payload, data, err = transport.ReadLenBytes(data); err != nil {
+		return r, nil, fmt.Errorf("rpc: response payload: %w", err)
+	}
+	if r.Err, data, err = transport.ReadLenString(data); err != nil {
+		return r, nil, fmt.Errorf("rpc: response err: %w", err)
+	}
+	if len(data) < 1 {
+		return r, nil, fmt.Errorf("rpc: response replayed flag: %w", transport.ErrShortBuffer)
+	}
+	r.Replayed = data[0] != 0
+	return r, data[1:], nil
+}
+
+// AppendFast implements transport.FastMarshaler.
+func (r Response) AppendFast(buf []byte) []byte { return appendResponse(buf, r) }
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (r *Response) DecodeFast(data []byte) error {
+	resp, _, err := readResponse(data)
+	if err != nil {
+		return err
+	}
+	*r = resp
+	return nil
+}
+
+// ResponseList is a fast-coded batch of responses: checkpoint-delta
+// reply-log tails travel as one of these. (Full checkpoint snapshots
+// stay gob-encoded []Response for wire compatibility across versions.)
+type ResponseList []Response
+
+// AppendFast implements transport.FastMarshaler.
+func (rl ResponseList) AppendFast(buf []byte) []byte {
+	buf = transport.AppendUvarint(buf, uint64(len(rl)))
+	for _, r := range rl {
+		buf = appendResponse(buf, r)
+	}
+	return buf
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (rl *ResponseList) DecodeFast(data []byte) error {
+	n, data, err := transport.ReadUvarint(data)
+	if err != nil {
+		return fmt.Errorf("rpc: response list length: %w", err)
+	}
+	out := make(ResponseList, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r Response
+		if r, data, err = readResponse(data); err != nil {
+			return fmt.Errorf("rpc: response list entry %d: %w", i, err)
+		}
+		out = append(out, r)
+	}
+	*rl = out
+	return nil
+}

@@ -77,15 +77,37 @@ var (
 	ErrApp = errors.New("rpc: application error")
 )
 
+// clientRing is the per-client retention window: a seq-indexed ring of
+// the client's most recent responses. Slot seq%len holds the response
+// with the highest seq ever recorded for that residue, which is exactly
+// the "keep the newest perClient seqs" retention policy without any
+// scanning or sorting.
+type clientRing struct {
+	slots []Response
+	valid []bool
+}
+
 // ReplyLog is the at-most-once cache: the last response per client
 // request. It retains a bounded number of entries per client (a client
 // only ever retries its most recent requests). The log is part of FTM
 // state: PBR ships it inside checkpoints, LFR maintains it on both
 // replicas.
+//
+// Lookup and Record are O(1) via per-client ring buffers. A bounded
+// journal of recent records, indexed by a monotonic mark, supports
+// SnapshotSince so delta checkpoints ship only the responses recorded
+// since the peer's last acknowledged mark.
 type ReplyLog struct {
 	mu        sync.Mutex
 	perClient int
-	entries   map[string][]Response // clientID -> responses ordered by seq
+	rings     map[string]*clientRing
+
+	// mark counts records ever applied; the journal tail holds the
+	// records with indices [tailStart, mark).
+	mark      uint64
+	tail      []Response
+	tailStart uint64
+	tailMax   int
 }
 
 // NewReplyLog returns a log retaining perClient responses per client
@@ -94,40 +116,103 @@ func NewReplyLog(perClient int) *ReplyLog {
 	if perClient < 1 {
 		perClient = 1
 	}
-	return &ReplyLog{perClient: perClient, entries: make(map[string][]Response)}
+	tailMax := 4 * perClient
+	if tailMax < 256 {
+		tailMax = 256
+	}
+	return &ReplyLog{
+		perClient: perClient,
+		rings:     make(map[string]*clientRing),
+		tailMax:   tailMax,
+	}
 }
 
 // Lookup returns the logged response for (clientID, seq).
 func (l *ReplyLog) Lookup(clientID string, seq uint64) (Response, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for _, r := range l.entries[clientID] {
-		if r.Seq == seq {
-			r.Replayed = true
-			return r, true
-		}
+	ring := l.rings[clientID]
+	if ring == nil {
+		return Response{}, false
 	}
-	return Response{}, false
+	i := int(seq % uint64(l.perClient))
+	if !ring.valid[i] || ring.slots[i].Seq != seq {
+		return Response{}, false
+	}
+	r := ring.slots[i]
+	r.Replayed = true
+	return r, true
 }
 
-// Record stores a response, evicting the oldest entries of that client
-// beyond the retention bound.
+// Record stores a response, evicting the oldest entry of that client
+// sharing its ring slot.
 func (l *ReplyLog) Record(resp Response) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	list := l.entries[resp.ClientID]
-	for i, r := range list {
-		if r.Seq == resp.Seq {
-			list[i] = resp
-			return
+	l.record(resp, true)
+}
+
+// RecordAll stores a batch of responses under one lock acquisition; the
+// slave applies checkpoint-delta tails through it.
+func (l *ReplyLog) RecordAll(resps []Response) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, r := range resps {
+		l.record(r, true)
+	}
+}
+
+func (l *ReplyLog) record(resp Response, journal bool) {
+	ring := l.rings[resp.ClientID]
+	if ring == nil {
+		ring = &clientRing{
+			slots: make([]Response, l.perClient),
+			valid: make([]bool, l.perClient),
 		}
+		l.rings[resp.ClientID] = ring
 	}
-	list = append(list, resp)
-	sort.Slice(list, func(i, j int) bool { return list[i].Seq < list[j].Seq })
-	if len(list) > l.perClient {
-		list = list[len(list)-l.perClient:]
+	i := int(resp.Seq % uint64(l.perClient))
+	if ring.valid[i] && ring.slots[i].Seq > resp.Seq {
+		// A newer request already claimed the slot; under the retention
+		// bound the incoming response would have been evicted anyway.
+		return
 	}
-	l.entries[resp.ClientID] = list
+	ring.slots[i] = resp
+	ring.valid[i] = true
+	if !journal {
+		return
+	}
+	l.mark++
+	l.tail = append(l.tail, resp)
+	if len(l.tail) > l.tailMax {
+		// Drop down to half the bound so trimming stays amortized O(1).
+		drop := len(l.tail) - l.tailMax/2
+		l.tail = append(l.tail[:0:0], l.tail[drop:]...)
+		l.tailStart += uint64(drop)
+	}
+}
+
+// Mark returns the journal position: the count of records applied so
+// far. A later SnapshotSince(mark) yields exactly the records that
+// follow.
+func (l *ReplyLog) Mark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mark
+}
+
+// SnapshotSince returns the responses recorded after the given mark and
+// the new mark. ok is false when the journal no longer reaches back that
+// far (or the mark is from another log's history); the caller must fall
+// back to a full Snapshot.
+func (l *ReplyLog) SnapshotSince(mark uint64) (tail []Response, newMark uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if mark < l.tailStart || mark > l.mark {
+		return nil, l.mark, false
+	}
+	out := append([]Response(nil), l.tail[mark-l.tailStart:]...)
+	return out, l.mark, true
 }
 
 // Len returns the total number of logged responses.
@@ -135,19 +220,42 @@ func (l *ReplyLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	n := 0
-	for _, list := range l.entries {
-		n += len(list)
+	for _, ring := range l.rings {
+		for _, v := range ring.valid {
+			if v {
+				n++
+			}
+		}
 	}
 	return n
 }
 
-// Snapshot serializes the log for inclusion in a checkpoint.
+// Snapshot serializes the log for inclusion in a checkpoint. The
+// ordering (ClientID, then Seq) is part of the checkpoint wire format
+// and must not change.
 func (l *ReplyLog) Snapshot() []Response {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// SnapshotMarked atomically pairs a full snapshot with the journal mark
+// it corresponds to, so a SnapshotSince from that mark continues exactly
+// where the snapshot left off.
+func (l *ReplyLog) SnapshotMarked() ([]Response, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked(), l.mark
+}
+
+func (l *ReplyLog) snapshotLocked() []Response {
 	var out []Response
-	for _, list := range l.entries {
-		out = append(out, list...)
+	for _, ring := range l.rings {
+		for i, v := range ring.valid {
+			if v {
+				out = append(out, ring.slots[i])
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].ClientID != out[j].ClientID {
@@ -158,12 +266,16 @@ func (l *ReplyLog) Snapshot() []Response {
 	return out
 }
 
-// Restore replaces the log contents with a snapshot.
+// Restore replaces the log contents with a snapshot. The journal is
+// cleared (tailStart catches up to mark), so a SnapshotSince against a
+// pre-restore mark reports ok=false and forces a full snapshot.
 func (l *ReplyLog) Restore(snapshot []Response) {
 	l.mu.Lock()
-	l.entries = make(map[string][]Response, len(snapshot))
-	l.mu.Unlock()
+	defer l.mu.Unlock()
+	l.rings = make(map[string]*clientRing, len(snapshot))
+	l.tail = nil
+	l.tailStart = l.mark
 	for _, r := range snapshot {
-		l.Record(r)
+		l.record(r, false)
 	}
 }

@@ -4,19 +4,70 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 )
 
-// Encode gob-serializes v for transmission.
-func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
-	}
-	return buf.Bytes(), nil
+// encBufPool recycles the scratch buffers behind Encode. Gob encoders
+// themselves cannot be pooled — a gob stream transmits type descriptors
+// only once, so an encoder reused across messages produces streams a
+// fresh decoder cannot read — but the buffer growth is where the
+// allocation cost lives.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// fastTag marks a hand-rolled binary encoding produced by a
+// FastMarshaler. A gob stream always begins with a message byte count
+// encoded as an unsigned varint, whose first byte is either 0x01..0x7F
+// (small counts) or 0xF8..0xFF (negated byte-count prefix), so 0xD1 can
+// never open a gob stream and the two formats coexist on one wire.
+const fastTag = 0xD1
+
+// FastMarshaler is implemented by high-frequency fixed-shape message
+// types (rpc requests and responses, replica envelopes) that encode
+// themselves with a hand-rolled binary layout instead of gob. Encode
+// recognizes the interface and emits the tagged fast format; Decode
+// dispatches on the tag. The appended body must be self-delimiting.
+type FastMarshaler interface {
+	AppendFast(buf []byte) []byte
 }
 
-// Decode gob-deserializes data into v (a pointer).
+// FastUnmarshaler is the decoding half of the fast path, implemented on
+// the pointer type.
+type FastUnmarshaler interface {
+	DecodeFast(data []byte) error
+}
+
+// Encode serializes v for transmission: the hand-rolled fast format for
+// FastMarshaler values, gob for everything else.
+func Encode(v any) ([]byte, error) {
+	if fm, ok := v.(FastMarshaler); ok {
+		buf := make([]byte, 1, 64)
+		buf[0] = fastTag
+		return fm.AppendFast(buf), nil
+	}
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		encBufPool.Put(buf)
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	encBufPool.Put(buf)
+	return out, nil
+}
+
+// Decode deserializes data into v (a pointer), dispatching between the
+// fast format and gob on the leading tag byte.
 func Decode(data []byte, v any) error {
+	if len(data) > 0 && data[0] == fastTag {
+		fu, ok := v.(FastUnmarshaler)
+		if !ok {
+			return fmt.Errorf("transport: fast-coded data but %T cannot fast-decode", v)
+		}
+		if err := fu.DecodeFast(data[1:]); err != nil {
+			return fmt.Errorf("transport: decode into %T: %w", v, err)
+		}
+		return nil
+	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
 		return fmt.Errorf("transport: decode into %T: %w", v, err)
 	}

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Helpers for the hand-rolled binary wire format of FastMarshaler
+// message types: length-prefixed strings and byte slices plus unsigned
+// varints, shared by every fast codec so the layouts stay uniform.
+
+// ErrShortBuffer reports a truncated fast-coded message.
+var ErrShortBuffer = errors.New("transport: fast decode: short buffer")
+
+// AppendUvarint appends v as an unsigned varint.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendLenBytes appends p with a varint length prefix.
+func AppendLenBytes(buf []byte, p []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(p)))
+	return append(buf, p...)
+}
+
+// AppendLenString appends s with a varint length prefix.
+func AppendLenString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadUvarint consumes an unsigned varint and returns the remainder.
+func ReadUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrShortBuffer)
+	}
+	return v, data[n:], nil
+}
+
+// ReadLenBytes consumes a length-prefixed byte slice (copied out of the
+// input) and returns the remainder. A zero length yields nil.
+func ReadLenBytes(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, ErrShortBuffer
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	return append([]byte(nil), rest[:n]...), rest[n:], nil
+}
+
+// ReadLenString consumes a length-prefixed string and returns the
+// remainder.
+func ReadLenString(data []byte) (string, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrShortBuffer
+	}
+	return string(rest[:n]), rest[n:], nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -12,14 +13,23 @@ import (
 // configurable latency (with jitter), one-way messages can be lost with a
 // configurable probability, and pairs of addresses can be partitioned.
 // All randomness is seeded, so experiments are reproducible.
+//
+// Locking is split for concurrent request traffic: the routing state
+// (endpoints, partitions) sits behind a read-mostly RWMutex, and the
+// random source — only touched when jitter or loss are configured — has
+// its own lock so that delivery of independent messages never serializes
+// on it. The latency/jitter/loss knobs are fixed at construction.
 type MemNetwork struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	endpoints  map[Address]*memEndpoint
-	latency    time.Duration
-	jitter     time.Duration
-	lossRate   float64
-	rng        *rand.Rand
 	partitions map[[2]Address]bool
+
+	latency  time.Duration
+	jitter   time.Duration
+	lossRate float64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // MemOption configures a MemNetwork.
@@ -102,34 +112,38 @@ func pairKey(a, b Address) [2]Address {
 
 // Stats returns the traffic counters of addr.
 func (n *MemNetwork) Stats(addr Address) Stats {
-	n.mu.Lock()
+	n.mu.RLock()
 	ep, ok := n.endpoints[addr]
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	if !ok {
 		return Stats{}
 	}
-	ep.mu.Lock()
-	defer ep.mu.Unlock()
-	return ep.stats
+	return ep.statsSnapshot()
 }
 
 // route resolves delivery of a packet: the target endpoint or an error,
 // plus the delay to impose and whether a lossy send drops the packet.
 func (n *MemNetwork) route(from, to Address, oneWay bool) (*memEndpoint, time.Duration, bool, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.partitions[pairKey(from, to)] {
+	n.mu.RLock()
+	partitioned := n.partitions[pairKey(from, to)]
+	target, ok := n.endpoints[to]
+	n.mu.RUnlock()
+	if partitioned {
 		return nil, 0, false, fmt.Errorf("%w: %s -> %s (partitioned)", ErrUnreachable, from, to)
 	}
-	target, ok := n.endpoints[to]
 	if !ok || target.isClosed() {
 		return nil, 0, false, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	delay := n.latency
-	if n.jitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	dropped := false
+	if n.jitter > 0 || (oneWay && n.lossRate > 0) {
+		n.rngMu.Lock()
+		if n.jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+		}
+		dropped = oneWay && n.lossRate > 0 && n.rng.Float64() < n.lossRate
+		n.rngMu.Unlock()
 	}
-	dropped := oneWay && n.lossRate > 0 && n.rng.Float64() < n.lossRate
 	return target, delay, dropped, nil
 }
 
@@ -147,14 +161,24 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
+// epStats holds an endpoint's traffic counters as atomics so accounting
+// on the message hot path never takes a lock.
+type epStats struct {
+	messagesSent     atomic.Uint64
+	messagesReceived atomic.Uint64
+	bytesSent        atomic.Uint64
+	bytesReceived    atomic.Uint64
+}
+
 type memEndpoint struct {
 	net  *MemNetwork
 	addr Address
 
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	handlers map[string]Handler
-	closed   bool
-	stats    Stats
+
+	closed atomic.Bool
+	stats  epStats
 }
 
 var _ Endpoint = (*memEndpoint)(nil)
@@ -172,33 +196,36 @@ func (e *memEndpoint) Handle(kind string, h Handler) {
 }
 
 func (e *memEndpoint) handler(kind string) (Handler, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
+	if e.closed.Load() {
 		return nil, ErrClosed
 	}
+	e.mu.RLock()
 	h, ok := e.handlers[kind]
+	e.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q at %s", ErrNoHandler, kind, e.addr)
 	}
 	return h, nil
 }
 
-func (e *memEndpoint) isClosed() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.closed
+func (e *memEndpoint) isClosed() bool { return e.closed.Load() }
+
+func (e *memEndpoint) accountSent(bytes int) {
+	e.stats.messagesSent.Add(1)
+	e.stats.bytesSent.Add(uint64(bytes))
 }
 
-func (e *memEndpoint) account(send bool, bytes int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if send {
-		e.stats.MessagesSent++
-		e.stats.BytesSent += uint64(bytes)
-	} else {
-		e.stats.MessagesReceived++
-		e.stats.BytesReceived += uint64(bytes)
+func (e *memEndpoint) accountReceived(bytes int) {
+	e.stats.messagesReceived.Add(1)
+	e.stats.bytesReceived.Add(uint64(bytes))
+}
+
+func (e *memEndpoint) statsSnapshot() Stats {
+	return Stats{
+		MessagesSent:     e.stats.messagesSent.Load(),
+		MessagesReceived: e.stats.messagesReceived.Load(),
+		BytesSent:        e.stats.bytesSent.Load(),
+		BytesReceived:    e.stats.bytesReceived.Load(),
 	}
 }
 
@@ -210,10 +237,12 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 	if err != nil {
 		return err
 	}
-	e.account(true, len(payload))
+	e.accountSent(len(payload))
 	if dropped {
 		return nil // fire-and-forget loss is silent, like UDP
 	}
+	// The delivery is asynchronous, so the payload is copied once to
+	// decouple it from any buffer the caller reuses.
 	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
 	go func() {
 		if err := sleepCtx(context.Background(), delay); err != nil {
@@ -223,7 +252,7 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 		if err != nil {
 			return
 		}
-		target.account(false, len(pkt.Payload))
+		target.accountReceived(len(pkt.Payload))
 		_, _ = h(context.Background(), pkt)
 	}()
 	return nil
@@ -237,7 +266,7 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 	if err != nil {
 		return nil, err
 	}
-	e.account(true, len(payload))
+	e.accountSent(len(payload))
 	if err := sleepCtx(ctx, delay); err != nil {
 		return nil, err
 	}
@@ -248,8 +277,10 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 	if target.isClosed() {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
-	target.account(false, len(pkt.Payload))
+	// The caller blocks for the reply, so the payload travels without a
+	// defensive copy.
+	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: payload}
+	target.accountReceived(len(pkt.Payload))
 
 	type result struct {
 		reply []byte
@@ -267,17 +298,18 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 		if r.err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrRemote, r.err)
 		}
+		// The remote produced and sent the reply at this point: account
+		// for it before modelling its transit delay, so a caller that
+		// gives up mid-flight still observes the received traffic.
+		e.accountReceived(len(r.reply))
 		if err := sleepCtx(ctx, delay); err != nil {
 			return nil, err
 		}
-		e.account(false, len(r.reply))
 		return r.reply, nil
 	}
 }
 
 func (e *memEndpoint) Close() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.closed = true
+	e.closed.Store(true)
 	return nil
 }

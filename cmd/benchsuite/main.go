@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"resilientft/internal/experiments"
+	"resilientft/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 		runs     = flag.Int("runs", 100, "repetitions per timed measurement (the paper uses 100)")
 		root     = flag.String("root", ".", "repository root (for the SLOC figures)")
 		jsonPath = flag.String("json", "", "with -exp bench: write the perf report JSON to this file (stdout when empty)")
+		metrics  = flag.Bool("metrics", false, "with -exp bench: embed the flattened telemetry registry in the report")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -137,6 +139,9 @@ func main() {
 		report, err := experiments.PerfSuite(ctx, *runs)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *metrics {
+			report.Telemetry = telemetry.Default().Flatten()
 		}
 		data, err := report.JSON()
 		if err != nil {

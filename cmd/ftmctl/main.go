@@ -5,6 +5,7 @@
 //	ftmctl -target 127.0.0.1:7001 arch
 //	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
 //	ftmctl -target 127.0.0.1:7001 invoke add:x 5
+//	ftmctl -target 127.0.0.1:7001 metrics
 package main
 
 import (
@@ -37,7 +38,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|transition <ftm>|invoke <op> <arg>")
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|metrics|transition <ftm>|invoke <op> <arg>")
 	}
 
 	ep, err := transport.ListenTCP("127.0.0.1:0")
@@ -74,6 +75,17 @@ func run() error {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
 			fmt.Println(arch)
+		}
+	case "metrics":
+		for _, addr := range targets {
+			text, err := mgmt.QueryMetrics(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			fmt.Print(text)
 		}
 	case "transition":
 		if len(args) < 2 {

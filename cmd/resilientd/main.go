@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +28,7 @@ import (
 	"resilientft/internal/host"
 	"resilientft/internal/mgmt"
 	"resilientft/internal/stablestore"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -46,6 +49,7 @@ func run() error {
 		storePath = flag.String("store", "", "stable-storage file (empty = in-memory)")
 		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
 		suspect   = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
+		httpAddr  = flag.String("http", "", "observability HTTP address serving /metrics and /events (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -94,6 +98,21 @@ func run() error {
 		return err
 	}
 	mgmt.Serve(ep, replica, adaptation.NewEngine(nil))
+
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability listen %s: %w", *httpAddr, err)
+		}
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default(), telemetry.DefaultTracer())}
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("observability server: %v", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("resilientd: observability on http://%s/metrics\n", ln.Addr())
+	}
 
 	fmt.Printf("resilientd: %s %s/%s listening on %s (peer %s)\n",
 		*system, *ftmFlag, *role, ep.Addr(), *peer)

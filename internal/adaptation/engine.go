@@ -12,6 +12,7 @@ import (
 	"resilientft/internal/fscript"
 	"resilientft/internal/ftm"
 	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
 )
 
 // StepTimings breaks a transition into the paper's three steps
@@ -166,16 +167,26 @@ func (e *Engine) TransitionReplica(ctx context.Context, r *ftm.Replica, to core.
 		return report
 	}
 
+	emitStep := func(step string, d time.Duration, status string) {
+		telemetry.Emit("transition", step, d,
+			"host", report.Host, "from", string(from), "to", string(to),
+			"status", status)
+	}
+
 	// Step 1 — deploy the transition package: transfer each bundle into
 	// the local staging area, verify its seal and link its symbols
 	// against the replica's registry.
 	start := time.Now()
 	staged, err := stageBundles(rt.Registry(), pkg)
 	report.Steps.Deploy = time.Since(start)
+	mStepDeploy.Observe(report.Steps.Deploy)
 	if err != nil {
+		emitStep("deploy", report.Steps.Deploy, "error")
+		mTransitionsErr.Inc()
 		report.Err = err
 		return report
 	}
+	emitStep("deploy", report.Steps.Deploy, "ok")
 
 	// Step 2 — execute the reconfiguration script with the composite
 	// boundary closed: client requests buffer and replay in the new
@@ -184,15 +195,23 @@ func (e *Engine) TransitionReplica(ctx context.Context, r *ftm.Replica, to core.
 	start = time.Now()
 	err = e.executeScript(ctx, rt, r, pkg)
 	report.Steps.Script = time.Since(start)
+	mStepScript.Observe(report.Steps.Script)
 	if err != nil {
 		var serr *fscript.ScriptError
 		if errors.As(err, &serr) {
 			r.Kill()
 			report.Killed = true
 		}
+		emitStep("script", report.Steps.Script, "error")
+		if report.Killed {
+			mTransitionsKilled.Inc()
+		} else {
+			mTransitionsErr.Inc()
+		}
 		report.Err = err
 		return report
 	}
+	emitStep("script", report.Steps.Script, "ok")
 
 	// Step 3 — remove residuals: discard the staged package and verify
 	// the resulting architecture (old bricks are gone, integrity holds,
@@ -200,10 +219,15 @@ func (e *Engine) TransitionReplica(ctx context.Context, r *ftm.Replica, to core.
 	start = time.Now()
 	err = e.removeResiduals(rt, r, to, pkg, staged)
 	report.Steps.Remove = time.Since(start)
+	mStepRemove.Observe(report.Steps.Remove)
 	if err != nil {
+		emitStep("remove", report.Steps.Remove, "error")
+		mTransitionsErr.Inc()
 		report.Err = err
 		return report
 	}
+	emitStep("remove", report.Steps.Remove, "ok")
+	mTransitionsOK.Inc()
 
 	r.SetFTM(to)
 	return report

@@ -1,0 +1,17 @@
+package adaptation
+
+import "resilientft/internal/telemetry"
+
+// Transition series. One transition produces three step observations
+// (the paper's deploy / script / remove breakdown) and one outcome
+// count; the interpreter underneath adds a trace event per script
+// statement.
+var (
+	mStepDeploy = telemetry.Default().Histogram("adaptation_step_latency", "step", "deploy")
+	mStepScript = telemetry.Default().Histogram("adaptation_step_latency", "step", "script")
+	mStepRemove = telemetry.Default().Histogram("adaptation_step_latency", "step", "remove")
+
+	mTransitionsOK     = telemetry.Default().Counter("adaptation_transitions_total", "outcome", "ok")
+	mTransitionsErr    = telemetry.Default().Counter("adaptation_transitions_total", "outcome", "error")
+	mTransitionsKilled = telemetry.Default().Counter("adaptation_transitions_total", "outcome", "killed")
+)

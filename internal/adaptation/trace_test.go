@@ -1,0 +1,88 @@
+package adaptation
+
+import (
+	"context"
+	"testing"
+
+	"resilientft/internal/core"
+	"resilientft/internal/telemetry"
+)
+
+// TestTransitionTraceRecordsEveryStep drives PBR→LFR→LFR+TR and checks
+// the trace ring captured the full reconfiguration: the three engine
+// steps (deploy, script, remove) per replica and one event per script
+// statement (stop/remove/add/wire/start/...), all with non-zero
+// durations.
+func TestTransitionTraceRecordsEveryStep(t *testing.T) {
+	s := newSystem(t, core.PBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 7)
+	engine := NewEngine(nil)
+
+	transition := func(to core.ID) {
+		t.Helper()
+		mark := telemetry.DefaultTracer().Mark()
+		report, err := engine.TransitionSystem(context.Background(), s, to)
+		if err != nil {
+			t.Fatalf("TransitionSystem(%s): %v", to, err)
+		}
+		if !report.Succeeded() {
+			t.Fatalf("transition to %s did not succeed: %+v", to, report)
+		}
+
+		events := telemetry.DefaultTracer().Since(mark)
+		steps := map[string]int{}  // engine step name -> count
+		verbs := map[string]bool{} // script statement verb -> seen
+		for _, ev := range events {
+			switch ev.Kind {
+			case "transition":
+				if ev.Attrs["status"] != "ok" {
+					t.Errorf("%s: engine step %s status %q", to, ev.Name, ev.Attrs["status"])
+				}
+				if ev.Dur <= 0 {
+					t.Errorf("%s: engine step %s has zero duration", to, ev.Name)
+				}
+				if ev.Attrs["to"] != string(to) {
+					t.Errorf("%s: engine step %s tagged to=%q", to, ev.Name, ev.Attrs["to"])
+				}
+				steps[ev.Name]++
+			case "transition.step":
+				if ev.Attrs["status"] != "ok" {
+					t.Errorf("%s: script step %q status %q", to, ev.Attrs["stmt"], ev.Attrs["status"])
+				}
+				if ev.Dur <= 0 {
+					t.Errorf("%s: script step %q has zero duration", to, ev.Attrs["stmt"])
+				}
+				if ev.Attrs["stmt"] == "" || ev.Attrs["line"] == "" {
+					t.Errorf("%s: script step missing stmt/line attrs: %+v", to, ev.Attrs)
+				}
+				verbs[ev.Name] = true
+			}
+		}
+		// Both replicas transition, each through the three-step process.
+		for _, step := range []string{"deploy", "script", "remove"} {
+			if steps[step] != 2 {
+				t.Errorf("%s: engine step %s traced %d times, want 2", to, step, steps[step])
+			}
+		}
+		// A differential brick swap stops the composite's bricks, removes
+		// the old ones, adds, wires and starts the new ones.
+		for _, verb := range []string{"stop", "remove", "add", "wire", "start"} {
+			if !verbs[verb] {
+				t.Errorf("%s: no %q statement in the transition trace (saw %v)", to, verb, verbs)
+			}
+		}
+	}
+
+	transition(core.LFR)
+	if got := invoke(t, c, "get:x", 0); got != 7 {
+		t.Fatalf("state after PBR->LFR = %d, want 7", got)
+	}
+	transition(core.LFRTR)
+	if got := invoke(t, c, "get:x", 0); got != 7 {
+		t.Fatalf("state after LFR->LFR+TR = %d, want 7", got)
+	}
+}

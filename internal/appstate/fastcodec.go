@@ -1,0 +1,116 @@
+package appstate
+
+import (
+	"fmt"
+	"sort"
+
+	"resilientft/internal/transport"
+)
+
+// Hand-rolled binary codecs for the per-request checkpoint payloads.
+// Under delta checkpointing a DeltaCheckpoint (carrying a regDelta)
+// crosses the wire on every client request, so both skip gob the same
+// way rpc.Request and rpc.Response do. Full Checkpoint snapshots stay
+// gob-encoded: they travel only on resync and startup, and keeping the
+// rare path on gob preserves wire compatibility across versions. A
+// receiver that cannot decode a delta NACKs it and the sender falls
+// back to a full checkpoint, so the codec switch degrades to a resync
+// rather than a stall.
+
+var (
+	_ transport.FastMarshaler   = DeltaCheckpoint{}
+	_ transport.FastUnmarshaler = (*DeltaCheckpoint)(nil)
+	_ transport.FastMarshaler   = regDelta{}
+	_ transport.FastUnmarshaler = (*regDelta)(nil)
+)
+
+// AppendFast implements transport.FastMarshaler.
+func (dc DeltaCheckpoint) AppendFast(buf []byte) []byte {
+	buf = transport.AppendUvarint(buf, dc.BaseVersion)
+	buf = transport.AppendUvarint(buf, dc.ToVersion)
+	buf = transport.AppendLenBytes(buf, dc.Delta)
+	buf = transport.AppendLenBytes(buf, dc.ReplyTail)
+	return transport.AppendUvarint(buf, dc.LastSeq)
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (dc *DeltaCheckpoint) DecodeFast(data []byte) error {
+	var err error
+	if dc.BaseVersion, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: delta checkpoint base: %w", err)
+	}
+	if dc.ToVersion, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: delta checkpoint to: %w", err)
+	}
+	if dc.Delta, data, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("appstate: delta checkpoint delta: %w", err)
+	}
+	if dc.ReplyTail, data, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("appstate: delta checkpoint reply tail: %w", err)
+	}
+	if dc.LastSeq, _, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: delta checkpoint last seq: %w", err)
+	}
+	return nil
+}
+
+// AppendFast implements transport.FastMarshaler. Registers are written
+// in sorted key order so identical write-sets encode identically.
+func (d regDelta) AppendFast(buf []byte) []byte {
+	buf = transport.AppendUvarint(buf, d.Base)
+	buf = transport.AppendUvarint(buf, d.To)
+	keys := make([]string, 0, len(d.Regs))
+	for k := range d.Regs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = transport.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = transport.AppendLenString(buf, k)
+		buf = transport.AppendVarint(buf, d.Regs[k])
+	}
+	buf = transport.AppendUvarint(buf, uint64(len(d.Deleted)))
+	for _, k := range d.Deleted {
+		buf = transport.AppendLenString(buf, k)
+	}
+	return buf
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (d *regDelta) DecodeFast(data []byte) error {
+	var err error
+	if d.Base, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: reg delta base: %w", err)
+	}
+	if d.To, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: reg delta to: %w", err)
+	}
+	var n uint64
+	if n, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: reg delta count: %w", err)
+	}
+	d.Regs = make(map[string]int64, n)
+	for i := uint64(0); i < n; i++ {
+		var k string
+		var v int64
+		if k, data, err = transport.ReadLenString(data); err != nil {
+			return fmt.Errorf("appstate: reg delta key %d: %w", i, err)
+		}
+		if v, data, err = transport.ReadVarint(data); err != nil {
+			return fmt.Errorf("appstate: reg delta value %q: %w", k, err)
+		}
+		d.Regs[k] = v
+	}
+	if n, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: reg delta deleted count: %w", err)
+	}
+	d.Deleted = nil
+	for i := uint64(0); i < n; i++ {
+		var k string
+		if k, data, err = transport.ReadLenString(data); err != nil {
+			return fmt.Errorf("appstate: reg delta deleted %d: %w", i, err)
+		}
+		d.Deleted = append(d.Deleted, k)
+	}
+	return nil
+}

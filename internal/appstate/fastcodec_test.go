@@ -1,0 +1,98 @@
+package appstate
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"resilientft/internal/transport"
+)
+
+func TestDeltaCheckpointFastRoundTrip(t *testing.T) {
+	in := DeltaCheckpoint{
+		BaseVersion: 7,
+		ToVersion:   12,
+		Delta:       []byte{1, 2, 3},
+		ReplyTail:   []byte("tail"),
+		LastSeq:     99,
+	}
+	data, err := EncodeDeltaCheckpoint(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDeltaCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRegDeltaFastRoundTrip(t *testing.T) {
+	in := regDelta{
+		Base:    3,
+		To:      9,
+		Regs:    map[string]int64{"a": -5, "b": 1 << 40, "c": 0},
+		Deleted: []string{"gone", "too"},
+	}
+	data, err := transport.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out regDelta
+	if err := transport.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+// A delta produced by an older gob-only sender must still decode: the
+// fast codec only changes what this version emits, not what it accepts.
+func TestDeltaCheckpointDecodesGob(t *testing.T) {
+	in := DeltaCheckpoint{BaseVersion: 1, ToVersion: 2, Delta: []byte{9}, LastSeq: 4}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeDeltaCheckpoint(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("gob decode: got %+v, want %+v", out, in)
+	}
+}
+
+func TestDeltaRoundTripThroughRegisters(t *testing.T) {
+	src := NewRegisters()
+	src.Set("a", 1)
+	base := src.StateVersion()
+	dst := NewRegisters()
+	full, ver, err := src.CaptureVersioned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.ApplyFull(full, ver); err != nil {
+		t.Fatal(err)
+	}
+	src.Set("b", -7)
+	src.Set("a", 2)
+	delta, to, ok, err := src.CaptureDelta(base)
+	if err != nil || !ok {
+		t.Fatalf("CaptureDelta: ok=%v err=%v", ok, err)
+	}
+	got, err := dst.ApplyDelta(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != to {
+		t.Fatalf("ApplyDelta version = %d, want %d", got, to)
+	}
+	if dst.Get("a") != 2 || dst.Get("b") != -7 {
+		t.Fatalf("state after delta: a=%d b=%d", dst.Get("a"), dst.Get("b"))
+	}
+}

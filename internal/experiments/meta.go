@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"os/exec"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// RunMeta stamps a perf report with enough provenance to compare it
+// against another run: what code, what toolchain, what parallelism.
+type RunMeta struct {
+	GitCommit  string `json:"git_commit,omitempty"`
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CollectRunMeta gathers the metadata of the current process. The
+// commit comes from the binary's embedded build info when the build
+// recorded it, falling back to asking git; an unknown commit is left
+// empty rather than guessed.
+func CollectRunMeta() RunMeta {
+	meta := RunMeta{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				meta.GitCommit = s.Value
+			}
+		}
+	}
+	if meta.GitCommit == "" {
+		if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+			meta.GitCommit = strings.TrimSpace(string(out))
+		}
+	}
+	return meta
+}

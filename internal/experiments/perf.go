@@ -24,8 +24,12 @@ type PerfMetric struct {
 // regenerates it.
 type PerfReport struct {
 	Suite       string       `json:"suite"`
+	Meta        RunMeta      `json:"meta"`
 	OpsPerPoint int          `json:"ops_per_point"`
 	Metrics     []PerfMetric `json:"metrics"`
+	// Telemetry is the flattened telemetry registry at the end of the
+	// run (benchsuite -metrics); the counters behind the measurements.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -42,7 +46,7 @@ func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
 	if ops < 1 {
 		ops = 200
 	}
-	report := &PerfReport{Suite: "request-path", OpsPerPoint: ops}
+	report := &PerfReport{Suite: "request-path", Meta: CollectRunMeta(), OpsPerPoint: ops}
 
 	add := func(name string, ns time.Duration, reqs float64) {
 		report.Metrics = append(report.Metrics, PerfMetric{

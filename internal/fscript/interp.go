@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"resilientft/internal/component"
+	"resilientft/internal/telemetry"
 )
 
 // ScriptError is the paper's ScriptException: a reconfiguration failed (a
@@ -76,7 +79,19 @@ func Execute(ctx context.Context, rt *component.Runtime, script *Script, env Env
 	}
 
 	for _, stmt := range script.Stmts {
+		stepStart := time.Now()
 		inv, err := apply(ctx, rt, stmt, env)
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		// Every reconfiguration step leaves a trace event: the verb
+		// (stop/add/wire/start/...), the full statement, and how long the
+		// runtime took to apply it.
+		telemetry.Emit("transition.step", stmtVerb(stmt), time.Since(stepStart),
+			"stmt", stmt.String(),
+			"line", strconv.Itoa(stmt.Line()),
+			"status", status)
 		if err != nil {
 			return Result{}, &ScriptError{
 				Stmt:        stmt.String(),
@@ -103,6 +118,16 @@ func Execute(ctx context.Context, rt *component.Runtime, script *Script, env Env
 		}
 	}
 	return Result{Executed: len(script.Stmts)}, nil
+}
+
+// stmtVerb returns the statement's leading keyword ("stop", "add",
+// "wire", ...), the name its trace event carries.
+func stmtVerb(stmt Stmt) string {
+	s := stmt.String()
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // apply executes one statement and returns its inverse.

@@ -250,6 +250,7 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 				// The backup's state is unknown once it rejoins, so the
 				// next checkpoint must be full.
 				a.synced = false
+				mDegraded.Inc()
 				return component.NewMessage("degraded", call), nil
 			}
 			return component.Message{}, err
@@ -268,10 +269,13 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 	if _, err := peer.call(ctx, MsgPBRCheckpoint, data); err != nil {
 		a.synced = false
 		if errors.Is(err, ErrNoPeer) {
+			mDegraded.Inc()
 			return component.NewMessage("degraded", call), nil
 		}
 		return component.Message{}, err
 	}
+	mCkptFull.Inc()
+	mCkptFullBytes.Add(uint64(len(data)))
 	a.synced = true
 	a.ackVersion = version
 	a.ackMark = mark
@@ -323,8 +327,11 @@ func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, l
 	}
 	if bytes.Equal(reply, pbrResyncReply) {
 		a.synced = false
+		mResyncPrimary.Inc()
 		return false, nil
 	}
+	mCkptDelta.Inc()
+	mCkptDeltaBytes.Add(uint64(len(data)))
 	a.ackVersion = cd.To
 	a.ackMark = since.Mark
 	a.deltasSince++
@@ -432,6 +439,7 @@ func (a *pbrApplyAfter) Invoke(ctx context.Context, service string, msg componen
 		if err != nil {
 			return component.Message{}, err
 		}
+		mApplyFull.Inc()
 		return component.NewMessage("ok", nil), nil
 	case "delta":
 		data, ok := msg.Payload.([]byte)
@@ -446,8 +454,10 @@ func (a *pbrApplyAfter) Invoke(ctx context.Context, service string, msg componen
 			return component.Message{}, err
 		}
 		if needResync {
+			mResyncBackup.Inc()
 			return component.NewMessage("resync", pbrResyncReply), nil
 		}
+		mApplyDelta.Inc()
 		return component.NewMessage("ok", nil), nil
 	default:
 		return component.Message{}, fmt.Errorf("%w: %q on pbr.apply", component.ErrUnknownOp, msg.Op)

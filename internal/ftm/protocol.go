@@ -138,15 +138,24 @@ func (p *protocolContent) handleRequest(ctx context.Context, msg component.Messa
 func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Response {
 	log := logClient{svc: p.ref("log")}
 	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+		mReplayHits.Inc()
 		return prev
 	}
 
+	mRequests.Inc()
 	call := &Call{Req: req}
 	err := func() error {
+		t := time.Now()
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
-		return (brickClient{svc: p.ref("proceed")}).run(ctx, call)
+		mStageBefore.ObserveSince(t)
+		t = time.Now()
+		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
+			return err
+		}
+		mStageProceed.ObserveSince(t)
+		return nil
 	}()
 	switch {
 	case err == nil:
@@ -180,12 +189,14 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 			Status: rpc.StatusUnavailable, Err: recErr.Error()}
 	}
+	tAfter := time.Now()
 	if aErr := (brickClient{svc: p.ref("after")}).run(ctx, call); aErr != nil {
 		// The operation executed and its reply is logged: a client
 		// retrying this sequence number will be served the logged reply.
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 			Status: rpc.StatusUnavailable, Err: aErr.Error()}
 	}
+	mStageAfter.ObserveSince(tAfter)
 	return call.Result
 }
 
@@ -193,6 +204,7 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 // and tracks local assertion failures toward the permanent-fault
 // threshold.
 func (p *protocolContent) escalateAssertion(ctx context.Context, req rpc.Request) (rpc.Response, error) {
+	mAssertEscalations.Inc()
 	p.mu.Lock()
 	p.assertFailures++
 	failures, limit, ctrl := p.assertFailures, p.assertLimit, p.control
@@ -361,17 +373,28 @@ func (p *protocolContent) afterSpecialPayload(ctx context.Context, op string, pa
 func (p *protocolContent) followerExecute(ctx context.Context, req rpc.Request) rpc.Response {
 	log := logClient{svc: p.ref("log")}
 	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+		mReplayHits.Inc()
 		return prev
 	}
+	mRequests.Inc()
 	call := &Call{Req: req}
 	run := func() error {
+		t := time.Now()
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
+		mStageBefore.ObserveSince(t)
+		t = time.Now()
 		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
 			return err
 		}
-		return (brickClient{svc: p.ref("after")}).run(ctx, call)
+		mStageProceed.ObserveSince(t)
+		t = time.Now()
+		if err := (brickClient{svc: p.ref("after")}).run(ctx, call); err != nil {
+			return err
+		}
+		mStageAfter.ObserveSince(t)
+		return nil
 	}
 	if err := run(); err != nil {
 		if errors.Is(err, ErrAssertionFailed) {

@@ -13,6 +13,7 @@ import (
 	"resilientft/internal/host"
 	"resilientft/internal/rpc"
 	"resilientft/internal/stablestore"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -94,7 +95,9 @@ func (r *Replica) event(s string) {
 	r.mu.Lock()
 	r.events = append(r.events, s)
 	hook := r.onEvent
+	system := r.cfg.System
 	r.mu.Unlock()
+	telemetry.Emit("replica", s, 0, "host", r.h.Name(), "system", system)
 	if hook != nil {
 		hook(s)
 	}
@@ -295,6 +298,11 @@ func (r *Replica) CurrentScheme() (core.Scheme, error) {
 // multi-replica group backups promote with rank-staggered delays so that
 // exactly one survivor takes over.
 func (r *Replica) OnPeerChange(suspected bool) {
+	if suspected {
+		mPeerSuspected.Inc()
+	} else {
+		mPeerRestored.Inc()
+	}
 	r.mu.Lock()
 	role := r.cfg.Role
 	multi := len(r.cfg.Members) > 2
@@ -542,6 +550,7 @@ func (r *Replica) Demote(ctx context.Context) error {
 	r.mu.Lock()
 	r.cfg.Role = core.RoleSlave
 	r.mu.Unlock()
+	mDemotions.Inc()
 	r.event("demoted to slave")
 	if desc.NeedsStateAccess {
 		if err := r.SyncFromPeer(ctx); err != nil {
@@ -623,6 +632,7 @@ func (r *Replica) Promote(ctx context.Context) error {
 	r.cfg.Role = core.RoleMaster
 	r.masterSince = time.Now()
 	r.mu.Unlock()
+	mPromotions.Inc()
 	r.event("promoted to master")
 	return nil
 }
@@ -671,6 +681,7 @@ func (r *Replica) SyncFromPeer(ctx context.Context) error {
 
 // Kill crashes the replica's host (fail-silent).
 func (r *Replica) Kill() {
+	mKills.Inc()
 	r.event("killed")
 	r.h.Crash()
 }

@@ -5,6 +5,7 @@
 package mgmt
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"resilientft/internal/adaptation"
 	"resilientft/internal/core"
 	"resilientft/internal/ftm"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -23,6 +25,7 @@ const (
 	OpStatus     = "status"
 	OpTransition = "transition"
 	OpDescribe   = "describe"
+	OpMetrics    = "metrics"
 )
 
 // Request is a management command.
@@ -57,7 +60,10 @@ type reply struct {
 	Status     *Status
 	Transition *TransitionOutcome
 	Describe   string
-	Err        string
+	// Metrics carries the daemon's telemetry registry in the Prometheus
+	// text exposition format.
+	Metrics string
+	Err     string
 }
 
 // Serve installs the management handler for a replica on its endpoint.
@@ -98,6 +104,13 @@ func Serve(ep transport.Endpoint, r *ftm.Replica, engine *adaptation.Engine) {
 			if report.Err != nil {
 				out.Transition.Err = report.Err.Error()
 			}
+		case OpMetrics:
+			var buf bytes.Buffer
+			if err := telemetry.Default().WritePrometheus(&buf); err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Metrics = buf.String()
 		case OpDescribe:
 			rt := r.Host().Runtime()
 			if rt == nil {
@@ -164,6 +177,16 @@ func RequestTransition(ctx context.Context, ep transport.Endpoint, target transp
 		return *out.Transition, fmt.Errorf("mgmt: transition failed: %s", out.Transition.Err)
 	}
 	return *out.Transition, nil
+}
+
+// QueryMetrics fetches a daemon's telemetry registry rendered as
+// Prometheus text.
+func QueryMetrics(ctx context.Context, ep transport.Endpoint, target transport.Address) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpMetrics})
+	if err != nil {
+		return "", err
+	}
+	return out.Metrics, nil
 }
 
 // QueryArchitecture fetches a replica's live component architecture.

@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+// The probes in this file read the telemetry registry instead of host
+// resource models: the Monitoring Engine's rules can then react to what
+// the instrumented request path actually observed — error spikes, tail
+// latency, replica resyncs — with the same hysteresis machinery as the
+// resource probes.
+
+// rateProbe turns a monotonically growing reading into a per-second
+// rate. The first sample reports zero (there is no interval to rate
+// over yet), like BusyFractionProbe.
+func rateProbe(name string, value func() uint64) Probe {
+	var mu sync.Mutex
+	var last uint64
+	var lastAt time.Time
+	return ProbeFunc{ProbeName: name, Fn: func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		now := time.Now()
+		v := value()
+		if lastAt.IsZero() {
+			lastAt, last = now, v
+			return 0
+		}
+		prev, prevAt := last, lastAt
+		lastAt, last = now, v
+		if v <= prev {
+			return 0
+		}
+		elapsed := now.Sub(prevAt)
+		if elapsed < time.Nanosecond {
+			elapsed = time.Nanosecond
+		}
+		return float64(v-prev) / elapsed.Seconds()
+	}}
+}
+
+// CounterRateProbe samples the per-second growth of one counter series
+// in reg (created on first use, so probe and instrumentation may
+// initialize in either order).
+func CounterRateProbe(name string, reg *telemetry.Registry, metric string, labels ...string) Probe {
+	c := reg.Counter(metric, labels...)
+	return rateProbe(name, c.Value)
+}
+
+// FamilyRateProbe samples the per-second growth of a whole counter
+// family: the sum over every label set registered under the base name.
+func FamilyRateProbe(name string, reg *telemetry.Registry, metric string) Probe {
+	return rateProbe(name, func() uint64 { return reg.SumCounters(metric) })
+}
+
+// ErrorRateProbe samples the per-second rate of failed request
+// outcomes: the rpc server's app-error and unavailable responses plus
+// clients giving up after exhausting every replica.
+func ErrorRateProbe(name string, reg *telemetry.Registry) Probe {
+	appErr := reg.Counter("rpc_server_responses_total", "status", "app-error")
+	unavail := reg.Counter("rpc_server_responses_total", "status", "unavailable")
+	exhausted := reg.Counter("rpc_client_exhausted_total")
+	return rateProbe(name, func() uint64 {
+		return appErr.Value() + unavail.Value() + exhausted.Value()
+	})
+}
+
+// ResyncRateProbe samples the per-second rate of PBR checkpoint
+// resyncs (both the primary observing a NACK and the backup raising
+// one); a sustained rate means the pair keeps falling out of sync and
+// the mechanism is wasting its delta machinery.
+func ResyncRateProbe(name string, reg *telemetry.Registry) Probe {
+	return FamilyRateProbe(name, reg, "ftm_resync_total")
+}
+
+// QuantileLatencyProbe samples a latency quantile of a histogram series
+// in milliseconds (0 until the series exists and has observations).
+func QuantileLatencyProbe(name string, reg *telemetry.Registry, metric string, q float64, labels ...string) Probe {
+	return ProbeFunc{ProbeName: name, Fn: func() float64 {
+		h, ok := reg.FindHistogram(metric, labels...)
+		if !ok {
+			return 0
+		}
+		return float64(h.Quantile(q).Nanoseconds()) / 1e6
+	}}
+}
+
+// P99LatencyProbe samples the 99th-percentile of the rpc server's
+// request latency in milliseconds.
+func P99LatencyProbe(name string, reg *telemetry.Registry) Probe {
+	return QuantileLatencyProbe(name, reg, "rpc_server_request_latency", 0.99)
+}

@@ -1,0 +1,112 @@
+package monitor
+
+import (
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/telemetry"
+)
+
+// pollAfter lets the rate probes see a non-zero interval between
+// samples without depending on scheduler timing.
+func pollAfter(e *Engine) []core.Trigger {
+	time.Sleep(2 * time.Millisecond)
+	return e.Poll()
+}
+
+// TestErrorRateRuleFiresOnceWithHysteresis drives a threshold rule from
+// the error-rate probe: a spike of failed responses fires the trigger
+// exactly once, a sustained spike does not re-fire it, and after the
+// errors stop (rate back to zero) the rule clears and can fire again.
+func TestErrorRateRuleFiresOnceWithHysteresis(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	errs := reg.Counter("rpc_server_responses_total", "status", "unavailable")
+
+	e := New(time.Hour, nil) // never self-polls; the test drives Poll
+	defer e.Stop()
+	e.AddProbe(ErrorRateProbe("error-rate", reg))
+	trigger := core.Trigger("error-spike")
+	e.AddRule(Rule{
+		Name:      "error-spike",
+		Probe:     "error-rate",
+		Cond:      Above,
+		Threshold: 0.0, // any positive error rate
+		Trigger:   trigger,
+	})
+
+	// First poll establishes the rate baseline: no interval yet, so the
+	// probe reports zero and nothing fires even though errors exist.
+	errs.Add(5)
+	if fired := e.Poll(); len(fired) != 0 {
+		t.Fatalf("rule fired on the baseline sample: %v", fired)
+	}
+
+	// The counter grew since the baseline: the rate is positive and the
+	// rule fires exactly once.
+	errs.Add(5)
+	if fired := pollAfter(e); len(fired) != 1 || fired[0] != trigger {
+		t.Fatalf("spike poll fired %v, want [error-spike]", fired)
+	}
+
+	// The spike continues: the condition still holds, but hysteresis
+	// keeps the trigger from firing again.
+	errs.Add(10)
+	if fired := pollAfter(e); len(fired) != 0 {
+		t.Fatalf("sustained spike re-fired: %v", fired)
+	}
+
+	// Errors stop: the rate returns to zero and the rule clears.
+	if fired := pollAfter(e); len(fired) != 0 {
+		t.Fatalf("recovery poll fired: %v", fired)
+	}
+
+	// A fresh spike after recovery fires again — the edge re-arms.
+	errs.Add(3)
+	if fired := pollAfter(e); len(fired) != 1 {
+		t.Fatalf("post-recovery spike fired %v, want one trigger", fired)
+	}
+
+	if total := len(e.Fired()); total != 2 {
+		t.Fatalf("total fired = %d, want 2", total)
+	}
+}
+
+// TestResyncRateProbeSumsFamily checks the resync probe rates over the
+// whole ftm_resync_total family, both label sets included.
+func TestResyncRateProbeSumsFamily(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	primary := reg.Counter("ftm_resync_total", "side", "primary")
+	backup := reg.Counter("ftm_resync_total", "side", "backup")
+
+	p := ResyncRateProbe("resync-rate", reg)
+	if v := p.Sample(); v != 0 {
+		t.Fatalf("baseline sample = %v, want 0", v)
+	}
+	primary.Inc()
+	backup.Inc()
+	time.Sleep(2 * time.Millisecond)
+	if v := p.Sample(); v <= 0 {
+		t.Fatalf("sample after resyncs on both sides = %v, want > 0", v)
+	}
+}
+
+// TestQuantileLatencyProbe checks the latency probe reads quantiles in
+// milliseconds and reports zero before the series exists.
+func TestQuantileLatencyProbe(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	p := P99LatencyProbe("p99", reg)
+	if v := p.Sample(); v != 0 {
+		t.Fatalf("sample before the series exists = %v, want 0", v)
+	}
+	h := reg.Histogram("rpc_server_request_latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond)
+	}
+	v := p.Sample()
+	// Power-of-two buckets: the observation lands in the (2.097ms]
+	// bucket, so the reported quantile is its upper edge.
+	if v < 2 || v > 8 {
+		t.Fatalf("p99 = %vms, want within a bucket of 2ms", v)
+	}
+}

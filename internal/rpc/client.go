@@ -108,36 +108,50 @@ func (c *Client) Redeliver(ctx context.Context, seq uint64, op string, payload [
 
 // deliver sends req until a replica produces a definitive response.
 func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
+	start := time.Now()
+	mClientRequests.Inc()
+	defer mClientLatency.ObserveSince(start)
 	data, err := transport.Encode(req)
 	if err != nil {
 		return Response{}, err
 	}
 	var lastErr error = ErrExhausted
+	attempts := 0
 	for round := 0; round < c.maxRounds; round++ {
 		for _, addr := range c.order() {
 			if err := ctx.Err(); err != nil {
 				return Response{}, err
 			}
+			attempts++
 			callCtx, cancel := context.WithTimeout(ctx, c.callTimeout)
 			replyData, err := c.ep.Call(callCtx, addr, KindRequest, data)
 			cancel()
 			if err != nil {
+				mClientAttemptErrTransport.Inc()
 				lastErr = err
 				continue
 			}
 			var resp Response
 			if err := transport.Decode(replyData, &resp); err != nil {
+				mClientAttemptErrDecode.Inc()
 				lastErr = err
 				continue
 			}
 			switch resp.Status {
 			case StatusOK:
+				if attempts > 1 {
+					mClientFailovers.Inc()
+				}
 				c.prefer(addr)
 				return resp, nil
 			case StatusAppError:
+				if attempts > 1 {
+					mClientFailovers.Inc()
+				}
 				c.prefer(addr)
 				return resp, fmt.Errorf("%w: %s", ErrApp, resp.Err)
 			case StatusNotMaster, StatusUnavailable:
+				mClientAttemptErrRedirect.Inc()
 				lastErr = fmt.Errorf("rpc: %s answered %s", addr, resp.Status)
 				continue
 			default:
@@ -149,6 +163,7 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 			return Response{}, err
 		}
 	}
+	mClientExhausted.Inc()
 	return Response{}, fmt.Errorf("%w: last error: %v", ErrExhausted, lastErr)
 }
 
@@ -174,9 +189,16 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 		if err := transport.Decode(p.Payload, &req); err != nil {
 			return nil, err
 		}
+		start := time.Now()
+		mServerRequests.Inc()
 		resp := h(ctx, req)
 		resp.ClientID = req.ClientID
 		resp.Seq = req.Seq
+		mServerLatency.ObserveSince(start)
+		countServerResponse(resp.Status)
+		if resp.Replayed {
+			mServerReplays.Inc()
+		}
 		return transport.Encode(resp)
 	})
 	return func() { ep.Handle(KindRequest, nil) }

@@ -1,0 +1,39 @@
+package rpc
+
+import "resilientft/internal/telemetry"
+
+// Request-path series, resolved once so the per-call cost is a handful
+// of atomic operations. Client-side metrics observe what the
+// application experiences (retries and failover included); server-side
+// metrics observe one replica's handler.
+var (
+	mClientRequests  = telemetry.Default().Counter("rpc_client_requests_total")
+	mClientLatency   = telemetry.Default().Histogram("rpc_client_request_latency")
+	mClientExhausted = telemetry.Default().Counter("rpc_client_exhausted_total")
+	mClientFailovers = telemetry.Default().Counter("rpc_client_failovers_total")
+
+	mClientAttemptErrTransport = telemetry.Default().Counter("rpc_client_attempt_errors_total", "reason", "transport")
+	mClientAttemptErrDecode    = telemetry.Default().Counter("rpc_client_attempt_errors_total", "reason", "decode")
+	mClientAttemptErrRedirect  = telemetry.Default().Counter("rpc_client_attempt_errors_total", "reason", "redirected")
+
+	mServerRequests = telemetry.Default().Counter("rpc_server_requests_total")
+	mServerLatency  = telemetry.Default().Histogram("rpc_server_request_latency")
+	mServerReplays  = telemetry.Default().Counter("rpc_server_replayed_total")
+)
+
+// mServerByStatus maps a Status to its response counter; indexed
+// directly on the hot path (statuses are 1..4).
+var mServerByStatus = [...]*telemetry.Counter{
+	StatusOK:          telemetry.Default().Counter("rpc_server_responses_total", "status", "ok"),
+	StatusAppError:    telemetry.Default().Counter("rpc_server_responses_total", "status", "app-error"),
+	StatusNotMaster:   telemetry.Default().Counter("rpc_server_responses_total", "status", "not-master"),
+	StatusUnavailable: telemetry.Default().Counter("rpc_server_responses_total", "status", "unavailable"),
+}
+
+func countServerResponse(s Status) {
+	if int(s) > 0 && int(s) < len(mServerByStatus) {
+		mServerByStatus[s].Inc()
+		return
+	}
+	telemetry.Default().Counter("rpc_server_responses_total", "status", "unknown").Inc()
+}

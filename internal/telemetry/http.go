@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the registry and tracer over HTTP:
+//
+//	GET /metrics  Prometheus text exposition of every series
+//	GET /events   JSON array of retained trace events,
+//	              filterable with ?kind=... and ?since=<seq>
+//
+// cmd/resilientd mounts it behind its -http flag; tests mount it on
+// httptest servers.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, req *http.Request) {
+		var since uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since parameter", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		events := tr.Since(since)
+		if kind := req.URL.Query().Get("kind"); kind != "" {
+			filtered := events[:0]
+			for _, e := range events {
+				if e.Kind == kind {
+					filtered = append(filtered, e)
+				}
+			}
+			events = filtered
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(events)
+	})
+	return mux
+}

@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsAndEvents(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rpc_server_requests_total").Add(7)
+	tr := NewTracer(16)
+	tr.Emit("transition", "deploy", 0, "host", "h1")
+	tr.Emit("replica", "promoted", 0)
+
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "rpc_server_requests_total 7") {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	code, body = get("/events")
+	if code != http.StatusOK {
+		t.Fatalf("/events status %d", code)
+	}
+	var events []Event
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatalf("events not JSON: %v\n%s", err, body)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+
+	_, body = get("/events?kind=replica")
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "promoted" {
+		t.Fatalf("kind filter returned %+v", events)
+	}
+
+	_, body = get("/events?since=1")
+	if err := json.Unmarshal([]byte(body), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Seq != 2 {
+		t.Fatalf("since filter returned %+v", events)
+	}
+
+	code, _ = get("/events?since=notanumber")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad since returned %d, want 400", code)
+	}
+}

@@ -1,0 +1,186 @@
+// Package telemetry is the dependency-free observability core of the
+// resilient system: atomic counters, gauges and bucketed latency
+// histograms behind a named registry, plus a structured trace-event ring
+// buffer. It is the measurement substrate the paper's Monitoring Engine
+// reads (probes over live metrics rather than synthetic values) and the
+// source of the per-step transition timings the evaluation reports.
+//
+// Hot paths hold *Counter / *Histogram pointers resolved once at setup;
+// recording is then one or two atomic operations, cheap enough to leave
+// enabled permanently (the ≤5%-overhead budget of the request path).
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the bucket count of a Histogram: one power-of-two
+// bucket per bit position of a nanosecond duration, covering 1ns to
+// ~292 years. Bucket i holds observations d with bits.Len64(d) == i,
+// i.e. d in [2^(i-1), 2^i); factor-two resolution is coarse but makes
+// Observe a shift plus two atomic adds, with no configuration to get
+// wrong.
+const histBuckets = 64
+
+// Histogram is a latency histogram over exponential (power-of-two)
+// nanosecond buckets. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNs   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+func bucketIndex(ns uint64) int {
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	h.buckets[bucketIndex(ns)].Add(1)
+}
+
+// ObserveSince records the time elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the summed observed time.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Mean returns the mean observation, or zero without observations.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of
+// the observed durations: the upper edge of the bucket in which the
+// quantile falls (within a factor of two of the true value). It returns
+// zero without observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(histBuckets - 1)
+}
+
+// bucketUpperBound returns the exclusive upper edge of bucket i in
+// nanoseconds, as a duration.
+func bucketUpperBound(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram's state
+// for export (buckets are read individually; a concurrent Observe may
+// skew count vs buckets by one).
+type HistogramSnapshot struct {
+	Count   uint64
+	SumNs   uint64
+	Buckets [histBuckets]uint64
+}
+
+// Snapshot copies the histogram counters.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.SumNs = h.sumNs.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile computes the q-quantile upper bound from a snapshot, mirroring
+// Histogram.Quantile.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			return bucketUpperBound(i)
+		}
+	}
+	return bucketUpperBound(histBuckets - 1)
+}

@@ -1,0 +1,195 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total"); again != c {
+		t.Fatal("same name did not return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestLabelOrderIsCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("drops_total", "reason", "loss", "dir", "tx")
+	b := r.Counter("drops_total", "dir", "tx", "reason", "loss")
+	if a != b {
+		t.Fatal("label order split one series in two")
+	}
+	c := r.Counter("drops_total", "reason", "partition", "dir", "tx")
+	if c == a {
+		t.Fatal("different label values shared a series")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations around 1µs, 10 slow ones around 1ms: p50
+	// lands in the fast band, p99 in the slow band.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100", got)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 500*time.Nanosecond || p50 > 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~1µs (bucket bound)", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 500*time.Microsecond || p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms (bucket bound)", p99)
+	}
+	if mean := h.Mean(); mean <= 0 {
+		t.Fatalf("mean = %v, want > 0", mean)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotAndFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("lat").Observe(2 * time.Millisecond)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d series, want 3", len(snap))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+
+	flat := r.Flatten()
+	if flat["a_total"] != 3 {
+		t.Fatalf("flat a_total = %v, want 3", flat["a_total"])
+	}
+	if flat["b"] != -2 {
+		t.Fatalf("flat b = %v, want -2", flat["b"])
+	}
+	if flat["lat_count"] != 1 {
+		t.Fatalf("flat lat_count = %v, want 1", flat["lat_count"])
+	}
+	if flat["lat_p99_ns"] <= 0 {
+		t.Fatalf("flat lat_p99_ns = %v, want > 0", flat["lat_p99_ns"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drops_total", "reason", "loss").Add(2)
+	r.Counter("drops_total", "reason", "partition").Inc()
+	r.Histogram("lat").Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE drops_total counter",
+		`drops_total{reason="loss"} 2`,
+		`drops_total{reason="partition"} 1`,
+		"# TYPE lat histogram",
+		`lat_bucket{le="+Inf"} 1`,
+		"lat_count 1",
+		"lat_sum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE drops_total"); n != 1 {
+		t.Errorf("TYPE line for drops_total emitted %d times, want once", n)
+	}
+}
+
+func TestTracerRingAndSince(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Emit("k", "e", 0, "i", string(rune('a'+i)))
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(events))
+	}
+	if events[0].Seq != 3 || events[3].Seq != 6 {
+		t.Fatalf("ring window = [%d..%d], want [3..6]", events[0].Seq, events[3].Seq)
+	}
+	since := tr.Since(5)
+	if len(since) != 1 || since[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v, want just seq 6", since)
+	}
+	if mark := tr.Mark(); mark != 6 {
+		t.Fatalf("Mark() = %d, want 6", mark)
+	}
+}
+
+func TestTracerAttrsAndDuration(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit("transition.step", "stop", 42*time.Microsecond, "path", "calc/before")
+	e := tr.Events()[0]
+	if e.Kind != "transition.step" || e.Name != "stop" {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.Dur != 42*time.Microsecond {
+		t.Fatalf("dur = %v, want 42µs", e.Dur)
+	}
+	if e.Attrs["path"] != "calc/before" {
+		t.Fatalf("attrs = %v", e.Attrs)
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured trace record: a reconfiguration step, a
+// failover, a checkpoint resync — the discrete occurrences the paper's
+// transition-time tables are built from. Events are cheap but not free
+// (a lock and a map), so they instrument control-plane paths, not the
+// per-request hot path.
+type Event struct {
+	// Seq is the event's position in the tracer's history, monotonically
+	// increasing from 1; readers use it as a watermark.
+	Seq  uint64    `json:"seq"`
+	Time time.Time `json:"time"`
+	// Kind groups related events ("transition.step", "transition",
+	// "replica"); Name is the specific occurrence ("stop", "promoted").
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	// Dur is the step duration for timed events, zero otherwise.
+	Dur time.Duration `json:"dur_ns"`
+	// Attrs carries event-specific context (paths, hosts, sizes).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer is a bounded ring buffer of events: writers never block on
+// slow readers, and the newest window is always available for export.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Event
+	next uint64 // sequence of the next event
+	len  int    // number of valid entries
+}
+
+// DefaultTracerCapacity sizes the process-wide tracer.
+const DefaultTracerCapacity = 4096
+
+// NewTracer returns a tracer retaining the last capacity events
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]Event, capacity), next: 1}
+}
+
+var defaultTracer = NewTracer(DefaultTracerCapacity)
+
+// DefaultTracer returns the process-wide tracer.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Emit records an event built from kind, name, a duration and
+// alternating attribute key/value pairs, returning its sequence number.
+func (t *Tracer) Emit(kind, name string, dur time.Duration, attrs ...string) uint64 {
+	var m map[string]string
+	if len(attrs) > 0 {
+		m = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			m[attrs[i]] = attrs[i+1]
+		}
+	}
+	e := Event{Time: time.Now(), Kind: kind, Name: name, Dur: dur, Attrs: m}
+	t.mu.Lock()
+	e.Seq = t.next
+	t.next++
+	t.ring[int((e.Seq-1)%uint64(len(t.ring)))] = e
+	if t.len < len(t.ring) {
+		t.len++
+	}
+	t.mu.Unlock()
+	return e.Seq
+}
+
+// Mark returns the sequence watermark: every event emitted after the
+// call has Seq > Mark().
+func (t *Tracer) Mark() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.next - 1
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event { return t.Since(0) }
+
+// Since returns the retained events with Seq > mark, oldest first.
+func (t *Tracer) Since(mark uint64) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.len)
+	first := t.next - uint64(t.len)
+	for seq := first; seq < t.next; seq++ {
+		if seq <= mark {
+			continue
+		}
+		out = append(out, t.ring[int((seq-1)%uint64(len(t.ring)))])
+	}
+	return out
+}
+
+// Emit records an event on the process-wide tracer.
+func Emit(kind, name string, dur time.Duration, attrs ...string) uint64 {
+	return defaultTracer.Emit(kind, name, dur, attrs...)
+}

@@ -40,10 +40,12 @@ type FastUnmarshaler interface {
 // FastMarshaler values, gob for everything else.
 func Encode(v any) ([]byte, error) {
 	if fm, ok := v.(FastMarshaler); ok {
+		mEncodeFast.Inc()
 		buf := make([]byte, 1, 64)
 		buf[0] = fastTag
 		return fm.AppendFast(buf), nil
 	}
+	mEncodeGob.Inc()
 	buf := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
@@ -61,16 +63,21 @@ func Decode(data []byte, v any) error {
 	if len(data) > 0 && data[0] == fastTag {
 		fu, ok := v.(FastUnmarshaler)
 		if !ok {
+			CountDrop(DropCodecMismatch)
 			return fmt.Errorf("transport: fast-coded data but %T cannot fast-decode", v)
 		}
 		if err := fu.DecodeFast(data[1:]); err != nil {
+			CountDrop(DropDecodeError)
 			return fmt.Errorf("transport: decode into %T: %w", v, err)
 		}
+		mDecodeFast.Inc()
 		return nil
 	}
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		CountDrop(DropDecodeError)
 		return fmt.Errorf("transport: decode into %T: %w", v, err)
 	}
+	mDecodeGob.Inc()
 	return nil
 }
 

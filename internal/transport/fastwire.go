@@ -30,11 +30,25 @@ func AppendLenString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
+// AppendVarint appends v as a zig-zag signed varint.
+func AppendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
 // ReadUvarint consumes an unsigned varint and returns the remainder.
 func ReadUvarint(data []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(data)
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrShortBuffer)
+	}
+	return v, data[n:], nil
+}
+
+// ReadVarint consumes a zig-zag signed varint and returns the remainder.
+func ReadVarint(data []byte) (int64, []byte, error) {
+	v, n := binary.Varint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad varint", ErrShortBuffer)
 	}
 	return v, data[n:], nil
 }

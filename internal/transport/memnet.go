@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -129,9 +130,11 @@ func (n *MemNetwork) route(from, to Address, oneWay bool) (*memEndpoint, time.Du
 	target, ok := n.endpoints[to]
 	n.mu.RUnlock()
 	if partitioned {
+		CountDrop(DropPartition)
 		return nil, 0, false, fmt.Errorf("%w: %s -> %s (partitioned)", ErrUnreachable, from, to)
 	}
 	if !ok || target.isClosed() {
+		CountDrop(DropUnreachable)
 		return nil, 0, false, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	delay := n.latency
@@ -213,11 +216,15 @@ func (e *memEndpoint) isClosed() bool { return e.closed.Load() }
 func (e *memEndpoint) accountSent(bytes int) {
 	e.stats.messagesSent.Add(1)
 	e.stats.bytesSent.Add(uint64(bytes))
+	mMessagesSent.Inc()
+	mBytesSent.Add(uint64(bytes))
 }
 
 func (e *memEndpoint) accountReceived(bytes int) {
 	e.stats.messagesReceived.Add(1)
 	e.stats.bytesReceived.Add(uint64(bytes))
+	mMessagesReceived.Inc()
+	mBytesReceived.Add(uint64(bytes))
 }
 
 func (e *memEndpoint) statsSnapshot() Stats {
@@ -231,7 +238,12 @@ func (e *memEndpoint) statsSnapshot() Stats {
 
 func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
 	if e.isClosed() {
+		CountDrop(DropClosed)
 		return ErrClosed
+	}
+	if len(payload) > MaxEnvelope {
+		CountDrop(DropOversized)
+		return fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
 	target, delay, dropped, err := e.net.route(e.addr, to, true)
 	if err != nil {
@@ -239,6 +251,7 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 	}
 	e.accountSent(len(payload))
 	if dropped {
+		CountDrop(DropLoss)
 		return nil // fire-and-forget loss is silent, like UDP
 	}
 	// The delivery is asynchronous, so the payload is copied once to
@@ -250,6 +263,11 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 		}
 		h, err := target.handler(kind)
 		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				CountDrop(DropClosed)
+			} else {
+				CountDrop(DropNoHandler)
+			}
 			return
 		}
 		target.accountReceived(len(pkt.Payload))
@@ -260,7 +278,12 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 
 func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
 	if e.isClosed() {
+		CountDrop(DropClosed)
 		return nil, ErrClosed
+	}
+	if len(payload) > MaxEnvelope {
+		CountDrop(DropOversized)
+		return nil, fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
 	target, delay, _, err := e.net.route(e.addr, to, false)
 	if err != nil {
@@ -272,9 +295,15 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 	}
 	h, err := target.handler(kind)
 	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			CountDrop(DropClosed)
+		} else {
+			CountDrop(DropNoHandler)
+		}
 		return nil, err
 	}
 	if target.isClosed() {
+		CountDrop(DropUnreachable)
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	// The caller blocks for the reply, so the payload travels without a

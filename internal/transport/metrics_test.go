@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDropCountersCoverDiscardPaths exercises every way the in-memory
+// transport discards a message and checks each one is accounted under
+// its reason instead of vanishing.
+func TestDropCountersCoverDiscardPaths(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("loss", func(t *testing.T) {
+		before := DropCount(DropLoss)
+		net := NewMemNetwork(WithLoss(1.0), WithSeed(7))
+		a, _ := net.Endpoint("a")
+		b, _ := net.Endpoint("b")
+		b.Handle("k", func(ctx context.Context, p Packet) ([]byte, error) { return nil, nil })
+		if err := a.Send(ctx, "b", "k", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if DropCount(DropLoss) != before+1 {
+			t.Fatalf("loss drop not counted")
+		}
+	})
+
+	t.Run("partition", func(t *testing.T) {
+		before := DropCount(DropPartition)
+		net := NewMemNetwork()
+		a, _ := net.Endpoint("a")
+		if _, err := net.Endpoint("b"); err != nil {
+			t.Fatal(err)
+		}
+		net.Partition("a", "b")
+		if err := a.Send(ctx, "b", "k", []byte("x")); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("send through partition: %v", err)
+		}
+		if DropCount(DropPartition) != before+1 {
+			t.Fatalf("partition drop not counted")
+		}
+	})
+
+	t.Run("unreachable", func(t *testing.T) {
+		before := DropCount(DropUnreachable)
+		net := NewMemNetwork()
+		a, _ := net.Endpoint("a")
+		if _, err := a.Call(ctx, "nobody", "k", []byte("x")); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("call to nobody: %v", err)
+		}
+		if DropCount(DropUnreachable) != before+1 {
+			t.Fatalf("unreachable drop not counted")
+		}
+	})
+
+	t.Run("closed sender", func(t *testing.T) {
+		before := DropCount(DropClosed)
+		net := NewMemNetwork()
+		a, _ := net.Endpoint("a")
+		a.Close()
+		if err := a.Send(ctx, "b", "k", []byte("x")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("send on closed endpoint: %v", err)
+		}
+		if DropCount(DropClosed) != before+1 {
+			t.Fatalf("closed drop not counted")
+		}
+	})
+
+	t.Run("no handler", func(t *testing.T) {
+		before := DropCount(DropNoHandler)
+		net := NewMemNetwork()
+		a, _ := net.Endpoint("a")
+		if _, err := net.Endpoint("b"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Call(ctx, "b", "unknown", []byte("x")); !errors.Is(err, ErrNoHandler) {
+			t.Fatalf("call without handler: %v", err)
+		}
+		if DropCount(DropNoHandler) != before+1 {
+			t.Fatalf("no-handler drop not counted")
+		}
+	})
+
+	t.Run("oversized", func(t *testing.T) {
+		before := DropCount(DropOversized)
+		net := NewMemNetwork()
+		a, _ := net.Endpoint("a")
+		b, _ := net.Endpoint("b")
+		b.Handle("k", func(ctx context.Context, p Packet) ([]byte, error) { return nil, nil })
+		big := make([]byte, MaxEnvelope+1)
+		if err := a.Send(ctx, "b", "k", big); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("oversized send: %v", err)
+		}
+		if _, err := a.Call(ctx, "b", "k", big); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("oversized call: %v", err)
+		}
+		if DropCount(DropOversized) != before+2 {
+			t.Fatalf("oversized drops not counted")
+		}
+	})
+
+	t.Run("codec mismatch", func(t *testing.T) {
+		before := DropCount(DropCodecMismatch)
+		// Fast-coded bytes decoded into a type without DecodeFast.
+		data := []byte{fastTag, 0x01, 0x02}
+		var s string
+		if err := Decode(data, &s); err == nil {
+			t.Fatal("expected codec mismatch error")
+		}
+		if DropCount(DropCodecMismatch) != before+1 {
+			t.Fatalf("codec-mismatch drop not counted")
+		}
+	})
+}
+
+// TestTrafficCountersAccumulate checks the process-wide traffic series
+// move with endpoint traffic.
+func TestTrafficCountersAccumulate(t *testing.T) {
+	sentBefore := mMessagesSent.Value()
+	bytesBefore := mBytesSent.Value()
+
+	net := NewMemNetwork()
+	a, _ := net.Endpoint("ta")
+	b, _ := net.Endpoint("tb")
+	b.Handle("echo", func(ctx context.Context, p Packet) ([]byte, error) { return p.Payload, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	payload := []byte("hello")
+	if _, err := a.Call(ctx, "tb", "echo", payload); err != nil {
+		t.Fatal(err)
+	}
+	if mMessagesSent.Value() < sentBefore+1 {
+		t.Fatal("messages_sent did not advance")
+	}
+	if mBytesSent.Value() < bytesBefore+uint64(len(payload)) {
+		t.Fatal("bytes_sent did not advance")
+	}
+}

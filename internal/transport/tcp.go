@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 )
@@ -75,6 +76,11 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 	for {
 		var frame tcpFrame
 		if err := dec.Decode(&frame); err != nil {
+			// EOF is a connection simply closing; anything else is a
+			// broken frame the sender will never hear about.
+			if !errors.Is(err, io.EOF) {
+				CountDrop(DropTCPDecode)
+			}
 			return
 		}
 		e.mu.Lock()
@@ -82,11 +88,15 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 		closed := e.closed
 		e.mu.Unlock()
 		if closed {
+			CountDrop(DropClosed)
 			return
 		}
+		mMessagesReceived.Inc()
+		mBytesReceived.Add(uint64(len(frame.Payload)))
 		pkt := Packet{From: Address(frame.From), To: e.addr, Kind: frame.Kind, Payload: frame.Payload}
 		var reply tcpFrame
 		if !ok {
+			CountDrop(DropNoHandler)
 			reply.Err = fmt.Sprintf("no handler for %q", frame.Kind)
 		} else {
 			out, err := h(context.Background(), pkt)
@@ -136,17 +146,27 @@ func (e *TCPEndpoint) dial(ctx context.Context, to Address) (net.Conn, error) {
 
 // Send delivers a one-way message.
 func (e *TCPEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
+	if len(payload) > MaxEnvelope {
+		CountDrop(DropOversized)
+		return fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
+	}
 	conn, err := e.dial(ctx, to)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	mMessagesSent.Inc()
+	mBytesSent.Add(uint64(len(payload)))
 	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload, OneWay: true}
 	return gob.NewEncoder(conn).Encode(&frame)
 }
 
 // Call performs a request/reply round-trip.
 func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
+	if len(payload) > MaxEnvelope {
+		CountDrop(DropOversized)
+		return nil, fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
+	}
 	conn, err := e.dial(ctx, to)
 	if err != nil {
 		return nil, err
@@ -157,6 +177,8 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload
 			return nil, fmt.Errorf("transport: set deadline: %w", err)
 		}
 	}
+	mMessagesSent.Inc()
+	mBytesSent.Add(uint64(len(payload)))
 	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload}
 	if err := gob.NewEncoder(conn).Encode(&frame); err != nil {
 		return nil, fmt.Errorf("transport: send to %s: %w", to, err)
@@ -171,6 +193,8 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload
 	if reply.Err != "" {
 		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
 	}
+	mMessagesReceived.Inc()
+	mBytesReceived.Add(uint64(len(reply.Payload)))
 	return reply.Payload, nil
 }
 

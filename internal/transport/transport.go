@@ -52,7 +52,18 @@ var (
 	ErrClosed = errors.New("transport: endpoint closed")
 	// ErrRemote wraps a handler-side failure returned through a Call.
 	ErrRemote = errors.New("transport: remote handler error")
+	// ErrTooLarge reports a payload exceeding MaxEnvelope. The sender
+	// gets the error and the drop counter records it; an unbounded
+	// envelope would otherwise stall a replica pair on one runaway
+	// checkpoint.
+	ErrTooLarge = errors.New("transport: payload exceeds maximum envelope size")
 )
+
+// MaxEnvelope bounds a single message payload (checkpoints included).
+// Large enough for any state the experiments ship, small enough that a
+// corrupted length or a runaway snapshot fails fast instead of
+// exhausting memory.
+const MaxEnvelope = 64 << 20
 
 // Stats aggregates traffic counters for an endpoint, consumed by the
 // monitoring engine's bandwidth probes.

@@ -212,7 +212,7 @@ func BenchmarkRequestLatency(b *testing.B) {
 // allocation budget of the whole path.
 func BenchmarkThroughput(b *testing.B) {
 	for _, id := range core.DeployableSet() {
-		for _, clients := range []int{1, 8} {
+		for _, clients := range []int{1, 8, 32, 64} {
 			b.Run(fmt.Sprintf("%s_%dclients", id, clients), func(b *testing.B) {
 				sys, err := ftm.NewSystem(context.Background(), ftm.SystemConfig{
 					System:            "bench",

@@ -82,7 +82,9 @@ func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
 	}
 
 	for _, id := range []core.ID{core.PBR, core.LFR} {
-		for _, clients := range []int{1, 8} {
+		// 32 clients exercises the group-commit path: far more contention
+		// on the synchronizing After brick than ships.
+		for _, clients := range []int{1, 8, 32} {
 			reqs, lat, err := measureThroughput(ctx, id, clients, ops)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: perf throughput %s@%d: %w", id, clients, err)

@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"resilientft/internal/appstate"
 	"resilientft/internal/component"
@@ -51,6 +53,19 @@ func callPayload(msg component.Message) (*Call, error) {
 		return nil, fmt.Errorf("ftm: brick payload is %T, want *Call", msg.Payload)
 	}
 	return call, nil
+}
+
+// intProperty coerces a property value to int — fscript `set` statements
+// deliver strings, programmatic callers deliver ints.
+func intProperty(value any) (int, error) {
+	switch v := value.(type) {
+	case int:
+		return v, nil
+	case string:
+		return strconv.Atoi(v)
+	default:
+		return 0, fmt.Errorf("value is %T, want int", value)
+	}
 }
 
 // --- Nothing -----------------------------------------------------------
@@ -200,6 +215,12 @@ const pbrFullCheckpointEvery = 64
 // does not match its state; the primary reacts with a full checkpoint.
 var pbrResyncReply = []byte("resync")
 
+// defaultMaxWave bounds how many requests one shipped synchronization
+// may cover (group commit). Large enough that realistic client counts
+// coalesce into a single ship; bounded so a ship's reply-log tail cannot
+// grow without limit under extreme load.
+const defaultMaxWave = 256
+
 // pbrCheckpointAfter is the primary's After (Table 2 "Checkpoint to
 // Backup"): capture application state and the reply log and ship them to
 // the backup. With no live peer the primary continues master-alone; the
@@ -212,16 +233,30 @@ var pbrResyncReply = []byte("resync")
 // the state manager cannot produce the delta, the backup answers
 // "resync" (its base version mismatches, e.g. after a restart), the
 // peer was lost in between, or pbrFullCheckpointEvery deltas went out.
+//
+// Concurrent requests group-commit: they join a commit wave, the
+// leadership-token holder ships ONE delta covering every member (the
+// delta is relative to the last acknowledged version, so a capture taken
+// after all member replies were recorded covers all of them), and each
+// request returns only once a ship covering it is acknowledged — the
+// reply-release invariant is per-wave instead of per-request.
+//
 // The brick is variable-feature state: a transition or promotion
 // replaces it, which zeroes the ack tracking and correctly forces a
-// full checkpoint on the next request.
+// full checkpoint on the next request. In-flight waves drain before the
+// replacement: the component gate closes and quiescence waits for every
+// rider, so a brick swap flushes outstanding waves cleanly.
 type pbrCheckpointAfter struct {
 	brickRefs
 
-	// ckptMu serializes capture+ship across concurrent requests: deltas
-	// are relative to the last acknowledged version, so two in-flight
-	// checkpoints would race on the ack bookkeeping below.
-	ckptMu sync.Mutex
+	// waves orders ships across concurrent requests: deltas are relative
+	// to the last acknowledged version, so only the leadership-token
+	// holder captures and ships.
+	waves *waveNotifier
+
+	// Ack bookkeeping, touched only while holding the leadership token
+	// (the token handoff through the notifier's channel is the
+	// happens-before edge between successive shippers).
 	// synced is true once the backup acknowledged a checkpoint; the
 	// fields below are only meaningful then.
 	synced      bool
@@ -230,20 +265,83 @@ type pbrCheckpointAfter struct {
 	deltasSince int
 }
 
-func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
-	call, err := callPayload(msg)
-	if err != nil {
-		return component.Message{}, err
+var (
+	_ component.Content          = (*pbrCheckpointAfter)(nil)
+	_ component.PropertyReceiver = (*pbrCheckpointAfter)(nil)
+)
+
+// SetProperty accepts the wave-size cap ("maxWave"), settable from an
+// fscript `set` statement.
+func (a *pbrCheckpointAfter) SetProperty(name string, value any) error {
+	if name != "maxWave" {
+		return nil
 	}
+	m, err := intProperty(value)
+	if err != nil {
+		return fmt.Errorf("ftm: maxWave property: %w", err)
+	}
+	a.waves.setMaxWave(m)
+	return nil
+}
+
+func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	switch msg.Op {
+	case OpRun:
+		call, err := callPayload(msg)
+		if err != nil {
+			return component.Message{}, err
+		}
+		outcome, err := a.sync(ctx, call.Req.Seq)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage(outcome, call), nil
+	case OpFlush:
+		// A replayed reply may predate the last acknowledged checkpoint
+		// (its original After failed mid-ship or is still in flight):
+		// ride a wave before the protocol releases it. Any acknowledged
+		// delta covers the full reply-log tail, so completing one wave
+		// guarantees the logged reply reached the backup.
+		resp, _ := msg.Payload.(rpc.Response)
+		outcome, err := a.sync(ctx, resp.Seq)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage(outcome, nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on pbr.checkpoint", component.ErrUnknownOp, msg.Op)
+	}
+}
+
+// sync joins a commit wave and blocks until a ship covering it completed.
+func (a *pbrCheckpointAfter) sync(ctx context.Context, seq uint64) (string, error) {
+	w := a.waves.join(seq, nil)
+	return a.waves.ride(ctx, w, func(batch []*commitWave) (string, error) {
+		return a.shipWave(ctx, batch)
+	})
+}
+
+// shipWave ships one checkpoint covering every member of the detached
+// batch. Runs only under the leadership token.
+func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave) (string, error) {
 	state := stateClient{svc: a.ref("state")}
 	log := logClient{svc: a.ref("log")}
 	peer := peerClient{svc: a.ref("peer")}
 
-	a.ckptMu.Lock()
-	defer a.ckptMu.Unlock()
+	var members int
+	var maxSeq uint64
+	for _, w := range batch {
+		members += w.members
+		if w.maxSeq > maxSeq {
+			maxSeq = w.maxSeq
+		}
+	}
+	mWavePBR.Inc()
+	mWavePBRRequests.Add(uint64(members))
+	mCkptBatchSize.Observe(time.Duration(members))
 
 	if a.synced && a.deltasSince < pbrFullCheckpointEvery {
-		shipped, err := a.shipDelta(ctx, state, log, peer, call.Req.Seq)
+		shipped, err := a.shipDelta(ctx, state, log, peer, maxSeq)
 		if err != nil {
 			if errors.Is(err, ErrNoPeer) {
 				// Degraded mode: the failure detector owns peer liveness.
@@ -251,28 +349,31 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 				// next checkpoint must be full.
 				a.synced = false
 				mDegraded.Inc()
-				return component.NewMessage("degraded", call), nil
+				return "degraded", nil
 			}
-			return component.Message{}, err
+			mWavePBRFailed.Inc()
+			return "", err
 		}
 		if shipped {
-			return component.NewMessage("ok", call), nil
+			return "ok", nil
 		}
 		// Delta impossible (no tracking, pruned history, or backup
 		// resync): fall through to a full checkpoint.
 	}
 
-	data, version, mark, err := buildCheckpoint(ctx, state, log, call.Req.Seq)
+	data, version, mark, err := buildCheckpoint(ctx, state, log, maxSeq)
 	if err != nil {
-		return component.Message{}, err
+		mWavePBRFailed.Inc()
+		return "", err
 	}
 	if _, err := peer.call(ctx, MsgPBRCheckpoint, data); err != nil {
 		a.synced = false
 		if errors.Is(err, ErrNoPeer) {
 			mDegraded.Inc()
-			return component.NewMessage("degraded", call), nil
+			return "degraded", nil
 		}
-		return component.Message{}, err
+		mWavePBRFailed.Inc()
+		return "", err
 	}
 	mCkptFull.Inc()
 	mCkptFullBytes.Add(uint64(len(data)))
@@ -280,7 +381,7 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 	a.ackVersion = version
 	a.ackMark = mark
 	a.deltasSince = 0
-	return component.NewMessage("ok", call), nil
+	return "ok", nil
 }
 
 // shipDelta attempts an incremental checkpoint against the acknowledged
@@ -425,7 +526,7 @@ type pbrApplyAfter struct {
 
 func (a *pbrApplyAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
 	switch msg.Op {
-	case OpRun:
+	case OpRun, OpFlush:
 		return component.NewMessage("ok", msg.Payload), nil
 	case "checkpoint":
 		data, ok := msg.Payload.([]byte)
@@ -519,27 +620,104 @@ func (c *commitMsg) DecodeFast(data []byte) error { return c.Resp.DecodeFast(dat
 
 // lfrNotifyAfter is the leader's After (Table 2 "Notify Follower"): tell
 // the follower the reply went out, so its reply log converges on the
-// leader's outcome.
+// leader's outcome. Concurrent requests group-commit: their replies join
+// a commit wave and the leadership-token holder ships them as one batch
+// notification, so N in-flight requests cost one peer round-trip.
 type lfrNotifyAfter struct {
 	brickRefs
+	waves *waveNotifier
+}
+
+var (
+	_ component.Content          = (*lfrNotifyAfter)(nil)
+	_ component.PropertyReceiver = (*lfrNotifyAfter)(nil)
+)
+
+// SetProperty accepts the wave-size cap ("maxWave").
+func (a *lfrNotifyAfter) SetProperty(name string, value any) error {
+	if name != "maxWave" {
+		return nil
+	}
+	m, err := intProperty(value)
+	if err != nil {
+		return fmt.Errorf("ftm: maxWave property: %w", err)
+	}
+	a.waves.setMaxWave(m)
+	return nil
 }
 
 func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
-	call, err := callPayload(msg)
-	if err != nil {
-		return component.Message{}, err
-	}
-	data, err := transport.Encode(commitMsg{Resp: call.Result})
-	if err != nil {
-		return component.Message{}, err
-	}
-	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, MsgLFRCommit, data); err != nil {
-		if errors.Is(err, ErrNoPeer) {
-			return component.NewMessage("degraded", call), nil
+	switch msg.Op {
+	case OpRun:
+		call, err := callPayload(msg)
+		if err != nil {
+			return component.Message{}, err
 		}
-		return component.Message{}, err
+		outcome, err := a.sync(ctx, call.Result)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage(outcome, call), nil
+	case OpFlush:
+		// A replayed reply may never have reached the follower (its
+		// original notification failed): re-commit it in a wave before
+		// the protocol releases it. The follower's record is idempotent,
+		// so a reply committed twice is harmless.
+		resp, ok := msg.Payload.(rpc.Response)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: flush payload is %T", msg.Payload)
+		}
+		outcome, err := a.sync(ctx, resp)
+		if err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage(outcome, nil), nil
+	default:
+		return component.Message{}, fmt.Errorf("%w: %q on lfr.notify", component.ErrUnknownOp, msg.Op)
 	}
-	return component.NewMessage("ok", call), nil
+}
+
+// sync joins a commit wave carrying resp and blocks until a ship
+// covering it completed.
+func (a *lfrNotifyAfter) sync(ctx context.Context, resp rpc.Response) (string, error) {
+	w := a.waves.join(resp.Seq, &resp)
+	return a.waves.ride(ctx, w, func(batch []*commitWave) (string, error) {
+		return a.shipWave(ctx, batch)
+	})
+}
+
+// shipWave ships the member replies of one detached batch: a single
+// commit for a lone member, a batch commit otherwise.
+func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave) (string, error) {
+	var resps []rpc.Response
+	for _, w := range batch {
+		resps = append(resps, w.resps...)
+	}
+	mWaveLFR.Inc()
+	mWaveLFRRequests.Add(uint64(len(resps)))
+
+	var kind string
+	var data []byte
+	var err error
+	if len(resps) == 1 {
+		kind = MsgLFRCommit
+		data, err = transport.Encode(commitMsg{Resp: resps[0]})
+	} else {
+		kind = MsgLFRCommitBatch
+		data, err = transport.Encode(rpc.ResponseList(resps))
+	}
+	if err != nil {
+		mWaveLFRFailed.Inc()
+		return "", err
+	}
+	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, kind, data); err != nil {
+		if errors.Is(err, ErrNoPeer) {
+			return "degraded", nil
+		}
+		mWaveLFRFailed.Inc()
+		return "", err
+	}
+	return "ok", nil
 }
 
 // lfrAckAfter is the follower's After (Table 2 "Process notification"):
@@ -570,6 +748,18 @@ func (a *lfrAckAfter) Invoke(ctx context.Context, service string, msg component.
 		if err := log.record(ctx, cm.Resp); err != nil {
 			return component.Message{}, err
 		}
+		return component.NewMessage("ok", nil), nil
+	case "commit.batch":
+		batch, ok := msg.Payload.([]rpc.Response)
+		if !ok {
+			return component.Message{}, fmt.Errorf("ftm: commit batch payload is %T", msg.Payload)
+		}
+		if err := log.appendBatch(ctx, batch); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", nil), nil
+	case OpFlush:
+		// The follower has no downstream replica to flush toward.
 		return component.NewMessage("ok", nil), nil
 	default:
 		return component.Message{}, fmt.Errorf("%w: %q on lfr.ack", component.ErrUnknownOp, msg.Op)
@@ -605,6 +795,10 @@ type trRestoreAfter struct {
 }
 
 func (a *trRestoreAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	if msg.Op == OpFlush {
+		// TR is single-host: a logged reply needs no replica coverage.
+		return component.NewMessage("ok", nil), nil
+	}
 	call, err := callPayload(msg)
 	if err != nil {
 		return component.Message{}, err
@@ -706,7 +900,7 @@ func newBrickContent(typ string) (component.Content, error) {
 	case core.TypeAssertProceed:
 		return &assertProceed{}, nil
 	case core.TypePBRCheckpoint:
-		return &pbrCheckpointAfter{}, nil
+		return &pbrCheckpointAfter{waves: newWaveNotifier(defaultMaxWave)}, nil
 	case core.TypePBRApply:
 		return &pbrApplyAfter{}, nil
 	case core.TypeLFRForward:
@@ -714,7 +908,7 @@ func newBrickContent(typ string) (component.Content, error) {
 	case core.TypeLFRReceive:
 		return lfrReceiveBefore{}, nil
 	case core.TypeLFRNotify:
-		return &lfrNotifyAfter{}, nil
+		return &lfrNotifyAfter{waves: newWaveNotifier(defaultMaxWave)}, nil
 	case core.TypeLFRAck:
 		return &lfrAckAfter{}, nil
 	case core.TypeTRCapture:

@@ -48,6 +48,11 @@ const (
 const (
 	// OpRun drives a pipeline brick with a *Call payload.
 	OpRun = "run"
+	// OpFlush asks a syncAfter brick to confirm replica coverage of a
+	// logged reply about to be replayed (payload: the rpc.Response). The
+	// synchronizing bricks ride a commit wave; bricks with no replica to
+	// cover answer "ok" immediately.
+	OpFlush = "flush"
 
 	// Reply log operations.
 	OpLookup   = "lookup"
@@ -106,6 +111,10 @@ const (
 	MsgLFRExec = "lfr.exec"
 	// MsgLFRCommit notifies the follower that the leader replied.
 	MsgLFRCommit = "lfr.commit"
+	// MsgLFRCommitBatch notifies the follower of a whole commit wave at
+	// once (group commit): the payload is the rpc.ResponseList of every
+	// reply the wave released.
+	MsgLFRCommitBatch = "lfr.commit.batch"
 	// MsgAssertExec asks the peer to re-execute a request whose local
 	// result failed the safety assertion (A&Duplex escalation).
 	MsgAssertExec = "assert.exec"

@@ -292,6 +292,12 @@ type xpaNotify struct {
 }
 
 func (a *xpaNotify) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
+	if msg.Op == OpFlush {
+		// XPA replays need the leader's captured decisions, which a bare
+		// logged reply no longer carries — re-shipping is impossible, so
+		// a replayed reply is released as-is (pre-group-commit behavior).
+		return component.NewMessage("ok", nil), nil
+	}
 	call, err := callPayload(msg)
 	if err != nil {
 		return component.Message{}, err

@@ -1,0 +1,229 @@
+package ftm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// TestFailoverMidBatchReplaysAckedWaves crashes the master while a burst
+// of concurrent clients is in flight — commit waves forming, shipping,
+// some acked, some not. The group-commit invariant under failover: every
+// reply a client received was covered by an acknowledged ship, so the
+// promoted slave must replay it verbatim (flagged Replayed, same value)
+// and never re-execute it. Requests that never got a reply are retried
+// under their original sequence numbers; at-most-once must leave each
+// register at exactly one increment per operation.
+func TestFailoverMidBatchReplaysAckedWaves(t *testing.T) {
+	const (
+		clients = 6
+		opsEach = 12
+	)
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		t.Run(string(id), func(t *testing.T) {
+			s := newTestSystem(t, id)
+			ctx := context.Background()
+
+			type ack struct {
+				seq  uint64
+				want int64
+			}
+			acked := make([][]ack, clients)
+			cs := make([]*clientHarness, clients)
+			for ci := range cs {
+				c, err := s.NewClient()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cs[ci] = &clientHarness{Client: c, op: fmt.Sprintf("add:r%d", ci)}
+			}
+
+			// Crash the master partway into the burst, while waves are in
+			// flight.
+			crashed := make(chan struct{})
+			go func() {
+				defer close(crashed)
+				time.Sleep(15 * time.Millisecond)
+				s.CrashMaster()
+			}()
+
+			var wg sync.WaitGroup
+			for ci, ch := range cs {
+				wg.Add(1)
+				go func(ci int, ch *clientHarness) {
+					defer wg.Done()
+					for seq := uint64(1); seq <= opsEach; seq++ {
+						// Explicit sequence numbers so a failed attempt can be
+						// retried under the same request identity later.
+						resp, err := ch.Redeliver(ctx, seq, ch.op, EncodeArg(1))
+						if err != nil {
+							ch.failed = append(ch.failed, seq)
+							continue
+						}
+						v, err := DecodeResult(resp.Payload)
+						if err != nil {
+							t.Errorf("client %d seq %d: %v", ci, seq, err)
+							return
+						}
+						acked[ci] = append(acked[ci], ack{seq: seq, want: v})
+					}
+				}(ci, ch)
+			}
+			wg.Wait()
+			<-crashed
+			waitUntil(t, 5*time.Second, func() bool { return s.Master() != nil }, "no replica promoted after mid-batch crash")
+
+			for ci, ch := range cs {
+				// Every reply acked before (or across) the crash was covered
+				// by an acknowledged ship: the survivor replays it.
+				for _, a := range acked[ci] {
+					dup, err := ch.Redeliver(ctx, a.seq, ch.op, EncodeArg(1))
+					if err != nil {
+						t.Fatalf("client %d seq %d: post-failover redelivery: %v", ci, a.seq, err)
+					}
+					got, err := DecodeResult(dup.Payload)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != a.want {
+						t.Errorf("client %d seq %d: redelivery = %d, want %d (acked reply lost or re-executed)",
+							ci, a.seq, got, a.want)
+					}
+					if !dup.Replayed {
+						t.Errorf("client %d seq %d: acked reply not replayed from the log", ci, a.seq)
+					}
+				}
+				// Unacknowledged requests are retried under the same identity;
+				// at-most-once decides whether each executes now or replays.
+				for _, seq := range ch.failed {
+					if _, err := ch.Redeliver(ctx, seq, ch.op, EncodeArg(1)); err != nil {
+						t.Fatalf("client %d seq %d: retry after failover: %v", ci, seq, err)
+					}
+				}
+				// Exactly one increment per operation, acked or retried.
+				final, err := ch.Redeliver(ctx, opsEach+1, fmt.Sprintf("get:r%d", ci), EncodeArg(0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				v, err := DecodeResult(final.Payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v != opsEach {
+					t.Errorf("client %d register = %d, want %d (an operation executed twice or got lost)", ci, v, opsEach)
+				}
+			}
+		})
+	}
+}
+
+// clientHarness pairs a client with its register op and the sequence
+// numbers whose first delivery attempt failed.
+type clientHarness struct {
+	*rpc.Client
+	op     string
+	failed []uint64
+}
+
+// TestRedeliveryDuringInFlightWave injects network latency so every
+// commit-wave ship takes visible time, then races a duplicate delivery
+// against the original request's in-flight wave. The duplicate finds the
+// reply already logged (replies are recorded before the After brick
+// ships) and must ride a covering wave rather than re-execute — both
+// deliveries return the same value and the register moves exactly once
+// per sequence number.
+func TestRedeliveryDuringInFlightWave(t *testing.T) {
+	const (
+		clients = 4
+		opsEach = 8
+		latency = 3 * time.Millisecond
+	)
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		t.Run(string(id), func(t *testing.T) {
+			waves0 := mWavePBR.Value() + mWaveLFR.Value()
+			cfg := fastConfig(id)
+			cfg.Net = transport.NewMemNetwork(transport.WithSeed(1), transport.WithLatency(latency))
+			// Latency slows failure-detector heartbeats too; keep the pair
+			// comfortably inside the suspect timeout.
+			cfg.SuspectTimeout = 500 * time.Millisecond
+			s, err := NewSystem(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(s.Shutdown)
+			ctx := context.Background()
+
+			var wg sync.WaitGroup
+			for ci := 0; ci < clients; ci++ {
+				c, err := s.NewClient()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wg.Add(1)
+				go func(ci int, c *rpc.Client) {
+					defer wg.Done()
+					op := fmt.Sprintf("add:r%d", ci)
+					for seq := uint64(1); seq <= opsEach; seq++ {
+						type result struct {
+							v        int64
+							replayed bool
+							err      error
+						}
+						results := make(chan result, 2)
+						deliver := func() {
+							resp, err := c.Redeliver(ctx, seq, op, EncodeArg(1))
+							if err != nil {
+								results <- result{err: err}
+								return
+							}
+							v, err := DecodeResult(resp.Payload)
+							results <- result{v: v, replayed: resp.Replayed, err: err}
+						}
+						go deliver()
+						// One network hop later the original reached the master
+						// and its reply is recorded, but the covering ship (two
+						// more hops) is still in flight: the duplicate lands
+						// mid-wave.
+						time.Sleep(latency + latency/2)
+						go deliver()
+						first := <-results
+						second := <-results
+						if first.err != nil || second.err != nil {
+							t.Errorf("client %d seq %d: delivery errors: %v / %v", ci, seq, first.err, second.err)
+							return
+						}
+						if first.v != second.v {
+							t.Errorf("client %d seq %d: concurrent deliveries disagree: %d vs %d (double execution)",
+								ci, seq, first.v, second.v)
+							return
+						}
+					}
+					// Each sequence number incremented the register once.
+					resp, err := c.Redeliver(ctx, opsEach+1, fmt.Sprintf("get:r%d", ci), EncodeArg(0))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v, err := DecodeResult(resp.Payload)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if v != opsEach {
+						t.Errorf("client %d register = %d, want %d (a duplicate re-executed)", ci, v, opsEach)
+					}
+				}(ci, c)
+			}
+			wg.Wait()
+			if mWavePBR.Value()+mWaveLFR.Value() == waves0 {
+				t.Fatal("no commit waves shipped during the test — the group-commit path was not exercised")
+			}
+		})
+	}
+}

@@ -24,6 +24,18 @@ var (
 	mApplyFull  = telemetry.Default().Counter("ftm_checkpoint_applied_total", "kind", "full")
 	mApplyDelta = telemetry.Default().Counter("ftm_checkpoint_applied_total", "kind", "delta")
 
+	// Group-commit series: waves shipped, the requests they covered, the
+	// waves whose ship failed outright (degraded mode is not a failure),
+	// and the per-ship batch size distribution (the histogram's unit is a
+	// raw count, not nanoseconds).
+	mWavePBR         = telemetry.Default().Counter("ftm_commit_wave_total", "kind", "pbr")
+	mWaveLFR         = telemetry.Default().Counter("ftm_commit_wave_total", "kind", "lfr")
+	mWavePBRRequests = telemetry.Default().Counter("ftm_commit_wave_requests_total", "kind", "pbr")
+	mWaveLFRRequests = telemetry.Default().Counter("ftm_commit_wave_requests_total", "kind", "lfr")
+	mWavePBRFailed   = telemetry.Default().Counter("ftm_commit_wave_failed_total", "kind", "pbr")
+	mWaveLFRFailed   = telemetry.Default().Counter("ftm_commit_wave_failed_total", "kind", "lfr")
+	mCkptBatchSize   = telemetry.Default().Histogram("ftm_checkpoint_batch_size")
+
 	mResyncPrimary = telemetry.Default().Counter("ftm_resync_total", "side", "primary")
 	mResyncBackup  = telemetry.Default().Counter("ftm_resync_total", "side", "backup")
 	mDegraded      = telemetry.Default().Counter("ftm_degraded_total")

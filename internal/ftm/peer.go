@@ -165,25 +165,49 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		return component.Message{}, err
 	}
 
-	// Best-effort broadcast: every peer is attempted; the first
-	// successful reply is returned; total failure reports ErrNoPeer.
-	var firstReply []byte
-	var replied bool
-	var lastErr error
-	for _, peer := range peers {
+	// Best-effort broadcast: every peer is attempted and the reply of the
+	// lowest-indexed success is returned; total failure reports ErrNoPeer.
+	if len(peers) == 1 {
 		callCtx, cancel := context.WithTimeout(ctx, timeout)
-		reply, err := ep.Call(callCtx, peer, KindReplica, data)
+		reply, err := ep.Call(callCtx, peers[0], KindReplica, data)
 		cancel()
 		if err != nil {
-			lastErr = err
+			return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, err)
+		}
+		return component.NewMessage("ok", reply), nil
+	}
+	// Multiple peers fan out concurrently, so a dead peer costs the
+	// broadcast max(timeout) instead of stacking its timeout in front of
+	// every live peer behind it.
+	type outcome struct {
+		idx   int
+		reply []byte
+		err   error
+	}
+	results := make(chan outcome, len(peers))
+	for i, peer := range peers {
+		go func(i int, peer transport.Address) {
+			callCtx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			reply, err := ep.Call(callCtx, peer, KindReplica, data)
+			results <- outcome{idx: i, reply: reply, err: err}
+		}(i, peer)
+	}
+	best := -1
+	var firstReply []byte
+	var lastErr error
+	for range peers {
+		r := <-results
+		if r.err != nil {
+			lastErr = r.err
 			continue
 		}
-		if !replied {
-			firstReply = reply
-			replied = true
+		if best == -1 || r.idx < best {
+			best = r.idx
+			firstReply = r.reply
 		}
 	}
-	if !replied {
+	if best == -1 {
 		return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, lastErr)
 	}
 	return component.NewMessage("ok", firstReply), nil

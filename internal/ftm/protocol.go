@@ -43,10 +43,27 @@ type protocolContent struct {
 	control        Control
 	assertFailures int
 	assertLimit    int
+
+	// inflight deduplicates concurrent deliveries of one request
+	// identity. The reply log only filters duplicates of *completed*
+	// executions; a retransmission racing the original (a client timeout
+	// retry, or a redelivery while the original waits on its commit wave)
+	// would pass the lookup and execute a second time without it.
+	inflightMu sync.Mutex
+	inflight   map[inflightKey]chan struct{}
+}
+
+// inflightKey identifies one client request across delivery attempts.
+type inflightKey struct {
+	clientID string
+	seq      uint64
 }
 
 func newProtocolContent(system string) *protocolContent {
-	return &protocolContent{role: core.RoleSlave, system: system, assertLimit: 3}
+	return &protocolContent{
+		role: core.RoleSlave, system: system, assertLimit: 3,
+		inflight: make(map[inflightKey]chan struct{}),
+	}
 }
 
 var (
@@ -137,24 +154,65 @@ func (p *protocolContent) handleRequest(ctx context.Context, msg component.Messa
 // Before-Proceed-After pipeline.
 func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Response {
 	log := logClient{svc: p.ref("log")}
-	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
-		mReplayHits.Inc()
-		return prev
+	key := inflightKey{clientID: req.ClientID, seq: req.Seq}
+	var mine chan struct{}
+	for {
+		if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
+			mReplayHits.Inc()
+			// The logged reply may predate the last acknowledged replica
+			// synchronization (its original After failed mid-ship, or its
+			// commit wave is still in flight). Releasing it anyway would let
+			// a failover lose a reply the client has seen, so the After brick
+			// must first confirm coverage — for the synchronizing bricks that
+			// means riding a commit wave.
+			if _, ferr := p.afterSpecialPayload(ctx, OpFlush, prev); ferr != nil {
+				return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+					Status: rpc.StatusUnavailable, Err: ferr.Error()}
+			}
+			return prev
+		}
+		p.inflightMu.Lock()
+		cur, running := p.inflight[key]
+		if !running {
+			mine = make(chan struct{})
+			p.inflight[key] = mine
+			p.inflightMu.Unlock()
+			break // this delivery executes
+		}
+		p.inflightMu.Unlock()
+		// Another delivery of the same request is executing; wait for it
+		// and re-check the log — its reply appears there on success, and on
+		// failure this delivery claims the execution itself.
+		select {
+		case <-cur:
+		case <-ctx.Done():
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: ctx.Err().Error()}
+		}
 	}
+	defer func() {
+		// Delete before close: a waiter that wakes re-checks the log and,
+		// when this execution failed pre-record, claims a fresh slot.
+		p.inflightMu.Lock()
+		delete(p.inflight, key)
+		p.inflightMu.Unlock()
+		close(mine)
+	}()
 
 	mRequests.Inc()
 	call := &Call{Req: req}
 	err := func() error {
-		t := time.Now()
+		t0 := time.Now()
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageBefore.ObserveSince(t)
-		t = time.Now()
+		// One clock read ends Before and starts Proceed.
+		t1 := time.Now()
+		mStageBefore.Observe(t1.Sub(t0))
 		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageProceed.ObserveSince(t)
+		mStageProceed.ObserveSince(t1)
 		return nil
 	}()
 	switch {
@@ -252,7 +310,7 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 	// would forward the request straight back, ping-ponging executions
 	// between the two masters.
 	switch msg.Op {
-	case MsgPBRCheckpoint, MsgPBRDelta, MsgLFRExec, MsgLFRCommit, MsgXPAExec:
+	case MsgPBRCheckpoint, MsgPBRDelta, MsgLFRExec, MsgLFRCommit, MsgLFRCommitBatch, MsgXPAExec:
 		if p.Role() != core.RoleSlave {
 			return component.Message{}, fmt.Errorf("%w: refusing %q", ErrNotSlave, msg.Op)
 		}
@@ -318,6 +376,16 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
 
+	case MsgLFRCommitBatch:
+		var batch rpc.ResponseList
+		if err := transport.Decode(payload, &batch); err != nil {
+			return component.Message{}, err
+		}
+		if _, err := p.afterSpecialPayload(ctx, "commit.batch", []rpc.Response(batch)); err != nil {
+			return component.Message{}, err
+		}
+		return component.NewMessage("ok", []byte("ack")), nil
+
 	case MsgXPAExec:
 		var m xpaMsg
 		if err := transport.Decode(payload, &m); err != nil {
@@ -379,21 +447,23 @@ func (p *protocolContent) followerExecute(ctx context.Context, req rpc.Request) 
 	mRequests.Inc()
 	call := &Call{Req: req}
 	run := func() error {
-		t := time.Now()
+		// One clock read per stage boundary: each read ends one stage and
+		// starts the next.
+		t0 := time.Now()
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageBefore.ObserveSince(t)
-		t = time.Now()
+		t1 := time.Now()
+		mStageBefore.Observe(t1.Sub(t0))
 		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageProceed.ObserveSince(t)
-		t = time.Now()
+		t2 := time.Now()
+		mStageProceed.Observe(t2.Sub(t1))
 		if err := (brickClient{svc: p.ref("after")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageAfter.ObserveSince(t)
+		mStageAfter.ObserveSince(t2)
 		return nil
 	}
 	if err := run(); err != nil {

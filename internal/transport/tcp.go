@@ -8,11 +8,20 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
-// tcpFrame is the wire format of the TCP transport: one gob-encoded frame
-// per request or reply on a dedicated connection.
+// tcpDialTimeout bounds the dial of a pooled connection. It is not tied
+// to any single caller's context because the connection is shared;
+// callers stop waiting as soon as their own context expires.
+const tcpDialTimeout = 10 * time.Second
+
+// tcpFrame is the wire format of the TCP transport: gob-encoded frames
+// multiplexed over a persistent connection. ID correlates a reply with
+// its request, so many calls can be in flight on one connection
+// (pipelining) instead of one dial and one round-trip at a time.
 type tcpFrame struct {
+	ID      uint64
 	From    string
 	Kind    string
 	Payload []byte
@@ -22,20 +31,78 @@ type tcpFrame struct {
 }
 
 // TCPEndpoint implements Endpoint over real TCP connections. Addresses
-// are host:port strings. Each Call uses one connection; the simulated
-// MemNetwork remains the default for experiments, this transport backs
-// cmd/resilientd deployments.
+// are host:port strings. Outbound traffic to each destination shares one
+// pipelined connection; inbound frames are served concurrently, replies
+// multiplexed back by frame ID. The simulated MemNetwork remains the
+// default for experiments, this transport backs cmd/resilientd
+// deployments.
 type TCPEndpoint struct {
 	addr     Address
 	listener net.Listener
 
 	mu       sync.Mutex
 	handlers map[string]Handler
+	conns    map[Address]*tcpConn
+	inbound  map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
+
+// tcpConn is one pooled outbound connection. Requests are written under
+// encMu; a reader goroutine dispatches replies to the waiting callers by
+// frame ID. When the connection dies, every pending call fails at once
+// (channel close) and the conn leaves the pool.
+type tcpConn struct {
+	dialed  chan struct{} // closed once dialing finished
+	dialErr error         // valid after dialed
+	conn    net.Conn      // valid after dialed when dialErr == nil
+	enc     *gob.Encoder
+
+	encMu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan tcpFrame // in-flight calls by frame ID
+	nextID  uint64
+	dead    bool
+}
+
+// register allocates a frame ID and its reply channel. It fails on a
+// connection already known dead, so the caller can redial instead of
+// writing into a corpse.
+func (c *tcpConn) register() (uint64, chan tcpFrame, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, nil, false
+	}
+	c.nextID++
+	ch := make(chan tcpFrame, 1)
+	c.pending[c.nextID] = ch
+	return c.nextID, ch, true
+}
+
+func (c *tcpConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// fail marks the connection dead and releases every pending caller.
+// Only the reader goroutine calls it, so closing the reply channels
+// cannot race with the reader's own sends.
+func (c *tcpConn) fail() {
+	c.mu.Lock()
+	c.dead = true
+	pending := c.pending
+	c.pending = make(map[uint64]chan tcpFrame)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
 
 // ListenTCP starts an endpoint listening on addr ("host:port"; ":0" picks
 // a free port — read the effective address back with Addr).
@@ -48,6 +115,8 @@ func ListenTCP(addr string) (*TCPEndpoint, error) {
 		addr:     Address(l.Addr().String()),
 		listener: l,
 		handlers: make(map[string]Handler),
+		conns:    make(map[Address]*tcpConn),
+		inbound:  make(map[net.Conn]struct{}),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -61,10 +130,24 @@ func (e *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		// Inbound connections are tracked so Close can tear them down;
+		// their serve loops otherwise block in Decode until the remote
+		// side hangs up.
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		e.inbound[conn] = struct{}{}
+		e.mu.Unlock()
 		e.wg.Add(1)
 		go func() {
 			defer e.wg.Done()
 			e.serve(conn)
+			e.mu.Lock()
+			delete(e.inbound, conn)
+			e.mu.Unlock()
 		}()
 	}
 }
@@ -73,6 +156,9 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	var encMu sync.Mutex
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
 	for {
 		var frame tcpFrame
 		if err := dec.Decode(&frame); err != nil {
@@ -93,25 +179,35 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 		}
 		mMessagesReceived.Inc()
 		mBytesReceived.Add(uint64(len(frame.Payload)))
-		pkt := Packet{From: Address(frame.From), To: e.addr, Kind: frame.Kind, Payload: frame.Payload}
-		var reply tcpFrame
-		if !ok {
-			CountDrop(DropNoHandler)
-			reply.Err = fmt.Sprintf("no handler for %q", frame.Kind)
-		} else {
-			out, err := h(context.Background(), pkt)
-			if err != nil {
-				reply.Err = err.Error()
+		// Each frame is served in its own goroutine so a slow handler
+		// does not stall the frames pipelined behind it; replies share
+		// the connection's encoder under encMu.
+		inflight.Add(1)
+		go func(frame tcpFrame, h Handler, ok bool) {
+			defer inflight.Done()
+			pkt := Packet{From: Address(frame.From), To: e.addr, Kind: frame.Kind, Payload: frame.Payload}
+			reply := tcpFrame{ID: frame.ID}
+			if !ok {
+				CountDrop(DropNoHandler)
+				reply.Err = fmt.Sprintf("no handler for %q", frame.Kind)
 			} else {
-				reply.Payload = out
+				out, err := h(context.Background(), pkt)
+				if err != nil {
+					reply.Err = err.Error()
+				} else {
+					reply.Payload = out
+				}
 			}
-		}
-		if frame.OneWay {
-			continue
-		}
-		if err := enc.Encode(&reply); err != nil {
-			return
-		}
+			if frame.OneWay {
+				return
+			}
+			encMu.Lock()
+			err := enc.Encode(&reply)
+			encMu.Unlock()
+			if err != nil {
+				conn.Close() // wake the decode loop; the caller is gone
+			}
+		}(frame, h, ok)
 	}
 }
 
@@ -129,76 +225,184 @@ func (e *TCPEndpoint) Handle(kind string, h Handler) {
 	e.handlers[kind] = h
 }
 
-func (e *TCPEndpoint) dial(ctx context.Context, to Address) (net.Conn, error) {
+// getConn returns the pooled connection to a destination, dialing one if
+// none exists. Dialing happens once per destination regardless of how
+// many callers arrive concurrently; each caller waits under its own
+// context.
+func (e *TCPEndpoint) getConn(ctx context.Context, to Address) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c, ok := e.conns[to]
+	if !ok {
+		c = &tcpConn{dialed: make(chan struct{}), pending: make(map[uint64]chan tcpFrame)}
+		e.conns[to] = c
+		e.wg.Add(1)
+		go e.dialAndRead(c, to)
+	}
+	e.mu.Unlock()
+	select {
+	case <-c.dialed:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if c.dialErr != nil {
+		return nil, c.dialErr
+	}
+	return c, nil
+}
+
+// dropConn removes a connection from the pool if it is still the pooled
+// instance (a replacement may already have taken its slot).
+func (e *TCPEndpoint) dropConn(to Address, c *tcpConn) {
+	e.mu.Lock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+	e.mu.Unlock()
+}
+
+func (e *TCPEndpoint) dialAndRead(c *tcpConn, to Address) {
+	defer e.wg.Done()
+	d := net.Dialer{Timeout: tcpDialTimeout}
+	conn, err := d.Dial("tcp", string(to))
+	if err != nil {
+		c.dialErr = fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		e.dropConn(to, c)
+		close(c.dialed)
+		return
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
+	close(c.dialed)
 	if closed {
-		return nil, ErrClosed
+		// The endpoint closed while dialing; the read loop below exits
+		// immediately on the closed connection.
+		conn.Close()
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", string(to))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
-	}
-	return conn, nil
+	e.readLoop(c, to)
 }
 
-// Send delivers a one-way message.
+// readLoop dispatches reply frames to their waiting callers by ID. On
+// any decode error the connection is dead: it leaves the pool and every
+// pending call fails.
+func (e *TCPEndpoint) readLoop(c *tcpConn, to Address) {
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var frame tcpFrame
+		if err := dec.Decode(&frame); err != nil {
+			e.dropConn(to, c)
+			c.fail()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[frame.ID]
+		delete(c.pending, frame.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- frame // buffered; one reply per ID
+		}
+	}
+}
+
+// Send delivers a one-way message on the pooled connection.
 func (e *TCPEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
 	if len(payload) > MaxEnvelope {
 		CountDrop(DropOversized)
 		return fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
-	conn, err := e.dial(ctx, to)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	mMessagesSent.Inc()
-	mBytesSent.Add(uint64(len(payload)))
 	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload, OneWay: true}
-	return gob.NewEncoder(conn).Encode(&frame)
+	for attempt := 0; ; attempt++ {
+		c, err := e.getConn(ctx, to)
+		if err != nil {
+			return err
+		}
+		c.encMu.Lock()
+		err = c.enc.Encode(&frame)
+		c.encMu.Unlock()
+		if err == nil {
+			mMessagesSent.Inc()
+			mBytesSent.Add(uint64(len(payload)))
+			return nil
+		}
+		// A stale pooled connection (the peer closed it while idle): a
+		// frame that never got written is safe to resend once on a fresh
+		// connection.
+		e.dropConn(to, c)
+		c.conn.Close()
+		if attempt > 0 {
+			return fmt.Errorf("transport: send to %s: %v", to, err)
+		}
+	}
 }
 
-// Call performs a request/reply round-trip.
+// Call performs a request/reply round-trip, pipelined with any other
+// calls in flight to the same destination.
 func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
 	if len(payload) > MaxEnvelope {
 		CountDrop(DropOversized)
 		return nil, fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
-	conn, err := e.dial(ctx, to)
-	if err != nil {
-		return nil, err
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("transport: set deadline: %w", err)
-		}
-	}
-	mMessagesSent.Inc()
-	mBytesSent.Add(uint64(len(payload)))
 	frame := tcpFrame{From: string(e.addr), Kind: kind, Payload: payload}
-	if err := gob.NewEncoder(conn).Encode(&frame); err != nil {
-		return nil, fmt.Errorf("transport: send to %s: %w", to, err)
-	}
-	var reply tcpFrame
-	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+	for attempt := 0; ; attempt++ {
+		c, err := e.getConn(ctx, to)
+		if err != nil {
 			return nil, err
 		}
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, to, err)
+		id, ch, ok := c.register()
+		if !ok {
+			// Known-dead pooled connection; redial once.
+			if attempt == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, to)
+		}
+		frame.ID = id
+		c.encMu.Lock()
+		err = c.enc.Encode(&frame)
+		c.encMu.Unlock()
+		if err != nil {
+			// The frame never got written whole: safe to resend once on
+			// a fresh connection (the usual cause is a peer that closed
+			// the idle connection, e.g. after a restart).
+			c.unregister(id)
+			e.dropConn(to, c)
+			c.conn.Close()
+			if attempt == 0 {
+				continue
+			}
+			return nil, fmt.Errorf("transport: send to %s: %v", to, err)
+		}
+		mMessagesSent.Inc()
+		mBytesSent.Add(uint64(len(payload)))
+		select {
+		case reply, alive := <-ch:
+			if !alive {
+				// The frame was written but the connection died before a
+				// reply arrived. The handler may or may not have run, so
+				// no retry: at-most-once stays with the upper layers.
+				return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, to)
+			}
+			if reply.Err != "" {
+				return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
+			}
+			mMessagesReceived.Inc()
+			mBytesReceived.Add(uint64(len(reply.Payload)))
+			return reply.Payload, nil
+		case <-ctx.Done():
+			c.unregister(id)
+			return nil, ctx.Err()
+		}
 	}
-	if reply.Err != "" {
-		return nil, fmt.Errorf("%w: %s", ErrRemote, reply.Err)
-	}
-	mMessagesReceived.Inc()
-	mBytesReceived.Add(uint64(len(reply.Payload)))
-	return reply.Payload, nil
 }
 
-// Close stops the listener and waits for in-flight handlers.
+// Close stops the listener, tears down the pooled connections, and waits
+// for in-flight handlers.
 func (e *TCPEndpoint) Close() error {
 	e.mu.Lock()
 	if e.closed {
@@ -206,8 +410,23 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
+	conns := e.conns
+	e.conns = make(map[Address]*tcpConn)
+	inbound := make([]net.Conn, 0, len(e.inbound))
+	for c := range e.inbound {
+		inbound = append(inbound, c)
+	}
 	e.mu.Unlock()
 	err := e.listener.Close()
+	for _, c := range inbound {
+		c.Close()
+	}
+	for _, c := range conns {
+		<-c.dialed // dialing is bounded by tcpDialTimeout
+		if c.conn != nil {
+			c.conn.Close()
+		}
+	}
 	e.wg.Wait()
 	return err
 }

@@ -358,3 +358,131 @@ func TestTCPClosedUnreachable(t *testing.T) {
 		t.Fatalf("Call closed TCP endpoint: err = %v, want ErrUnreachable", err)
 	}
 }
+
+func TestTCPCallsArePipelined(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const delay = 100 * time.Millisecond
+	b.Handle("slow", func(ctx context.Context, p Packet) ([]byte, error) {
+		time.Sleep(delay)
+		return append([]byte("re:"), p.Payload...), nil
+	})
+	// Eight concurrent calls over the one pooled connection. Pipelined,
+	// they finish in roughly one handler delay; a sequential link would
+	// need eight.
+	const calls = 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make([]error, calls)
+	replies := make([]string, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reply, err := a.Call(context.Background(), b.Addr(), "slow", []byte(fmt.Sprintf("c%d", i)))
+			errs[i], replies[i] = err, string(reply)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i := 0; i < calls; i++ {
+		if errs[i] != nil {
+			t.Fatalf("call %d: %v", i, errs[i])
+		}
+		if want := fmt.Sprintf("re:c%d", i); replies[i] != want {
+			t.Fatalf("call %d: reply = %q, want %q (misrouted correlation ID?)", i, replies[i], want)
+		}
+	}
+	if elapsed > time.Duration(calls)*delay/2 {
+		t.Fatalf("8 concurrent calls took %v; a pipelined link should take about one %v handler delay, not %d stacked", elapsed, delay, calls)
+	}
+}
+
+func TestTCPCallContextTimeout(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	release := make(chan struct{})
+	b.Handle("stall", func(ctx context.Context, p Packet) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Call(ctx, b.Addr(), "stall", nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Call: err = %v, want context.DeadlineExceeded", err)
+	}
+	// The connection survives an abandoned call: later calls still work.
+	b.Handle("echo", func(ctx context.Context, p Packet) ([]byte, error) {
+		return p.Payload, nil
+	})
+	reply, err := a.Call(context.Background(), b.Addr(), "echo", []byte("after"))
+	if err != nil {
+		t.Fatalf("Call after timeout: %v", err)
+	}
+	if string(reply) != "after" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Handle("echo", func(ctx context.Context, p Packet) ([]byte, error) {
+		return p.Payload, nil
+	})
+	addr := string(b.Addr())
+	if _, err := a.Call(context.Background(), Address(addr), "echo", []byte("x")); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Restart the peer on the same port; the stale pooled connection must
+	// be replaced transparently (the write fails, the call redials once).
+	b2, err := ListenTCP(addr)
+	if err != nil {
+		t.Skipf("port %s not immediately reusable: %v", addr, err)
+	}
+	defer b2.Close()
+	b2.Handle("echo", func(ctx context.Context, p Packet) ([]byte, error) {
+		return append([]byte("v2:"), p.Payload...), nil
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reply, err := a.Call(context.Background(), Address(addr), "echo", []byte("y"))
+		if err == nil {
+			if string(reply) != "v2:y" {
+				t.Fatalf("reply = %q", reply)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Call after peer restart never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"resilientft/internal/host"
 	"resilientft/internal/preprog"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 	"resilientft/internal/workload"
 )
@@ -373,5 +374,48 @@ func BenchmarkFailover(b *testing.B) {
 		b.StopTimer()
 		sys.Shutdown()
 		b.StartTimer()
+	}
+}
+
+// BenchmarkTracing measures the span layer's request-path overhead on
+// PBR: sampler off, the default 1-in-100, and recording every request
+// (client span, pipeline stage spans, wave ship span, envelope trailer,
+// slave apply span). The default-sampled row is the one the acceptance
+// bar holds against the untraced PR3 baseline.
+func BenchmarkTracing(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		every uint64
+	}{
+		{"pbr_off", 0},
+		{"pbr_1pct", telemetry.DefaultSampleEvery},
+		{"pbr_100pct", 1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			prev := telemetry.DefaultSampler().Every()
+			telemetry.DefaultSampler().SetEvery(tc.every)
+			defer telemetry.DefaultSampler().SetEvery(prev)
+			sys, err := ftm.NewSystem(context.Background(), ftm.SystemConfig{
+				System:            "bench",
+				FTM:               core.PBR,
+				HeartbeatInterval: 50 * time.Millisecond,
+				SuspectTimeout:    10 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Shutdown()
+			client, err := sys.NewClient(rpc.WithCallTimeout(5 * time.Second))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Invoke(context.Background(), "add:x", ftm.EncodeArg(1)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,9 @@
 //	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
 //	ftmctl -target 127.0.0.1:7001 invoke add:x 5
 //	ftmctl -target 127.0.0.1:7001 metrics
+//	ftmctl -target 127.0.0.1:7001 events
+//	ftmctl -target 127.0.0.1:7001 trace <16-hex-id>
+//	ftmctl -target 127.0.0.1:7001 blackbox
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"resilientft/internal/ftm"
 	"resilientft/internal/mgmt"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -38,7 +42,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|metrics|transition <ftm>|invoke <op> <arg>")
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>")
 	}
 
 	ep, err := transport.ListenTCP("127.0.0.1:0")
@@ -87,6 +91,55 @@ func run() error {
 			}
 			fmt.Print(text)
 		}
+	case "events":
+		kind := ""
+		if len(args) > 1 {
+			kind = args[1]
+		}
+		for _, addr := range targets {
+			events, err := mgmt.QueryEvents(ctx, ep, addr, kind, 0)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			for _, e := range events {
+				fmt.Printf("%6d %s %s/%s", e.Seq, e.Time.Format(time.RFC3339Nano), e.Kind, e.Name)
+				if e.Dur > 0 {
+					fmt.Printf(" dur=%s", e.Dur)
+				}
+				for k, v := range e.Attrs {
+					fmt.Printf(" %s=%s", k, v)
+				}
+				fmt.Println()
+			}
+		}
+	case "trace":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: ftmctl trace <16-hex-id>")
+		}
+		for _, addr := range targets {
+			doc, err := mgmt.QueryTrace(ctx, ep, addr, args[1])
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			fmt.Println(doc)
+		}
+	case "blackbox":
+		for _, addr := range targets {
+			doc, err := mgmt.QueryBlackbox(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			fmt.Println(doc)
+		}
 	case "transition":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: ftmctl transition <ftm>")
@@ -113,8 +166,10 @@ func run() error {
 		}
 		// Each ftmctl run is a fresh client: a unique identity keeps the
 		// service's at-most-once reply log from replaying an earlier
-		// process's requests.
-		client := rpc.NewClient(fmt.Sprintf("ftmctl-%d-%d", os.Getpid(), time.Now().UnixNano()), ep, targets)
+		// process's requests. Always-trace makes the single invocation
+		// sampled, so `ftmctl trace` can read it back afterwards.
+		clientID := fmt.Sprintf("ftmctl-%d-%d", os.Getpid(), time.Now().UnixNano())
+		client := rpc.NewClient(clientID, ep, targets, rpc.WithAlwaysTrace())
 		resp, err := client.Invoke(ctx, args[1], ftm.EncodeArg(arg))
 		if err != nil {
 			return err
@@ -124,6 +179,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("%s %d -> %d\n", args[1], arg, v)
+		fmt.Printf("trace %016x\n", telemetry.TraceIDFor(clientID, resp.Seq))
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

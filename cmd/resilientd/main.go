@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -49,7 +50,9 @@ func run() error {
 		storePath = flag.String("store", "", "stable-storage file (empty = in-memory)")
 		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
 		suspect   = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
-		httpAddr  = flag.String("http", "", "observability HTTP address serving /metrics and /events (empty = disabled)")
+		httpAddr  = flag.String("http", "", "observability HTTP address serving /metrics, /events, /trace/{id} and /blackbox (empty = disabled)")
+		sample    = flag.Uint64("trace-sample", telemetry.DefaultSampleEvery, "span sampling: record 1 in N requests (0 = off, 1 = all)")
+		boxPath   = flag.String("blackbox", "", "flight-recorder incident file, JSON lines (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -61,6 +64,32 @@ func run() error {
 		return err
 	}
 	defer ep.Close()
+
+	// Tracing + flight recorder: the span sampler is process-wide, the
+	// recorder continuously folds events/spans/metrics into its black-box
+	// window and persists a snapshot on incidents (suspicion, role
+	// changes, panics).
+	telemetry.DefaultSampler().SetEvery(*sample)
+	telemetry.DefaultSpans().SetOrigin(*listen)
+	fr := telemetry.DefaultFlightRecorder()
+	if *boxPath != "" {
+		incidents := stablestore.NewFileIncidentLog(*boxPath)
+		fr.SetPersist(func(b telemetry.BlackBox) {
+			data, err := json.Marshal(b)
+			if err != nil {
+				log.Printf("blackbox marshal: %v", err)
+				return
+			}
+			rec := stablestore.IncidentRecord{
+				Time: b.Time, Reason: b.Reason, Origin: b.Origin, Data: data,
+			}
+			if err := incidents.Append(rec); err != nil {
+				log.Printf("blackbox persist: %v", err)
+			}
+		})
+	}
+	fr.Start(time.Second)
+	defer fr.Stop()
 
 	var opts []host.Option
 	if *storePath != "" {
@@ -104,7 +133,8 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("observability listen %s: %w", *httpAddr, err)
 		}
-		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default(), telemetry.DefaultTracer())}
+		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default(), telemetry.DefaultTracer(),
+			telemetry.DefaultSpans(), fr)}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("observability server: %v", err)

@@ -10,6 +10,7 @@ import (
 	"resilientft/internal/core"
 	"resilientft/internal/ftm"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 )
 
 // PerfMetric is one measured point of the performance suite.
@@ -61,6 +62,29 @@ func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
 		}
 		add("request_latency/"+string(id), lat, 0)
 	}
+
+	// Tracing-overhead family: the same PBR latency point with the span
+	// sampler off, at the shipped default (1-in-100), and tracing every
+	// request. The delta between rows is what the span layer costs.
+	sampler := telemetry.DefaultSampler()
+	prevEvery := sampler.Every()
+	for _, tc := range []struct {
+		name  string
+		every uint64
+	}{
+		{"tracing/pbr_off", 0},
+		{"tracing/pbr_1pct", telemetry.DefaultSampleEvery},
+		{"tracing/pbr_100pct", 1},
+	} {
+		sampler.SetEvery(tc.every)
+		lat, _, err := measureLatency(ctx, core.PBR, 4, ops, false)
+		if err != nil {
+			sampler.SetEvery(prevEvery)
+			return nil, fmt.Errorf("experiments: perf tracing %s: %w", tc.name, err)
+		}
+		add(tc.name, lat, 0)
+	}
+	sampler.SetEvery(prevEvery)
 
 	type sweepCase struct {
 		name     string

@@ -13,6 +13,7 @@ import (
 	"resilientft/internal/component"
 	"resilientft/internal/core"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -291,7 +292,7 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 		if err != nil {
 			return component.Message{}, err
 		}
-		outcome, err := a.sync(ctx, call.Req.Seq)
+		outcome, err := a.sync(ctx, call.Req.Seq, call.Req.Trace)
 		if err != nil {
 			return component.Message{}, err
 		}
@@ -303,7 +304,7 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 		// delta covers the full reply-log tail, so completing one wave
 		// guarantees the logged reply reached the backup.
 		resp, _ := msg.Payload.(rpc.Response)
-		outcome, err := a.sync(ctx, resp.Seq)
+		outcome, err := a.sync(ctx, resp.Seq, telemetry.ParseSpanContext(msg.MetaValue(MetaTrace)))
 		if err != nil {
 			return component.Message{}, err
 		}
@@ -314,20 +315,17 @@ func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg com
 }
 
 // sync joins a commit wave and blocks until a ship covering it completed.
-func (a *pbrCheckpointAfter) sync(ctx context.Context, seq uint64) (string, error) {
-	w := a.waves.join(seq, nil)
+func (a *pbrCheckpointAfter) sync(ctx context.Context, seq uint64, trace telemetry.SpanContext) (string, error) {
+	w := a.waves.join(seq, nil, trace)
 	return a.waves.ride(ctx, w, func(batch []*commitWave) (string, error) {
-		return a.shipWave(ctx, batch)
+		return a.shipWave(ctx, batch, trace)
 	})
 }
 
 // shipWave ships one checkpoint covering every member of the detached
-// batch. Runs only under the leadership token.
-func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave) (string, error) {
-	state := stateClient{svc: a.ref("state")}
-	log := logClient{svc: a.ref("log")}
-	peer := peerClient{svc: a.ref("peer")}
-
+// batch. Runs only under the leadership token. trace is the shipping
+// leader's span context; member traces get cover spans instead.
+func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave, trace telemetry.SpanContext) (string, error) {
 	var members int
 	var maxSeq uint64
 	for _, w := range batch {
@@ -340,8 +338,35 @@ func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave) 
 	mWavePBRRequests.Add(uint64(members))
 	mCkptBatchSize.Observe(time.Duration(members))
 
+	start := time.Now()
+	sp := telemetry.DefaultSpans().Start(trace, "ftm.wave.ship")
+	if sp != nil {
+		sp.SetAttr("ftm", "pbr")
+		sp.SetAttr("members", strconv.Itoa(members))
+	}
+	outcome, err := a.shipCheckpoint(ctx, sp, maxSeq)
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+	} else {
+		sp.SetAttr("outcome", outcome)
+	}
+	sp.End()
+	if err == nil {
+		coverSpans(batch, "pbr", start, outcome)
+	}
+	return outcome, err
+}
+
+// shipCheckpoint ships one delta or full checkpoint; sp (nil when the
+// leader is unsampled) is annotated with the chosen mode and parents
+// the peer send.
+func (a *pbrCheckpointAfter) shipCheckpoint(ctx context.Context, sp *telemetry.ActiveSpan, maxSeq uint64) (string, error) {
+	state := stateClient{svc: a.ref("state")}
+	log := logClient{svc: a.ref("log")}
+	peer := peerClient{svc: a.ref("peer")}
+
 	if a.synced && a.deltasSince < pbrFullCheckpointEvery {
-		shipped, err := a.shipDelta(ctx, state, log, peer, maxSeq)
+		shipped, err := a.shipDelta(ctx, state, log, peer, maxSeq, sp)
 		if err != nil {
 			if errors.Is(err, ErrNoPeer) {
 				// Degraded mode: the failure detector owns peer liveness.
@@ -366,7 +391,8 @@ func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave) 
 		mWavePBRFailed.Inc()
 		return "", err
 	}
-	if _, err := peer.call(ctx, MsgPBRCheckpoint, data); err != nil {
+	sp.SetAttr("mode", "full")
+	if _, err := peer.callTraced(ctx, MsgPBRCheckpoint, data, sp.Context()); err != nil {
 		a.synced = false
 		if errors.Is(err, ErrNoPeer) {
 			mDegraded.Inc()
@@ -387,7 +413,7 @@ func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave) 
 // shipDelta attempts an incremental checkpoint against the acknowledged
 // base. It returns shipped=false (and no error) whenever the caller
 // should fall back to a full checkpoint.
-func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, log logClient, peer peerClient, lastSeq uint64) (bool, error) {
+func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, log logClient, peer peerClient, lastSeq uint64, sp *telemetry.ActiveSpan) (bool, error) {
 	cd, err := state.captureDelta(ctx, a.ackVersion)
 	if err != nil {
 		return false, fmt.Errorf("ftm: delta capture: %w", err)
@@ -416,7 +442,8 @@ func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, l
 	if err != nil {
 		return false, err
 	}
-	reply, err := peer.call(ctx, MsgPBRDelta, data)
+	sp.SetAttr("mode", "delta")
+	reply, err := peer.callTraced(ctx, MsgPBRDelta, data, sp.Context())
 	if err != nil {
 		if errors.Is(err, ErrNoPeer) {
 			return false, err
@@ -582,7 +609,10 @@ func (b *lfrForwardBefore) Invoke(ctx context.Context, service string, msg compo
 	if err != nil {
 		return component.Message{}, err
 	}
-	if _, err := (peerClient{svc: b.ref("peer")}).call(ctx, MsgLFRExec, data); err != nil {
+	// The forwarded request carries its own trace context inside the
+	// encoded Request; the trace meta additionally parents the bridge's
+	// ship span under this call.
+	if _, err := (peerClient{svc: b.ref("peer")}).callTraced(ctx, MsgLFRExec, data, call.Req.Trace); err != nil {
 		if errors.Is(err, ErrNoPeer) {
 			return component.NewMessage("degraded", call), nil
 		}
@@ -653,7 +683,7 @@ func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg compone
 		if err != nil {
 			return component.Message{}, err
 		}
-		outcome, err := a.sync(ctx, call.Result)
+		outcome, err := a.sync(ctx, call.Result, call.Req.Trace)
 		if err != nil {
 			return component.Message{}, err
 		}
@@ -667,7 +697,7 @@ func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg compone
 		if !ok {
 			return component.Message{}, fmt.Errorf("ftm: flush payload is %T", msg.Payload)
 		}
-		outcome, err := a.sync(ctx, resp)
+		outcome, err := a.sync(ctx, resp, telemetry.ParseSpanContext(msg.MetaValue(MetaTrace)))
 		if err != nil {
 			return component.Message{}, err
 		}
@@ -679,22 +709,29 @@ func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg compone
 
 // sync joins a commit wave carrying resp and blocks until a ship
 // covering it completed.
-func (a *lfrNotifyAfter) sync(ctx context.Context, resp rpc.Response) (string, error) {
-	w := a.waves.join(resp.Seq, &resp)
+func (a *lfrNotifyAfter) sync(ctx context.Context, resp rpc.Response, trace telemetry.SpanContext) (string, error) {
+	w := a.waves.join(resp.Seq, &resp, trace)
 	return a.waves.ride(ctx, w, func(batch []*commitWave) (string, error) {
-		return a.shipWave(ctx, batch)
+		return a.shipWave(ctx, batch, trace)
 	})
 }
 
 // shipWave ships the member replies of one detached batch: a single
 // commit for a lone member, a batch commit otherwise.
-func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave) (string, error) {
+func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave, trace telemetry.SpanContext) (string, error) {
 	var resps []rpc.Response
 	for _, w := range batch {
 		resps = append(resps, w.resps...)
 	}
 	mWaveLFR.Inc()
 	mWaveLFRRequests.Add(uint64(len(resps)))
+
+	start := time.Now()
+	sp := telemetry.DefaultSpans().Start(trace, "ftm.wave.ship")
+	if sp != nil {
+		sp.SetAttr("ftm", "lfr")
+		sp.SetAttr("members", strconv.Itoa(len(resps)))
+	}
 
 	var kind string
 	var data []byte
@@ -708,15 +745,25 @@ func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave) (str
 	}
 	if err != nil {
 		mWaveLFRFailed.Inc()
+		sp.SetAttr("outcome", "error")
+		sp.End()
 		return "", err
 	}
-	if _, err := (peerClient{svc: a.ref("peer")}).call(ctx, kind, data); err != nil {
+	if _, err := (peerClient{svc: a.ref("peer")}).callTraced(ctx, kind, data, sp.Context()); err != nil {
 		if errors.Is(err, ErrNoPeer) {
+			sp.SetAttr("outcome", "degraded")
+			sp.End()
+			coverSpans(batch, "lfr", start, "degraded")
 			return "degraded", nil
 		}
 		mWaveLFRFailed.Inc()
+		sp.SetAttr("outcome", "error")
+		sp.End()
 		return "", err
 	}
+	sp.SetAttr("outcome", "ok")
+	sp.End()
+	coverSpans(batch, "lfr", start, "ok")
 	return "ok", nil
 }
 

@@ -93,6 +93,11 @@ const (
 const (
 	// MetaKind carries the inter-replica message kind on peer sends.
 	MetaKind = "kind"
+	// MetaTrace carries a telemetry.SpanContext (String form) on
+	// messages that cross component boundaries outside the *Call
+	// pipeline: peer sends, OpFlush replay coverage, and inbound
+	// replica dispatch. Absent or malformed values mean "unsampled".
+	MetaTrace = "trace"
 )
 
 // Inter-replica message kinds (within transport kind KindReplica).

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"resilientft/internal/component"
+	"resilientft/internal/telemetry"
 )
 
 // The typed facades below wrap the uniform component services so brick
@@ -142,11 +143,21 @@ type peerClient struct {
 }
 
 func (p peerClient) call(ctx context.Context, kind string, payload []byte) ([]byte, error) {
+	return p.callTraced(ctx, kind, payload, telemetry.SpanContext{})
+}
+
+// callTraced is call with a span context that rides the send as message
+// metadata; the bridge records the ship span under it and forwards it
+// in the wire envelope so the remote apply links to the same trace.
+func (p peerClient) callTraced(ctx context.Context, kind string, payload []byte, trace telemetry.SpanContext) ([]byte, error) {
 	if p.svc == nil {
 		return nil, component.ErrRefUnwired
 	}
 	msg := component.Message{Op: OpCall, Payload: payload}
 	msg = msg.WithMeta(MetaKind, kind)
+	if trace.Valid() {
+		msg = msg.WithMeta(MetaTrace, trace.String())
+	}
 	reply, err := p.svc.Invoke(ctx, msg)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 
 	"resilientft/internal/core"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -223,6 +224,81 @@ func TestRedeliveryDuringInFlightWave(t *testing.T) {
 			wg.Wait()
 			if mWavePBR.Value()+mWaveLFR.Value() == waves0 {
 				t.Fatal("no commit waves shipped during the test — the group-commit path was not exercised")
+			}
+		})
+	}
+}
+
+// TestTraceContinuityAcrossFailover kills the master mid-wave and checks
+// that one client trace id stitches the whole story together: the
+// original execution's spans (client send, pipeline stages, wave ship,
+// peer ship, slave apply) and — after the crash — the promoted slave's
+// replay of the logged reply, all under the same deterministic trace id
+// derived from (client id, sequence number).
+func TestTraceContinuityAcrossFailover(t *testing.T) {
+	const opsEach = 6
+	for _, id := range []core.ID{core.PBR, core.LFR} {
+		t.Run(string(id), func(t *testing.T) {
+			s := newTestSystem(t, id)
+			ctx := context.Background()
+			c, err := s.NewClient(rpc.WithAlwaysTrace())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for seq := uint64(1); seq <= opsEach; seq++ {
+				if _, err := c.Redeliver(ctx, seq, "add:x", EncodeArg(1)); err != nil {
+					t.Fatalf("seq %d: %v", seq, err)
+				}
+			}
+
+			// The pre-crash trace of seq 1 already spans both replicas (the
+			// test system shares the process-wide span recorder).
+			traceID := telemetry.TraceIDFor(c.ID(), 1)
+			names := func() map[string]int {
+				got := map[string]int{}
+				for _, sp := range telemetry.DefaultSpans().ForTrace(traceID) {
+					got[sp.Name]++
+				}
+				return got
+			}
+			pre := names()
+			for _, want := range []string{"rpc.client", "ftm.execute", "ftm.before", "ftm.proceed", "ftm.peer.ship", "ftm.replica.apply"} {
+				if pre[want] == 0 {
+					t.Fatalf("pre-crash trace %016x missing %q spans: %v", traceID, want, pre)
+				}
+			}
+			if pre["ftm.wave.ship"] == 0 && pre["ftm.wave.cover"] == 0 {
+				t.Fatalf("pre-crash trace %016x has neither a wave ship nor a cover span: %v", traceID, pre)
+			}
+
+			// Kill the master while a fresh burst keeps waves in flight, then
+			// redeliver seq 1 to the promoted slave.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for seq := uint64(opsEach + 1); seq <= opsEach+4; seq++ {
+					_, _ = c.Redeliver(ctx, seq, "add:x", EncodeArg(1))
+				}
+			}()
+			time.Sleep(2 * time.Millisecond)
+			s.CrashMaster()
+			<-done
+			waitUntil(t, 5*time.Second, func() bool { return s.Master() != nil }, "no replica promoted after crash")
+
+			dup, err := c.Redeliver(ctx, 1, "add:x", EncodeArg(1))
+			if err != nil {
+				t.Fatalf("post-failover redelivery: %v", err)
+			}
+			if !dup.Replayed {
+				t.Fatal("post-failover redelivery was not replayed from the log")
+			}
+			post := names()
+			if post["ftm.replay"] == 0 {
+				t.Fatalf("replayed reply left no ftm.replay span under trace %016x: %v", traceID, post)
+			}
+			if post["rpc.client"] < 2 {
+				t.Fatalf("redelivery did not join the original trace: %v", post)
 			}
 		})
 	}

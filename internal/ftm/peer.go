@@ -3,11 +3,13 @@ package ftm
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"resilientft/internal/component"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -22,6 +24,11 @@ type replicaEnvelope struct {
 	From    string
 	System  string
 	Payload []byte
+	// Trace is the sender-side ship span context; it travels as an
+	// optional codec trailer (absent on unsampled sends, so those frames
+	// are byte-identical to the trailerless encoding) and parents the
+	// receiver's apply span.
+	Trace telemetry.SpanContext
 }
 
 var (
@@ -34,7 +41,12 @@ func (e replicaEnvelope) AppendFast(buf []byte) []byte {
 	buf = transport.AppendLenString(buf, e.Kind)
 	buf = transport.AppendLenString(buf, e.From)
 	buf = transport.AppendLenString(buf, e.System)
-	return transport.AppendLenBytes(buf, e.Payload)
+	buf = transport.AppendLenBytes(buf, e.Payload)
+	if e.Trace.Valid() {
+		buf = transport.AppendUvarint(buf, e.Trace.TraceID)
+		buf = transport.AppendUvarint(buf, e.Trace.SpanID)
+	}
+	return buf
 }
 
 // DecodeFast implements transport.FastUnmarshaler.
@@ -49,8 +61,18 @@ func (e *replicaEnvelope) DecodeFast(data []byte) error {
 	if e.System, data, err = transport.ReadLenString(data); err != nil {
 		return fmt.Errorf("ftm: envelope system: %w", err)
 	}
-	if e.Payload, _, err = transport.ReadLenBytes(data); err != nil {
+	if e.Payload, data, err = transport.ReadLenBytes(data); err != nil {
 		return fmt.Errorf("ftm: envelope payload: %w", err)
+	}
+	// Optional trace trailer: absent or malformed means "unsampled" —
+	// never a decode failure, so trailerless senders stay compatible.
+	e.Trace = telemetry.SpanContext{}
+	if len(data) > 0 {
+		if tid, rest, terr := transport.ReadUvarint(data); terr == nil {
+			if sid, _, serr := transport.ReadUvarint(rest); serr == nil {
+				e.Trace = telemetry.SpanContext{TraceID: tid, SpanID: sid}
+			}
+		}
 	}
 	return nil
 }
@@ -160,6 +182,14 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		return component.Message{}, ErrNoPeer
 	}
 	env := replicaEnvelope{Kind: kind, From: string(ep.Addr()), System: system, Payload: payload}
+	sp := telemetry.DefaultSpans().Start(
+		telemetry.ParseSpanContext(msg.MetaValue(MetaTrace)), "ftm.peer.ship")
+	if sp != nil {
+		sp.SetAttr("kind", kind)
+		sp.SetAttr("peers", strconv.Itoa(len(peers)))
+		env.Trace = sp.Context()
+		defer sp.End()
+	}
 	data, err := transport.Encode(env)
 	if err != nil {
 		return component.Message{}, err
@@ -172,6 +202,7 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		reply, err := ep.Call(callCtx, peers[0], KindReplica, data)
 		cancel()
 		if err != nil {
+			sp.SetAttr("outcome", "error")
 			return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, err)
 		}
 		return component.NewMessage("ok", reply), nil
@@ -208,6 +239,7 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		}
 	}
 	if best == -1 {
+		sp.SetAttr("outcome", "error")
 		return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, lastErr)
 	}
 	return component.NewMessage("ok", firstReply), nil

@@ -10,6 +10,7 @@ import (
 	"resilientft/internal/component"
 	"resilientft/internal/core"
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -153,21 +154,39 @@ func (p *protocolContent) handleRequest(ctx context.Context, msg component.Messa
 // execute runs one request through at-most-once filtering and the
 // Before-Proceed-After pipeline.
 func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Response {
+	spans := telemetry.DefaultSpans()
+	sp := spans.Start(req.Trace, "ftm.execute")
+	if sp != nil {
+		// Everything downstream — stage spans, wave ships, peer sends,
+		// the forwarded request on the follower — nests under execute.
+		sp.SetAttr("op", req.Op)
+		sp.SetAttr("req", req.ID())
+		req.Trace = sp.Context()
+		defer sp.End()
+	}
 	log := logClient{svc: p.ref("log")}
 	key := inflightKey{clientID: req.ClientID, seq: req.Seq}
 	var mine chan struct{}
 	for {
 		if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
 			mReplayHits.Inc()
+			sp.SetAttr("replayed", "true")
 			// The logged reply may predate the last acknowledged replica
 			// synchronization (its original After failed mid-ship, or its
 			// commit wave is still in flight). Releasing it anyway would let
 			// a failover lose a reply the client has seen, so the After brick
 			// must first confirm coverage — for the synchronizing bricks that
 			// means riding a commit wave.
-			if _, ferr := p.afterSpecialPayload(ctx, OpFlush, prev); ferr != nil {
+			tReplay := time.Now()
+			if _, ferr := p.afterSpecialPayload(ctx, OpFlush, prev, req.Trace); ferr != nil {
 				return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 					Status: rpc.StatusUnavailable, Err: ferr.Error()}
+			}
+			// The replay span marks a reply served from the log — after a
+			// failover it is what links the redelivery to the original
+			// execution's trace (same deterministic trace ID).
+			if req.Trace.Valid() {
+				spans.Add(req.Trace, "ftm.replay", tReplay, time.Since(tReplay), "req", req.ID())
 			}
 			return prev
 		}
@@ -206,13 +225,17 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
-		// One clock read ends Before and starts Proceed.
+		// One clock read ends Before and starts Proceed; the stage spans
+		// reuse the same reads, so sampling adds no clock calls here.
 		t1 := time.Now()
 		mStageBefore.Observe(t1.Sub(t0))
+		spans.Add(req.Trace, "ftm.before", t0, t1.Sub(t0))
 		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageProceed.ObserveSince(t1)
+		t2 := time.Now()
+		mStageProceed.Observe(t2.Sub(t1))
+		spans.Add(req.Trace, "ftm.proceed", t1, t2.Sub(t1))
 		return nil
 	}()
 	switch {
@@ -254,7 +277,9 @@ func (p *protocolContent) execute(ctx context.Context, req rpc.Request) rpc.Resp
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 			Status: rpc.StatusUnavailable, Err: aErr.Error()}
 	}
-	mStageAfter.ObserveSince(tAfter)
+	dAfter := time.Since(tAfter)
+	mStageAfter.Observe(dAfter)
+	spans.Add(req.Trace, "ftm.after", tAfter, dAfter)
 	return call.Result
 }
 
@@ -304,6 +329,10 @@ type roleInfo struct {
 
 func (p *protocolContent) handleReplica(ctx context.Context, msg component.Message) (component.Message, error) {
 	payload, _ := msg.Payload.([]byte)
+	// The replica server's apply span context, set by the transport
+	// handler when the inbound envelope carried a sampled trace; zero
+	// (and therefore inert) otherwise.
+	trace := telemetry.ParseSpanContext(msg.MetaValue(MetaTrace))
 
 	// Slave-role messages are refused on a master: after a spurious
 	// promotion (split brain), running the follower path on a master
@@ -328,13 +357,13 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		return component.NewMessage("ok", data), nil
 
 	case MsgPBRCheckpoint:
-		if _, err := p.afterSpecial(ctx, "checkpoint", payload); err != nil {
+		if _, err := p.afterSpecial(ctx, "checkpoint", payload, trace); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
 
 	case MsgPBRDelta:
-		reply, err := p.afterSpecial(ctx, "delta", payload)
+		reply, err := p.afterSpecial(ctx, "delta", payload, trace)
 		if err != nil {
 			return component.Message{}, err
 		}
@@ -359,6 +388,11 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		if err := transport.Decode(payload, &req); err != nil {
 			return component.Message{}, err
 		}
+		if trace.Valid() {
+			// Parent the follower's execution on the apply span rather than
+			// the leader-side context the forwarded request encoded.
+			req.Trace = trace
+		}
 		resp := p.followerExecute(ctx, req)
 		data, err := transport.Encode(resp)
 		if err != nil {
@@ -371,7 +405,7 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		if err := transport.Decode(payload, &cm); err != nil {
 			return component.Message{}, err
 		}
-		if _, err := p.afterSpecialPayload(ctx, "commit", cm); err != nil {
+		if _, err := p.afterSpecialPayload(ctx, "commit", cm, trace); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
@@ -381,7 +415,7 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		if err := transport.Decode(payload, &batch); err != nil {
 			return component.Message{}, err
 		}
-		if _, err := p.afterSpecialPayload(ctx, "commit.batch", []rpc.Response(batch)); err != nil {
+		if _, err := p.afterSpecialPayload(ctx, "commit.batch", []rpc.Response(batch), trace); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
@@ -391,7 +425,7 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 		if err := transport.Decode(payload, &m); err != nil {
 			return component.Message{}, err
 		}
-		if _, err := p.afterSpecialPayload(ctx, "xpa.exec", m); err != nil {
+		if _, err := p.afterSpecialPayload(ctx, "xpa.exec", m, trace); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", []byte("ack")), nil
@@ -417,53 +451,77 @@ func (p *protocolContent) handleReplica(ctx context.Context, msg component.Messa
 }
 
 // afterSpecial drives the syncAfter brick with a non-pipeline operation
-// carrying raw bytes.
-func (p *protocolContent) afterSpecial(ctx context.Context, op string, payload []byte) (component.Message, error) {
+// carrying raw bytes. A valid trace rides the message metadata so the
+// brick can link the apply (or the coverage wave it rides) to the
+// originating request's trace.
+func (p *protocolContent) afterSpecial(ctx context.Context, op string, payload []byte, trace telemetry.SpanContext) (component.Message, error) {
 	after := p.ref("after")
 	if after == nil {
 		return component.Message{}, component.ErrRefUnwired
 	}
-	return after.Invoke(ctx, component.Message{Op: op, Payload: payload})
+	msg := component.Message{Op: op, Payload: payload}
+	if trace.Valid() {
+		msg = msg.WithMeta(MetaTrace, trace.String())
+	}
+	return after.Invoke(ctx, msg)
 }
 
 // afterSpecialPayload drives the syncAfter brick with a typed payload.
-func (p *protocolContent) afterSpecialPayload(ctx context.Context, op string, payload any) (component.Message, error) {
+func (p *protocolContent) afterSpecialPayload(ctx context.Context, op string, payload any, trace telemetry.SpanContext) (component.Message, error) {
 	after := p.ref("after")
 	if after == nil {
 		return component.Message{}, component.ErrRefUnwired
 	}
-	return after.Invoke(ctx, component.Message{Op: op, Payload: payload})
+	msg := component.Message{Op: op, Payload: payload}
+	if trace.Valid() {
+		msg = msg.WithMeta(MetaTrace, trace.String())
+	}
+	return after.Invoke(ctx, msg)
 }
 
 // followerExecute runs a forwarded request through the follower's own
 // pipeline (Receive / Compute / Process-notification), with at-most-once
 // filtering against the follower's reply log.
 func (p *protocolContent) followerExecute(ctx context.Context, req rpc.Request) rpc.Response {
+	spans := telemetry.DefaultSpans()
+	sp := spans.Start(req.Trace, "ftm.execute")
+	if sp != nil {
+		sp.SetAttr("op", req.Op)
+		sp.SetAttr("req", req.ID())
+		sp.SetAttr("role", "follower")
+		req.Trace = sp.Context()
+		defer sp.End()
+	}
 	log := logClient{svc: p.ref("log")}
 	if prev, found, err := log.lookup(ctx, req.ClientID, req.Seq); err == nil && found {
 		mReplayHits.Inc()
+		sp.SetAttr("replayed", "true")
 		return prev
 	}
 	mRequests.Inc()
 	call := &Call{Req: req}
 	run := func() error {
 		// One clock read per stage boundary: each read ends one stage and
-		// starts the next.
+		// starts the next; the stage spans reuse the same reads.
 		t0 := time.Now()
 		if err := (brickClient{svc: p.ref("before")}).run(ctx, call); err != nil {
 			return err
 		}
 		t1 := time.Now()
 		mStageBefore.Observe(t1.Sub(t0))
+		spans.Add(req.Trace, "ftm.before", t0, t1.Sub(t0))
 		if err := (brickClient{svc: p.ref("proceed")}).run(ctx, call); err != nil {
 			return err
 		}
 		t2 := time.Now()
 		mStageProceed.Observe(t2.Sub(t1))
+		spans.Add(req.Trace, "ftm.proceed", t1, t2.Sub(t1))
 		if err := (brickClient{svc: p.ref("after")}).run(ctx, call); err != nil {
 			return err
 		}
-		mStageAfter.ObserveSince(t2)
+		d2 := time.Since(t2)
+		mStageAfter.Observe(d2)
+		spans.Add(req.Trace, "ftm.after", t2, d2)
 		return nil
 	}
 	if err := run(); err != nil {

@@ -178,7 +178,19 @@ func (r *Replica) commitConfig() error {
 func (r *Replica) registerTransport() {
 	ep := r.h.Endpoint()
 
-	rpc.Serve(ep, func(ctx context.Context, req rpc.Request) rpc.Response {
+	rpc.Serve(ep, func(ctx context.Context, req rpc.Request) (resp rpc.Response) {
+		// A panic anywhere in the pipeline is an incident: persist the
+		// flight-recorder window (the last moments before the crash) and
+		// degrade to an unavailability reply instead of taking down the
+		// whole process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				telemetry.DumpBlackBox("panic",
+					"panic", fmt.Sprint(rec), "req", req.ID(), "host", r.h.Name())
+				resp = rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+					Status: rpc.StatusUnavailable, Err: fmt.Sprintf("ftm: panic: %v", rec)}
+			}
+		}()
 		svc, err := r.boundary(SvcRequest)
 		if err != nil {
 			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
@@ -197,7 +209,14 @@ func (r *Replica) registerTransport() {
 		return resp
 	})
 
-	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) (data []byte, err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				telemetry.DumpBlackBox("panic",
+					"panic", fmt.Sprint(rec), "host", r.h.Name())
+				data, err = nil, fmt.Errorf("ftm: panic: %v", rec)
+			}
+		}()
 		var env replicaEnvelope
 		if err := transport.Decode(p.Payload, &env); err != nil {
 			return nil, err
@@ -206,11 +225,24 @@ func (r *Replica) registerTransport() {
 		if err != nil {
 			return nil, err
 		}
-		reply, err := svc.Invoke(ctx, component.Message{Op: env.Kind, Payload: env.Payload})
+		msg := component.Message{Op: env.Kind, Payload: env.Payload}
+		// The slave-side apply span: parented on the master's ship span
+		// (carried by the envelope trailer), it covers decode-to-reply of
+		// one inter-replica message, and its context rides the component
+		// message so the protocol's brick work nests under it.
+		sp := telemetry.DefaultSpans().Start(env.Trace, "ftm.replica.apply")
+		if sp != nil {
+			sp.SetAttr("kind", env.Kind)
+			sp.SetAttr("from", env.From)
+			msg = msg.WithMeta(MetaTrace, sp.Context().String())
+			defer sp.End()
+		}
+		reply, err := svc.Invoke(ctx, msg)
 		if err != nil {
+			sp.SetAttr("outcome", "error")
 			return nil, err
 		}
-		data, _ := reply.Payload.([]byte)
+		data, _ = reply.Payload.([]byte)
 		return data, nil
 	})
 }
@@ -300,6 +332,10 @@ func (r *Replica) CurrentScheme() (core.Scheme, error) {
 func (r *Replica) OnPeerChange(suspected bool) {
 	if suspected {
 		mPeerSuspected.Inc()
+		// Snapshot the pre-incident window now, before failover churn
+		// overwrites it: this black box is what a post-mortem reads to see
+		// the moments leading up to the suspicion.
+		telemetry.DumpBlackBox("peer-suspected", "host", r.h.Name(), "system", r.System())
 	} else {
 		mPeerRestored.Inc()
 	}
@@ -552,6 +588,7 @@ func (r *Replica) Demote(ctx context.Context) error {
 	r.mu.Unlock()
 	mDemotions.Inc()
 	r.event("demoted to slave")
+	telemetry.DumpBlackBox("demoted", "host", r.h.Name(), "system", r.System())
 	if desc.NeedsStateAccess {
 		if err := r.SyncFromPeer(ctx); err != nil {
 			r.event(fmt.Sprintf("post-demotion sync failed: %v", err))
@@ -634,6 +671,7 @@ func (r *Replica) Promote(ctx context.Context) error {
 	r.mu.Unlock()
 	mPromotions.Inc()
 	r.event("promoted to master")
+	telemetry.DumpBlackBox("promoted", "host", r.h.Name(), "system", r.System())
 	return nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"resilientft/internal/core"
+	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 )
 
 // TestConcurrentClientsNoDoubleExecution hammers one system with many
@@ -15,7 +17,9 @@ import (
 // original sequence number (the retry a client performs after losing a
 // reply). At-most-once must hold under concurrency: the duplicate must
 // replay the logged reply, and each client's register must reflect every
-// add exactly once.
+// add exactly once. Half the clients run always-traced, so the span
+// recorder's lock-free ring takes the same concurrent hammering — and a
+// duplicate delivery must land in the original request's trace.
 func TestConcurrentClientsNoDoubleExecution(t *testing.T) {
 	const (
 		clients = 8
@@ -27,7 +31,11 @@ func TestConcurrentClientsNoDoubleExecution(t *testing.T) {
 			var wg sync.WaitGroup
 			errs := make(chan error, clients)
 			for ci := 0; ci < clients; ci++ {
-				c, err := s.NewClient()
+				var opts []rpc.ClientOption
+				if ci%2 == 1 {
+					opts = append(opts, rpc.WithAlwaysTrace())
+				}
+				c, err := s.NewClient(opts...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -82,6 +90,19 @@ func TestConcurrentClientsNoDoubleExecution(t *testing.T) {
 					}
 					if v != opsEach {
 						errs <- fmt.Errorf("client %d register = %d, want %d", ci, v, opsEach)
+					}
+					if ci%2 == 1 {
+						// Deterministic trace ids: the duplicate delivery of
+						// seq 1 recorded its client span in the original trace.
+						var clientSpans int
+						for _, sp := range telemetry.DefaultSpans().ForTrace(telemetry.TraceIDFor(c.ID(), 1)) {
+							if sp.Name == "rpc.client" {
+								clientSpans++
+							}
+						}
+						if clientSpans < 2 {
+							errs <- fmt.Errorf("client %d: duplicate did not join the original trace (rpc.client spans = %d)", ci, clientSpans)
+						}
 					}
 				}(ci)
 			}

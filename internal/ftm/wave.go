@@ -4,8 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 )
 
 // Group-commit replication support. Concurrent requests that reach a
@@ -31,6 +33,11 @@ type commitWave struct {
 	// checkpoint-style ships (PBR) leave it empty because the state
 	// capture covers the reply log itself.
 	resps []rpc.Response
+	// traces are the sampled members' span contexts: the covering ship
+	// records one "ftm.wave.cover" span under each, so every sampled
+	// trace shows which ship released its reply (usually none — sampling
+	// is the exception).
+	traces []telemetry.SpanContext
 
 	done    chan struct{} // closed once the covering ship completed
 	outcome string        // "ok" or "degraded", valid after done
@@ -82,7 +89,7 @@ func (n *waveNotifier) setMaxWave(m int) {
 
 // join adds one request to the open wave, starting a new wave when none
 // is open or the open one is full.
-func (n *waveNotifier) join(seq uint64, resp *rpc.Response) *commitWave {
+func (n *waveNotifier) join(seq uint64, resp *rpc.Response, trace telemetry.SpanContext) *commitWave {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var w *commitWave
@@ -102,6 +109,9 @@ func (n *waveNotifier) join(seq uint64, resp *rpc.Response) *commitWave {
 	}
 	if resp != nil {
 		w.resps = append(w.resps, *resp)
+	}
+	if trace.Valid() {
+		w.traces = append(w.traces, trace)
 	}
 	return w
 }
@@ -130,6 +140,22 @@ func (n *waveNotifier) detach() []*commitWave {
 	batch := n.queue[:taken:taken]
 	n.queue = n.queue[taken:]
 	return batch
+}
+
+// coverSpans records one "ftm.wave.cover" span under every sampled
+// member trace of a shipped batch, so each trace shows the ship whose
+// acknowledgement released its reply — including traces whose request
+// was not the batch leader. Called by the ship closures after the ship
+// completed; a batch with no sampled members (the common case) records
+// nothing.
+func coverSpans(batch []*commitWave, mech string, start time.Time, outcome string) {
+	dur := time.Since(start)
+	spans := telemetry.DefaultSpans()
+	for _, w := range batch {
+		for _, tr := range w.traces {
+			spans.Add(tr, "ftm.wave.cover", start, dur, "ftm", mech, "outcome", outcome)
+		}
+	}
 }
 
 // release returns the leadership token. The channel is buffered, so the

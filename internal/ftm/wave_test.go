@@ -9,12 +9,13 @@ import (
 	"time"
 
 	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
 )
 
 func TestWaveJoinAccumulatesMembers(t *testing.T) {
 	n := newWaveNotifier(0)
-	w1 := n.join(3, nil)
-	w2 := n.join(7, &rpc.Response{Seq: 7})
+	w1 := n.join(3, nil, telemetry.SpanContext{})
+	w2 := n.join(7, &rpc.Response{Seq: 7}, telemetry.SpanContext{})
 	if w1 != w2 {
 		t.Fatal("two joins with an open wave should share it")
 	}
@@ -31,9 +32,9 @@ func TestWaveJoinAccumulatesMembers(t *testing.T) {
 
 func TestWaveMaxWaveCapOpensNewWave(t *testing.T) {
 	n := newWaveNotifier(2)
-	w1 := n.join(1, nil)
-	n.join(2, nil)
-	w3 := n.join(3, nil)
+	w1 := n.join(1, nil, telemetry.SpanContext{})
+	n.join(2, nil, telemetry.SpanContext{})
+	w3 := n.join(3, nil, telemetry.SpanContext{})
 	if w1 == w3 {
 		t.Fatal("third join should overflow into a fresh wave (maxWave=2)")
 	}
@@ -44,10 +45,10 @@ func TestWaveMaxWaveCapOpensNewWave(t *testing.T) {
 
 func TestWaveDetachMergesWholeWavesUpToCap(t *testing.T) {
 	n := newWaveNotifier(3)
-	n.join(1, nil)
-	n.join(2, nil)
-	n.join(3, nil) // fills wave 1
-	n.join(4, nil) // wave 2
+	n.join(1, nil, telemetry.SpanContext{})
+	n.join(2, nil, telemetry.SpanContext{})
+	n.join(3, nil, telemetry.SpanContext{}) // fills wave 1
+	n.join(4, nil, telemetry.SpanContext{}) // wave 2
 	batch := n.detach()
 	if len(batch) != 1 {
 		t.Fatalf("detach took %d waves, want 1 (merging wave 2 would exceed the cap)", len(batch))
@@ -67,7 +68,7 @@ func TestWaveDetachMergesWholeWavesUpToCap(t *testing.T) {
 func TestWaveDetachAlwaysTakesAtLeastOneWave(t *testing.T) {
 	n := newWaveNotifier(0)
 	for i := 0; i < 5; i++ {
-		n.join(uint64(i), nil)
+		n.join(uint64(i), nil, telemetry.SpanContext{})
 	}
 	n.setMaxWave(1) // cap lowered below the open wave's size
 	batch := n.detach()
@@ -78,7 +79,7 @@ func TestWaveDetachAlwaysTakesAtLeastOneWave(t *testing.T) {
 
 func TestWaveRideShipsOwnWave(t *testing.T) {
 	n := newWaveNotifier(0)
-	w := n.join(1, nil)
+	w := n.join(1, nil, telemetry.SpanContext{})
 	var ships atomic.Int32
 	outcome, err := n.ride(context.Background(), w, func(batch []*commitWave) (string, error) {
 		ships.Add(1)
@@ -97,7 +98,7 @@ func TestWaveRideShipsOwnWave(t *testing.T) {
 
 func TestWaveRidePropagatesShipError(t *testing.T) {
 	n := newWaveNotifier(0)
-	w := n.join(1, nil)
+	w := n.join(1, nil, telemetry.SpanContext{})
 	boom := errors.New("ship sank")
 	_, err := n.ride(context.Background(), w, func([]*commitWave) (string, error) {
 		return "", boom
@@ -129,7 +130,7 @@ func TestWaveLeaderCoversWaiters(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := n.join(uint64(i), nil)
+			w := n.join(uint64(i), nil, telemetry.SpanContext{})
 			outcome, err := n.ride(context.Background(), w, ship)
 			if err == nil && outcome != "ok" {
 				err = errors.New("outcome " + outcome)
@@ -156,7 +157,7 @@ func TestWaveOrphanedTokenIsReclaimed(t *testing.T) {
 	// it: the next rider claims the parked token.
 	n := newWaveNotifier(0)
 	for round := 0; round < 3; round++ {
-		w := n.join(uint64(round), nil)
+		w := n.join(uint64(round), nil, telemetry.SpanContext{})
 		done := make(chan error, 1)
 		go func() {
 			_, err := n.ride(context.Background(), w, func(batch []*commitWave) (string, error) {
@@ -180,7 +181,7 @@ func TestWaveRideHonorsContext(t *testing.T) {
 	// Park the token on a leader that never finishes its ship.
 	blockForever := make(chan struct{})
 	defer close(blockForever)
-	w1 := n.join(1, nil)
+	w1 := n.join(1, nil, telemetry.SpanContext{})
 	go n.ride(context.Background(), w1, func([]*commitWave) (string, error) {
 		<-blockForever
 		return "ok", nil
@@ -188,7 +189,7 @@ func TestWaveRideHonorsContext(t *testing.T) {
 	// Second rider joins a fresh wave behind the stuck leader and gives
 	// up via its context.
 	time.Sleep(10 * time.Millisecond) // let the leader detach w1 first
-	w2 := n.join(2, nil)
+	w2 := n.join(2, nil, telemetry.SpanContext{})
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	_, err := n.ride(ctx, w2, func([]*commitWave) (string, error) {

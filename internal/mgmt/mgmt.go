@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"resilientft/internal/adaptation"
@@ -26,6 +27,9 @@ const (
 	OpTransition = "transition"
 	OpDescribe   = "describe"
 	OpMetrics    = "metrics"
+	OpEvents     = "events"
+	OpTrace      = "trace"
+	OpBlackbox   = "blackbox"
 )
 
 // Request is a management command.
@@ -33,6 +37,13 @@ type Request struct {
 	Op string
 	// To is the target FTM of a transition.
 	To string
+	// Trace is the trace id an OpTrace request asks for, in the %016x
+	// form the tools print.
+	Trace string
+	// SinceSeq and EventKind filter an OpEvents request (zero/empty:
+	// everything retained).
+	SinceSeq  uint64
+	EventKind string
 }
 
 // Status reports a replica's state.
@@ -63,7 +74,14 @@ type reply struct {
 	// Metrics carries the daemon's telemetry registry in the Prometheus
 	// text exposition format.
 	Metrics string
-	Err     string
+	// Events carries the daemon's retained trace events (OpEvents).
+	Events []telemetry.Event
+	// Trace and Boxes carry pre-marshaled JSON (the same documents the
+	// daemon's HTTP /trace/{id} and /blackbox routes serve), so the tool
+	// side prints them without re-encoding.
+	Trace string
+	Boxes string
+	Err   string
 }
 
 // Serve installs the management handler for a replica on its endpoint.
@@ -111,6 +129,37 @@ func Serve(ep transport.Endpoint, r *ftm.Replica, engine *adaptation.Engine) {
 				break
 			}
 			out.Metrics = buf.String()
+		case OpEvents:
+			events := telemetry.DefaultTracer().Since(req.SinceSeq)
+			if req.EventKind != "" {
+				filtered := events[:0]
+				for _, e := range events {
+					if e.Kind == req.EventKind {
+						filtered = append(filtered, e)
+					}
+				}
+				events = filtered
+			}
+			out.Events = events
+		case OpTrace:
+			id, err := strconv.ParseUint(req.Trace, 16, 64)
+			if err != nil || id == 0 {
+				out.Err = fmt.Sprintf("bad trace id %q (want 16 hex digits)", req.Trace)
+				break
+			}
+			data, err := telemetry.MarshalTrace(id, telemetry.DefaultSpans().ForTrace(id))
+			if err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Trace = string(data)
+		case OpBlackbox:
+			data, err := telemetry.MarshalBlackBoxes(telemetry.DefaultFlightRecorder().Boxes())
+			if err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Boxes = string(data)
 		case OpDescribe:
 			rt := r.Host().Runtime()
 			if rt == nil {
@@ -187,6 +236,35 @@ func QueryMetrics(ctx context.Context, ep transport.Endpoint, target transport.A
 		return "", err
 	}
 	return out.Metrics, nil
+}
+
+// QueryEvents fetches a daemon's retained trace events, optionally
+// filtered by kind and a sequence watermark.
+func QueryEvents(ctx context.Context, ep transport.Endpoint, target transport.Address, kind string, since uint64) ([]telemetry.Event, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpEvents, EventKind: kind, SinceSeq: since})
+	if err != nil {
+		return nil, err
+	}
+	return out.Events, nil
+}
+
+// QueryTrace fetches one trace's retained spans as the JSON document the
+// daemon's /trace/{id} route serves. traceID is the %016x form.
+func QueryTrace(ctx context.Context, ep transport.Endpoint, target transport.Address, traceID string) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpTrace, Trace: traceID})
+	if err != nil {
+		return "", err
+	}
+	return out.Trace, nil
+}
+
+// QueryBlackbox fetches a daemon's retained black boxes as JSON.
+func QueryBlackbox(ctx context.Context, ep transport.Endpoint, target transport.Address) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpBlackbox})
+	if err != nil {
+		return "", err
+	}
+	return out.Boxes, nil
 }
 
 // QueryArchitecture fetches a replica's live component architecture.

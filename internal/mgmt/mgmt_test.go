@@ -2,6 +2,7 @@ package mgmt
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"resilientft/internal/core"
 	"resilientft/internal/ftm"
 	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -136,4 +138,42 @@ func TestTransitionEventsVisibleInStatus(t *testing.T) {
 		t.Fatal("no events reported")
 	}
 	_ = r
+}
+
+func TestQueryEventsTraceAndBlackbox(t *testing.T) {
+	_, ctl := newServedReplica(t)
+	ctx := context.Background()
+
+	// Deploying the replica emitted events on the process-wide tracer.
+	events, err := QueryEvents(ctx, ctl, "node", "replica", 0)
+	if err != nil {
+		t.Fatalf("QueryEvents: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no replica events returned")
+	}
+
+	// A span recorded on the process-wide recorder is fetchable by id.
+	root := telemetry.SpanContext{TraceID: telemetry.TraceIDFor("mgmt-test", 1), SpanID: 9}
+	sp := telemetry.DefaultSpans().Start(root, "rpc.server", "op", "inc")
+	sp.End()
+	doc, err := QueryTrace(ctx, ctl, "node", fmt.Sprintf("%016x", root.TraceID))
+	if err != nil {
+		t.Fatalf("QueryTrace: %v", err)
+	}
+	if !strings.Contains(doc, "rpc.server") {
+		t.Fatalf("trace document missing span: %s", doc)
+	}
+	if _, err := QueryTrace(ctx, ctl, "node", "nothex"); err == nil {
+		t.Fatal("bad trace id should fail")
+	}
+
+	telemetry.DumpBlackBox("mgmt-test-incident")
+	boxes, err := QueryBlackbox(ctx, ctl, "node")
+	if err != nil {
+		t.Fatalf("QueryBlackbox: %v", err)
+	}
+	if !strings.Contains(boxes, "mgmt-test-incident") {
+		t.Fatalf("blackbox document missing incident: %s", boxes)
+	}
 }

@@ -1,6 +1,8 @@
 package monitor
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -92,4 +94,49 @@ func QuantileLatencyProbe(name string, reg *telemetry.Registry, metric string, q
 // request latency in milliseconds.
 func P99LatencyProbe(name string, reg *telemetry.Registry) Probe {
 	return QuantileLatencyProbe(name, reg, "rpc_server_request_latency", 0.99)
+}
+
+// spanQuantileProbe samples a duration quantile over the retained spans
+// of one name, in milliseconds (0 while no such span was recorded).
+// Span-fed probes see only sampled traffic, so they trade statistical
+// coverage for phase-level attribution the histograms cannot give: the
+// same spans a probe reads are browsable via /trace/{id}.
+func spanQuantileProbe(name string, spans *telemetry.SpanRecorder, spanName string, q float64) Probe {
+	return ProbeFunc{ProbeName: name, Fn: func() float64 {
+		recorded := spans.Named(spanName)
+		if len(recorded) == 0 {
+			return 0
+		}
+		durs := make([]time.Duration, len(recorded))
+		for i, s := range recorded {
+			durs[i] = s.Dur
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		// Nearest-rank quantile: small samples resolve to the tail
+		// observation rather than truncating toward the median.
+		idx := int(math.Ceil(q*float64(len(durs)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(durs) {
+			idx = len(durs) - 1
+		}
+		return float64(durs[idx].Nanoseconds()) / 1e6
+	}}
+}
+
+// WaveShipLatencyProbe samples the 95th-percentile duration of recorded
+// commit-wave ships ("ftm.wave.ship" spans) in milliseconds — how long
+// the master-side synchronization that releases replies is taking,
+// capture and peer round-trip included.
+func WaveShipLatencyProbe(name string, spans *telemetry.SpanRecorder) Probe {
+	return spanQuantileProbe(name, spans, "ftm.wave.ship", 0.95)
+}
+
+// SlaveApplyLagProbe samples the 95th-percentile duration of recorded
+// inter-replica applies ("ftm.replica.apply" spans) in milliseconds —
+// how far the slave trails each ship it processes. A rising value with
+// stable ship latency points the rule engine at the slave, not the wire.
+func SlaveApplyLagProbe(name string, spans *telemetry.SpanRecorder) Probe {
+	return spanQuantileProbe(name, spans, "ftm.replica.apply", 0.95)
 }

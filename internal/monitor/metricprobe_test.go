@@ -110,3 +110,46 @@ func TestQuantileLatencyProbe(t *testing.T) {
 		t.Fatalf("p99 = %vms, want within a bucket of 2ms", v)
 	}
 }
+
+// TestSpanFedProbes drives the two trace-derived probes from recorded
+// spans: p95 ship latency over "ftm.wave.ship" and slave apply lag over
+// "ftm.replica.apply", and shows the ship-latency probe feeding a
+// threshold rule.
+func TestSpanFedProbes(t *testing.T) {
+	spans := telemetry.NewSpanRecorder(64)
+	ship := WaveShipLatencyProbe("ship-latency", spans)
+	lag := SlaveApplyLagProbe("apply-lag", spans)
+	if v := ship.Sample(); v != 0 {
+		t.Fatalf("ship latency with no spans = %v, want 0", v)
+	}
+	if v := lag.Sample(); v != 0 {
+		t.Fatalf("apply lag with no spans = %v, want 0", v)
+	}
+
+	parent := telemetry.SpanContext{TraceID: 7, SpanID: 1}
+	base := time.Now()
+	for i, d := range []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 40 * time.Millisecond,
+	} {
+		spans.Add(parent, "ftm.wave.ship", base.Add(time.Duration(i)), d, "ftm", "pbr")
+	}
+	spans.Add(parent, "ftm.replica.apply", base, 5*time.Millisecond, "kind", "pbr.delta")
+
+	if v := ship.Sample(); v < 2 || v > 41 {
+		t.Fatalf("ship p95 = %vms, want the 40ms tail to dominate", v)
+	}
+	if v := lag.Sample(); v != 5 {
+		t.Fatalf("apply lag = %vms, want 5", v)
+	}
+
+	e := New(time.Hour, nil)
+	defer e.Stop()
+	e.AddProbe(ship)
+	e.AddRule(Rule{
+		Name: "slow-ship", Probe: "ship-latency",
+		Cond: Above, Threshold: 10, Trigger: core.Trigger("ship-slow"),
+	})
+	if fired := e.Poll(); len(fired) != 1 || fired[0] != core.Trigger("ship-slow") {
+		t.Fatalf("ship-latency rule fired %v, want [ship-slow]", fired)
+	}
+}

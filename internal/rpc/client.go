@@ -3,10 +3,12 @@ package rpc
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -28,6 +30,7 @@ type Client struct {
 
 	callTimeout time.Duration
 	maxRounds   int
+	alwaysTrace bool
 }
 
 // ClientOption configures a Client.
@@ -42,6 +45,13 @@ func WithCallTimeout(d time.Duration) ClientOption {
 // single Invoke makes before giving up.
 func WithMaxRounds(n int) ClientOption {
 	return func(c *Client) { c.maxRounds = n }
+}
+
+// WithAlwaysTrace samples every request of this client regardless of
+// the process sampler — for diagnostic clients (ftmctl invoke) and
+// tests that assert on span trees.
+func WithAlwaysTrace() ClientOption {
+	return func(c *Client) { c.alwaysTrace = true }
 }
 
 // NewClient returns a client identified by id, calling through ep and
@@ -59,6 +69,11 @@ func NewClient(id string, ep transport.Endpoint, replicas []transport.Address, o
 	}
 	return c
 }
+
+// ID returns the client's identity — with a sequence number it
+// determines the deterministic trace id of each request
+// (telemetry.TraceIDFor).
+func (c *Client) ID() string { return c.id }
 
 // SetReplicas replaces the replica list (used when the membership
 // changes).
@@ -96,6 +111,7 @@ func (c *Client) prefer(addr transport.Address) {
 // master, retrying up to the configured number of rounds.
 func (c *Client) Invoke(ctx context.Context, op string, payload []byte) (Response, error) {
 	req := Request{ClientID: c.id, Seq: c.seq.Add(1), Op: op, Payload: payload}
+	req.Trace = c.traceRoot(req.Seq)
 	return c.deliver(ctx, req)
 }
 
@@ -103,7 +119,20 @@ func (c *Client) Invoke(ctx context.Context, op string, payload []byte) (Respons
 // sequence number — the retry path a client takes after losing a reply.
 // The service's reply log must replay rather than re-execute it.
 func (c *Client) Redeliver(ctx context.Context, seq uint64, op string, payload []byte) (Response, error) {
-	return c.deliver(ctx, Request{ClientID: c.id, Seq: seq, Op: op, Payload: payload})
+	req := Request{ClientID: c.id, Seq: seq, Op: op, Payload: payload}
+	req.Trace = c.traceRoot(seq)
+	return c.deliver(ctx, req)
+}
+
+// traceRoot returns the root span context for a request, or the zero
+// context when the request is not sampled. The trace ID is a pure
+// function of the request identity, so a redelivery of a sampled
+// request lands in the original's trace.
+func (c *Client) traceRoot(seq uint64) telemetry.SpanContext {
+	if c.alwaysTrace || telemetry.DefaultSampler().Sample() {
+		return telemetry.SpanContext{TraceID: telemetry.TraceIDFor(c.id, seq)}
+	}
+	return telemetry.SpanContext{}
 }
 
 // deliver sends req until a replica produces a definitive response.
@@ -111,6 +140,17 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 	start := time.Now()
 	mClientRequests.Inc()
 	defer mClientLatency.ObserveSince(start)
+	// Attributes are set inside the nil check: the unsampled path must
+	// not pay for the attr slice or the req.ID() string.
+	sp := telemetry.DefaultSpans().Start(req.Trace, "rpc.client")
+	if sp != nil {
+		// Downstream spans (server, execute, ship, apply) nest under the
+		// client span, which becomes the trace root.
+		sp.SetAttr("op", req.Op)
+		sp.SetAttr("req", req.ID())
+		req.Trace = sp.Context()
+		defer sp.End()
+	}
 	data, err := transport.Encode(req)
 	if err != nil {
 		return Response{}, err
@@ -138,18 +178,20 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 				continue
 			}
 			switch resp.Status {
-			case StatusOK:
+			case StatusOK, StatusAppError:
 				if attempts > 1 {
 					mClientFailovers.Inc()
 				}
 				c.prefer(addr)
+				sp.SetAttr("status", resp.Status.String())
+				sp.SetAttr("attempts", strconv.Itoa(attempts))
+				if resp.Replayed {
+					sp.SetAttr("replayed", "true")
+				}
+				if resp.Status == StatusAppError {
+					return resp, fmt.Errorf("%w: %s", ErrApp, resp.Err)
+				}
 				return resp, nil
-			case StatusAppError:
-				if attempts > 1 {
-					mClientFailovers.Inc()
-				}
-				c.prefer(addr)
-				return resp, fmt.Errorf("%w: %s", ErrApp, resp.Err)
 			case StatusNotMaster, StatusUnavailable:
 				mClientAttemptErrRedirect.Inc()
 				lastErr = fmt.Errorf("rpc: %s answered %s", addr, resp.Status)
@@ -164,6 +206,7 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 	mClientExhausted.Inc()
+	sp.SetAttr("status", "exhausted")
 	return Response{}, fmt.Errorf("%w: last error: %v", ErrExhausted, lastErr)
 }
 
@@ -191,9 +234,24 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 		}
 		start := time.Now()
 		mServerRequests.Inc()
+		sp := telemetry.DefaultSpans().Start(req.Trace, "rpc.server")
+		if sp != nil {
+			// The handler (and everything it ships) nests under the
+			// server span.
+			sp.SetAttr("op", req.Op)
+			sp.SetAttr("req", req.ID())
+			req.Trace = sp.Context()
+		}
 		resp := h(ctx, req)
 		resp.ClientID = req.ClientID
 		resp.Seq = req.Seq
+		if sp != nil {
+			sp.SetAttr("status", resp.Status.String())
+			if resp.Replayed {
+				sp.SetAttr("replayed", "true")
+			}
+			sp.End()
+		}
 		mServerLatency.ObserveSince(start)
 		countServerResponse(resp.Status)
 		if resp.Replayed {

@@ -3,6 +3,7 @@ package rpc
 import (
 	"fmt"
 
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -25,7 +26,15 @@ func (r Request) AppendFast(buf []byte) []byte {
 	buf = transport.AppendLenString(buf, r.ClientID)
 	buf = transport.AppendUvarint(buf, r.Seq)
 	buf = transport.AppendLenString(buf, r.Op)
-	return transport.AppendLenBytes(buf, r.Payload)
+	buf = transport.AppendLenBytes(buf, r.Payload)
+	// Optional trace trailer: old decoders discard bytes past the last
+	// field, and absence decodes as the zero (unsampled) context, so the
+	// format stays compatible in both directions.
+	if r.Trace.Valid() {
+		buf = transport.AppendUvarint(buf, r.Trace.TraceID)
+		buf = transport.AppendUvarint(buf, r.Trace.SpanID)
+	}
+	return buf
 }
 
 // DecodeFast implements transport.FastUnmarshaler.
@@ -40,10 +49,30 @@ func (r *Request) DecodeFast(data []byte) error {
 	if r.Op, data, err = transport.ReadLenString(data); err != nil {
 		return fmt.Errorf("rpc: request op: %w", err)
 	}
-	if r.Payload, _, err = transport.ReadLenBytes(data); err != nil {
+	if r.Payload, data, err = transport.ReadLenBytes(data); err != nil {
 		return fmt.Errorf("rpc: request payload: %w", err)
 	}
+	r.Trace = readTraceTrailer(data)
 	return nil
+}
+
+// readTraceTrailer decodes the optional trace trailer from whatever
+// follows the last mandatory field. Absent or malformed trailers yield
+// the zero (unsampled) context: trace metadata is advisory, a frame
+// from an older peer is never rejected over it.
+func readTraceTrailer(data []byte) telemetry.SpanContext {
+	if len(data) == 0 {
+		return telemetry.SpanContext{}
+	}
+	tid, data, err := transport.ReadUvarint(data)
+	if err != nil {
+		return telemetry.SpanContext{}
+	}
+	sid, _, err := transport.ReadUvarint(data)
+	if err != nil {
+		return telemetry.SpanContext{}
+	}
+	return telemetry.SpanContext{TraceID: tid, SpanID: sid}
 }
 
 // appendResponse writes one response body; shared by the single and the

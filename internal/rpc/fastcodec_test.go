@@ -1,0 +1,76 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"resilientft/internal/telemetry"
+	"resilientft/internal/transport"
+)
+
+func TestRequestCodecRoundTripWithTrace(t *testing.T) {
+	req := Request{
+		ClientID: "c1",
+		Seq:      42,
+		Op:       "add:r0",
+		Payload:  []byte{1, 2, 3},
+		Trace:    telemetry.SpanContext{TraceID: 0xabc123, SpanID: 0xdef456},
+	}
+	data, err := transport.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := transport.Decode(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace != req.Trace {
+		t.Fatalf("trace lost in round trip: got %+v want %+v", got.Trace, req.Trace)
+	}
+	if got.ClientID != req.ClientID || got.Seq != req.Seq || got.Op != req.Op || !bytes.Equal(got.Payload, req.Payload) {
+		t.Fatalf("fields lost: %+v", got)
+	}
+}
+
+func TestRequestCodecUnsampledBytesUnchanged(t *testing.T) {
+	// An unsampled request must produce exactly the pre-trace wire bytes:
+	// no trailer, no size change.
+	req := Request{ClientID: "c1", Seq: 7, Op: "get:r0", Payload: []byte("x")}
+	withTrailer := req
+	withTrailer.Trace = telemetry.SpanContext{TraceID: 1, SpanID: 2}
+
+	plain := req.AppendFast(nil)
+	traced := withTrailer.AppendFast(nil)
+	if !bytes.HasPrefix(traced, plain) {
+		t.Fatal("trailer must extend, not alter, the base encoding")
+	}
+	if len(traced) == len(plain) {
+		t.Fatal("valid trace must append a trailer")
+	}
+
+	// A pre-trace decoder (the PR 3 decode loop) read through Payload and
+	// discarded the rest; the current decoder must accept trailerless
+	// frames as unsampled.
+	var got Request
+	if err := got.DecodeFast(plain); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace.Valid() {
+		t.Fatalf("trailerless frame decoded a trace: %+v", got.Trace)
+	}
+}
+
+func TestRequestCodecMalformedTrailerIgnored(t *testing.T) {
+	req := Request{ClientID: "c1", Seq: 7, Op: "get:r0"}
+	data := req.AppendFast(nil)
+	// A truncated/garbage tail (e.g. an unterminated uvarint) must decode
+	// as unsampled, never as an error.
+	data = append(data, 0x80)
+	var got Request
+	if err := got.DecodeFast(data); err != nil {
+		t.Fatalf("malformed trailer must not fail decode: %v", err)
+	}
+	if got.Trace.Valid() {
+		t.Fatalf("malformed trailer produced a trace: %+v", got.Trace)
+	}
+}

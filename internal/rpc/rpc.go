@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"resilientft/internal/telemetry"
 )
 
 // Request is one client call. ClientID and Seq together identify the
@@ -19,6 +21,11 @@ type Request struct {
 	Seq      uint64
 	Op       string
 	Payload  []byte
+	// Trace carries the sampled span context the request executes under;
+	// the zero value (unsampled) is the common case. On the wire it
+	// travels as an optional codec trailer, so unsampled requests and
+	// pre-trace peers produce byte-identical frames.
+	Trace telemetry.SpanContext
 }
 
 // ID returns the request's globally unique identity.

@@ -1,0 +1,134 @@
+package stablestore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Incident log: the durable side of the flight recorder. A replica's
+// black box is only useful if it survives the incident it describes, so
+// dumps are appended here with the same crash-tolerant discipline as
+// configuration records (one fsynced JSON line per record, torn final
+// line tolerated on load).
+
+// IncidentRecord is one persisted black-box dump.
+type IncidentRecord struct {
+	Time time.Time `json:"time"`
+	// Reason names the incident ("peer-suspected", "promoted", "panic").
+	Reason string `json:"reason"`
+	// Origin names the replica that dumped the box.
+	Origin string `json:"origin,omitempty"`
+	// Data is the serialized telemetry.BlackBox. Kept opaque here so
+	// stablestore does not depend on telemetry.
+	Data json.RawMessage `json:"data"`
+}
+
+// IncidentLog is the durable incident sink contract.
+type IncidentLog interface {
+	// Append durably appends one incident record.
+	Append(rec IncidentRecord) error
+	// Records returns all persisted records, oldest first.
+	Records() ([]IncidentRecord, error)
+}
+
+// MemIncidentLog is an in-memory IncidentLog for simulations and tests.
+type MemIncidentLog struct {
+	mu      sync.Mutex
+	records []IncidentRecord
+}
+
+// NewMemIncidentLog returns an empty in-memory incident log.
+func NewMemIncidentLog() *MemIncidentLog { return &MemIncidentLog{} }
+
+var _ IncidentLog = (*MemIncidentLog)(nil)
+
+// Append appends a record.
+func (l *MemIncidentLog) Append(rec IncidentRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, rec)
+	return nil
+}
+
+// Records returns all records, oldest first.
+func (l *MemIncidentLog) Records() ([]IncidentRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]IncidentRecord(nil), l.records...), nil
+}
+
+// FileIncidentLog is a file-backed IncidentLog: one JSON record per
+// line, fsynced on every append.
+type FileIncidentLog struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileIncidentLog returns a log persisting to path (created on first
+// append).
+func NewFileIncidentLog(path string) *FileIncidentLog {
+	return &FileIncidentLog{path: path}
+}
+
+var _ IncidentLog = (*FileIncidentLog)(nil)
+
+// Append durably appends a record.
+func (l *FileIncidentLog) Append(rec IncidentRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("stablestore: incident open: %w", err)
+	}
+	defer f.Close()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("stablestore: incident marshal: %w", err)
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("stablestore: incident write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("stablestore: incident sync: %w", err)
+	}
+	return nil
+}
+
+// Records returns all persisted records, oldest first.
+func (l *FileIncidentLog) Records() ([]IncidentRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.Open(l.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("stablestore: incident open: %w", err)
+	}
+	defer f.Close()
+	var out []IncidentRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20) // boxes are far larger than config records
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec IncidentRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final line from a crash mid-write is tolerated;
+			// anything before it was fsynced whole.
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("stablestore: incident scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package stablestore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testIncidentLog(t *testing.T, log IncidentLog) {
+	t.Helper()
+	recs, err := log.Records()
+	if err != nil {
+		t.Fatalf("empty records: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log not empty: %+v", recs)
+	}
+	for i, reason := range []string{"peer-suspected", "promoted"} {
+		rec := IncidentRecord{
+			Time:   time.Now(),
+			Reason: reason,
+			Origin: "replica-a",
+			Data:   json.RawMessage(`{"events":[],"n":` + string(rune('0'+i)) + `}`),
+		}
+		if err := log.Append(rec); err != nil {
+			t.Fatalf("append %q: %v", reason, err)
+		}
+	}
+	recs, err = log.Records()
+	if err != nil {
+		t.Fatalf("records: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Reason != "peer-suspected" || recs[1].Reason != "promoted" {
+		t.Fatalf("order wrong: %q %q", recs[0].Reason, recs[1].Reason)
+	}
+	if recs[1].Origin != "replica-a" {
+		t.Fatalf("origin lost: %+v", recs[1])
+	}
+	var payload map[string]any
+	if err := json.Unmarshal(recs[1].Data, &payload); err != nil {
+		t.Fatalf("data did not round-trip: %v", err)
+	}
+}
+
+func TestMemIncidentLog(t *testing.T) {
+	testIncidentLog(t, NewMemIncidentLog())
+}
+
+func TestFileIncidentLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.jsonl")
+	testIncidentLog(t, NewFileIncidentLog(path))
+}
+
+func TestFileIncidentLogToleratesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "incidents.jsonl")
+	log := NewFileIncidentLog(path)
+	if err := log.Append(IncidentRecord{Reason: "whole", Data: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"reason":"torn","da`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	recs, err := log.Records()
+	if err != nil {
+		t.Fatalf("load with torn tail: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Reason != "whole" {
+		t.Fatalf("torn line not skipped: %+v", recs)
+	}
+}

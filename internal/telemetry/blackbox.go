@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a black box each replica maintains continuously so
+// the seconds *before* an incident are available *after* it. The
+// recorder folds the newest trace events, recent spans, and a
+// metric-registry snapshot into a bounded in-memory window; on an
+// incident (detector-reported suspicion, demotion/promotion, panic in
+// the replica server) a Dump freezes that window into a BlackBox,
+// keeps it in a small in-memory ring for live retrieval, and hands it
+// to an optional persist hook (the stablestore incident log) so the
+// record survives the crash it describes.
+
+// BlackBox is one frozen pre-incident window.
+type BlackBox struct {
+	Time time.Time `json:"time"`
+	// Reason names the incident ("peer-suspected", "promoted",
+	// "demoted", "panic").
+	Reason string `json:"reason"`
+	// Origin names the replica that dumped the box.
+	Origin string `json:"origin,omitempty"`
+	// Attrs carries incident-specific context (peer addresses, the
+	// panic value, the role transition).
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Events is the retained pre-incident event window, oldest first.
+	Events []Event `json:"events"`
+	// Spans is the newest retained span window, oldest first.
+	Spans []Span `json:"spans"`
+	// Metrics is the registry snapshot taken at dump time.
+	Metrics []Sample `json:"metrics"`
+}
+
+// DefaultBlackBoxEvents bounds the event window a dump freezes.
+const DefaultBlackBoxEvents = 1024
+
+// DefaultBlackBoxSpans bounds the span window a dump freezes.
+const DefaultBlackBoxSpans = 256
+
+// DefaultBlackBoxRetain bounds how many dumped boxes stay retrievable
+// in memory.
+const DefaultBlackBoxRetain = 8
+
+// FlightRecorder folds telemetry sources into dumpable black boxes.
+type FlightRecorder struct {
+	tracer *Tracer
+	spans  *SpanRecorder
+	reg    *Registry
+
+	mu        sync.Mutex
+	maxEvents int
+	maxSpans  int
+	// window is the folded event deque; fold() keeps it current so a
+	// dump taken during a wedged process still has the last window the
+	// recorder goroutine saw.
+	window []Event
+	mark   uint64 // tracer watermark of the newest folded event
+	boxes  []BlackBox
+	retain int
+	// persist, when set, durably writes each dumped box.
+	persist func(BlackBox)
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewFlightRecorder returns a recorder folding the given sources with
+// the default window bounds.
+func NewFlightRecorder(tracer *Tracer, spans *SpanRecorder, reg *Registry) *FlightRecorder {
+	return &FlightRecorder{
+		tracer:    tracer,
+		spans:     spans,
+		reg:       reg,
+		maxEvents: DefaultBlackBoxEvents,
+		maxSpans:  DefaultBlackBoxSpans,
+		retain:    DefaultBlackBoxRetain,
+	}
+}
+
+var (
+	defaultRecorderOnce sync.Once
+	defaultRecorder     *FlightRecorder
+)
+
+// DefaultFlightRecorder returns the process-wide recorder, folding the
+// default tracer, span recorder and registry.
+func DefaultFlightRecorder() *FlightRecorder {
+	defaultRecorderOnce.Do(func() {
+		defaultRecorder = NewFlightRecorder(DefaultTracer(), DefaultSpans(), Default())
+	})
+	return defaultRecorder
+}
+
+// SetPersist installs the durable sink dumps are handed to (nil
+// disables persistence). The hook runs inline with the dump; it must
+// not call back into the recorder.
+func (f *FlightRecorder) SetPersist(persist func(BlackBox)) {
+	f.mu.Lock()
+	f.persist = persist
+	f.mu.Unlock()
+}
+
+// fold pulls events newer than the watermark into the bounded window.
+func (f *FlightRecorder) fold() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fresh := f.tracer.Since(f.mark)
+	if len(fresh) == 0 {
+		return
+	}
+	f.mark = fresh[len(fresh)-1].Seq
+	f.window = append(f.window, fresh...)
+	if over := len(f.window) - f.maxEvents; over > 0 {
+		f.window = append(f.window[:0:0], f.window[over:]...)
+	}
+}
+
+// Start launches the background fold loop. interval <= 0 uses one
+// second. Stop terminates it.
+func (f *FlightRecorder) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	f.mu.Lock()
+	if f.stop != nil {
+		f.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	f.stop, f.done = stop, done
+	f.mu.Unlock()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				f.fold()
+			}
+		}
+	}()
+}
+
+// Stop terminates the background fold loop, if running.
+func (f *FlightRecorder) Stop() {
+	f.mu.Lock()
+	stop, done := f.stop, f.done
+	f.stop, f.done = nil, nil
+	f.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Dump freezes the current window into a BlackBox: the incident hook.
+// It folds once more first, so events emitted on the incident path
+// itself (the suspicion, the demotion) are inside the box.
+func (f *FlightRecorder) Dump(reason string, attrs ...string) BlackBox {
+	f.fold()
+
+	spans := f.spans.Spans()
+	if over := len(spans) - f.maxSpans; over > 0 {
+		spans = spans[over:]
+	}
+	box := BlackBox{
+		Time:    time.Now(),
+		Reason:  reason,
+		Origin:  f.spans.Origin(),
+		Attrs:   attrMap(attrs),
+		Spans:   spans,
+		Metrics: f.reg.Snapshot(),
+	}
+
+	f.mu.Lock()
+	box.Events = append([]Event(nil), f.window...)
+	f.boxes = append(f.boxes, box)
+	if over := len(f.boxes) - f.retain; over > 0 {
+		f.boxes = append(f.boxes[:0:0], f.boxes[over:]...)
+	}
+	persist := f.persist
+	f.mu.Unlock()
+
+	if persist != nil {
+		persist(box)
+	}
+	return box
+}
+
+// Boxes returns the retained dumps, oldest first.
+func (f *FlightRecorder) Boxes() []BlackBox {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]BlackBox(nil), f.boxes...)
+}
+
+// DumpBlackBox dumps on the process-wide recorder — the form the
+// incident hooks in the replica call.
+func DumpBlackBox(reason string, attrs ...string) BlackBox {
+	return DefaultFlightRecorder().Dump(reason, attrs...)
+}
+
+// MarshalBlackBoxes renders dumps as JSON for the /blackbox endpoint.
+func MarshalBlackBoxes(boxes []BlackBox) ([]byte, error) {
+	return json.Marshal(boxes)
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestRecorder() (*FlightRecorder, *Tracer, *SpanRecorder, *Registry) {
+	tr := NewTracer(64)
+	sp := NewSpanRecorder(64)
+	reg := NewRegistry()
+	return NewFlightRecorder(tr, sp, reg), tr, sp, reg
+}
+
+func TestFlightRecorderDumpCapturesWindow(t *testing.T) {
+	f, tr, sp, reg := newTestRecorder()
+	sp.SetOrigin("replica-a")
+	reg.Counter("test_requests_total").Inc()
+	tr.Emit("replica", "started", 0, "host", "a")
+	tr.Emit("replica", "suspect", 0, "peer", "b")
+	sp.Add(SpanContext{TraceID: 7, SpanID: 1}, "ftm.execute", time.Now(), time.Millisecond)
+
+	box := f.Dump("peer-suspected", "peer", "b")
+	if box.Reason != "peer-suspected" || box.Attrs["peer"] != "b" {
+		t.Fatalf("reason/attrs wrong: %+v", box)
+	}
+	if box.Origin != "replica-a" {
+		t.Fatalf("origin = %q, want replica-a", box.Origin)
+	}
+	if len(box.Events) != 2 {
+		t.Fatalf("got %d events, want 2: %+v", len(box.Events), box.Events)
+	}
+	if box.Events[0].Name != "started" || box.Events[1].Name != "suspect" {
+		t.Fatalf("events out of order or missing: %+v", box.Events)
+	}
+	if len(box.Spans) != 1 || box.Spans[0].Name != "ftm.execute" {
+		t.Fatalf("spans missing: %+v", box.Spans)
+	}
+	found := false
+	for _, s := range box.Metrics {
+		if s.Name == "test_requests_total" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metric snapshot missing counter: %+v", box.Metrics)
+	}
+	if got := f.Boxes(); len(got) != 1 {
+		t.Fatalf("retained %d boxes, want 1", len(got))
+	}
+}
+
+func TestFlightRecorderWindowBounded(t *testing.T) {
+	f, tr, _, _ := newTestRecorder()
+	f.maxEvents = 4
+	for i := 0; i < 20; i++ {
+		tr.Emit("k", "n", 0)
+		f.fold()
+	}
+	box := f.Dump("test")
+	if len(box.Events) != 4 {
+		t.Fatalf("window not bounded: %d events", len(box.Events))
+	}
+	if box.Events[len(box.Events)-1].Seq != 20 {
+		t.Fatalf("window lost the newest events: last seq %d", box.Events[len(box.Events)-1].Seq)
+	}
+}
+
+func TestFlightRecorderRetainsBoundedBoxes(t *testing.T) {
+	f, _, _, _ := newTestRecorder()
+	f.retain = 2
+	f.Dump("one")
+	f.Dump("two")
+	f.Dump("three")
+	boxes := f.Boxes()
+	if len(boxes) != 2 {
+		t.Fatalf("retained %d boxes, want 2", len(boxes))
+	}
+	if boxes[0].Reason != "two" || boxes[1].Reason != "three" {
+		t.Fatalf("wrong boxes survived: %q %q", boxes[0].Reason, boxes[1].Reason)
+	}
+}
+
+func TestFlightRecorderPersistHook(t *testing.T) {
+	f, tr, _, _ := newTestRecorder()
+	var persisted []BlackBox
+	f.SetPersist(func(b BlackBox) { persisted = append(persisted, b) })
+	tr.Emit("replica", "demoted", 0)
+	f.Dump("demoted")
+	if len(persisted) != 1 || persisted[0].Reason != "demoted" {
+		t.Fatalf("persist hook missed the dump: %+v", persisted)
+	}
+	if len(persisted[0].Events) != 1 {
+		t.Fatalf("persisted box lost events: %+v", persisted[0].Events)
+	}
+}
+
+func TestFlightRecorderStartStopFoldsInBackground(t *testing.T) {
+	f, tr, _, _ := newTestRecorder()
+	f.Start(5 * time.Millisecond)
+	defer f.Stop()
+	tr.Emit("k", "background", 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		f.mu.Lock()
+		n := len(f.window)
+		f.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background fold never picked up the event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop() // second Stop must be safe
+}

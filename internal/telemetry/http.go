@@ -6,16 +6,48 @@ import (
 	"strconv"
 )
 
-// Handler serves the registry and tracer over HTTP:
+// Handler serves the registry, tracer, span recorder and flight
+// recorder over HTTP:
 //
-//	GET /metrics  Prometheus text exposition of every series
-//	GET /events   JSON array of retained trace events,
-//	              filterable with ?kind=... and ?since=<seq>
+//	GET /metrics     Prometheus text exposition of every series
+//	GET /events      JSON array of retained trace events,
+//	                 filterable with ?kind=... and ?since=<seq>
+//	GET /trace/{id}  JSON of every retained span of one trace
+//	                 (id in the %016x form the tools print)
+//	GET /blackbox    JSON array of the retained black boxes
 //
+// spans and fr may be nil; the corresponding routes then answer 404.
 // cmd/resilientd mounts it behind its -http flag; tests mount it on
 // httptest servers.
-func Handler(reg *Registry, tr *Tracer) http.Handler {
+func Handler(reg *Registry, tr *Tracer, spans *SpanRecorder, fr *FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
+	if spans != nil {
+		mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, req *http.Request) {
+			id, err := strconv.ParseUint(req.PathValue("id"), 16, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "bad trace id (want 16 hex digits)", http.StatusBadRequest)
+				return
+			}
+			data, err := MarshalTrace(id, spans.ForTrace(id))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+		})
+	}
+	if fr != nil {
+		mux.HandleFunc("/blackbox", func(w http.ResponseWriter, req *http.Request) {
+			data, err := MarshalBlackBoxes(fr.Boxes())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(data)
+		})
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,7 +17,7 @@ func TestHandlerMetricsAndEvents(t *testing.T) {
 	tr.Emit("transition", "deploy", 0, "host", "h1")
 	tr.Emit("replica", "promoted", 0)
 
-	srv := httptest.NewServer(Handler(reg, tr))
+	srv := httptest.NewServer(Handler(reg, tr, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {
@@ -68,5 +69,58 @@ func TestHandlerMetricsAndEvents(t *testing.T) {
 	code, _ = get("/events?since=notanumber")
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad since returned %d, want 400", code)
+	}
+}
+
+func TestHandlerTraceAndBlackbox(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(16)
+	spans := NewSpanRecorder(64)
+	root := SpanContext{TraceID: TraceIDFor("c1", 1), SpanID: 42}
+	sp := spans.Start(root, "rpc.server", "op", "inc")
+	sp.End()
+	fr := NewFlightRecorder(tr, spans, reg)
+	fr.Dump("peer-suspected", "host", "h1")
+
+	srv := httptest.NewServer(Handler(reg, tr, spans, fr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get(fmt.Sprintf("/trace/%016x", root.TraceID))
+	if code != http.StatusOK {
+		t.Fatalf("/trace status %d: %s", code, body)
+	}
+	var tj TraceJSON
+	if err := json.Unmarshal([]byte(body), &tj); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, body)
+	}
+	if len(tj.Spans) != 1 || tj.Spans[0].Name != "rpc.server" {
+		t.Fatalf("trace spans = %+v, want the one recorded span", tj.Spans)
+	}
+
+	code, _ = get("/trace/nothex")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad trace id returned %d, want 400", code)
+	}
+
+	code, body = get("/blackbox")
+	if code != http.StatusOK {
+		t.Fatalf("/blackbox status %d", code)
+	}
+	var boxes []BlackBox
+	if err := json.Unmarshal([]byte(body), &boxes); err != nil {
+		t.Fatalf("blackbox not JSON: %v\n%s", err, body)
+	}
+	if len(boxes) != 1 || boxes[0].Reason != "peer-suspected" {
+		t.Fatalf("boxes = %+v, want one peer-suspected box", boxes)
 	}
 }

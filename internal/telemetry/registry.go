@@ -49,11 +49,19 @@ type metric struct {
 type Registry struct {
 	mu      sync.RWMutex
 	metrics map[string]*metric
+	// byName indexes series by base name so family-wide reads
+	// (SumCounters) touch only the family, not every series — probes
+	// tick these reads continuously and the series count grows with
+	// label cardinality.
+	byName map[string][]*metric
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{metrics: make(map[string]*metric)}
+	return &Registry{
+		metrics: make(map[string]*metric),
+		byName:  make(map[string][]*metric),
+	}
 }
 
 // defaultRegistry is the process-wide registry the instrumented
@@ -120,6 +128,7 @@ func (r *Registry) lookup(name string, labels []string, kind metricKind, make fu
 	m = &metric{name: name, labels: sorted, kind: kind}
 	make(m)
 	r.metrics[key] = m
+	r.byName[name] = append(r.byName[name], m)
 	return m
 }
 
@@ -160,8 +169,8 @@ func (r *Registry) SumCounters(name string) uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	var total uint64
-	for _, m := range r.metrics {
-		if m.kind == kindCounter && m.name == name {
+	for _, m := range r.byName[name] {
+		if m.kind == kindCounter {
 			total += m.counter.Value()
 		}
 	}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDForDeterministicAndDistinct(t *testing.T) {
+	a := TraceIDFor("client-1", 7)
+	if a == 0 {
+		t.Fatal("trace id must be nonzero")
+	}
+	if b := TraceIDFor("client-1", 7); b != a {
+		t.Fatalf("same identity produced different trace ids: %x vs %x", a, b)
+	}
+	if b := TraceIDFor("client-1", 8); b == a {
+		t.Fatal("different seq should produce a different trace id")
+	}
+	if b := TraceIDFor("client-2", 7); b == a {
+		t.Fatal("different client should produce a different trace id")
+	}
+}
+
+func TestSpanContextStringRoundTrip(t *testing.T) {
+	c := SpanContext{TraceID: 0xdeadbeef01020304, SpanID: 0x1122334455667788}
+	got := ParseSpanContext(c.String())
+	if got != c {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+	for _, bad := range []string{"", "zz", c.String() + "x", "0123456789abcdef_0123456789abcdef"} {
+		if got := ParseSpanContext(bad); got.Valid() {
+			t.Fatalf("malformed %q parsed as valid %+v", bad, got)
+		}
+	}
+}
+
+func TestSamplerRates(t *testing.T) {
+	off := NewSampler(0)
+	for i := 0; i < 10; i++ {
+		if off.Sample() {
+			t.Fatal("every=0 must never sample")
+		}
+	}
+	always := NewSampler(1)
+	for i := 0; i < 10; i++ {
+		if !always.Sample() {
+			t.Fatal("every=1 must always sample")
+		}
+	}
+	tenth := NewSampler(10)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if tenth.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("every=10 over 1000 draws: got %d hits, want 100", hits)
+	}
+}
+
+func TestSpanRecorderStartEnd(t *testing.T) {
+	r := NewSpanRecorder(16)
+	r.SetOrigin("replica-a")
+	root := SpanContext{TraceID: TraceIDFor("c", 1), SpanID: newSpanID()}
+
+	sp := r.Start(root, "ftm.execute", "op", "add:r0")
+	if sp == nil {
+		t.Fatal("sampled parent must yield an active span")
+	}
+	child := r.Start(sp.Context(), "ftm.before")
+	child.SetAttr("outcome", "ok")
+	child.End()
+	sp.End()
+	sp.End() // double End must not re-record
+
+	spans := r.ForTrace(root.TraceID)
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2: %+v", len(spans), spans)
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	exec, before := byName["ftm.execute"], byName["ftm.before"]
+	if exec.Parent != root.SpanID {
+		t.Fatalf("execute parent = %x, want root %x", exec.Parent, root.SpanID)
+	}
+	if before.Parent != exec.SpanID {
+		t.Fatalf("before parent = %x, want execute %x", before.Parent, exec.SpanID)
+	}
+	if exec.Origin != "replica-a" || before.Origin != "replica-a" {
+		t.Fatalf("origin not stamped: %q / %q", exec.Origin, before.Origin)
+	}
+	if before.Attrs["outcome"] != "ok" || exec.Attrs["op"] != "add:r0" {
+		t.Fatalf("attrs lost: %+v", spans)
+	}
+}
+
+func TestNilActiveSpanIsInert(t *testing.T) {
+	r := NewSpanRecorder(4)
+	sp := r.Start(SpanContext{}, "unsampled")
+	if sp != nil {
+		t.Fatal("invalid parent must yield nil")
+	}
+	// All methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	if c := sp.Context(); c.Valid() {
+		t.Fatalf("nil span context must be invalid, got %+v", c)
+	}
+	sp.End()
+	r.Add(SpanContext{}, "unsampled", time.Now(), time.Millisecond)
+	if got := r.Spans(); len(got) != 0 {
+		t.Fatalf("nothing should be recorded, got %+v", got)
+	}
+}
+
+func TestSpanRecorderRingEviction(t *testing.T) {
+	r := NewSpanRecorder(4)
+	parent := SpanContext{TraceID: 42, SpanID: 1}
+	base := time.Now()
+	for i := 0; i < 10; i++ {
+		r.Add(parent, "s", base.Add(time.Duration(i)*time.Millisecond), time.Microsecond)
+	}
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring of 4 retained %d spans", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatalf("spans not sorted by start: %+v", spans)
+		}
+	}
+	// Newest four survive.
+	if spans[0].Start != base.Add(6*time.Millisecond) {
+		t.Fatalf("oldest retained = %v, want base+6ms", spans[0].Start.Sub(base))
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			parent := SpanContext{TraceID: uint64(g + 1), SpanID: 1}
+			for i := 0; i < 200; i++ {
+				sp := r.Start(parent, "concurrent")
+				sp.End()
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Spans() // readers race with writers; -race validates safety
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(r.Spans()); got != 64 {
+		t.Fatalf("ring should be full: got %d of 64", got)
+	}
+}
+
+func TestNamedFilter(t *testing.T) {
+	r := NewSpanRecorder(16)
+	parent := SpanContext{TraceID: 9, SpanID: 1}
+	now := time.Now()
+	r.Add(parent, "ftm.wave.ship", now, time.Millisecond)
+	r.Add(parent, "ftm.replica.apply", now.Add(time.Millisecond), 2*time.Millisecond)
+	r.Add(parent, "ftm.wave.ship", now.Add(2*time.Millisecond), 3*time.Millisecond)
+	ships := r.Named("ftm.wave.ship")
+	if len(ships) != 2 {
+		t.Fatalf("got %d ship spans, want 2", len(ships))
+	}
+	for _, s := range ships {
+		if s.Name != "ftm.wave.ship" {
+			t.Fatalf("filter leaked %q", s.Name)
+		}
+	}
+}

@@ -7,7 +7,9 @@ package appstate
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"resilientft/internal/transport"
@@ -58,30 +60,44 @@ type DeltaCapturer interface {
 	ApplyFull(data []byte, version uint64) error
 }
 
+// regCell is one register's storage. Cells are allocated once per
+// register name and reused for the life of the Registers; the steady
+// state of delta apply on a backup — the per-request hot path of
+// passive replication — touches only existing cells and therefore does
+// not allocate. A deleted register keeps its cell as a tombstone
+// (dead=true) so the deletion travels in deltas.
+type regCell struct {
+	name  string
+	val   int64
+	ver   uint64 // version of the last modification
+	gen   uint32 // mark for the full-restore sweep
+	dead  bool   // tombstone: deleted at ver
+	dirty bool   // queued on the dirty list
+}
+
 // Registers is a deterministic register-file application state: named
 // int64 registers. It is the state container of the example applications
 // and workload generators. Every mutation bumps a version counter and
-// marks the touched register in a dirty map, which is what makes the
-// DeltaCapturer contract cheap: a delta is the dirty keys newer than the
-// requested base.
+// queues the touched register's cell on a dirty list, which is what
+// makes the DeltaCapturer contract cheap in both directions: a delta
+// capture walks only the dirty cells, and a delta apply walks the
+// encoded bytes in place, mutating existing cells without allocating.
 type Registers struct {
 	mu   sync.Mutex
-	regs map[string]int64
+	regs map[string]*regCell
 
-	// version counts mutations; recent maps a register to the version of
-	// its last modification, for every modification newer than floor. A
-	// register present in recent but absent from regs was deleted.
+	// version counts mutations. dirty queues cells modified after floor,
+	// deduplicated by the cell's dirty flag; capture compacts it.
 	version uint64
-	recent  map[string]uint64
+	dirty   []*regCell
 	floor   uint64
+	live    int    // cells that are not tombstones
+	gen     uint32 // current full-restore generation
 }
 
 // NewRegisters returns an empty register file.
 func NewRegisters() *Registers {
-	return &Registers{
-		regs:   make(map[string]int64),
-		recent: make(map[string]uint64),
-	}
+	return &Registers{regs: make(map[string]*regCell)}
 }
 
 var (
@@ -93,48 +109,77 @@ var (
 func (r *Registers) Get(name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.regs[name]
+	if c, ok := r.regs[name]; ok && !c.dead {
+		return c.val
+	}
+	return 0
+}
+
+// touch returns name's cell, creating it if needed, bumps the version
+// and queues the cell on the dirty list. Callers hold r.mu.
+func (r *Registers) touch(name string) *regCell {
+	c, ok := r.regs[name]
+	if !ok {
+		c = &regCell{name: name, dead: true}
+		r.regs[name] = c
+	}
+	if c.dead {
+		// A revived register starts from zero, like a never-written one.
+		c.dead = false
+		c.val = 0
+		r.live++
+	}
+	r.version++
+	c.ver = r.version
+	if !c.dirty {
+		c.dirty = true
+		r.dirty = append(r.dirty, c)
+	}
+	return c
 }
 
 // Set writes a register.
 func (r *Registers) Set(name string, v int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.regs[name] = v
-	r.version++
-	r.recent[name] = r.version
+	r.touch(name).val = v
 }
 
 // Add increments a register and returns the new value.
 func (r *Registers) Add(name string, delta int64) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.regs[name] += delta
-	r.version++
-	r.recent[name] = r.version
-	return r.regs[name]
+	c := r.touch(name)
+	c.val += delta
+	return c.val
 }
 
 // Names returns the register names, sorted.
 func (r *Registers) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.regs))
-	for k := range r.regs {
-		out = append(out, k)
+	out := make([]string, 0, r.live)
+	for k, c := range r.regs {
+		if !c.dead {
+			out = append(out, k)
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// snapshot is the serialized form of Registers. The layout is checkpoint
-// wire format and must not change.
+// snapshot is the gob compatibility form of a full register capture.
+// New captures use the tagged fast layout (written by CaptureVersioned,
+// read by applySnapshot); decoding still accepts this form so captures
+// taken by older versions restore cleanly.
 type snapshot struct {
 	Regs map[string]int64
 }
 
-// regDelta is the serialized form of a Registers write-set between two
-// versions.
+// regDelta is the compatibility form of a Registers write-set between
+// two versions. New captures encode the same fast wire layout directly
+// from the dirty cells; the type remains for the gob decode arm and for
+// mixed-version tests.
 type regDelta struct {
 	Base    uint64
 	To      uint64
@@ -148,18 +193,92 @@ func (r *Registers) CaptureState() ([]byte, error) {
 	return data, err
 }
 
+// sortedLive returns the live cells sorted by name. Callers hold r.mu.
+func (r *Registers) sortedLive() []*regCell {
+	cells := make([]*regCell, 0, r.live)
+	for _, c := range r.regs {
+		if !c.dead {
+			cells = append(cells, c)
+		}
+	}
+	slices.SortFunc(cells, func(a, b *regCell) int { return strings.Compare(a.name, b.name) })
+	return cells
+}
+
 // CaptureVersioned serializes the register file along with the version
-// the capture represents.
+// the capture represents. The capture is written in the tagged fast
+// layout straight from the cells — full checkpoints ride the periodic
+// checkpoint refresh, so they stay off gob like the per-request deltas.
 func (r *Registers) CaptureVersioned() ([]byte, uint64, error) {
 	r.mu.Lock()
-	regs := make(map[string]int64, len(r.regs))
-	for k, v := range r.regs {
-		regs[k] = v
+	defer r.mu.Unlock()
+	cells := r.sortedLive()
+	// The snapshot buffer comes from the transport pool; the shipper
+	// recycles it once the checkpoint envelope has copied it.
+	buf := append(transport.GetBuf(), transport.FastTag)
+	buf = transport.AppendUvarint(buf, uint64(len(cells)))
+	for _, c := range cells {
+		buf = transport.AppendLenString(buf, c.name)
+		buf = transport.AppendVarint(buf, c.val)
 	}
-	version := r.version
-	r.mu.Unlock()
-	data, err := transport.Encode(snapshot{Regs: regs})
-	return data, version, err
+	return buf, r.version, nil
+}
+
+// snapshotEntry hands one decoded register of a full capture to apply
+// loops. The key aliases the capture buffer and must not be retained.
+type snapshotEntry func(key []byte, val int64) error
+
+// walkSnapshot decodes a full capture in either wire form: the tagged
+// fast layout is walked in place; gob captures (the compatibility arm)
+// are decoded and then walked.
+func walkSnapshot(data []byte, fn snapshotEntry) error {
+	if len(data) > 0 && data[0] == transport.FastTag {
+		rest := data[1:]
+		n, rest, err := transport.ReadUvarint(rest)
+		if err != nil {
+			return fmt.Errorf("appstate: snapshot count: %w", err)
+		}
+		for i := uint64(0); i < n; i++ {
+			var k []byte
+			var v int64
+			if k, rest, err = transport.ReadLenBytesInPlace(rest); err != nil {
+				return fmt.Errorf("appstate: snapshot key %d: %w", i, err)
+			}
+			if v, rest, err = transport.ReadVarint(rest); err != nil {
+				return fmt.Errorf("appstate: snapshot value %d: %w", i, err)
+			}
+			if err := fn(k, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var s snapshot
+	if err := transport.Decode(data, &s); err != nil {
+		return err
+	}
+	for k, v := range s.Regs {
+		if err := fn([]byte(k), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// setCell updates or creates name's cell without touching version
+// bookkeeping. Callers hold r.mu.
+func (r *Registers) setCell(key []byte, val int64) *regCell {
+	c, ok := r.regs[string(key)]
+	if !ok {
+		c = &regCell{name: string(key)}
+		r.regs[c.name] = c
+		r.live++
+	} else if c.dead {
+		c.dead = false
+		r.live++
+	}
+	c.val = val
+	return c
 }
 
 // RestoreState replaces the register file with a capture. The restore is
@@ -168,24 +287,39 @@ func (r *Registers) CaptureVersioned() ([]byte, uint64, error) {
 // restore-heavy FTM combination (time redundancy restoring before every
 // retry, say) does not blow up the delta write-set.
 func (r *Registers) RestoreState(data []byte) error {
-	var s snapshot
-	if err := transport.Decode(data, &s); err != nil {
-		return fmt.Errorf("appstate: restore: %w", err)
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.version++
 	v := r.version
-	for k, nv := range s.Regs {
-		if ov, ok := r.regs[k]; !ok || ov != nv {
-			r.regs[k] = nv
-			r.recent[k] = v
+	r.gen++
+	gen := r.gen
+	err := walkSnapshot(data, func(key []byte, val int64) error {
+		c, ok := r.regs[string(key)]
+		if !ok || c.dead || c.val != val {
+			c = r.setCell(key, val)
+			c.ver = v
+			if !c.dirty {
+				c.dirty = true
+				r.dirty = append(r.dirty, c)
+			}
 		}
+		c.gen = gen
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("appstate: restore: %w", err)
 	}
-	for k := range r.regs {
-		if _, ok := s.Regs[k]; !ok {
-			delete(r.regs, k)
-			r.recent[k] = v // tombstone: recorded in recent, absent from regs
+	// Registers absent from the capture disappear; the tombstone keeps
+	// the deletion visible to delta captures.
+	for _, c := range r.regs {
+		if c.gen != gen && !c.dead {
+			c.dead = true
+			r.live--
+			c.ver = v
+			if !c.dirty {
+				c.dirty = true
+				r.dirty = append(r.dirty, c)
+			}
 		}
 	}
 	return nil
@@ -198,41 +332,72 @@ func (r *Registers) StateVersion() uint64 {
 	return r.version
 }
 
-// CaptureDelta serializes the registers modified after version base.
+// CaptureDelta serializes the registers modified after version base,
+// encoding the regDelta fast wire layout directly from the dirty cells
+// (no intermediate map). Capturing compacts the dirty list: cells at or
+// below an acknowledged base are dead weight, since future captures only
+// ever ask for newer bases.
 func (r *Registers) CaptureDelta(base uint64) ([]byte, uint64, bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if base < r.floor || base > r.version {
 		return nil, r.version, false, nil
 	}
-	d := regDelta{Base: base, To: r.version, Regs: make(map[string]int64)}
-	for k, mv := range r.recent {
-		if mv <= base {
-			// History at or below an acknowledged base is dead weight:
-			// future captures only ever ask for newer bases.
-			delete(r.recent, k)
+	kept := r.dirty[:0]
+	for _, c := range r.dirty {
+		if c.ver <= base {
+			c.dirty = false
 			continue
 		}
-		if val, ok := r.regs[k]; ok {
-			d.Regs[k] = val
-		} else {
-			d.Deleted = append(d.Deleted, k)
-		}
+		kept = append(kept, c)
 	}
+	r.dirty = kept
 	if base > r.floor {
 		r.floor = base
 	}
-	sort.Strings(d.Deleted)
-	data, err := transport.Encode(d)
-	if err != nil {
-		return nil, r.version, false, err
+	// Sorted by name so identical write-sets encode identically; the
+	// list stays sorted in place, which keeps repeat captures of a hot
+	// write-set nearly free.
+	slices.SortFunc(kept, func(a, b *regCell) int { return strings.Compare(a.name, b.name) })
+	liveN, deadN := 0, 0
+	for _, c := range kept {
+		if c.dead {
+			deadN++
+		} else {
+			liveN++
+		}
 	}
-	return data, d.To, true, nil
+	// The delta buffer comes from the transport pool; the shipper
+	// recycles it once the checkpoint envelope has copied it.
+	buf := append(transport.GetBuf(), transport.FastTag)
+	buf = transport.AppendUvarint(buf, base)
+	buf = transport.AppendUvarint(buf, r.version)
+	buf = transport.AppendUvarint(buf, uint64(liveN))
+	for _, c := range kept {
+		if !c.dead {
+			buf = transport.AppendLenString(buf, c.name)
+			buf = transport.AppendVarint(buf, c.val)
+		}
+	}
+	buf = transport.AppendUvarint(buf, uint64(deadN))
+	for _, c := range kept {
+		if c.dead {
+			buf = transport.AppendLenString(buf, c.name)
+		}
+	}
+	return buf, r.version, true, nil
 }
 
 // ApplyDelta applies a delta captured against this state's exact current
-// version.
+// version. Fast-coded deltas — the steady state — are walked in place:
+// existing cells are mutated through a no-allocation map lookup, so a
+// backup applying the write-sets of a stable register population does
+// zero per-message heap allocation.
 func (r *Registers) ApplyDelta(delta []byte) (uint64, error) {
+	if len(delta) > 0 && delta[0] == transport.FastTag {
+		return r.applyDeltaFast(delta[1:])
+	}
+	// Compatibility arm: gob-coded delta from an older sender.
 	var d regDelta
 	if err := transport.Decode(delta, &d); err != nil {
 		return 0, fmt.Errorf("appstate: apply delta: %w", err)
@@ -243,35 +408,118 @@ func (r *Registers) ApplyDelta(delta []byte) (uint64, error) {
 		return r.version, fmt.Errorf("%w: at version %d, delta base %d", ErrDeltaBase, r.version, d.Base)
 	}
 	for k, v := range d.Regs {
-		r.regs[k] = v
+		c := r.setCell([]byte(k), v)
+		c.ver = d.To
 	}
 	for _, k := range d.Deleted {
-		delete(r.regs, k)
+		r.tombstone([]byte(k), d.To)
 	}
-	r.version = d.To
-	// The receiving side's own history is useless below the adopted
-	// version: a future capture from here starts with a full checkpoint.
-	r.recent = make(map[string]uint64)
-	r.floor = r.version
+	r.adoptVersion(d.To)
 	return r.version, nil
 }
 
-// ApplyFull replaces the register file with a full capture and adopts
-// the sender's version.
-func (r *Registers) ApplyFull(data []byte, version uint64) error {
-	var s snapshot
-	if err := transport.Decode(data, &s); err != nil {
-		return fmt.Errorf("appstate: apply full: %w", err)
+func (r *Registers) applyDeltaFast(data []byte) (uint64, error) {
+	base, data, err := transport.ReadUvarint(data)
+	if err != nil {
+		return 0, fmt.Errorf("appstate: delta base: %w", err)
+	}
+	to, data, err := transport.ReadUvarint(data)
+	if err != nil {
+		return 0, fmt.Errorf("appstate: delta to: %w", err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.regs = make(map[string]int64, len(s.Regs))
-	for k, v := range s.Regs {
-		r.regs[k] = v
+	if base != r.version {
+		return r.version, fmt.Errorf("%w: at version %d, delta base %d", ErrDeltaBase, r.version, base)
 	}
-	r.version = version
-	r.recent = make(map[string]uint64)
-	r.floor = version
+	n, data, err := transport.ReadUvarint(data)
+	if err != nil {
+		return r.version, fmt.Errorf("appstate: delta count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k []byte
+		var v int64
+		if k, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+			return r.version, fmt.Errorf("appstate: delta key %d: %w", i, err)
+		}
+		if v, data, err = transport.ReadVarint(data); err != nil {
+			return r.version, fmt.Errorf("appstate: delta value %d: %w", i, err)
+		}
+		// Existing cells — the steady state — mutate in place; only a
+		// register name never seen before allocates.
+		if c, ok := r.regs[string(k)]; ok {
+			if c.dead {
+				c.dead = false
+				r.live++
+			}
+			c.val = v
+			c.ver = to
+		} else {
+			c := r.setCell(k, v)
+			c.ver = to
+		}
+	}
+	if n, data, err = transport.ReadUvarint(data); err != nil {
+		return r.version, fmt.Errorf("appstate: delta deleted count: %w", err)
+	}
+	for i := uint64(0); i < n; i++ {
+		var k []byte
+		if k, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+			return r.version, fmt.Errorf("appstate: delta deleted %d: %w", i, err)
+		}
+		r.tombstone(k, to)
+	}
+	r.adoptVersion(to)
+	return r.version, nil
+}
+
+// tombstone marks key deleted at version ver. Callers hold r.mu.
+func (r *Registers) tombstone(key []byte, ver uint64) {
+	c, ok := r.regs[string(key)]
+	if !ok {
+		return
+	}
+	if !c.dead {
+		c.dead = true
+		r.live--
+	}
+	c.ver = ver
+}
+
+// adoptVersion moves the receiver to the sender's version after a delta
+// apply. The receiving side's own history is useless below the adopted
+// version: a future capture from here starts with a full checkpoint.
+// Callers hold r.mu.
+func (r *Registers) adoptVersion(to uint64) {
+	r.version = to
+	r.floor = to
+}
+
+// ApplyFull replaces the register file with a full capture and adopts
+// the sender's version. Like RestoreState it diffs against the current
+// contents, reusing cells, so repeated resyncs do not churn the heap.
+func (r *Registers) ApplyFull(data []byte, version uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gen++
+	gen := r.gen
+	err := walkSnapshot(data, func(key []byte, val int64) error {
+		c := r.setCell(key, val)
+		c.ver = version
+		c.gen = gen
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("appstate: apply full: %w", err)
+	}
+	for _, c := range r.regs {
+		if c.gen != gen && !c.dead {
+			c.dead = true
+			r.live--
+			c.ver = version
+		}
+	}
+	r.adoptVersion(version)
 	return nil
 }
 
@@ -295,8 +543,9 @@ func (Opaque) RestoreState([]byte) error { return ErrNoAccess }
 // last request folded into the state.
 //
 // StateVersion carries the sender's state version for delta-capable
-// states (zero otherwise); a field unknown to older decoders, so the gob
-// wire format stays compatible in both directions.
+// states (zero otherwise). Checkpoints now encode through the fast
+// codec; gob-coded checkpoints from older senders still decode through
+// the compatibility arm.
 type Checkpoint struct {
 	AppState     []byte
 	ReplyLog     []byte

@@ -7,22 +7,115 @@ import (
 	"resilientft/internal/transport"
 )
 
-// Hand-rolled binary codecs for the per-request checkpoint payloads.
-// Under delta checkpointing a DeltaCheckpoint (carrying a regDelta)
-// crosses the wire on every client request, so both skip gob the same
-// way rpc.Request and rpc.Response do. Full Checkpoint snapshots stay
-// gob-encoded: they travel only on resync and startup, and keeping the
-// rare path on gob preserves wire compatibility across versions. A
-// receiver that cannot decode a delta NACKs it and the sender falls
-// back to a full checkpoint, so the codec switch degrades to a resync
-// rather than a stall.
+// Hand-rolled binary codecs for the checkpoint payloads. Under delta
+// checkpointing a DeltaCheckpoint (carrying a regDelta) crosses the
+// wire on every client request, and a full Checkpoint rides the
+// periodic refresh every few dozen commit waves, so all of them skip
+// gob the same way rpc.Request and rpc.Response do. Gob survives only
+// as the decode arm for payloads produced by older versions; a receiver
+// that cannot decode a delta NACKs it and the sender falls back to a
+// full checkpoint, so any codec mismatch degrades to a resync rather
+// than a stall.
 
 var (
 	_ transport.FastMarshaler   = DeltaCheckpoint{}
 	_ transport.FastUnmarshaler = (*DeltaCheckpoint)(nil)
 	_ transport.FastMarshaler   = regDelta{}
 	_ transport.FastUnmarshaler = (*regDelta)(nil)
+	_ transport.FastMarshaler   = Checkpoint{}
+	_ transport.FastUnmarshaler = (*Checkpoint)(nil)
 )
+
+// AppendFast implements transport.FastMarshaler.
+func (cp Checkpoint) AppendFast(buf []byte) []byte {
+	buf = transport.AppendLenBytes(buf, cp.AppState)
+	buf = transport.AppendLenBytes(buf, cp.ReplyLog)
+	buf = transport.AppendUvarint(buf, cp.LastSeq)
+	return transport.AppendUvarint(buf, cp.StateVersion)
+}
+
+// DecodeFast implements transport.FastUnmarshaler.
+func (cp *Checkpoint) DecodeFast(data []byte) error {
+	var err error
+	if cp.AppState, data, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("appstate: checkpoint app state: %w", err)
+	}
+	if cp.ReplyLog, data, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("appstate: checkpoint reply log: %w", err)
+	}
+	if cp.LastSeq, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: checkpoint last seq: %w", err)
+	}
+	if cp.StateVersion, _, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("appstate: checkpoint state version: %w", err)
+	}
+	return nil
+}
+
+// DecodeCheckpointInPlace is DecodeCheckpoint without the defensive
+// copies: AppState and ReplyLog alias data. It serves the replica apply
+// path, which consumes both before the enclosing handler returns.
+func DecodeCheckpointInPlace(data []byte) (Checkpoint, error) {
+	if len(data) == 0 || data[0] != transport.FastTag {
+		// Scoped to the gob arm: transport.Decode's any parameter forces
+		// its argument to the heap, and a single shared variable would
+		// make the fast arm pay that allocation on every apply too.
+		var cp Checkpoint
+		err := transport.Decode(data, &cp)
+		return cp, err
+	}
+	var cp Checkpoint
+	data = data[1:]
+	var err error
+	if cp.AppState, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+		return cp, fmt.Errorf("appstate: checkpoint app state: %w", err)
+	}
+	if cp.ReplyLog, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+		return cp, fmt.Errorf("appstate: checkpoint reply log: %w", err)
+	}
+	if cp.LastSeq, data, err = transport.ReadUvarint(data); err != nil {
+		return cp, fmt.Errorf("appstate: checkpoint last seq: %w", err)
+	}
+	if cp.StateVersion, _, err = transport.ReadUvarint(data); err != nil {
+		return cp, fmt.Errorf("appstate: checkpoint state version: %w", err)
+	}
+	return cp, nil
+}
+
+// DecodeDeltaCheckpointInPlace is DecodeDeltaCheckpoint without the
+// defensive copies: Delta and ReplyTail alias data. It serves the
+// replica apply path, which consumes both before the enclosing handler
+// returns; callers that retain the parts must use the copying variant.
+func DecodeDeltaCheckpointInPlace(data []byte) (DeltaCheckpoint, error) {
+	if len(data) == 0 || data[0] != transport.FastTag {
+		// Only fast-coded payloads have a stable in-place layout; the
+		// gob arm copies anyway. The variable is scoped here so its
+		// heap escape (forced by Decode's any parameter) stays off the
+		// fast arm.
+		var dc DeltaCheckpoint
+		err := transport.Decode(data, &dc)
+		return dc, err
+	}
+	var dc DeltaCheckpoint
+	data = data[1:]
+	var err error
+	if dc.BaseVersion, data, err = transport.ReadUvarint(data); err != nil {
+		return dc, fmt.Errorf("appstate: delta checkpoint base: %w", err)
+	}
+	if dc.ToVersion, data, err = transport.ReadUvarint(data); err != nil {
+		return dc, fmt.Errorf("appstate: delta checkpoint to: %w", err)
+	}
+	if dc.Delta, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+		return dc, fmt.Errorf("appstate: delta checkpoint delta: %w", err)
+	}
+	if dc.ReplyTail, data, err = transport.ReadLenBytesInPlace(data); err != nil {
+		return dc, fmt.Errorf("appstate: delta checkpoint reply tail: %w", err)
+	}
+	if dc.LastSeq, _, err = transport.ReadUvarint(data); err != nil {
+		return dc, fmt.Errorf("appstate: delta checkpoint last seq: %w", err)
+	}
+	return dc, nil
+}
 
 // AppendFast implements transport.FastMarshaler.
 func (dc DeltaCheckpoint) AppendFast(buf []byte) []byte {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // State is the lifecycle state of a component. A freshly added component
@@ -48,6 +49,13 @@ type Component struct {
 	wires map[string]*Wire
 	// interceptors wrap every service invocation, outermost first.
 	interceptors []Interceptor
+	// chain is the published immutable snapshot of interceptors, read
+	// lock-free on every invocation.
+	chain atomic.Pointer[[]Interceptor]
+	// eps caches the per-service invocation closure. The service set is
+	// fixed by the definition and the closure resolves state, wiring and
+	// interceptors on every call, so entries never invalidate.
+	eps sync.Map
 }
 
 func newComponent(def Definition) *Component {
@@ -157,13 +165,21 @@ func (c *Component) ServiceEndpoint(service string) (Service, error) {
 	if !c.def.HasService(service) {
 		return nil, fmt.Errorf("%w: service %q on component %q", ErrNotFound, service, c.def.Name)
 	}
-	return ServiceFunc(func(ctx context.Context, msg Message) (Message, error) {
+	// Composite dispatch re-resolves the child endpoint on every request
+	// (that is what makes promotion re-pointing take effect live), so the
+	// closure is cached rather than rebuilt per call.
+	if ep, ok := c.eps.Load(service); ok {
+		return ep.(Service), nil
+	}
+	var ep Service = ServiceFunc(func(ctx context.Context, msg Message) (Message, error) {
 		if err := c.g.enter(ctx); err != nil {
 			return Message{}, fmt.Errorf("component %q service %q: %w", c.def.Name, service, err)
 		}
 		defer c.g.leave()
 		return c.dispatch(ctx, service, msg)
-	}), nil
+	})
+	actual, _ := c.eps.LoadOrStore(service, ep)
+	return actual.(Service), nil
 }
 
 // setReference injects target (possibly nil) into the content under the

@@ -4,21 +4,40 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // gate implements the quiescence protocol of the runtime (paper §5.3):
 // invocations on a stopped component block (they are buffered as waiting
 // goroutines) until the component is restarted, and stopping a component
 // waits for all in-flight invocations to drain before returning.
+//
+// The hot path — enter and leave on an open gate — is a single CAS or
+// atomic add on a packed state word: flag bits for open/removed in the
+// high bits, the in-flight count in the low bits. Every service
+// invocation crosses one component gate plus its composite's, so the
+// two mutex acquisitions the naive version paid per crossing were
+// measurable on the request path. The mutex and broadcast channel
+// survive only for the slow paths: invocations buffered at a shut gate,
+// and closers draining to quiescence.
 type gate struct {
-	mu       sync.Mutex
-	open     bool
-	removed  bool
-	inflight int
+	// state packs gateOpen/gateRemoved with the in-flight count
+	// (gateCountMask). Transitions that clear gateOpen go through CAS so
+	// no increment is lost; enter increments only while gateOpen is set
+	// in the value it compared against.
+	state atomic.Uint64
+
+	mu sync.Mutex
 	// changed is closed and replaced on every state change; waiters
 	// re-check the condition after it fires (a channel-based broadcast).
 	changed chan struct{}
 }
+
+const (
+	gateOpen      = uint64(1) << 63
+	gateRemoved   = uint64(1) << 62
+	gateCountMask = gateRemoved - 1
+)
 
 func newGate() *gate {
 	return &gate{changed: make(chan struct{})}
@@ -29,22 +48,40 @@ func (g *gate) broadcastLocked() {
 	g.changed = make(chan struct{})
 }
 
+// broadcast fires the change channel for any slow-path waiter.
+func (g *gate) broadcast() {
+	g.mu.Lock()
+	g.broadcastLocked()
+	g.mu.Unlock()
+}
+
 // enter blocks until the gate is open, then registers one in-flight
 // invocation. It fails when the component is removed or ctx is done.
 func (g *gate) enter(ctx context.Context) error {
 	for {
-		g.mu.Lock()
-		if g.removed {
-			g.mu.Unlock()
+		s := g.state.Load()
+		switch {
+		case s&gateRemoved != 0:
 			return ErrRemoved
+		case s&gateOpen != 0:
+			// The CAS pairs the open check with the increment: a closer
+			// clearing gateOpen concurrently fails this CAS, so no
+			// invocation slips in after close observed the gate shut.
+			if g.state.CompareAndSwap(s, s+1) {
+				return nil
+			}
+			continue
 		}
-		if g.open {
-			g.inflight++
-			g.mu.Unlock()
-			return nil
-		}
+		// Shut gate: buffer as a waiting goroutine until a state change.
+		g.mu.Lock()
 		wait := g.changed
 		g.mu.Unlock()
+		// Re-check after taking the channel — the gate may have changed
+		// state between the Load and the Lock, whose broadcast this
+		// waiter would have missed.
+		if s := g.state.Load(); s&(gateOpen|gateRemoved) != 0 {
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("component: invocation buffered at stopped component: %w", ctx.Err())
@@ -55,27 +92,38 @@ func (g *gate) enter(ctx context.Context) error {
 
 // leave unregisters one in-flight invocation.
 func (g *gate) leave() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.inflight--
+	s := g.state.Add(^uint64(0)) // decrement the packed count
 	// Only a closer waits on the in-flight count, and close shuts the
-	// gate (under this mutex) before waiting; while the gate is open
-	// nobody is watching, so skip the channel churn on the hot path.
-	if !g.open {
-		g.broadcastLocked()
+	// gate before waiting; while the gate is open nobody is watching, so
+	// the hot path is the bare atomic decrement.
+	if s&gateOpen == 0 {
+		g.broadcast()
+	}
+}
+
+// shut clears gateOpen (keeping the count and, when asked, setting the
+// removed bit) and wakes every slow-path waiter.
+func (g *gate) shut(alsoRemove bool) {
+	for {
+		s := g.state.Load()
+		next := s &^ gateOpen
+		if alsoRemove {
+			next |= gateRemoved
+		}
+		if g.state.CompareAndSwap(s, next) {
+			g.broadcast()
+			return
+		}
 	}
 }
 
 // close shuts the gate and waits for quiescence (no in-flight
 // invocations). New invocations block until openGate or remove.
 func (g *gate) close(ctx context.Context) error {
-	g.mu.Lock()
-	g.open = false
-	g.broadcastLocked()
-	g.mu.Unlock()
+	g.shut(false)
 	for {
 		g.mu.Lock()
-		if g.inflight == 0 {
+		if g.state.Load()&gateCountMask == 0 {
 			g.mu.Unlock()
 			return nil
 		}
@@ -91,25 +139,22 @@ func (g *gate) close(ctx context.Context) error {
 
 // openGate opens the gate, releasing buffered invocations.
 func (g *gate) openGate() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.open = true
-	g.broadcastLocked()
+	for {
+		s := g.state.Load()
+		if g.state.CompareAndSwap(s, s|gateOpen) {
+			break
+		}
+	}
+	g.broadcast()
 }
 
 // remove marks the gate permanently removed, failing buffered and future
 // invocations with ErrRemoved.
 func (g *gate) remove() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.removed = true
-	g.open = false
-	g.broadcastLocked()
+	g.shut(true)
 }
 
 // isOpen reports whether invocations currently pass.
 func (g *gate) isOpen() bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.open
+	return g.state.Load()&gateOpen != 0
 }

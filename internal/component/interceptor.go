@@ -36,6 +36,7 @@ func (c *Component) AddInterceptor(i Interceptor) error {
 		}
 	}
 	c.interceptors = append(c.interceptors, i)
+	c.storeChain()
 	return nil
 }
 
@@ -46,6 +47,7 @@ func (c *Component) RemoveInterceptor(name string) error {
 	for idx, existing := range c.interceptors {
 		if existing.Name == name {
 			c.interceptors = append(c.interceptors[:idx], c.interceptors[idx+1:]...)
+			c.storeChain()
 			return nil
 		}
 	}
@@ -63,14 +65,26 @@ func (c *Component) Interceptors() []string {
 	return out
 }
 
-// interceptorChain snapshots the chain for one invocation.
-func (c *Component) interceptorChain() []Interceptor {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+// storeChain publishes an immutable snapshot of the interceptor chain.
+// Called with c.mu held; the invocation path reads the snapshot without
+// copying (the slice is never mutated after publication).
+func (c *Component) storeChain() {
 	if len(c.interceptors) == 0 {
+		c.chain.Store(nil)
+		return
+	}
+	snap := append([]Interceptor(nil), c.interceptors...)
+	c.chain.Store(&snap)
+}
+
+// interceptorChain returns the published chain snapshot for one
+// invocation.
+func (c *Component) interceptorChain() []Interceptor {
+	snap := c.chain.Load()
+	if snap == nil {
 		return nil
 	}
-	return append([]Interceptor(nil), c.interceptors...)
+	return *snap
 }
 
 // dispatch runs an invocation through the interceptor chain into the

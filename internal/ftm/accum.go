@@ -1,0 +1,206 @@
+package ftm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+// Adaptive accumulation window. A freshly-elected batch leader lingers
+// for a short window before detaching, so concurrent requests that are
+// still mid-pipeline reach join and ride the same ship. The fixed
+// policy used to be a single runtime.Gosched — right for a saturated
+// few-core host, but it leaves batching on the table whenever requests
+// need more than one scheduler pass to arrive, and it cannot be traded
+// against latency. The controller below sizes the window from the two
+// series the telemetry registry already carries:
+//
+//   - ftm_checkpoint_batch_size — recent mean fill tells whether there
+//     is any batching to win (fill ~1 means a lone client; lingering
+//     only adds latency).
+//   - ftm_wave_ship_latency — the recent p95 of capture-to-ack tells
+//     what a ship costs; window plus ship p95 is the latency a member
+//     pays for riding, and the controller keeps that sum under the
+//     target.
+//
+// The window grows multiplicatively while there is batching evidence
+// and latency headroom, and halves as soon as the budget is exceeded —
+// AIMD-shaped, biased toward backing off. Operators pin it with the
+// "accumWindow" brick property (-1 returns it to adaptive) and set the
+// budget with "accumTarget"; both are reachable live via ftmctl tune.
+const (
+	// accumRetuneShips spaces controller decisions: one re-evaluation
+	// per this many ships keeps the snapshot differencing off the
+	// per-ship fast path.
+	accumRetuneShips = 16
+	// accumMinWindow is the smallest nonzero window; below it the
+	// window collapses to zero (plain yield).
+	accumMinWindow = 4 * time.Microsecond
+	// accumMaxWindow caps lingering regardless of headroom.
+	accumMaxWindow = time.Millisecond
+	// accumDefaultTarget is the default window+ship latency budget.
+	accumDefaultTarget = 500 * time.Microsecond
+	// accumSpinLimit separates yield-spinning from sleeping: Go timer
+	// wakeups are far too coarse for windows in the tens of
+	// microseconds, so short windows burn scheduler passes instead.
+	accumSpinLimit = 200 * time.Microsecond
+)
+
+// accumControl holds one notifier's window state. The ship-latency and
+// batch-size series are process-global (shared with any co-hosted
+// replica), so the controller steers on aggregate evidence; each
+// notifier still converges independently because it differences its
+// own marks.
+type accumControl struct {
+	windowNs atomic.Int64 // current adaptive window
+	fixedNs  atomic.Int64 // >=0 pins the window; -1 = adaptive
+	targetNs atomic.Int64 // window+ship p95 latency budget
+
+	// shipCount gates retunes off the fast path without taking mu.
+	shipCount atomic.Uint64
+
+	mu        sync.Mutex
+	shipMark  telemetry.HistogramSnapshot
+	batchMark telemetry.HistogramSnapshot
+	// Hill-climber state: the covered-request rate the previous period
+	// achieved, and the direction the last step took (+1 grow, -1
+	// shrink). A step that lowers the rate is reversed.
+	lastTune time.Time
+	lastRate float64
+	dir      int
+}
+
+func newAccumControl() *accumControl {
+	c := &accumControl{dir: 1}
+	c.fixedNs.Store(-1)
+	c.targetNs.Store(int64(accumDefaultTarget))
+	return c
+}
+
+// setFixed pins the window to ns nanoseconds; -1 resumes adaptation.
+func (c *accumControl) setFixed(ns int64) {
+	if ns < -1 {
+		ns = -1
+	}
+	c.fixedNs.Store(ns)
+	if ns >= 0 {
+		mAccumWindow.Set(ns)
+	}
+}
+
+// setTarget replaces the latency budget (ignored unless positive).
+func (c *accumControl) setTarget(ns int64) {
+	if ns > 0 {
+		c.targetNs.Store(ns)
+	}
+}
+
+// window returns the window a leader should honor right now.
+func (c *accumControl) window() time.Duration {
+	if f := c.fixedNs.Load(); f >= 0 {
+		return time.Duration(f)
+	}
+	return time.Duration(c.windowNs.Load())
+}
+
+// retune re-evaluates the window once enough ships accumulated since
+// the previous decision. The objective is the covered-request rate —
+// wave members shipped per second, read off the batch-size series —
+// which is the throughput the batching actually delivers: a hill
+// climber doubles or halves the window depending on whether the last
+// step helped, so a host where lingering buys nothing (a saturated
+// single core fills waves from the run queue alone) converges back to
+// the plain yield instead of trusting fill as a proxy. Two guards
+// override the climb: window plus recent ship p95 must stay inside the
+// latency budget, and lone-client traffic (fill ~1) collapses the
+// window outright. maxWave matters only through the budget — a wave
+// near its cap stops gaining fill, the rate stops improving, and the
+// climber turns around on its own.
+func (c *accumControl) retune(maxWave int) {
+	if c.fixedNs.Load() >= 0 {
+		return
+	}
+	if mWaveShipLatency.Count()-c.shipCount.Load() < accumRetuneShips {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ship := mWaveShipLatency.Snapshot()
+	if ship.Count-c.shipMark.Count < accumRetuneShips {
+		return
+	}
+	now := time.Now()
+	batch := mCkptBatchSize.Snapshot()
+	recentShip := ship.Delta(c.shipMark)
+	recentBatch := batch.Delta(c.batchMark)
+	elapsed := now.Sub(c.lastTune)
+	first := c.lastTune.IsZero()
+	c.shipMark, c.batchMark, c.lastTune = ship, batch, now
+	c.shipCount.Store(ship.Count)
+
+	fill := recentBatch.MeanNs()
+	rate := 0.0
+	if elapsed > 0 {
+		// Batch-size observations record raw member counts, so the
+		// period's SumNs is the number of requests covered by its ships.
+		rate = float64(recentBatch.SumNs) / elapsed.Seconds()
+	}
+	w := c.windowNs.Load()
+	target := c.targetNs.Load()
+	switch {
+	case first:
+		// No previous period to compare against; keep the window.
+		c.lastRate = rate
+		return
+	case w+int64(recentShip.Quantile(0.95)) > target:
+		c.dir = -1 // over the latency budget: forced shrink
+	case fill <= 1.05:
+		c.dir = -1 // lone-client traffic: lingering is pure latency
+	case rate < c.lastRate*0.97:
+		c.dir = -c.dir // last step lost throughput: turn around
+	}
+	c.lastRate = rate
+	if c.dir > 0 {
+		if w == 0 {
+			w = int64(accumMinWindow)
+		} else {
+			w *= 2
+		}
+		if w > int64(accumMaxWindow) {
+			w = int64(accumMaxWindow)
+		}
+	} else {
+		w /= 2
+		if w < int64(accumMinWindow) {
+			// The floor flips the climber back to probing upward, so a
+			// workload shift that makes lingering pay again is noticed.
+			w = 0
+			c.dir = 1
+		}
+	}
+	c.windowNs.Store(w)
+	mAccumWindow.Set(w)
+}
+
+// linger holds the leader for the current window. The always-taken
+// yield is the degenerate window: concurrent requests that are already
+// runnable get one scheduler pass to reach join. Short windows spin on
+// yields (timer wakeups are too coarse for them); long ones sleep.
+func (c *accumControl) linger() {
+	runtime.Gosched()
+	w := c.window()
+	if w <= 0 {
+		return
+	}
+	if w <= accumSpinLimit {
+		deadline := time.Now().Add(w)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(w)
+}

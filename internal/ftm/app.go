@@ -101,11 +101,13 @@ func (c *Calculator) corrupt(v int64) int64 {
 }
 
 func splitOp(op string) (verb, reg string, err error) {
-	parts := strings.SplitN(op, ":", 2)
-	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+	// Substring split, not strings.SplitN: this runs once per request and
+	// the slice header SplitN returns is a heap allocation.
+	i := strings.IndexByte(op, ':')
+	if i <= 0 || i == len(op)-1 {
 		return "", "", fmt.Errorf("%w: %q", ErrBadOp, op)
 	}
-	return parts[0], parts[1], nil
+	return op[:i], op[i+1:], nil
 }
 
 // SetBug plants a deterministic development fault in the primary

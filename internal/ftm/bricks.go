@@ -271,18 +271,12 @@ var (
 	_ component.PropertyReceiver = (*pbrCheckpointAfter)(nil)
 )
 
-// SetProperty accepts the wave-size cap ("maxWave"), settable from an
-// fscript `set` statement.
+// SetProperty accepts the wave-size cap ("maxWave") and the
+// accumulation-window tunables ("accumWindow" in ns, -1 restoring the
+// adaptive controller; "accumTarget" in ns), settable from an fscript
+// `set` statement or an ftmctl tune command.
 func (a *pbrCheckpointAfter) SetProperty(name string, value any) error {
-	if name != "maxWave" {
-		return nil
-	}
-	m, err := intProperty(value)
-	if err != nil {
-		return fmt.Errorf("ftm: maxWave property: %w", err)
-	}
-	a.waves.setMaxWave(m)
-	return nil
+	return waveProperty(a.waves, name, value)
 }
 
 func (a *pbrCheckpointAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
@@ -345,6 +339,7 @@ func (a *pbrCheckpointAfter) shipWave(ctx context.Context, batch []*commitWave, 
 		sp.SetAttr("members", strconv.Itoa(members))
 	}
 	outcome, err := a.shipCheckpoint(ctx, sp, maxSeq)
+	mWaveShipLatency.Observe(time.Since(start))
 	if err != nil {
 		sp.SetAttr("outcome", "error")
 	} else {
@@ -392,7 +387,9 @@ func (a *pbrCheckpointAfter) shipCheckpoint(ctx context.Context, sp *telemetry.A
 		return "", err
 	}
 	sp.SetAttr("mode", "full")
-	if _, err := peer.callTraced(ctx, MsgPBRCheckpoint, data, sp.Context()); err != nil {
+	_, shipErr := peer.callTraced(ctx, MsgPBRCheckpoint, data, sp.Context())
+	transport.PutBuf(data)
+	if err := shipErr; err != nil {
 		a.synced = false
 		if errors.Is(err, ErrNoPeer) {
 			mDegraded.Inc()
@@ -428,22 +425,30 @@ func (a *pbrCheckpointAfter) shipDelta(ctx context.Context, state stateClient, l
 	if !since.OK {
 		return false, nil
 	}
-	tailData, err := transport.Encode(rpc.ResponseList(since.Tail))
+	// Every buffer on this path cycles through the transport pool: the
+	// tail and delta captures are copied into the checkpoint envelope and
+	// returned immediately; the envelope is recycled after the ship.
+	tailData, err := transport.EncodePooled(rpc.ResponseList(since.Tail))
 	if err != nil {
 		return false, err
 	}
-	data, err := appstate.EncodeDeltaCheckpoint(appstate.DeltaCheckpoint{
+	data, err := transport.EncodePooled(appstate.DeltaCheckpoint{
 		BaseVersion: a.ackVersion,
 		ToVersion:   cd.To,
 		Delta:       cd.Delta,
 		ReplyTail:   tailData,
 		LastSeq:     lastSeq,
 	})
+	transport.PutBuf(tailData)
+	transport.PutBuf(cd.Delta)
 	if err != nil {
 		return false, err
 	}
 	sp.SetAttr("mode", "delta")
 	reply, err := peer.callTraced(ctx, MsgPBRDelta, data, sp.Context())
+	// The bridge copied the payload into its wire envelope before the
+	// send, so the buffer is free regardless of the call's outcome.
+	transport.PutBuf(data)
 	if err != nil {
 		if errors.Is(err, ErrNoPeer) {
 			return false, err
@@ -478,16 +483,22 @@ func buildCheckpoint(ctx context.Context, state stateClient, log logClient, last
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("ftm: checkpoint log snapshot: %w", err)
 	}
-	logData, err := transport.Encode(snap)
+	// The reply-log snapshot travels fast-coded (a ResponseList), like
+	// the delta tails; gob survives only as the decode arm for frames
+	// from older primaries. Both intermediate buffers are copied into the
+	// checkpoint envelope and recycled before returning.
+	logData, err := transport.EncodePooled(rpc.ResponseList(snap))
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	data, err := appstate.EncodeCheckpoint(appstate.Checkpoint{
+	data, err := transport.EncodePooled(appstate.Checkpoint{
 		AppState:     appState,
 		ReplyLog:     logData,
 		LastSeq:      lastSeq,
 		StateVersion: version,
 	})
+	transport.PutBuf(logData)
+	transport.PutBuf(appState)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -498,14 +509,17 @@ func buildCheckpoint(ctx context.Context, state stateClient, log logClient, last
 // checkpoint, adopting the sender's state version so subsequent deltas
 // line up.
 func applyCheckpoint(ctx context.Context, state stateClient, log logClient, data []byte) error {
-	cp, err := appstate.DecodeCheckpoint(data)
+	// The in-place decode aliases the inbound frame, which outlives the
+	// apply: everything retained downstream (state cells, logged replies)
+	// is copied as it is applied.
+	cp, err := appstate.DecodeCheckpointInPlace(data)
 	if err != nil {
 		return fmt.Errorf("ftm: checkpoint decode: %w", err)
 	}
 	if err := state.applyFull(ctx, cp.AppState, cp.StateVersion); err != nil {
 		return fmt.Errorf("ftm: checkpoint state restore: %w", err)
 	}
-	var snap []rpc.Response
+	var snap rpc.ResponseList
 	if err := transport.Decode(cp.ReplyLog, &snap); err != nil {
 		return fmt.Errorf("ftm: checkpoint log decode: %w", err)
 	}
@@ -520,7 +534,10 @@ func applyCheckpoint(ctx context.Context, state stateClient, log logClient, data
 // error): the delta's reply tail is then deliberately NOT applied, so
 // the backup's log never runs ahead of its state.
 func applyDeltaCheckpoint(ctx context.Context, state stateClient, log logClient, data []byte) (needResync bool, err error) {
-	dc, err := appstate.DecodeDeltaCheckpoint(data)
+	// Zero-copy decode: Delta and ReplyTail alias the inbound frame,
+	// which stays alive for the whole apply. The state manager and the
+	// reply log copy what they retain.
+	dc, err := appstate.DecodeDeltaCheckpointInPlace(data)
 	if err != nil {
 		return false, fmt.Errorf("ftm: delta checkpoint decode: %w", err)
 	}
@@ -531,12 +548,13 @@ func applyDeltaCheckpoint(ctx context.Context, state stateClient, log logClient,
 	if res.BaseMismatch {
 		return true, nil
 	}
-	var tail rpc.ResponseList
-	if err := transport.Decode(dc.ReplyTail, &tail); err != nil {
+	tail := getRespList()
+	defer putRespList(tail)
+	if err := transport.Decode(dc.ReplyTail, tail); err != nil {
 		return false, fmt.Errorf("ftm: delta log decode: %w", err)
 	}
-	if len(tail) > 0 {
-		if err := log.appendBatch(ctx, tail); err != nil {
+	if len(*tail) > 0 {
+		if err := log.appendList(ctx, tail); err != nil {
 			return false, fmt.Errorf("ftm: delta log apply: %w", err)
 		}
 	}
@@ -605,14 +623,16 @@ func (b *lfrForwardBefore) Invoke(ctx context.Context, service string, msg compo
 	if err != nil {
 		return component.Message{}, err
 	}
-	data, err := transport.Encode(call.Req)
+	data, err := transport.EncodePooled(call.Req)
 	if err != nil {
 		return component.Message{}, err
 	}
 	// The forwarded request carries its own trace context inside the
 	// encoded Request; the trace meta additionally parents the bridge's
 	// ship span under this call.
-	if _, err := (peerClient{svc: b.ref("peer")}).callTraced(ctx, MsgLFRExec, data, call.Req.Trace); err != nil {
+	_, err = (peerClient{svc: b.ref("peer")}).callTraced(ctx, MsgLFRExec, data, call.Req.Trace)
+	transport.PutBuf(data)
+	if err != nil {
 		if errors.Is(err, ErrNoPeer) {
 			return component.NewMessage("degraded", call), nil
 		}
@@ -663,17 +683,36 @@ var (
 	_ component.PropertyReceiver = (*lfrNotifyAfter)(nil)
 )
 
-// SetProperty accepts the wave-size cap ("maxWave").
+// SetProperty accepts the wave-size cap ("maxWave") and the
+// accumulation-window tunables ("accumWindow", "accumTarget").
 func (a *lfrNotifyAfter) SetProperty(name string, value any) error {
-	if name != "maxWave" {
-		return nil
+	return waveProperty(a.waves, name, value)
+}
+
+// waveProperty routes the shared wave-batching tunables of the
+// synchronizing After bricks onto their notifier.
+func waveProperty(waves *waveNotifier, name string, value any) error {
+	switch name {
+	case "maxWave":
+		m, err := intProperty(value)
+		if err != nil {
+			return fmt.Errorf("ftm: maxWave property: %w", err)
+		}
+		waves.setMaxWave(m)
+	case "accumWindow":
+		ns, err := intProperty(value)
+		if err != nil {
+			return fmt.Errorf("ftm: accumWindow property: %w", err)
+		}
+		waves.accum.setFixed(int64(ns))
+	case "accumTarget":
+		ns, err := intProperty(value)
+		if err != nil {
+			return fmt.Errorf("ftm: accumTarget property: %w", err)
+		}
+		waves.accum.setTarget(int64(ns))
 	}
-	m, err := intProperty(value)
-	if err != nil {
-		return fmt.Errorf("ftm: maxWave property: %w", err)
-	}
-	a.waves.setMaxWave(m)
-	return nil
+	return nil // unknown properties are inert
 }
 
 func (a *lfrNotifyAfter) Invoke(ctx context.Context, service string, msg component.Message) (component.Message, error) {
@@ -738,10 +777,10 @@ func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave, trac
 	var err error
 	if len(resps) == 1 {
 		kind = MsgLFRCommit
-		data, err = transport.Encode(commitMsg{Resp: resps[0]})
+		data, err = transport.EncodePooled(commitMsg{Resp: resps[0]})
 	} else {
 		kind = MsgLFRCommitBatch
-		data, err = transport.Encode(rpc.ResponseList(resps))
+		data, err = transport.EncodePooled(rpc.ResponseList(resps))
 	}
 	if err != nil {
 		mWaveLFRFailed.Inc()
@@ -749,7 +788,12 @@ func (a *lfrNotifyAfter) shipWave(ctx context.Context, batch []*commitWave, trac
 		sp.End()
 		return "", err
 	}
-	if _, err := (peerClient{svc: a.ref("peer")}).callTraced(ctx, kind, data, sp.Context()); err != nil {
+	_, err = (peerClient{svc: a.ref("peer")}).callTraced(ctx, kind, data, sp.Context())
+	// The bridge copied the payload into its wire envelope, so the buffer
+	// recycles regardless of the ship's outcome.
+	transport.PutBuf(data)
+	mWaveShipLatency.Observe(time.Since(start))
+	if err != nil {
 		if errors.Is(err, ErrNoPeer) {
 			sp.SetAttr("outcome", "degraded")
 			sp.End()
@@ -783,7 +827,7 @@ func (a *lfrAckAfter) Invoke(ctx context.Context, service string, msg component.
 		if err != nil {
 			return component.Message{}, err
 		}
-		if err := log.record(ctx, call.Result); err != nil {
+		if err := log.record(ctx, &call.Result); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", call), nil
@@ -792,17 +836,22 @@ func (a *lfrAckAfter) Invoke(ctx context.Context, service string, msg component.
 		if !ok {
 			return component.Message{}, fmt.Errorf("ftm: commit payload is %T", msg.Payload)
 		}
-		if err := log.record(ctx, cm.Resp); err != nil {
+		if err := log.record(ctx, &cm.Resp); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", nil), nil
 	case "commit.batch":
-		batch, ok := msg.Payload.([]rpc.Response)
-		if !ok {
+		switch batch := msg.Payload.(type) {
+		case *rpc.ResponseList:
+			if err := log.appendList(ctx, batch); err != nil {
+				return component.Message{}, err
+			}
+		case []rpc.Response:
+			if err := log.appendBatch(ctx, batch); err != nil {
+				return component.Message{}, err
+			}
+		default:
 			return component.Message{}, fmt.Errorf("ftm: commit batch payload is %T", msg.Payload)
-		}
-		if err := log.appendBatch(ctx, batch); err != nil {
-			return component.Message{}, err
 		}
 		return component.NewMessage("ok", nil), nil
 	case OpFlush:

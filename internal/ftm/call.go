@@ -2,6 +2,7 @@ package ftm
 
 import (
 	"errors"
+	"sync"
 
 	"resilientft/internal/rpc"
 )
@@ -160,6 +161,52 @@ type Call struct {
 // ResultValue decodes the call's int64 result payload.
 func (c *Call) ResultValue() (int64, error) {
 	return DecodeResult(c.Result.Payload)
+}
+
+// reqCarrier carries one client request into the protocol component and
+// its response back out. It crosses the boundary by pointer from a
+// pool, so the per-request component dispatch does not box two structs
+// into interface payloads. The replica transport handler owns the
+// carrier; nothing downstream may retain it.
+type reqCarrier struct {
+	Req  rpc.Request
+	Resp rpc.Response
+}
+
+var reqCarrierPool = sync.Pool{New: func() any { return new(reqCarrier) }}
+
+// respListPool recycles decoded response batches (commit waves,
+// checkpoint-delta reply tails): the backing array's capacity survives
+// from batch to batch, so the steady state decodes without growing.
+var respListPool = sync.Pool{New: func() any { return new(rpc.ResponseList) }}
+
+func getRespList() *rpc.ResponseList { return respListPool.Get().(*rpc.ResponseList) }
+
+func putRespList(l *rpc.ResponseList) {
+	*l = (*l)[:0]
+	respListPool.Put(l)
+}
+
+// callPool recycles the *Call flowing through the Before-Proceed-After
+// pipeline. A Call lives exactly as long as one execute: bricks annotate
+// it but never retain it, so the executing goroutine returns it once the
+// result has been copied out.
+var callPool = sync.Pool{New: func() any { return new(Call) }}
+
+func getCall() *Call { return callPool.Get().(*Call) }
+
+func putCall(c *Call) {
+	d := c.Decisions[:0]
+	*c = Call{}
+	c.Decisions = d
+	callPool.Put(c)
+}
+
+func getReqCarrier() *reqCarrier { return reqCarrierPool.Get().(*reqCarrier) }
+
+func putReqCarrier(c *reqCarrier) {
+	*c = reqCarrier{}
+	reqCarrierPool.Put(c)
 }
 
 // Errors surfaced by pipeline bricks.

@@ -153,8 +153,9 @@ func (p peerClient) callTraced(ctx context.Context, kind string, payload []byte,
 	if p.svc == nil {
 		return nil, component.ErrRefUnwired
 	}
-	msg := component.Message{Op: OpCall, Payload: payload}
-	msg = msg.WithMeta(MetaKind, kind)
+	// The kind travels as the message Op — the common unsampled send
+	// carries no metadata map at all.
+	msg := component.Message{Op: kind, Payload: payload}
 	if trace.Valid() {
 		msg = msg.WithMeta(MetaTrace, trace.String())
 	}

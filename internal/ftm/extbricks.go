@@ -345,7 +345,7 @@ func (a *xpaApply) Invoke(ctx context.Context, service string, msg component.Mes
 			return component.Message{}, fmt.Errorf("%w: xpa replay diverged for %s",
 				ErrUnrecoverable, m.Req.ID())
 		}
-		if err := log.record(ctx, call.Result); err != nil {
+		if err := log.record(ctx, &call.Result); err != nil {
 			return component.Message{}, err
 		}
 		return component.NewMessage("ok", nil), nil

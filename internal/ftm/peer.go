@@ -2,6 +2,7 @@ package ftm
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -49,19 +50,23 @@ func (e replicaEnvelope) AppendFast(buf []byte) []byte {
 	return buf
 }
 
-// DecodeFast implements transport.FastUnmarshaler.
+// DecodeFast implements transport.FastUnmarshaler. The string fields
+// draw from tiny recurring sets (message kinds, replica addresses), so
+// they decode interned; the payload aliases data, which the transport
+// keeps alive until the enclosing handler returns — the apply path
+// copies whatever it retains.
 func (e *replicaEnvelope) DecodeFast(data []byte) error {
 	var err error
-	if e.Kind, data, err = transport.ReadLenString(data); err != nil {
+	if e.Kind, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("ftm: envelope kind: %w", err)
 	}
-	if e.From, data, err = transport.ReadLenString(data); err != nil {
+	if e.From, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("ftm: envelope from: %w", err)
 	}
-	if e.System, data, err = transport.ReadLenString(data); err != nil {
+	if e.System, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("ftm: envelope system: %w", err)
 	}
-	if e.Payload, data, err = transport.ReadLenBytes(data); err != nil {
+	if e.Payload, data, err = transport.ReadLenBytesInPlace(data); err != nil {
 		return fmt.Errorf("ftm: envelope payload: %w", err)
 	}
 	// Optional trace trailer: absent or malformed means "unsampled" —
@@ -75,6 +80,31 @@ func (e *replicaEnvelope) DecodeFast(data []byte) error {
 		}
 	}
 	return nil
+}
+
+// decodeEnvelope is the apply-side decode: the concrete call keeps the
+// envelope on the caller's stack, where transport.Decode's any
+// parameter would heap-allocate it on every inter-replica message.
+// Non-fast frames take the gob compatibility arm via transport.Decode.
+func decodeEnvelope(data []byte, e *replicaEnvelope) error {
+	if len(data) == 0 || data[0] != transport.FastTag {
+		return transport.Decode(data, e)
+	}
+	return e.DecodeFast(data[1:])
+}
+
+// isPeerRefusal reports whether a failed inter-replica call was
+// answered by a live peer refusing the message for its role (the
+// ErrNotSlave guard during a takeover or split brain). The error text
+// is matched because remote errors cross the TCP transport as strings.
+// A refusal must not resolve a wave "degraded": degraded mode releases
+// replies without any peer holding the state, which is only safe when
+// the failure detector has actually declared the peer dead. A refusing
+// peer is alive — the wave fails instead, and the client's
+// at-most-once retry re-ships once the peer settles back into its
+// role.
+func isPeerRefusal(err error) bool {
+	return err != nil && strings.Contains(err.Error(), ErrNotSlave.Error())
 }
 
 // peerContent bridges the FTM composite to the remote replica set:
@@ -166,12 +196,15 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 	if service != SvcSend {
 		return component.Message{}, fmt.Errorf("%w: service %q on peer", component.ErrNotFound, service)
 	}
-	if msg.Op != OpCall {
-		return component.Message{}, fmt.Errorf("%w: %q on peer.send", component.ErrUnknownOp, msg.Op)
+	// The message kind rides the component message's Op, so a send needs
+	// no metadata map; OpCall with a MetaKind entry is the compatibility
+	// form.
+	kind := msg.Op
+	if kind == OpCall {
+		kind = msg.MetaValue(MetaKind)
 	}
-	kind := msg.MetaValue(MetaKind)
 	if kind == "" {
-		return component.Message{}, fmt.Errorf("ftm: peer.send without %q meta", MetaKind)
+		return component.Message{}, fmt.Errorf("ftm: peer.send without a message kind")
 	}
 	payload, _ := msg.Payload.([]byte)
 
@@ -190,10 +223,9 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		env.Trace = sp.Context()
 		defer sp.End()
 	}
-	data, err := transport.Encode(env)
-	if err != nil {
-		return component.Message{}, err
-	}
+	// Concrete AppendFast call: EncodePooled would box the envelope on
+	// every send (per request under LFR forwarding).
+	data := env.AppendFast(transport.FastFrame())
 
 	// Best-effort broadcast: every peer is attempted and the reply of the
 	// lowest-indexed success is returned; total failure reports ErrNoPeer.
@@ -201,8 +233,17 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 		callCtx, cancel := context.WithTimeout(ctx, timeout)
 		reply, err := ep.Call(callCtx, peers[0], KindReplica, data)
 		cancel()
+		// The envelope buffer recycles once the call resolved either way;
+		// only an ambiguous outcome (context expiry with the handler
+		// possibly still reading it) leaks it to the garbage collector.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			transport.PutBuf(data)
+		}
 		if err != nil {
 			sp.SetAttr("outcome", "error")
+			if isPeerRefusal(err) {
+				return component.Message{}, fmt.Errorf("ftm: peer refused: %w", err)
+			}
 			return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, err)
 		}
 		return component.NewMessage("ok", reply), nil
@@ -226,11 +267,14 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 	}
 	best := -1
 	var firstReply []byte
-	var lastErr error
+	var lastErr, refusal error
 	for range peers {
 		r := <-results
 		if r.err != nil {
 			lastErr = r.err
+			if isPeerRefusal(r.err) {
+				refusal = r.err
+			}
 			continue
 		}
 		if best == -1 || r.idx < best {
@@ -240,6 +284,11 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 	}
 	if best == -1 {
 		sp.SetAttr("outcome", "error")
+		// A refusal among the failures means at least one peer is alive:
+		// the broadcast must not look like "no live peer" to the wave.
+		if refusal != nil {
+			return component.Message{}, fmt.Errorf("ftm: peer refused: %w", refusal)
+		}
 		return component.Message{}, fmt.Errorf("%w: %v", ErrNoPeer, lastErr)
 	}
 	return component.NewMessage("ok", firstReply), nil

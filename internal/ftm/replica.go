@@ -178,7 +178,7 @@ func (r *Replica) commitConfig() error {
 func (r *Replica) registerTransport() {
 	ep := r.h.Endpoint()
 
-	rpc.Serve(ep, func(ctx context.Context, req rpc.Request) (resp rpc.Response) {
+	rpc.Serve(ep, func(ctx context.Context, req *rpc.Request) (resp rpc.Response) {
 		// A panic anywhere in the pipeline is an incident: persist the
 		// flight-recorder window (the last moments before the crash) and
 		// degrade to an unavailability reply instead of taking down the
@@ -196,17 +196,26 @@ func (r *Replica) registerTransport() {
 			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 				Status: rpc.StatusUnavailable, Err: err.Error()}
 		}
-		reply, err := svc.Invoke(ctx, component.NewMessage("request", req))
+		// The carrier crosses the component boundary by pointer: one
+		// pooled object carries the request in and the response out,
+		// where boxing a Request and a Response into interface payloads
+		// allocated twice per request.
+		car := getReqCarrier()
+		car.Req = *req
+		reply, err := svc.Invoke(ctx, component.Message{Op: "request", Payload: car})
 		if err != nil {
+			putReqCarrier(car)
 			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
 				Status: rpc.StatusUnavailable, Err: err.Error()}
 		}
-		resp, ok := reply.Payload.(rpc.Response)
-		if !ok {
-			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
-				Status: rpc.StatusUnavailable, Err: "ftm: bad reply payload"}
+		if rc, ok := reply.Payload.(*reqCarrier); ok && rc == car {
+			resp = car.Resp
+			putReqCarrier(car)
+			return resp
 		}
-		return resp
+		putReqCarrier(car)
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: "ftm: bad reply payload"}
 	})
 
 	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) (data []byte, err error) {
@@ -218,7 +227,7 @@ func (r *Replica) registerTransport() {
 			}
 		}()
 		var env replicaEnvelope
-		if err := transport.Decode(p.Payload, &env); err != nil {
+		if err := decodeEnvelope(p.Payload, &env); err != nil {
 			return nil, err
 		}
 		svc, err := r.boundary(SvcReplica)
@@ -418,12 +427,22 @@ func (r *Replica) considerPromotion() {
 		}
 		return
 	}
+	// Re-point the bridge at the other members BEFORE the role flips: a
+	// slave never ships, so the early rewiring is inert until promotion
+	// completes, and the first post-promotion wave broadcasts to the
+	// survivors. Rewiring after Promote leaves a window where the new
+	// master ships only to the dead old master, resolves the wave
+	// "degraded", and releases replies no surviving replica has — a
+	// second crash in that window loses acknowledged writes.
+	if err := r.adoptGroupPeers(); err != nil {
+		r.event(fmt.Sprintf("group peer reconfiguration failed: %v", err))
+		return
+	}
 	if err := r.Promote(ctx); err != nil {
 		r.event(fmt.Sprintf("promotion failed: %v", err))
 		return
 	}
-	// The new master broadcasts to every other member and stops watching
-	// the dead one.
+	// The new master stops watching the dead member.
 	if err := r.adoptGroupMastership(); err != nil {
 		r.event(fmt.Sprintf("group mastership reconfiguration failed: %v", err))
 	}
@@ -472,6 +491,30 @@ func (r *Replica) repointTo(master transport.Address) error {
 	return rt.SetProperty(r.path+"/"+NameDetector, "peer", string(master))
 }
 
+// otherMembers lists every member but this replica, in rank order.
+func (r *Replica) otherMembers() []string {
+	self := r.h.Addr()
+	var others []string
+	for _, m := range r.members() {
+		if m != self {
+			others = append(others, string(m))
+		}
+	}
+	return others
+}
+
+// adoptGroupPeers aims the peer bridge at every other member. Called on
+// a still-slave replica about to promote (see considerPromotion for why
+// the ordering matters); the dead master stays in the broadcast set so
+// it resynchronizes if it restarts — the broadcast is best-effort.
+func (r *Replica) adoptGroupPeers() error {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	return rt.SetProperty(r.path+"/"+NamePeer, "peers", r.otherMembers())
+}
+
 // adoptGroupMastership reconfigures a freshly promoted group master:
 // broadcast to every other member, watch the highest-ranked other
 // member.
@@ -480,13 +523,7 @@ func (r *Replica) adoptGroupMastership() error {
 	if rt == nil {
 		return host.ErrCrashed
 	}
-	self := r.h.Addr()
-	var others []string
-	for _, m := range r.members() {
-		if m != self {
-			others = append(others, string(m))
-		}
-	}
+	others := r.otherMembers()
 	if err := rt.SetProperty(r.path+"/"+NamePeer, "peers", others); err != nil {
 		return err
 	}

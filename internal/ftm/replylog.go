@@ -3,6 +3,7 @@ package ftm
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"resilientft/internal/component"
 	"resilientft/internal/rpc"
@@ -21,6 +22,24 @@ type lookupQuery struct {
 type lookupResult struct {
 	Resp  rpc.Response
 	Found bool
+}
+
+// lookupCall is the pooled pointer form of an OpLookup: the query rides
+// in, the result is filled in place, and nothing is boxed per request.
+type lookupCall struct {
+	ClientID string
+	Seq      uint64
+	Resp     rpc.Response
+	Found    bool
+}
+
+var lookupCallPool = sync.Pool{New: func() any { return new(lookupCall) }}
+
+func getLookupCall() *lookupCall { return lookupCallPool.Get().(*lookupCall) }
+
+func putLookupCall(c *lookupCall) {
+	*c = lookupCall{}
+	lookupCallPool.Put(c)
 }
 
 // markedSnapshot is the reply payload of an OpSnapshotMarked.
@@ -57,19 +76,27 @@ func (r *replyLogContent) Invoke(ctx context.Context, service string, msg compon
 	}
 	switch msg.Op {
 	case OpLookup:
-		q, ok := msg.Payload.(lookupQuery)
-		if !ok {
+		switch q := msg.Payload.(type) {
+		case *lookupCall:
+			q.Resp, q.Found = r.log.Lookup(q.ClientID, q.Seq)
+			return component.Message{Op: "ok", Payload: q}, nil
+		case lookupQuery:
+			resp, found := r.log.Lookup(q.ClientID, q.Seq)
+			return component.NewMessage("ok", lookupResult{Resp: resp, Found: found}), nil
+		default:
 			return component.Message{}, fmt.Errorf("ftm: replyLog lookup payload is %T", msg.Payload)
 		}
-		resp, found := r.log.Lookup(q.ClientID, q.Seq)
-		return component.NewMessage("ok", lookupResult{Resp: resp, Found: found}), nil
 	case OpRecord:
-		resp, ok := msg.Payload.(rpc.Response)
-		if !ok {
+		switch resp := msg.Payload.(type) {
+		case *rpc.Response:
+			r.log.Record(*resp)
+			return component.NewMessage("ok", nil), nil
+		case rpc.Response:
+			r.log.Record(resp)
+			return component.NewMessage("ok", nil), nil
+		default:
 			return component.Message{}, fmt.Errorf("ftm: replyLog record payload is %T", msg.Payload)
 		}
-		r.log.Record(resp)
-		return component.NewMessage("ok", nil), nil
 	case OpSnapshot:
 		return component.NewMessage("ok", r.log.Snapshot()), nil
 	case OpSnapshotMarked:
@@ -83,12 +110,16 @@ func (r *replyLogContent) Invoke(ctx context.Context, service string, msg compon
 		tail, newMark, sinceOK := r.log.SnapshotSince(mark)
 		return component.NewMessage("ok", sinceResult{Tail: tail, Mark: newMark, OK: sinceOK}), nil
 	case OpAppendLog:
-		batch, ok := msg.Payload.([]rpc.Response)
-		if !ok {
+		switch batch := msg.Payload.(type) {
+		case *rpc.ResponseList:
+			r.log.RecordAll(*batch)
+			return component.NewMessage("ok", nil), nil
+		case []rpc.Response:
+			r.log.RecordAll(batch)
+			return component.NewMessage("ok", nil), nil
+		default:
 			return component.Message{}, fmt.Errorf("ftm: replyLog append payload is %T", msg.Payload)
 		}
-		r.log.RecordAll(batch)
-		return component.NewMessage("ok", nil), nil
 	case OpRestoreL:
 		snap, ok := msg.Payload.([]rpc.Response)
 		if !ok {
@@ -108,18 +139,28 @@ type logClient struct {
 }
 
 func (l logClient) lookup(ctx context.Context, clientID string, seq uint64) (rpc.Response, bool, error) {
-	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpLookup, Payload: lookupQuery{ClientID: clientID, Seq: seq}})
+	q := getLookupCall()
+	q.ClientID, q.Seq = clientID, seq
+	reply, err := l.svc.Invoke(ctx, component.Message{Op: OpLookup, Payload: q})
 	if err != nil {
+		putLookupCall(q)
 		return rpc.Response{}, false, err
 	}
-	res, ok := reply.Payload.(lookupResult)
-	if !ok {
-		return rpc.Response{}, false, fmt.Errorf("ftm: lookup reply is %T", reply.Payload)
+	if res, ok := reply.Payload.(*lookupCall); ok && res == q {
+		resp, found := q.Resp, q.Found
+		putLookupCall(q)
+		return resp, found, nil
 	}
-	return res.Resp, res.Found, nil
+	putLookupCall(q)
+	if res, ok := reply.Payload.(lookupResult); ok {
+		return res.Resp, res.Found, nil
+	}
+	return rpc.Response{}, false, fmt.Errorf("ftm: lookup reply is %T", reply.Payload)
 }
 
-func (l logClient) record(ctx context.Context, resp rpc.Response) error {
+// record logs a reply. The response is read before record returns, never
+// retained, so callers pass a pointer into their own call state.
+func (l logClient) record(ctx context.Context, resp *rpc.Response) error {
 	_, err := l.svc.Invoke(ctx, component.Message{Op: OpRecord, Payload: resp})
 	return err
 }
@@ -163,6 +204,13 @@ func (l logClient) snapshotSince(ctx context.Context, mark uint64) (sinceResult,
 }
 
 func (l logClient) appendBatch(ctx context.Context, batch []rpc.Response) error {
+	_, err := l.svc.Invoke(ctx, component.Message{Op: OpAppendLog, Payload: batch})
+	return err
+}
+
+// appendList is appendBatch without the slice-header boxing: the pooled
+// list crosses the boundary by pointer and the log copies the entries.
+func (l logClient) appendList(ctx context.Context, batch *rpc.ResponseList) error {
 	_, err := l.svc.Invoke(ctx, component.Message{Op: OpAppendLog, Payload: batch})
 	return err
 }

@@ -3,6 +3,7 @@ package ftm
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -109,4 +110,49 @@ func rpcRequest(client string, seq uint64, op string, arg int64) any {
 		Op       string
 		Payload  []byte
 	}{ClientID: client, Seq: seq, Op: op, Payload: EncodeArg(arg)}
+}
+
+// TestPeerRefusalIsNotDegraded pins the other half of the split-brain
+// guard: when a live peer *answers* a checkpoint with the ErrNotSlave
+// refusal (it is mid-takeover, or a second master), the send must not
+// report ErrNoPeer. ErrNoPeer is the wave's degraded-mode trigger —
+// replies release without any peer holding the state — which is only
+// safe when the failure detector has declared the peer dead, not when
+// it is provably alive and refusing.
+func TestPeerRefusalIsNotDegraded(t *testing.T) {
+	net := transport.NewMemNetwork(transport.WithSeed(7))
+	master, err := net.Endpoint("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuser, err := net.Endpoint("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuser.Handle(KindReplica, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		return nil, fmt.Errorf("%w: refusing checkpoint", ErrNotSlave)
+	})
+
+	p := newPeerContent(master, refuser.Addr(), "calc")
+	_, err = p.Invoke(context.Background(), SvcSend,
+		component.Message{Op: MsgPBRCheckpoint, Payload: []byte("ckpt")})
+	if err == nil {
+		t.Fatal("refused checkpoint reported success")
+	}
+	if errors.Is(err, ErrNoPeer) {
+		t.Fatalf("refusal surfaced as ErrNoPeer (degraded mode): %v", err)
+	}
+	if !strings.Contains(err.Error(), "refused") {
+		t.Errorf("refusal error = %v, want a peer-refused error", err)
+	}
+
+	// A genuinely unreachable peer still reports ErrNoPeer.
+	if err := p.SetProperty("peer", "nowhere"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Invoke(context.Background(), SvcSend,
+		component.Message{Op: MsgPBRCheckpoint, Payload: []byte("ckpt")})
+	if !errors.Is(err, ErrNoPeer) {
+		t.Fatalf("dead peer error = %v, want ErrNoPeer", err)
+	}
 }

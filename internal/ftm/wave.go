@@ -2,7 +2,6 @@ package ftm
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"time"
 
@@ -73,12 +72,20 @@ type waveNotifier struct {
 	queue   []*commitWave // FIFO; the tail wave is open to new members
 	maxWave int           // member cap per ship; <=0 means unbounded
 	leadCh  chan struct{} // leadership token
+	// accum sizes the leader's accumulation window (see accum.go).
+	accum *accumControl
 }
 
 func newWaveNotifier(maxWave int) *waveNotifier {
-	n := &waveNotifier{maxWave: maxWave, leadCh: make(chan struct{}, 1)}
+	n := &waveNotifier{maxWave: maxWave, leadCh: make(chan struct{}, 1), accum: newAccumControl()}
 	n.leadCh <- struct{}{}
 	return n
+}
+
+func (n *waveNotifier) maxWaveNow() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.maxWave
 }
 
 func (n *waveNotifier) setMaxWave(m int) {
@@ -179,14 +186,16 @@ func (n *waveNotifier) ride(ctx context.Context, w *commitWave, ship func([]*com
 		case <-ctx.Done():
 			return "", ctx.Err()
 		case <-n.leadCh:
-			// Accumulation window: concurrent requests that are already
-			// runnable (mid-pipeline, or woken by the previous ship) get one
-			// scheduler pass to reach join before the leader detaches. This
-			// is what makes waves actually fill on few-core hosts, where the
-			// scheduler's wake-chaining would otherwise run one request to
-			// completion before starting the next; the yield costs one
-			// reschedule per ship, not per request.
-			runtime.Gosched()
+			// Accumulation window: concurrent requests that are still
+			// mid-pipeline (or woken by the previous ship) get time to
+			// reach join before the leader detaches. This is what makes
+			// waves actually fill on few-core hosts, where the scheduler's
+			// wake-chaining would otherwise run one request to completion
+			// before starting the next. The controller sizes the window
+			// from recent batch fill and ship latency (see accum.go); its
+			// floor is a single yield per ship, not per request.
+			n.accum.retune(n.maxWaveNow())
+			n.accum.linger()
 			for !w.resolved() {
 				batch := n.detach()
 				if len(batch) == 0 {

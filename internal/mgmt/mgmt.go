@@ -30,7 +30,18 @@ const (
 	OpEvents     = "events"
 	OpTrace      = "trace"
 	OpBlackbox   = "blackbox"
+	OpTune       = "tune"
 )
+
+// tunables lists the replication knobs OpTune may push, all properties
+// of the synchronizing After brick: the wave-size cap and the adaptive
+// accumulation window's pin/budget (nanoseconds; accumWindow -1
+// restores adaptation).
+var tunables = map[string]bool{
+	"maxWave":     true,
+	"accumWindow": true,
+	"accumTarget": true,
+}
 
 // Request is a management command.
 type Request struct {
@@ -44,6 +55,9 @@ type Request struct {
 	// everything retained).
 	SinceSeq  uint64
 	EventKind string
+	// Name and Value carry an OpTune assignment.
+	Name  string
+	Value int64
 }
 
 // Status reports a replica's state.
@@ -81,7 +95,9 @@ type reply struct {
 	// side prints them without re-encoding.
 	Trace string
 	Boxes string
-	Err   string
+	// Tune echoes an applied OpTune assignment.
+	Tune string
+	Err  string
 }
 
 // Serve installs the management handler for a replica on its endpoint.
@@ -160,6 +176,22 @@ func Serve(ep transport.Endpoint, r *ftm.Replica, engine *adaptation.Engine) {
 				break
 			}
 			out.Boxes = string(data)
+		case OpTune:
+			if !tunables[req.Name] {
+				out.Err = fmt.Sprintf("unknown tunable %q", req.Name)
+				break
+			}
+			rt := r.Host().Runtime()
+			if rt == nil {
+				out.Err = "host crashed"
+				break
+			}
+			path := r.Path() + "/" + core.SlotAfter
+			if err := rt.SetProperty(path, req.Name, int(req.Value)); err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Tune = fmt.Sprintf("%s=%d on %s", req.Name, req.Value, path)
 		case OpDescribe:
 			rt := r.Host().Runtime()
 			if rt == nil {
@@ -265,6 +297,16 @@ func QueryBlackbox(ctx context.Context, ep transport.Endpoint, target transport.
 		return "", err
 	}
 	return out.Boxes, nil
+}
+
+// RequestTune pushes a replication tunable (maxWave, accumWindow,
+// accumTarget) onto a replica's synchronizing After brick.
+func RequestTune(ctx context.Context, ep transport.Endpoint, target transport.Address, name string, value int64) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpTune, Name: name, Value: value})
+	if err != nil {
+		return "", err
+	}
+	return out.Tune, nil
 }
 
 // QueryArchitecture fetches a replica's live component architecture.

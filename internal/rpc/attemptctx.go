@@ -1,0 +1,108 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// attemptCtx is a pooled, reusable context implementing the per-attempt
+// call timeout. context.WithTimeout allocates a context, a timer and a
+// done channel per call; at request rates in the hundreds of thousands
+// per second those three allocations were among the largest garbage
+// producers on the client path. An attemptCtx that expires untriggered —
+// the overwhelmingly common case — returns to the pool with its channel
+// and timer intact and its next use allocates nothing.
+//
+// It only substitutes for context.WithTimeout when the parent context
+// has no Done channel (context.Background and friends): then expiry is
+// the only cancellation source and no propagation goroutine is needed.
+// Callers with cancellable parents fall back to the standard library.
+type attemptCtx struct {
+	parent   context.Context
+	deadline time.Time
+	timer    *time.Timer
+
+	mu     sync.Mutex
+	done   chan struct{}
+	err    error
+	armed  bool // an acquire is live; expiry outside it is stale
+	closed bool // done has been closed and must be replaced
+}
+
+var attemptCtxPool = sync.Pool{New: func() any {
+	a := &attemptCtx{done: make(chan struct{})}
+	a.timer = time.AfterFunc(time.Hour, a.expire)
+	a.timer.Stop()
+	return a
+}}
+
+// expire is the timer callback. A stale callback — one scheduled before
+// a Stop that lost the race — is recognized by the armed flag and by
+// firing before the current deadline, and ignored.
+func (a *attemptCtx) expire() {
+	a.mu.Lock()
+	if a.armed && a.err == nil && !time.Now().Before(a.deadline) {
+		a.err = context.DeadlineExceeded
+		close(a.done)
+		a.closed = true
+	}
+	a.mu.Unlock()
+}
+
+// acquireAttemptCtx returns a context expiring after d. parent must
+// have a nil Done channel.
+func acquireAttemptCtx(parent context.Context, d time.Duration) *attemptCtx {
+	a := attemptCtxPool.Get().(*attemptCtx)
+	a.mu.Lock()
+	a.parent = parent
+	a.deadline = time.Now().Add(d)
+	a.err = nil
+	if a.closed {
+		a.done = make(chan struct{})
+		a.closed = false
+	}
+	a.armed = true
+	a.mu.Unlock()
+	a.timer.Reset(d)
+	return a
+}
+
+// releaseAttemptCtx disarms and pools a. The caller must be done with
+// every reference (including the Done channel) before releasing.
+func releaseAttemptCtx(a *attemptCtx) {
+	a.timer.Stop()
+	a.mu.Lock()
+	a.armed = false
+	a.parent = nil
+	a.mu.Unlock()
+	attemptCtxPool.Put(a)
+}
+
+var _ context.Context = (*attemptCtx)(nil)
+
+func (a *attemptCtx) Deadline() (time.Time, bool) { return a.deadline, true }
+
+func (a *attemptCtx) Done() <-chan struct{} {
+	a.mu.Lock()
+	d := a.done
+	a.mu.Unlock()
+	return d
+}
+
+func (a *attemptCtx) Err() error {
+	a.mu.Lock()
+	err := a.err
+	a.mu.Unlock()
+	return err
+}
+
+func (a *attemptCtx) Value(key any) any {
+	a.mu.Lock()
+	p := a.parent
+	a.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Value(key)
+}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -84,15 +85,17 @@ func (c *Client) SetReplicas(replicas []transport.Address) {
 	c.preferred = 0
 }
 
-// order returns the replica list starting at the preferred one.
-func (c *Client) order() []transport.Address {
+// replicaAt returns the i-th replica starting from the preferred one,
+// plus the list length — the allocation-free form of walking the
+// failover order.
+func (c *Client) replicaAt(i int) (transport.Address, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]transport.Address, 0, len(c.replicas))
-	for i := range c.replicas {
-		out = append(out, c.replicas[(c.preferred+i)%len(c.replicas)])
+	n := len(c.replicas)
+	if n == 0 {
+		return "", 0
 	}
-	return out
+	return c.replicas[(c.preferred+i)%n], n
 }
 
 func (c *Client) prefer(addr transport.Address) {
@@ -151,22 +154,34 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 		req.Trace = sp.Context()
 		defer sp.End()
 	}
-	data, err := transport.Encode(req)
-	if err != nil {
-		return Response{}, err
-	}
+	// Concrete AppendFast call: EncodePooled would box req into its any
+	// parameter, one heap allocation per request.
+	data := req.AppendFast(transport.FastFrame())
+	// The request buffer recycles unless an attempt ended ambiguously (a
+	// timeout or cancellation may leave a handler still reading it).
+	ambiguous := false
+	defer func() {
+		if !ambiguous {
+			transport.PutBuf(data)
+		}
+	}()
 	var lastErr error = ErrExhausted
 	attempts := 0
 	for round := 0; round < c.maxRounds; round++ {
-		for _, addr := range c.order() {
+		for i := 0; ; i++ {
+			addr, n := c.replicaAt(i)
+			if i >= n {
+				break
+			}
 			if err := ctx.Err(); err != nil {
 				return Response{}, err
 			}
 			attempts++
-			callCtx, cancel := context.WithTimeout(ctx, c.callTimeout)
-			replyData, err := c.ep.Call(callCtx, addr, KindRequest, data)
-			cancel()
+			replyData, err := c.callAttempt(ctx, addr, data)
 			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+					ambiguous = true
+				}
 				mClientAttemptErrTransport.Inc()
 				lastErr = err
 				continue
@@ -177,6 +192,9 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 				lastErr = err
 				continue
 			}
+			// The reply buffer is dead once decoded: Decode copied what
+			// the Response keeps.
+			transport.PutBuf(replyData)
 			switch resp.Status {
 			case StatusOK, StatusAppError:
 				if attempts > 1 {
@@ -210,6 +228,30 @@ func (c *Client) deliver(ctx context.Context, req Request) (Response, error) {
 	return Response{}, fmt.Errorf("%w: last error: %v", ErrExhausted, lastErr)
 }
 
+// callAttempt performs one transport call bounded by the per-attempt
+// timeout. When the parent context is non-cancellable — the common case
+// for steadily invoking clients — the timeout rides a pooled reusable
+// context instead of a fresh context.WithTimeout per attempt.
+func (c *Client) callAttempt(ctx context.Context, addr transport.Address, data []byte) ([]byte, error) {
+	if c.callTimeout <= 0 {
+		return c.ep.Call(ctx, addr, KindRequest, data)
+	}
+	if ctx.Done() == nil {
+		a := acquireAttemptCtx(ctx, c.callTimeout)
+		reply, err := c.ep.Call(a, addr, KindRequest, data)
+		// A timed-out or cancelled attempt may have left an abandoned
+		// handler holding this context; those instances are let go to the
+		// garbage collector instead of the pool.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			releaseAttemptCtx(a)
+		}
+		return reply, err
+	}
+	callCtx, cancel := context.WithTimeout(ctx, c.callTimeout)
+	defer cancel()
+	return c.ep.Call(callCtx, addr, KindRequest, data)
+}
+
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -221,15 +263,22 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Handler is the server-side request processor.
-type Handler func(ctx context.Context, req Request) Response
+// Handler is the server-side request processor. The request is passed
+// by pointer so the serve loop can recycle it; implementations must not
+// retain it past their return.
+type Handler func(ctx context.Context, req *Request) Response
+
+// reqPool recycles decoded server-side requests.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
 
 // Serve registers h as the request handler on ep. The returned function
 // unregisters it.
 func Serve(ep transport.Endpoint, h Handler) func() {
 	ep.Handle(KindRequest, func(ctx context.Context, p transport.Packet) ([]byte, error) {
-		var req Request
-		if err := transport.Decode(p.Payload, &req); err != nil {
+		req := reqPool.Get().(*Request)
+		*req = Request{}
+		if err := req.decodeFrom(p.Payload); err != nil {
+			reqPool.Put(req)
 			return nil, err
 		}
 		start := time.Now()
@@ -245,6 +294,7 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 		resp := h(ctx, req)
 		resp.ClientID = req.ClientID
 		resp.Seq = req.Seq
+		reqPool.Put(req)
 		if sp != nil {
 			sp.SetAttr("status", resp.Status.String())
 			if resp.Replayed {
@@ -257,7 +307,10 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 		if resp.Replayed {
 			mServerReplays.Inc()
 		}
-		return transport.Encode(resp)
+		// The reply buffer travels to the caller, which recycles it after
+		// decoding (transport.PutBuf in the client). Concrete AppendFast
+		// call — EncodePooled would box resp on every reply.
+		return resp.AppendFast(transport.FastFrame()), nil
 	})
 	return func() { ep.Handle(KindRequest, nil) }
 }

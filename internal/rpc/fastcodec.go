@@ -40,16 +40,46 @@ func (r Request) AppendFast(buf []byte) []byte {
 // DecodeFast implements transport.FastUnmarshaler.
 func (r *Request) DecodeFast(data []byte) error {
 	var err error
-	if r.ClientID, data, err = transport.ReadLenString(data); err != nil {
+	// Client IDs and operation names draw from small recurring sets;
+	// interning them keeps the per-request decode allocation-free.
+	if r.ClientID, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("rpc: request clientID: %w", err)
 	}
 	if r.Seq, data, err = transport.ReadUvarint(data); err != nil {
 		return fmt.Errorf("rpc: request seq: %w", err)
 	}
-	if r.Op, data, err = transport.ReadLenString(data); err != nil {
+	if r.Op, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("rpc: request op: %w", err)
 	}
 	if r.Payload, data, err = transport.ReadLenBytes(data); err != nil {
+		return fmt.Errorf("rpc: request payload: %w", err)
+	}
+	r.Trace = readTraceTrailer(data)
+	return nil
+}
+
+// decodeFrom is the server-loop decode: on the fast arm the payload
+// aliases frame instead of being copied — the transport keeps the
+// inbound frame alive until the handler returns, and nothing on the
+// execute path retains the request payload past that point (anything
+// forwarded or logged is re-encoded into its own buffer). Non-fast
+// frames take the copying gob arm via transport.Decode.
+func (r *Request) decodeFrom(frame []byte) error {
+	if len(frame) == 0 || frame[0] != transport.FastTag {
+		return transport.Decode(frame, r)
+	}
+	data := frame[1:]
+	var err error
+	if r.ClientID, data, err = transport.ReadLenStringInterned(data); err != nil {
+		return fmt.Errorf("rpc: request clientID: %w", err)
+	}
+	if r.Seq, data, err = transport.ReadUvarint(data); err != nil {
+		return fmt.Errorf("rpc: request seq: %w", err)
+	}
+	if r.Op, data, err = transport.ReadLenStringInterned(data); err != nil {
+		return fmt.Errorf("rpc: request op: %w", err)
+	}
+	if r.Payload, data, err = transport.ReadLenBytesInPlace(data); err != nil {
 		return fmt.Errorf("rpc: request payload: %w", err)
 	}
 	r.Trace = readTraceTrailer(data)
@@ -94,7 +124,7 @@ func appendResponse(buf []byte, r Response) []byte {
 func readResponse(data []byte) (Response, []byte, error) {
 	var r Response
 	var err error
-	if r.ClientID, data, err = transport.ReadLenString(data); err != nil {
+	if r.ClientID, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return r, nil, fmt.Errorf("rpc: response clientID: %w", err)
 	}
 	if r.Seq, data, err = transport.ReadUvarint(data); err != nil {
@@ -145,13 +175,18 @@ func (rl ResponseList) AppendFast(buf []byte) []byte {
 	return buf
 }
 
-// DecodeFast implements transport.FastUnmarshaler.
+// DecodeFast implements transport.FastUnmarshaler. An existing backing
+// array is reused when it has the capacity, so a pooled list decodes
+// batch after batch without reallocating.
 func (rl *ResponseList) DecodeFast(data []byte) error {
 	n, data, err := transport.ReadUvarint(data)
 	if err != nil {
 		return fmt.Errorf("rpc: response list length: %w", err)
 	}
-	out := make(ResponseList, 0, n)
+	out := (*rl)[:0]
+	if uint64(cap(out)) < n {
+		out = make(ResponseList, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		var r Response
 		if r, data, err = readResponse(data); err != nil {

@@ -133,7 +133,7 @@ func newReplicaSim(n *transport.MemNetwork, addr transport.Address, status Statu
 		return nil, err
 	}
 	r := &replicaSim{status: status, log: NewReplyLog(8)}
-	Serve(ep, func(ctx context.Context, req Request) Response {
+	Serve(ep, func(ctx context.Context, req *Request) Response {
 		r.mu.Lock()
 		defer r.mu.Unlock()
 		if r.status != StatusOK {
@@ -206,7 +206,7 @@ func TestClientFailsOverOnNotMaster(t *testing.T) {
 		t.Fatal("backup executed a request while not master")
 	}
 	// After failover the client prefers the working primary.
-	if got := c.order()[0]; got != "primary" {
+	if got, _ := c.replicaAt(0); got != "primary" {
 		t.Fatalf("preferred replica = %s, want primary", got)
 	}
 }
@@ -245,7 +245,7 @@ func TestClientExhaustsWhenAllDown(t *testing.T) {
 func TestClientAppErrorSurfaced(t *testing.T) {
 	n := transport.NewMemNetwork()
 	ep, _ := n.Endpoint("s")
-	Serve(ep, func(ctx context.Context, req Request) Response {
+	Serve(ep, func(ctx context.Context, req *Request) Response {
 		return Response{Status: StatusAppError, Err: "division by zero"}
 	})
 	cep, _ := n.Endpoint("client")
@@ -269,7 +269,7 @@ func TestAtMostOnceAcrossFailover(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		Serve(ep, func(ctx context.Context, req Request) Response {
+		Serve(ep, func(ctx context.Context, req *Request) Response {
 			mu.Lock()
 			defer mu.Unlock()
 			if !*accept {

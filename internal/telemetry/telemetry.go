@@ -184,3 +184,31 @@ func (s HistogramSnapshot) Quantile(q float64) time.Duration {
 	}
 	return bucketUpperBound(histBuckets - 1)
 }
+
+// Delta returns the observations recorded between prev and s as a
+// snapshot of its own, so windowed statistics (recent mean, recent
+// quantiles) come from snapshot differencing rather than lifetime
+// counters. A prev not taken from the same histogram earlier yields
+// garbage; same-or-newer prev yields the zero snapshot.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	var d HistogramSnapshot
+	if s.Count <= prev.Count {
+		return d
+	}
+	d.Count = s.Count - prev.Count
+	d.SumNs = s.SumNs - prev.SumNs
+	for i := range s.Buckets {
+		d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return d
+}
+
+// MeanNs returns the snapshot's mean observation in nanoseconds, or
+// zero without observations. For batch-size histograms (which record
+// raw counts, not durations) this is the mean batch size.
+func (s HistogramSnapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

@@ -21,6 +21,11 @@ var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // never open a gob stream and the two formats coexist on one wire.
 const fastTag = 0xD1
 
+// FastTag is the public name of the fast-format tag byte, for codecs
+// (the appstate register file) that build tagged buffers directly
+// instead of round-tripping through an intermediate value.
+const FastTag = fastTag
+
 // FastMarshaler is implemented by high-frequency fixed-shape message
 // types (rpc requests and responses, replica envelopes) that encode
 // themselves with a hand-rolled binary layout instead of gob. Encode
@@ -55,6 +60,28 @@ func Encode(v any) ([]byte, error) {
 	out := append([]byte(nil), buf.Bytes()...)
 	encBufPool.Put(buf)
 	return out, nil
+}
+
+// EncodePooled is Encode drawing its output buffer from the transport
+// buffer pool. The caller owns the returned bytes and should hand them
+// back with PutBuf once nothing references them (for gob-encoded
+// values it behaves exactly like Encode; only the fast path pools).
+func EncodePooled(v any) ([]byte, error) {
+	if fm, ok := v.(FastMarshaler); ok {
+		mEncodeFast.Inc()
+		buf := append(GetBuf(), fastTag)
+		return fm.AppendFast(buf), nil
+	}
+	return Encode(v)
+}
+
+// FastFrame returns a pooled buffer primed with the fast-codec tag.
+// Hot paths call value.AppendFast(FastFrame()) directly instead of
+// EncodePooled(value): the concrete call skips the interface boxing
+// that EncodePooled's any parameter forces on every request.
+func FastFrame() []byte {
+	mEncodeFast.Inc()
+	return append(GetBuf(), fastTag)
 }
 
 // Decode deserializes data into v (a pointer), dispatching between the

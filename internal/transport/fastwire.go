@@ -69,6 +69,41 @@ func ReadLenBytes(data []byte) ([]byte, []byte, error) {
 	return append([]byte(nil), rest[:n]...), rest[n:], nil
 }
 
+// ReadLenBytesInPlace consumes a length-prefixed byte slice and returns
+// it as a subslice of data, without copying. The result aliases the
+// input buffer: it is only valid while the input is, and callers that
+// retain it beyond the enclosing handler must copy. Decode paths that
+// consume the bytes synchronously (the replica apply path) use this to
+// stay allocation-free.
+func ReadLenBytesInPlace(data []byte) ([]byte, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, ErrShortBuffer
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	return rest[:n:n], rest[n:], nil
+}
+
+// ReadLenStringInterned consumes a length-prefixed string through the
+// intern cache: identifier-like fields (client IDs, operation names,
+// message kinds) that recur across messages decode without allocating
+// after first sight.
+func ReadLenStringInterned(data []byte) (string, []byte, error) {
+	n, rest, err := ReadUvarint(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, ErrShortBuffer
+	}
+	return Intern(rest[:n]), rest[n:], nil
+}
+
 // ReadLenString consumes a length-prefixed string and returns the
 // remainder.
 func ReadLenString(data []byte) (string, []byte, error) {

@@ -311,19 +311,15 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: payload}
 	target.accountReceived(len(pkt.Payload))
 
-	type result struct {
-		reply []byte
-		err   error
-	}
-	done := make(chan result, 1)
-	go func() {
-		reply, err := h(ctx, pkt)
-		done <- result{reply: reply, err: err}
-	}()
+	done := getCallSlot()
+	dispatchCall(callTask{ctx: ctx, h: h, pkt: pkt, done: done})
 	select {
 	case <-ctx.Done():
+		// The abandoned handler still owns the slot; it is garbage, not
+		// pooled.
 		return nil, ctx.Err()
 	case r := <-done:
+		putCallSlot(done)
 		if r.err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrRemote, r.err)
 		}
@@ -335,6 +331,77 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 			return nil, err
 		}
 		return r.reply, nil
+	}
+}
+
+// callResult carries a handler's reply to the blocked caller.
+type callResult struct {
+	reply []byte
+	err   error
+}
+
+// callSlots recycles the per-call result channels of the simulated
+// network; like the encode-buffer pool it is a plain channel so neither
+// Get nor Put boxes anything. A call abandoned on context expiry leaks
+// its slot to the garbage collector rather than risking a stale send
+// into a reused channel.
+var callSlots = make(chan chan callResult, 256)
+
+func getCallSlot() chan callResult {
+	select {
+	case c := <-callSlots:
+		return c
+	default:
+		return make(chan callResult, 1)
+	}
+}
+
+func putCallSlot(c chan callResult) {
+	select {
+	case callSlots <- c:
+	default:
+	}
+}
+
+// callTask is one handler invocation dispatched to a worker.
+type callTask struct {
+	ctx  context.Context
+	h    Handler
+	pkt  Packet
+	done chan callResult
+}
+
+// callWorkers parks idle worker goroutines. Handler call chains run deep
+// (a replica's component pipeline), so a goroutine spawned per call pays
+// runtime.newstack on every request; a parked worker keeps its grown
+// stack warm across calls. Dispatch never blocks — when no worker is
+// parked a new one is spawned — so a handler that issues nested Calls
+// cannot deadlock the pool.
+var callWorkers = make(chan chan callTask, 64)
+
+func dispatchCall(t callTask) {
+	select {
+	case w := <-callWorkers:
+		w <- t
+	default:
+		go callWorker(t)
+	}
+}
+
+// callWorker runs its first task, then parks for more; it exits when the
+// parking lot is full.
+func callWorker(t callTask) {
+	ch := make(chan callTask)
+	for {
+		reply, err := t.h(t.ctx, t.pkt)
+		t.done <- callResult{reply: reply, err: err}
+		t = callTask{} // drop references while parked
+		select {
+		case callWorkers <- ch:
+			t = <-ch
+		default:
+			return
+		}
 	}
 }
 

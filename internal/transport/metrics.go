@@ -13,6 +13,13 @@ var (
 	mBytesSent        = telemetry.Default().Counter("transport_bytes_sent_total")
 	mBytesReceived    = telemetry.Default().Counter("transport_bytes_received_total")
 
+	// Coalesced-write series: one transport_write_syscalls_total tick per
+	// batched net.Buffers write on a TCP connection, and the batch sizes
+	// in ftm_wave_frames_per_write. messages_sent / write_syscalls is the
+	// coalescing factor the wave shipping achieves.
+	mWriteSyscalls  = telemetry.Default().Counter("transport_write_syscalls_total")
+	mFramesPerWrite = telemetry.Default().Histogram("ftm_wave_frames_per_write")
+
 	mEncodeFast = telemetry.Default().Counter("transport_encode_total", "path", "fast")
 	mEncodeGob  = telemetry.Default().Counter("transport_encode_total", "path", "gob")
 	mDecodeFast = telemetry.Default().Counter("transport_decode_total", "path", "fast")

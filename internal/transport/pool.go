@@ -1,0 +1,101 @@
+package transport
+
+import "sync"
+
+// Pooled encode buffers and a string intern cache: the two allocation
+// sinks shared by every fast codec. Message encoding used to allocate a
+// fresh buffer per message and message decoding a fresh string per
+// identifier field; at hundreds of thousands of messages per second the
+// garbage collector became a first-order cost on the request path, so
+// both are recycled here.
+
+const (
+	// maxPooledBuf caps the capacity of a recycled buffer. Checkpoints
+	// can reach MaxEnvelope; pooling those would pin large arrays on
+	// behalf of the common small request/delta traffic.
+	maxPooledBuf = 32 << 10
+	// encFreeSlots bounds the pool so a burst cannot pin more than
+	// encFreeSlots*maxPooledBuf bytes.
+	encFreeSlots = 512
+)
+
+// encFree is a bounded free list of encode buffers. A channel (rather
+// than sync.Pool) keeps the slice headers out of interface boxes: both
+// Get and Put are allocation-free.
+var encFree = make(chan []byte, encFreeSlots)
+
+// GetBuf returns an empty byte buffer from the pool.
+func GetBuf() []byte {
+	select {
+	case b := <-encFree:
+		return b[:0]
+	default:
+		return make([]byte, 0, 512)
+	}
+}
+
+// PutBuf recycles buf. The caller must hold the only live reference:
+// after PutBuf the contents may be overwritten at any time. Oversized
+// buffers are dropped so checkpoint-scale arrays are not pinned.
+func PutBuf(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooledBuf {
+		return
+	}
+	select {
+	case encFree <- buf[:0]:
+	default:
+	}
+}
+
+// internShards is a sharded canonical-string cache. Identifier-like
+// wire fields (client IDs, operation names, message kinds, addresses)
+// recur endlessly; decoding them through the cache makes the steady
+// state allocation-free. The map lookup with a string([]byte) key
+// compiles to a no-allocation access.
+var internShards [16]internShard
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// maxInternedPerShard bounds each shard; beyond it new values are
+// returned uncached so an adversarial key stream cannot grow the cache
+// without bound.
+const maxInternedPerShard = 1024
+
+func init() {
+	for i := range internShards {
+		internShards[i].m = make(map[string]string, 64)
+	}
+}
+
+func internShardFor(b []byte) *internShard {
+	var h byte
+	if len(b) > 0 {
+		h = b[0] + byte(len(b))
+	}
+	return &internShards[h&15]
+}
+
+// Intern returns a canonical string equal to b, allocating only the
+// first time a value is seen.
+func Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	sh := internShardFor(b)
+	sh.mu.RLock()
+	s, ok := sh.m[string(b)]
+	sh.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	sh.mu.Lock()
+	if len(sh.m) < maxInternedPerShard {
+		sh.m[s] = s
+	}
+	sh.mu.Unlock()
+	return s
+}

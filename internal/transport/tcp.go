@@ -1,7 +1,9 @@
 package transport
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -16,10 +18,15 @@ import (
 // callers stop waiting as soon as their own context expires.
 const tcpDialTimeout = 10 * time.Second
 
-// tcpFrame is the wire format of the TCP transport: gob-encoded frames
-// multiplexed over a persistent connection. ID correlates a reply with
-// its request, so many calls can be in flight on one connection
-// (pipelining) instead of one dial and one round-trip at a time.
+// tcpReadBuffer sizes the buffered reader in front of each connection.
+const tcpReadBuffer = 64 << 10
+
+// tcpFrame is one message on a TCP connection: frames multiplexed over
+// a persistent connection, binary length-prefixed on the wire (see
+// tcpwire.go; gob streams from v1 peers are still decoded). ID
+// correlates a reply with its request, so many calls can be in flight
+// on one connection (pipelining) instead of one dial and one round-trip
+// at a time.
 type tcpFrame struct {
 	ID      uint64
 	From    string
@@ -32,10 +39,10 @@ type tcpFrame struct {
 
 // TCPEndpoint implements Endpoint over real TCP connections. Addresses
 // are host:port strings. Outbound traffic to each destination shares one
-// pipelined connection; inbound frames are served concurrently, replies
-// multiplexed back by frame ID. The simulated MemNetwork remains the
-// default for experiments, this transport backs cmd/resilientd
-// deployments.
+// pipelined connection whose frames coalesce into batched writes;
+// inbound frames are served concurrently, replies multiplexed back by
+// frame ID. The simulated MemNetwork remains the default for
+// experiments, this transport backs cmd/resilientd deployments.
 type TCPEndpoint struct {
 	addr     Address
 	listener net.Listener
@@ -50,17 +57,16 @@ type TCPEndpoint struct {
 
 var _ Endpoint = (*TCPEndpoint)(nil)
 
-// tcpConn is one pooled outbound connection. Requests are written under
-// encMu; a reader goroutine dispatches replies to the waiting callers by
-// frame ID. When the connection dies, every pending call fails at once
-// (channel close) and the conn leaves the pool.
+// tcpConn is one pooled outbound connection. Requests enter the
+// connection's coalescing writer; a reader goroutine dispatches replies
+// to the waiting callers by frame ID. When the connection dies, every
+// pending call fails at once (channel close) and the conn leaves the
+// pool.
 type tcpConn struct {
 	dialed  chan struct{} // closed once dialing finished
 	dialErr error         // valid after dialed
 	conn    net.Conn      // valid after dialed when dialErr == nil
-	enc     *gob.Encoder
-
-	encMu sync.Mutex // serializes frame writes
+	w       *tcpWriter    // valid with conn
 
 	mu      sync.Mutex
 	pending map[uint64]chan tcpFrame // in-flight calls by frame ID
@@ -99,6 +105,7 @@ func (c *tcpConn) fail() {
 	c.pending = make(map[uint64]chan tcpFrame)
 	c.mu.Unlock()
 	c.conn.Close()
+	c.w.fail(errors.New("transport: connection lost"))
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -131,7 +138,7 @@ func (e *TCPEndpoint) acceptLoop() {
 			return // listener closed
 		}
 		// Inbound connections are tracked so Close can tear them down;
-		// their serve loops otherwise block in Decode until the remote
+		// their serve loops otherwise block reading until the remote
 		// side hangs up.
 		e.mu.Lock()
 		if e.closed {
@@ -152,9 +159,107 @@ func (e *TCPEndpoint) acceptLoop() {
 	}
 }
 
+// serve sniffs the stream format — one magic byte opens a binary v2
+// stream, anything else is a v1 gob stream — and runs the matching
+// loop. Gob is the compatibility arm: decoded when a v1 peer connects,
+// never chosen for new streams.
 func (e *TCPEndpoint) serve(conn net.Conn) {
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, tcpReadBuffer)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before the first byte
+	}
+	if first[0] == tcpMagic {
+		br.Discard(1)
+		e.serveBinary(conn, br)
+		return
+	}
+	e.serveGob(conn, br)
+}
+
+// serveBinary handles one inbound v2 connection: length-prefixed frames
+// in, coalesced reply writes out.
+func (e *TCPEndpoint) serveBinary(conn net.Conn, br *bufio.Reader) {
+	if _, err := conn.Write([]byte{tcpMagic}); err != nil {
+		return
+	}
+	w := newTCPWriter(conn)
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				CountDrop(DropTCPDecode)
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || int64(n) > MaxEnvelope+tcpFrameOverhead {
+			CountDrop(DropTCPDecode)
+			return
+		}
+		body := frameBuf(int(n))
+		if _, err := io.ReadFull(br, body); err != nil {
+			PutBuf(body)
+			CountDrop(DropTCPDecode)
+			return
+		}
+		var frame tcpFrame
+		if err := decodeTCPFrame(body, &frame); err != nil {
+			PutBuf(body)
+			CountDrop(DropTCPDecode)
+			return
+		}
+		e.mu.Lock()
+		h, ok := e.handlers[frame.Kind]
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			PutBuf(body)
+			CountDrop(DropClosed)
+			return
+		}
+		mMessagesReceived.Inc()
+		mBytesReceived.Add(uint64(len(frame.Payload)))
+		// Each frame is served in its own goroutine so a slow handler
+		// does not stall the frames pipelined behind it; replies
+		// coalesce on the connection's writer. The frame payload
+		// aliases body, which is recycled once the reply is encoded.
+		inflight.Add(1)
+		go func(frame tcpFrame, body []byte, h Handler, ok bool) {
+			defer inflight.Done()
+			pkt := Packet{From: Address(frame.From), To: e.addr, Kind: frame.Kind, Payload: frame.Payload}
+			reply := tcpFrame{ID: frame.ID}
+			if !ok {
+				CountDrop(DropNoHandler)
+				reply.Err = fmt.Sprintf("no handler for %q", frame.Kind)
+			} else {
+				out, err := h(context.Background(), pkt)
+				if err != nil {
+					reply.Err = err.Error()
+				} else {
+					reply.Payload = out
+				}
+			}
+			if frame.OneWay {
+				PutBuf(body)
+				return
+			}
+			// Encode before recycling body: the handler's reply may alias
+			// the request payload.
+			rb := appendTCPFrame(GetBuf(), &reply)
+			PutBuf(body)
+			w.enqueue(rb, false)
+		}(frame, body, h, ok)
+	}
+}
+
+// serveGob handles one inbound v1 connection — the gob compatibility
+// arm for peers that predate the binary framing.
+func (e *TCPEndpoint) serveGob(conn net.Conn, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	enc := gob.NewEncoder(conn)
 	var encMu sync.Mutex
 	var inflight sync.WaitGroup
@@ -179,9 +284,6 @@ func (e *TCPEndpoint) serve(conn net.Conn) {
 		}
 		mMessagesReceived.Inc()
 		mBytesReceived.Add(uint64(len(frame.Payload)))
-		// Each frame is served in its own goroutine so a slow handler
-		// does not stall the frames pipelined behind it; replies share
-		// the connection's encoder under encMu.
 		inflight.Add(1)
 		go func(frame tcpFrame, h Handler, ok bool) {
 			defer inflight.Done()
@@ -275,7 +377,11 @@ func (e *TCPEndpoint) dialAndRead(c *tcpConn, to Address) {
 		return
 	}
 	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
+	c.w = newTCPWriter(conn)
+	// Announce the binary stream before the first frame. A failure here
+	// means the connection is already broken; the read loop below finds
+	// that out immediately and fails the pending callers.
+	conn.Write([]byte{tcpMagic})
 	e.mu.Lock()
 	closed := e.closed
 	e.mu.Unlock()
@@ -288,11 +394,71 @@ func (e *TCPEndpoint) dialAndRead(c *tcpConn, to Address) {
 	e.readLoop(c, to)
 }
 
-// readLoop dispatches reply frames to their waiting callers by ID. On
-// any decode error the connection is dead: it leaves the pool and every
-// pending call fails.
+// readLoop dispatches reply frames to their waiting callers by ID. The
+// reply stream format is sniffed like the serve side's: binary from a
+// current peer, gob from a v1 one. On any decode error the connection
+// is dead: it leaves the pool and every pending call fails.
 func (e *TCPEndpoint) readLoop(c *tcpConn, to Address) {
-	dec := gob.NewDecoder(c.conn)
+	br := bufio.NewReaderSize(c.conn, tcpReadBuffer)
+	first, err := br.Peek(1)
+	if err != nil {
+		e.dropConn(to, c)
+		c.fail()
+		return
+	}
+	if first[0] == tcpMagic {
+		br.Discard(1)
+		e.readLoopBinary(c, to, br)
+		return
+	}
+	e.readLoopGob(c, to, br)
+}
+
+func (e *TCPEndpoint) readLoopBinary(c *tcpConn, to Address, br *bufio.Reader) {
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			e.dropConn(to, c)
+			c.fail()
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		bad := n == 0 || int64(n) > MaxEnvelope+tcpFrameOverhead
+		var body []byte
+		if !bad {
+			body = frameBuf(int(n))
+			if _, err := io.ReadFull(br, body); err != nil {
+				PutBuf(body)
+				bad = true
+			}
+		}
+		var frame tcpFrame
+		if !bad && decodeTCPFrame(body, &frame) != nil {
+			PutBuf(body)
+			bad = true
+		}
+		if bad {
+			CountDrop(DropTCPDecode)
+			e.dropConn(to, c)
+			c.fail()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[frame.ID]
+		delete(c.pending, frame.ID)
+		c.mu.Unlock()
+		if ch == nil {
+			PutBuf(body) // caller gave up (context expired)
+			continue
+		}
+		// The frame payload aliases body; ownership moves to the caller,
+		// which may recycle it with PutBuf when done.
+		ch <- frame // buffered; one reply per ID
+	}
+}
+
+func (e *TCPEndpoint) readLoopGob(c *tcpConn, to Address, br *bufio.Reader) {
+	dec := gob.NewDecoder(br)
 	for {
 		var frame tcpFrame
 		if err := dec.Decode(&frame); err != nil {
@@ -310,6 +476,21 @@ func (e *TCPEndpoint) readLoop(c *tcpConn, to Address) {
 	}
 }
 
+// ship encodes frame into a pooled buffer, hands it to the connection's
+// coalescing writer, and waits for the per-frame write outcome.
+func (c *tcpConn) ship(ctx context.Context, frame *tcpFrame) (writeStatus, error) {
+	pf := c.w.enqueue(appendTCPFrame(GetBuf(), frame), true)
+	select {
+	case <-pf.done:
+		return pf.status, nil
+	case <-ctx.Done():
+		// The frame stays queued; whether it reaches the wire is now
+		// unknowable, exactly like a frame written just before the
+		// deadline. The caller's context owns the decision to stop.
+		return writeAmbiguous, ctx.Err()
+	}
+}
+
 // Send delivers a one-way message on the pooled connection.
 func (e *TCPEndpoint) Send(ctx context.Context, to Address, kind string, payload []byte) error {
 	if len(payload) > MaxEnvelope {
@@ -322,27 +503,38 @@ func (e *TCPEndpoint) Send(ctx context.Context, to Address, kind string, payload
 		if err != nil {
 			return err
 		}
-		c.encMu.Lock()
-		err = c.enc.Encode(&frame)
-		c.encMu.Unlock()
-		if err == nil {
+		status, err := c.ship(ctx, &frame)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case writeDone:
 			mMessagesSent.Inc()
 			mBytesSent.Add(uint64(len(payload)))
 			return nil
-		}
-		// A stale pooled connection (the peer closed it while idle): a
-		// frame that never got written is safe to resend once on a fresh
-		// connection.
-		e.dropConn(to, c)
-		c.conn.Close()
-		if attempt > 0 {
-			return fmt.Errorf("transport: send to %s: %v", to, err)
+		case writeFailed:
+			// No byte of the frame was written (the usual cause is a peer
+			// that closed the idle pooled connection, e.g. after a
+			// restart): safe to resend once on a fresh connection.
+			e.dropConn(to, c)
+			c.conn.Close()
+			if attempt == 0 {
+				continue
+			}
+			return fmt.Errorf("transport: send to %s: connection lost", to)
+		default:
+			// The coalesced write died inside this frame: part of it is
+			// on the wire, so resending could deliver it twice. No retry.
+			e.dropConn(to, c)
+			c.conn.Close()
+			return fmt.Errorf("transport: send to %s: connection lost mid-write", to)
 		}
 	}
 }
 
 // Call performs a request/reply round-trip, pipelined with any other
-// calls in flight to the same destination.
+// calls in flight to the same destination — their frames coalesce into
+// batched writes on the shared connection.
 func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload []byte) ([]byte, error) {
 	if len(payload) > MaxEnvelope {
 		CountDrop(DropOversized)
@@ -363,20 +555,31 @@ func (e *TCPEndpoint) Call(ctx context.Context, to Address, kind string, payload
 			return nil, fmt.Errorf("%w: %s: connection lost", ErrUnreachable, to)
 		}
 		frame.ID = id
-		c.encMu.Lock()
-		err = c.enc.Encode(&frame)
-		c.encMu.Unlock()
+		status, err := c.ship(ctx, &frame)
 		if err != nil {
-			// The frame never got written whole: safe to resend once on
-			// a fresh connection (the usual cause is a peer that closed
-			// the idle connection, e.g. after a restart).
+			c.unregister(id)
+			return nil, err
+		}
+		switch status {
+		case writeFailed:
+			// The frame never touched the wire: safe to resend once on a
+			// fresh connection.
 			c.unregister(id)
 			e.dropConn(to, c)
 			c.conn.Close()
 			if attempt == 0 {
 				continue
 			}
-			return nil, fmt.Errorf("transport: send to %s: %v", to, err)
+			return nil, fmt.Errorf("transport: send to %s: connection lost", to)
+		case writeAmbiguous:
+			// The coalesced write died inside this frame; the peer may
+			// have received and served it. The handler may or may not
+			// have run, so no retry: at-most-once stays with the upper
+			// layers.
+			c.unregister(id)
+			e.dropConn(to, c)
+			c.conn.Close()
+			return nil, fmt.Errorf("%w: %s: connection lost mid-write", ErrUnreachable, to)
 		}
 		mMessagesSent.Inc()
 		mBytesSent.Add(uint64(len(payload)))

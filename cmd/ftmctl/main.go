@@ -5,6 +5,7 @@
 //	ftmctl -target 127.0.0.1:7001 arch
 //	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
 //	ftmctl -target 127.0.0.1:7001 invoke add:x 5
+//	ftmctl -target 127.0.0.1:7001 health
 //	ftmctl -target 127.0.0.1:7001 metrics
 //	ftmctl -target 127.0.0.1:7001 events
 //	ftmctl -target 127.0.0.1:7001 trace <16-hex-id>
@@ -14,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -43,7 +45,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|health|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
 	}
 
 	ep, err := transport.ListenTCP("127.0.0.1:0")
@@ -80,6 +82,39 @@ func run() error {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
 			fmt.Println(arch)
+		}
+	case "health":
+		for _, addr := range targets {
+			doc, err := mgmt.QueryHealth(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			var rep struct {
+				Host       string `json:"host"`
+				Overall    string `json:"overall"`
+				Collectors []struct {
+					Name    string `json:"name"`
+					Verdict string `json:"verdict"`
+					Reason  string `json:"reason"`
+				} `json:"collectors"`
+				Transitions []struct {
+					Time  time.Time `json:"time"`
+					From  string    `json:"from"`
+					To    string    `json:"to"`
+					Cause string    `json:"cause"`
+				} `json:"transitions"`
+			}
+			if err := json.Unmarshal([]byte(doc), &rep); err != nil {
+				return fmt.Errorf("%s: bad health reply: %w", addr, err)
+			}
+			fmt.Printf("%s: %s\n", rep.Host, rep.Overall)
+			for _, c := range rep.Collectors {
+				fmt.Printf("  %-12s %-10s %s\n", c.Name, c.Verdict, c.Reason)
+			}
+			for _, tr := range rep.Transitions {
+				fmt.Printf("  flip %s %s->%s (%s)\n",
+					tr.Time.Format(time.RFC3339), tr.From, tr.To, tr.Cause)
+			}
 		}
 	case "metrics":
 		for _, addr := range targets {

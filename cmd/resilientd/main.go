@@ -41,18 +41,19 @@ func main() {
 
 func run() error {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:7001", "address to listen on")
-		peer      = flag.String("peer", "", "peer replica address (empty for single-host FTMs)")
-		members   = flag.String("members", "", "comma-separated full membership for multi-replica groups (rank order, master first)")
-		system    = flag.String("system", "calc", "protected application name")
-		ftmFlag   = flag.String("ftm", "pbr", "initial FTM (pbr, lfr, tr, pbr_tr, lfr_tr, a_pbr, a_lfr)")
-		role      = flag.String("role", "master", "initial role (master or slave)")
-		storePath = flag.String("store", "", "stable-storage file (empty = in-memory)")
-		heartbeat = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
-		suspect   = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
-		httpAddr  = flag.String("http", "", "observability HTTP address serving /metrics, /events, /trace/{id} and /blackbox (empty = disabled)")
-		sample    = flag.Uint64("trace-sample", telemetry.DefaultSampleEvery, "span sampling: record 1 in N requests (0 = off, 1 = all)")
-		boxPath   = flag.String("blackbox", "", "flight-recorder incident file, JSON lines (empty = in-memory only)")
+		listen      = flag.String("listen", "127.0.0.1:7001", "address to listen on")
+		peer        = flag.String("peer", "", "peer replica address (empty for single-host FTMs)")
+		members     = flag.String("members", "", "comma-separated full membership for multi-replica groups (rank order, master first)")
+		system      = flag.String("system", "calc", "protected application name")
+		ftmFlag     = flag.String("ftm", "pbr", "initial FTM (pbr, lfr, tr, pbr_tr, lfr_tr, a_pbr, a_lfr)")
+		role        = flag.String("role", "master", "initial role (master or slave)")
+		storePath   = flag.String("store", "", "stable-storage file (empty = in-memory)")
+		heartbeat   = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
+		suspect     = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
+		httpAddr    = flag.String("http", "", "observability HTTP address serving /metrics, /events, /trace/{id}, /blackbox and /health (empty = disabled)")
+		healthEvery = flag.Duration("health-interval", time.Second, "host health sweep interval")
+		sample      = flag.Uint64("trace-sample", telemetry.DefaultSampleEvery, "span sampling: record 1 in N requests (0 = off, 1 = all)")
+		boxPath     = flag.String("blackbox", "", "flight-recorder incident file, JSON lines (empty = in-memory only)")
 	)
 	flag.Parse()
 
@@ -99,6 +100,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Sweep the graded health collectors continuously; the sweep runs
+	// off the request path and feeds /health, mgmt health queries and
+	// the host_health* series.
+	h.Health().Start(*healthEvery)
+	defer h.Health().Stop()
 
 	var memberList []transport.Address
 	if *members != "" {
@@ -134,7 +140,8 @@ func run() error {
 			return fmt.Errorf("observability listen %s: %w", *httpAddr, err)
 		}
 		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default(), telemetry.DefaultTracer(),
-			telemetry.DefaultSpans(), fr)}
+			telemetry.DefaultSpans(), fr,
+			telemetry.WithHealth(func() any { return h.Health().Report() }))}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("observability server: %v", err)

@@ -1,0 +1,169 @@
+package adaptation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
+)
+
+// Health-fed adaptation: the decisions below consume the graded host
+// health model (worst-of collector verdicts, freshly measured) instead
+// of declared resource numbers. Two decision kinds close the paper's
+// (FT, A, R) loop from measurement: placement — an Unhealthy host is
+// not given a slave — and FTM selection — a master whose own health
+// degrades sheds the bandwidth-hungry checkpointing FTM for a cheaper
+// one. Every decision is counted and traced.
+
+// healthDecision counts one adaptation decision made from measured
+// health, split by decision kind.
+func healthDecision(decision string) *telemetry.Counter {
+	return telemetry.Default().Counter("adaptation_health_decision_total", "decision", decision)
+}
+
+// ErrNoHealthyHost reports that every placement candidate measured
+// Unhealthy.
+var ErrNoHealthyHost = fmt.Errorf("adaptation: no healthy candidate host")
+
+// ChooseSlaveHost picks the healthiest candidate for slave placement,
+// running each candidate's collectors for a fresh verdict. Unhealthy
+// hosts are never chosen (each avoidance is a counted decision); among
+// the rest the best verdict wins, earliest candidate breaking ties, so
+// a Degraded host is still usable when nothing Healthy remains. With
+// only Unhealthy candidates it returns ErrNoHealthyHost — refusing a
+// placement is itself the decision.
+func ChooseSlaveHost(candidates []*host.Host) (*host.Host, error) {
+	var best *host.Host
+	bestVerdict := host.Unhealthy
+	for _, h := range candidates {
+		if h == nil || h.Crashed() {
+			continue
+		}
+		v := h.Health().Check()
+		if v == host.Unhealthy {
+			healthDecision("avoid-unhealthy").Inc()
+			telemetry.Emit("adaptation", "avoid-unhealthy", 0,
+				"host", h.Name(), "verdict", v.String(),
+				"cause", lastCause(h.Health()))
+			continue
+		}
+		if best == nil || v < bestVerdict {
+			best, bestVerdict = h, v
+		}
+	}
+	if best == nil {
+		return nil, ErrNoHealthyHost
+	}
+	healthDecision("place-slave").Inc()
+	telemetry.Emit("adaptation", "place-slave", 0,
+		"host", best.Name(), "verdict", bestVerdict.String())
+	return best, nil
+}
+
+// lastCause extracts the newest transition cause from a health report,
+// for decision traces.
+func lastCause(hm *host.HealthMonitor) string {
+	rep := hm.Report()
+	if n := len(rep.Transitions); n > 0 {
+		return rep.Transitions[n-1].Cause
+	}
+	return ""
+}
+
+// HealthReactor degrades a system's FTM when the master's measured
+// health crosses a verdict threshold: the canonical move is PBR→LFR —
+// checkpointing load is shed from a struggling master while crash
+// tolerance is kept. The reactor is edge-acting: it transitions only
+// when the system is not already in the target FTM, so a persistently
+// bad verdict produces one transition, not a storm.
+type HealthReactor struct {
+	engine *Engine
+	sys    *ftm.System
+	// DegradeAt is the verdict at which the reactor acts (default
+	// Unhealthy; Degraded makes it eager).
+	degradeAt host.Verdict
+	to        core.ID
+
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewHealthReactor returns a reactor moving sys to the FTM `to` when
+// the master host's health reaches degradeAt.
+func NewHealthReactor(engine *Engine, sys *ftm.System, degradeAt host.Verdict, to core.ID) *HealthReactor {
+	if engine == nil {
+		engine = NewEngine(nil)
+	}
+	return &HealthReactor{engine: engine, sys: sys, degradeAt: degradeAt, to: to}
+}
+
+// React measures the master's health once and transitions the system
+// if the verdict warrants it. It returns the transition report and
+// whether a transition was attempted.
+func (hr *HealthReactor) React(ctx context.Context) (*Report, bool, error) {
+	master := hr.sys.Master()
+	if master == nil {
+		return nil, false, nil
+	}
+	h := master.Host()
+	verdict := h.Health().Check()
+	if verdict < hr.degradeAt || master.FTM() == hr.to {
+		return nil, false, nil
+	}
+	from := master.FTM()
+	healthDecision("ftm-degrade").Inc()
+	telemetry.Emit("adaptation", "ftm-degrade", 0,
+		"host", h.Name(), "verdict", verdict.String(),
+		"from", string(from), "to", string(hr.to),
+		"cause", lastCause(h.Health()))
+	report, err := hr.engine.TransitionSystem(ctx, hr.sys, hr.to)
+	return report, true, err
+}
+
+// Start polls React at the given interval until Stop.
+func (hr *HealthReactor) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	hr.mu.Lock()
+	if hr.stop != nil {
+		hr.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	hr.stop, hr.done = stop, done
+	hr.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_, _, _ = hr.React(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the polling loop.
+func (hr *HealthReactor) Stop() {
+	hr.mu.Lock()
+	stop, done := hr.stop, hr.done
+	hr.stop, hr.done = nil, nil
+	hr.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

@@ -1,0 +1,152 @@
+package adaptation
+
+import (
+	"context"
+	"testing"
+
+	"resilientft/internal/component"
+	"resilientft/internal/core"
+	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
+	"resilientft/internal/transport"
+)
+
+func healthTestHost(t *testing.T, name string) *host.Host {
+	t.Helper()
+	h, err := host.New(name, transport.NewMemNetwork(), component.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestChooseSlaveHostAvoidsUnhealthy: placement driven by a measured
+// verdict — the candidate with starved CPU is skipped even though it
+// comes first, and the avoidance is a counted, traced decision.
+func TestChooseSlaveHostAvoidsUnhealthy(t *testing.T) {
+	sick := healthTestHost(t, "sick")
+	sick.Resources().SetCPUFree(0.01) // measured Unhealthy
+	well := healthTestHost(t, "well")
+
+	avoided := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "avoid-unhealthy").Value()
+	placed := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "place-slave").Value()
+	mark := telemetry.DefaultTracer().Mark()
+
+	got, err := ChooseSlaveHost([]*host.Host{sick, well})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != well {
+		t.Fatalf("placed slave on %s, want the healthy host", got.Name())
+	}
+	if v := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "avoid-unhealthy").Value(); v != avoided+1 {
+		t.Fatalf("avoid-unhealthy decisions = %d, want %d", v, avoided+1)
+	}
+	if v := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "place-slave").Value(); v != placed+1 {
+		t.Fatalf("place-slave decisions = %d, want %d", v, placed+1)
+	}
+	var traced bool
+	for _, e := range telemetry.DefaultTracer().Since(mark) {
+		if e.Kind == "adaptation" && e.Name == "avoid-unhealthy" && e.Attrs["host"] == "sick" {
+			traced = true
+		}
+	}
+	if !traced {
+		t.Fatal("placement avoidance emitted no trace event")
+	}
+}
+
+func TestChooseSlaveHostPrefersHealthyOverDegraded(t *testing.T) {
+	degraded := healthTestHost(t, "tired")
+	degraded.Resources().SetEnergy(0.1) // Degraded, not Unhealthy
+	healthy := healthTestHost(t, "fresh")
+
+	got, err := ChooseSlaveHost([]*host.Host{degraded, healthy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != healthy {
+		t.Fatalf("placed slave on %s, want the healthy host over the degraded one", got.Name())
+	}
+
+	// With only the degraded host left it is still usable.
+	got, err = ChooseSlaveHost([]*host.Host{degraded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != degraded {
+		t.Fatalf("placed slave on %s, want the degraded host as last resort", got.Name())
+	}
+}
+
+func TestChooseSlaveHostRefusesWhenAllUnhealthy(t *testing.T) {
+	sick := healthTestHost(t, "sick2")
+	sick.Resources().SetCPUFree(0.0)
+	if _, err := ChooseSlaveHost([]*host.Host{sick, nil}); err != ErrNoHealthyHost {
+		t.Fatalf("err = %v, want ErrNoHealthyHost", err)
+	}
+}
+
+// TestHealthReactorDegradesPBRToLFR: the tentpole's automated decision
+// — a PBR system whose master host measures Unhealthy transitions to
+// LFR, driven end to end by the health sweep, with the decision counted
+// and traced. A second React is a no-op (edge-acting, no storm).
+func TestHealthReactorDegradesPBRToLFR(t *testing.T) {
+	s := newSystem(t, core.PBR)
+	c, err := s.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	invoke(t, c, "set:x", 7)
+
+	hr := NewHealthReactor(nil, s, host.Unhealthy, core.LFR)
+
+	// Healthy master: no action.
+	if _, acted, err := hr.React(context.Background()); err != nil || acted {
+		t.Fatalf("reactor acted on a healthy master (acted=%v err=%v)", acted, err)
+	}
+
+	// Starve the master host's energy; the next sweep measures
+	// Unhealthy and the reactor sheds PBR.
+	decisions := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "ftm-degrade").Value()
+	mark := telemetry.DefaultTracer().Mark()
+	s.Master().Host().Resources().SetEnergy(0.01)
+
+	report, acted, err := hr.React(context.Background())
+	if err != nil {
+		t.Fatalf("React: %v", err)
+	}
+	if !acted || report == nil || !report.Succeeded() {
+		t.Fatalf("reactor did not transition (acted=%v report=%+v)", acted, report)
+	}
+	for _, r := range s.Replicas() {
+		if r.FTM() != core.LFR {
+			t.Fatalf("replica %s FTM = %s, want lfr", r.Host().Name(), r.FTM())
+		}
+	}
+	if v := telemetry.Default().Counter("adaptation_health_decision_total", "decision", "ftm-degrade").Value(); v != decisions+1 {
+		t.Fatalf("ftm-degrade decisions = %d, want %d", v, decisions+1)
+	}
+	var traced bool
+	for _, e := range telemetry.DefaultTracer().Since(mark) {
+		if e.Kind == "adaptation" && e.Name == "ftm-degrade" && e.Attrs["to"] == "lfr" {
+			traced = true
+			if e.Attrs["cause"] == "" {
+				t.Fatal("degrade decision traced without a cause")
+			}
+		}
+	}
+	if !traced {
+		t.Fatal("ftm-degrade emitted no trace event")
+	}
+
+	// Still unhealthy, already in LFR: no second transition.
+	if _, acted, err := hr.React(context.Background()); err != nil || acted {
+		t.Fatalf("reactor re-fired in the target FTM (acted=%v err=%v)", acted, err)
+	}
+
+	// The system still serves after the health-driven transition.
+	if got := invoke(t, c, "get:x", 0); got != 7 {
+		t.Fatalf("get:x = %d after degrade transition, want 7", got)
+	}
+}

@@ -1,24 +1,32 @@
-// Package detector implements the failure-detection substrate used by all
-// duplex FTMs: a heartbeat emitter on each replica and a watchdog that
-// raises a suspicion when a peer's heartbeats stop arriving (the paper's
-// "dedicated entity (e.g., heartbeat, watchdog)" that triggers recovery).
+// Package detector implements the failure-detection substrate used by
+// all duplex FTMs: a heartbeat emitter on each replica and a phi-accrual
+// watchdog that grades each peer's silence into a continuous suspicion
+// level (the paper's "dedicated entity (e.g., heartbeat, watchdog)" that
+// triggers recovery, upgraded from a binary timeout to a measured
+// inter-arrival model — see phi.go).
 package detector
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
 // KindHeartbeat is the transport message kind of heartbeats.
 const KindHeartbeat = "fd.heartbeat"
 
-// Heartbeater periodically sends heartbeats to a set of peers.
+// Heartbeater periodically sends heartbeats to a set of peers. Sends
+// fan out concurrently with a per-send timeout, so one slow
+// (gray-failed) peer cannot stall the others' beats and make healthy
+// peers look silent.
 type Heartbeater struct {
-	ep       transport.Endpoint
-	interval time.Duration
+	ep          transport.Endpoint
+	interval    time.Duration
+	sendTimeout time.Duration
 
 	mu    sync.Mutex
 	peers []transport.Address
@@ -35,9 +43,13 @@ func NewHeartbeater(ep transport.Endpoint, interval time.Duration, peers ...tran
 	return &Heartbeater{
 		ep:       ep,
 		interval: interval,
-		peers:    append([]transport.Address(nil), peers...),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		// One full interval is the natural deadline: a send still in
+		// flight when the next beat is due is doing the watchdog's peer no
+		// good anyway.
+		sendTimeout: interval,
+		peers:       append([]transport.Address(nil), peers...),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 }
 
@@ -65,14 +77,35 @@ func (h *Heartbeater) Start() {
 	}()
 }
 
+// beat fans one heartbeat out to every peer concurrently. Each send
+// carries its own timeout and runs in its own goroutine: a peer that
+// accepts bytes slowly (gray failure) delays only its own beat, and
+// beat itself never waits — the next tick's sends overlap a stalled
+// one rather than queueing behind it.
 func (h *Heartbeater) beat() {
 	h.mu.Lock()
 	peers := append([]transport.Address(nil), h.peers...)
 	h.mu.Unlock()
+	timeout := h.sendTimeout
+	if timeout <= 0 {
+		timeout = h.interval
+	}
 	for _, p := range peers {
-		// Heartbeats are fire-and-forget; a dead peer's error is the
-		// watchdog's business, not ours.
-		_ = h.ep.Send(context.Background(), p, KindHeartbeat, []byte(h.ep.Addr()))
+		go func(p transport.Address) {
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			// Heartbeats are fire-and-forget; a dead peer's error is the
+			// watchdog's business, not ours. A timed-out send is worth
+			// counting, though: it is the emitting side's first sign of a
+			// gray peer.
+			if err := h.ep.Send(ctx, p, KindHeartbeat, []byte(h.ep.Addr())); err != nil {
+				if ctx.Err() != nil {
+					mHeartbeatsStalled.Inc()
+				}
+				return
+			}
+			mHeartbeatsSent.Inc()
+		}(p)
 	}
 }
 
@@ -82,30 +115,188 @@ func (h *Heartbeater) Stop() {
 	<-h.done
 }
 
-// Watchdog monitors heartbeat arrivals and reports peers whose
-// heartbeats have been silent for longer than the timeout.
+// State grades a watched peer.
+type State int
+
+// Peer states, ordered by severity.
+const (
+	// StateAlive: heartbeats arriving as modelled.
+	StateAlive State = iota
+	// StateSuspected: φ crossed the suspect threshold — failover
+	// machinery engages, but the verdict is revocable.
+	StateSuspected
+	// StateEvicted: φ crossed the evict threshold — the silence is so
+	// far outside the observed distribution the peer is treated as gone
+	// for placement purposes until heartbeats durably resume.
+	StateEvicted
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspected:
+		return "suspected"
+	case StateEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Transition reports one peer state change, with the evidence a
+// post-mortem needs: the suspicion level at the flip and how long the
+// peer had been silent — so operators can tell a flap (short silence,
+// quick recovery) from a hard crash (silence that keeps growing).
+type Transition struct {
+	Peer transport.Address
+	// From and To are the states the peer moved between.
+	From, To State
+	// Phi is the suspicion level when the transition fired.
+	Phi float64
+	// Silence is how long the peer had been silent at the transition
+	// (for recoveries: the gap the resumed heartbeat closed).
+	Silence time.Duration
+	// SilentSince is the arrival time of the last heartbeat before the
+	// transition.
+	SilentSince time.Time
+}
+
+// Suspected reports whether the transition's target state counts as
+// suspected (suspected or evicted).
+func (t Transition) Suspected() bool { return t.To >= StateSuspected }
+
+// Config tunes the phi-accrual watchdog.
+type Config struct {
+	// SuspectPhi is the suspicion level raising StateSuspected
+	// (default 8: the observed silence would occur by chance once in
+	// 10^8 heartbeats).
+	SuspectPhi float64
+	// EvictPhi is the suspicion level raising StateEvicted (default 16).
+	EvictPhi float64
+	// RecoveryPhi is the level φ must fall below before a suspected
+	// peer can return to StateAlive (default SuspectPhi/2) — the lower
+	// leg of the hysteresis band.
+	RecoveryPhi float64
+	// RecoveryBeats is how many consecutive arrivals a suspected peer
+	// must deliver (each with φ below RecoveryPhi at arrival) before it
+	// is unsuspected (default 3) — the other leg: one lucky heartbeat
+	// in a long silence does not clear the verdict.
+	RecoveryBeats int
+	// MinSamples is the inter-arrival sample count below which the
+	// model is not trusted and the BootstrapTimeout silence check
+	// applies instead (default 8).
+	MinSamples int
+	// BootstrapTimeout is the binary silence timeout used until the
+	// window holds MinSamples (default 8× the expected interval when
+	// derived through NewWatchdog, else 500ms).
+	BootstrapTimeout time.Duration
+	// AcceptablePause is subtracted from the silence before φ is
+	// computed (equivalently: added to the modelled mean), absorbing
+	// scheduler hiccups and GC pauses that are not evidence of failure
+	// (default BootstrapTimeout/2).
+	AcceptablePause time.Duration
+	// EvictSilence is the minimum raw silence for an eviction verdict,
+	// however high φ accrues (default 2× BootstrapTimeout): eviction is
+	// the placement-affecting verdict and must mean sustained death,
+	// not one sharp spike of the φ curve.
+	EvictSilence time.Duration
+	// Window is the inter-arrival history size (default DefaultWindow).
+	Window int
+	// MinStdDev floors the modelled deviation (default
+	// BootstrapTimeout/20, at least 1ms).
+	MinStdDev time.Duration
+}
+
+// DefaultSuspectPhi is the default suspicion threshold: silence this
+// unlikely occurs by chance once in 10^8 heartbeats.
+const DefaultSuspectPhi = 8
+
+func (c Config) withDefaults() Config {
+	if c.SuspectPhi <= 0 {
+		c.SuspectPhi = DefaultSuspectPhi
+	}
+	if c.EvictPhi <= c.SuspectPhi {
+		c.EvictPhi = 2 * c.SuspectPhi
+	}
+	if c.RecoveryPhi <= 0 || c.RecoveryPhi >= c.SuspectPhi {
+		c.RecoveryPhi = c.SuspectPhi / 2
+	}
+	if c.RecoveryBeats <= 0 {
+		c.RecoveryBeats = 3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.BootstrapTimeout <= 0 {
+		c.BootstrapTimeout = 500 * time.Millisecond
+	}
+	if c.AcceptablePause <= 0 {
+		c.AcceptablePause = c.BootstrapTimeout / 2
+	}
+	if c.EvictSilence <= 0 {
+		c.EvictSilence = 2 * c.BootstrapTimeout
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.MinStdDev <= 0 {
+		c.MinStdDev = c.BootstrapTimeout / 20
+		if c.MinStdDev < time.Millisecond {
+			c.MinStdDev = time.Millisecond
+		}
+	}
+	return c
+}
+
+// peerState is one watched peer's model and graded verdict.
+type peerState struct {
+	est   *PhiEstimator
+	state State
+	// anchored is when Monitor started the grace period (the estimator
+	// is empty until the first heartbeat lands).
+	anchored time.Time
+	// freshBeats counts consecutive qualifying arrivals while
+	// suspected/evicted, toward RecoveryBeats.
+	freshBeats int
+	// silentSince snapshots est.LastSeen() when suspicion fired.
+	silentSince time.Time
+}
+
+// Watchdog monitors heartbeat arrivals and grades each watched peer's
+// silence on the φ scale, reporting state transitions with hysteresis.
 type Watchdog struct {
-	timeout time.Duration
+	cfg Config
 
 	mu       sync.Mutex
-	lastSeen map[transport.Address]time.Time
-	suspects map[transport.Address]bool
-	onChange func(peer transport.Address, suspected bool)
+	peers    map[transport.Address]*peerState
+	onChange func(Transition)
+	now      func() time.Time
 
 	stop chan struct{}
 	done chan struct{}
 	once sync.Once
 }
 
-// NewWatchdog returns a watchdog attached to ep. onChange fires once per
-// suspicion transition (suspected true when the peer goes silent, false
-// when heartbeats resume). Monitor must be called for each watched peer.
-func NewWatchdog(ep transport.Endpoint, timeout time.Duration, onChange func(peer transport.Address, suspected bool)) *Watchdog {
+// NewWatchdog returns a watchdog attached to ep with thresholds derived
+// from the classic silence timeout: the bootstrap check fires at
+// timeout, and the deviation floor scales with it so φ thresholds
+// behave sensibly across interval regimes. onChange fires once per
+// state transition. Monitor must be called for each watched peer.
+func NewWatchdog(ep transport.Endpoint, timeout time.Duration, onChange func(Transition)) *Watchdog {
+	cfg := Config{BootstrapTimeout: timeout}
+	return NewPhiWatchdog(ep, cfg, onChange)
+}
+
+// NewPhiWatchdog returns a watchdog attached to ep with explicit
+// phi-accrual tuning.
+func NewPhiWatchdog(ep transport.Endpoint, cfg Config, onChange func(Transition)) *Watchdog {
 	w := &Watchdog{
-		timeout:  timeout,
-		lastSeen: make(map[transport.Address]time.Time),
-		suspects: make(map[transport.Address]bool),
+		cfg:      cfg.withDefaults(),
+		peers:    make(map[transport.Address]*peerState),
 		onChange: onChange,
+		now:      time.Now,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
@@ -116,51 +307,158 @@ func NewWatchdog(ep transport.Endpoint, timeout time.Duration, onChange func(pee
 	return w
 }
 
+// phiOf computes the pause-adjusted suspicion level: the acceptable
+// pause is deducted from the silence first, so φ accrues only against
+// the part of the silence the arrival model cannot excuse.
+func (w *Watchdog) phiOf(ps *peerState, now time.Time) float64 {
+	return ps.est.Phi(now.Add(-w.cfg.AcceptablePause))
+}
+
 // Monitor begins watching a peer; the grace period starts now.
 func (w *Watchdog) Monitor(peer transport.Address) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.lastSeen[peer] = time.Now()
-	w.suspects[peer] = false
+	w.peers[peer] = &peerState{
+		est:      NewPhiEstimator(w.cfg.Window, w.cfg.MinStdDev),
+		anchored: w.now(),
+	}
 }
 
 // Forget stops watching a peer.
 func (w *Watchdog) Forget(peer transport.Address) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	delete(w.lastSeen, peer)
-	delete(w.suspects, peer)
+	delete(w.peers, peer)
+	peerPhiGauge(string(peer)).Set(0)
 }
 
+// observe folds one heartbeat arrival into the peer's model and applies
+// the recovery leg of the hysteresis: a suspected peer returns to alive
+// only after RecoveryBeats consecutive arrivals, each observed with φ
+// already back below RecoveryPhi.
 func (w *Watchdog) observe(peer transport.Address) {
+	now := w.now()
 	w.mu.Lock()
-	if _, watched := w.lastSeen[peer]; !watched {
+	ps, watched := w.peers[peer]
+	if !watched {
 		w.mu.Unlock()
 		return
 	}
-	w.lastSeen[peer] = time.Now()
-	wasSuspected := w.suspects[peer]
-	w.suspects[peer] = false
+	gap := now.Sub(ps.est.LastSeen())
+	if ps.est.LastSeen().IsZero() {
+		gap = now.Sub(ps.anchored)
+	}
+	if dt := ps.est.Observe(now); dt > 0 {
+		peerInterarrival(string(peer)).Observe(dt)
+	}
+	var tr *Transition
+	if ps.state != StateAlive {
+		if w.phiOf(ps, now) < w.cfg.RecoveryPhi {
+			ps.freshBeats++
+		} else {
+			ps.freshBeats = 0
+		}
+		if ps.freshBeats >= w.cfg.RecoveryBeats {
+			tr = &Transition{
+				Peer: peer, From: ps.state, To: StateAlive,
+				Phi: w.phiOf(ps, now), Silence: gap, SilentSince: ps.silentSince,
+			}
+			ps.state = StateAlive
+			ps.freshBeats = 0
+			ps.silentSince = time.Time{}
+		}
+	}
 	cb := w.onChange
 	w.mu.Unlock()
-	if wasSuspected && cb != nil {
-		cb(peer, false)
+	if tr != nil {
+		mRecoveries.Inc()
+		telemetry.Emit("detector", "recovered", tr.Silence,
+			"peer", string(peer), "phi", fmt.Sprintf("%.2f", tr.Phi))
+		if cb != nil {
+			cb(*tr)
+		}
 	}
 }
 
-// Suspected reports whether peer is currently suspected.
+// Suspected reports whether peer is currently suspected (or worse).
 func (w *Watchdog) Suspected(peer transport.Address) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.suspects[peer]
+	return w.PeerState(peer) >= StateSuspected
 }
 
-// Start launches the periodic silence check (at a quarter of the
-// timeout).
+// PeerState returns the peer's current graded state (StateAlive for
+// unwatched peers).
+func (w *Watchdog) PeerState(peer transport.Address) State {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if ps, ok := w.peers[peer]; ok {
+		return ps.state
+	}
+	return StateAlive
+}
+
+// Phi returns the peer's current suspicion level (zero for unwatched
+// peers or before any heartbeat).
+func (w *Watchdog) Phi(peer transport.Address) float64 {
+	w.mu.Lock()
+	ps, ok := w.peers[peer]
+	w.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return w.phiOf(ps, w.now())
+}
+
+// SilentFor returns how long the peer has been silent (zero for
+// unwatched peers; measured from Monitor before the first heartbeat).
+func (w *Watchdog) SilentFor(peer transport.Address) time.Duration {
+	now := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ps, ok := w.peers[peer]
+	if !ok {
+		return 0
+	}
+	last := ps.est.LastSeen()
+	if last.IsZero() {
+		last = ps.anchored
+	}
+	return now.Sub(last)
+}
+
+// InterarrivalQuantile returns the q-quantile of the peer's observed
+// heartbeat inter-arrival times (zero for unwatched peers or an empty
+// window) — heartbeat jitter as a health signal.
+func (w *Watchdog) InterarrivalQuantile(peer transport.Address, q float64) time.Duration {
+	w.mu.Lock()
+	ps, ok := w.peers[peer]
+	w.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	return ps.est.Quantile(q)
+}
+
+// MaxPhi returns the highest current suspicion level across watched
+// peers (zero with none) — the scalar a host health collector reads.
+func (w *Watchdog) MaxPhi() float64 {
+	now := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var max float64
+	for _, ps := range w.peers {
+		if p := w.phiOf(ps, now); p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Start launches the periodic grading check (at a quarter of the
+// bootstrap timeout).
 func (w *Watchdog) Start() {
 	go func() {
 		defer close(w.done)
-		period := w.timeout / 4
+		period := w.cfg.BootstrapTimeout / 4
 		if period <= 0 {
 			period = time.Millisecond
 		}
@@ -177,26 +475,79 @@ func (w *Watchdog) Start() {
 	}()
 }
 
+// check grades every watched peer: φ against the suspect and evict
+// thresholds once the model has enough samples, the bootstrap silence
+// timeout before that. Transitions fire outside the lock.
 func (w *Watchdog) check() {
-	now := time.Now()
-	type transition struct {
-		peer transport.Address
-	}
-	var fired []transition
+	now := w.now()
+	var fired []Transition
 	w.mu.Lock()
-	for peer, seen := range w.lastSeen {
-		if !w.suspects[peer] && now.Sub(seen) > w.timeout {
-			w.suspects[peer] = true
-			fired = append(fired, transition{peer: peer})
+	cb := w.onChange
+	for peer, ps := range w.peers {
+		phi := w.phiOf(ps, now)
+		peerPhiGauge(string(peer)).Set(int64(phi * 1000))
+
+		last := ps.est.LastSeen()
+		if last.IsZero() {
+			last = ps.anchored
+		}
+		silence := now.Sub(last)
+
+		// Grade the silence: with a trusted model, on the φ scale; while
+		// bootstrapping, against the binary timeout (evict at 4× it, the
+		// same severity ratio the defaults give φ).
+		var to State
+		if ps.est.Samples() >= w.cfg.MinSamples {
+			switch {
+			case phi >= w.cfg.EvictPhi && silence >= w.cfg.EvictSilence:
+				to = StateEvicted
+			case phi >= w.cfg.SuspectPhi:
+				to = StateSuspected
+			default:
+				to = StateAlive
+			}
+		} else {
+			switch {
+			case silence >= w.cfg.EvictSilence:
+				to = StateEvicted
+			case silence > w.cfg.BootstrapTimeout:
+				to = StateSuspected
+			default:
+				to = StateAlive
+			}
+		}
+
+		// Only escalations happen here: de-escalation (recovery) is
+		// driven by arrivals in observe, where the hysteresis lives.
+		if to > ps.state {
+			tr := Transition{
+				Peer: peer, From: ps.state, To: to,
+				Phi: phi, Silence: silence, SilentSince: last,
+			}
+			if ps.state == StateAlive {
+				ps.silentSince = last
+			}
+			ps.state = to
+			ps.freshBeats = 0
+			fired = append(fired, tr)
 		}
 	}
-	cb := w.onChange
 	w.mu.Unlock()
-	if cb == nil {
-		return
-	}
+
 	for _, tr := range fired {
-		cb(tr.peer, true)
+		switch tr.To {
+		case StateSuspected:
+			mSuspicions.Inc()
+			telemetry.Emit("detector", "suspected", tr.Silence,
+				"peer", string(tr.Peer), "phi", fmt.Sprintf("%.2f", tr.Phi))
+		case StateEvicted:
+			mEvictions.Inc()
+			telemetry.Emit("detector", "evicted", tr.Silence,
+				"peer", string(tr.Peer), "phi", fmt.Sprintf("%.2f", tr.Phi))
+		}
+		if cb != nil {
+			cb(tr)
+		}
 	}
 }
 

@@ -26,14 +26,10 @@ type changeLog struct {
 	events []string
 }
 
-func (c *changeLog) record(peer transport.Address, suspected bool) {
+func (c *changeLog) record(tr Transition) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	state := "alive"
-	if suspected {
-		state = "suspected"
-	}
-	c.events = append(c.events, string(peer)+":"+state)
+	c.events = append(c.events, string(tr.Peer)+":"+tr.To.String())
 }
 
 func (c *changeLog) list() []string {

@@ -1,0 +1,186 @@
+package detector
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Phi-accrual failure estimation (Hayashibara et al., "The φ Accrual
+// Failure Detector"): instead of a binary silent/alive verdict at a
+// fixed timeout, the detector keeps a sliding window of heartbeat
+// inter-arrival times and outputs a continuous suspicion level
+//
+//	φ(t) = -log10( P(no heartbeat yet after t of silence) )
+//
+// under a normal model of the observed inter-arrival distribution.
+// φ = 1 means the silence would be exceeded by chance 10% of the time,
+// φ = 8 once in 10^8 — consumers pick thresholds on a scale that adapts
+// itself to the measured arrival jitter, instead of guessing a timeout.
+
+// DefaultWindow is the inter-arrival history retained per peer.
+const DefaultWindow = 64
+
+// PhiEstimator models one peer's heartbeat inter-arrival distribution
+// over a bounded sample window. It is deterministic given the observed
+// arrival times, and safe for concurrent use.
+type PhiEstimator struct {
+	mu sync.Mutex
+	// ring holds the newest inter-arrival samples in nanoseconds.
+	ring []float64
+	n    int // valid samples
+	next int // ring write cursor
+	last time.Time
+	// minStdDev floors the modelled deviation so a perfectly regular
+	// arrival stream (loopback, memnet) does not make the distribution
+	// collapse and φ explode on microscopic jitter.
+	minStdDev float64
+}
+
+// NewPhiEstimator returns an estimator retaining window samples
+// (DefaultWindow when <= 0) with the given standard-deviation floor.
+func NewPhiEstimator(window int, minStdDev time.Duration) *PhiEstimator {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if minStdDev <= 0 {
+		minStdDev = time.Millisecond
+	}
+	return &PhiEstimator{ring: make([]float64, window), minStdDev: float64(minStdDev)}
+}
+
+// Observe records a heartbeat arrival at t. The first observation only
+// anchors the clock; subsequent ones add inter-arrival samples. Returns
+// the inter-arrival interval (zero for the anchoring observation).
+func (e *PhiEstimator) Observe(t time.Time) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() {
+		e.last = t
+		return 0
+	}
+	dt := t.Sub(e.last)
+	if dt < 0 {
+		dt = 0
+	}
+	e.last = t
+	e.ring[e.next] = float64(dt)
+	e.next = (e.next + 1) % len(e.ring)
+	if e.n < len(e.ring) {
+		e.n++
+	}
+	return dt
+}
+
+// Samples returns how many inter-arrival samples the window holds.
+func (e *PhiEstimator) Samples() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// LastSeen returns the newest observed arrival time (zero before any).
+func (e *PhiEstimator) LastSeen() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// meanStdDevLocked computes the window's mean and (floored) standard
+// deviation in nanoseconds.
+func (e *PhiEstimator) meanStdDevLocked() (mean, stddev float64) {
+	if e.n == 0 {
+		return 0, e.minStdDev
+	}
+	var sum float64
+	for i := 0; i < e.n; i++ {
+		sum += e.ring[i]
+	}
+	mean = sum / float64(e.n)
+	var sq float64
+	for i := 0; i < e.n; i++ {
+		d := e.ring[i] - mean
+		sq += d * d
+	}
+	stddev = math.Sqrt(sq / float64(e.n))
+	if stddev < e.minStdDev {
+		stddev = e.minStdDev
+	}
+	return mean, stddev
+}
+
+// Stats returns the window's mean and floored standard deviation.
+func (e *PhiEstimator) Stats() (mean, stddev time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m, s := e.meanStdDevLocked()
+	return time.Duration(m), time.Duration(s)
+}
+
+// Quantile returns an exact nearest-rank quantile of the retained
+// inter-arrival samples (the p99 the telemetry exports), or zero while
+// the window is empty.
+func (e *PhiEstimator) Quantile(q float64) time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		return 0
+	}
+	samples := append([]float64(nil), e.ring[:e.n]...)
+	// Insertion sort: the window is small and this path is a periodic
+	// telemetry read, not the arrival path.
+	for i := 1; i < len(samples); i++ {
+		for j := i; j > 0 && samples[j] < samples[j-1]; j-- {
+			samples[j], samples[j-1] = samples[j-1], samples[j]
+		}
+	}
+	idx := int(math.Ceil(q*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return time.Duration(samples[idx])
+}
+
+// Phi returns the suspicion level for the silence observed at now.
+// Before any arrival it returns zero (nothing to accrue against).
+func (e *PhiEstimator) Phi(now time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last.IsZero() || e.n == 0 {
+		return 0
+	}
+	silence := float64(now.Sub(e.last))
+	if silence <= 0 {
+		return 0
+	}
+	mean, stddev := e.meanStdDevLocked()
+	return phi(silence, mean, stddev)
+}
+
+// phi evaluates -log10(P(X > silence)) for X ~ N(mean, stddev²), using
+// the logistic approximation of the normal tail (abs error < 1.4e-4,
+// the same approximation the Akka/Cassandra detectors use) so no erfc
+// is needed on the check path.
+func phi(silence, mean, stddev float64) float64 {
+	y := (silence - mean) / stddev
+	ey := math.Exp(-y * (1.5976 + 0.070566*y*y))
+	var p float64
+	if silence > mean {
+		p = ey / (1 + ey)
+	} else {
+		p = 1 - 1/(1+ey)
+	}
+	if p <= 0 {
+		// The tail underflowed: clamp to the largest finite suspicion
+		// instead of +Inf so thresholds and gauges stay arithmetic.
+		return maxPhi
+	}
+	return -math.Log10(p)
+}
+
+// maxPhi caps the reported suspicion level once the tail probability
+// underflows to zero.
+const maxPhi = 1000

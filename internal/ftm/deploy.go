@@ -151,6 +151,7 @@ func DeployFTM(ctx context.Context, h *host.Host, cfg ReplicaConfig, control Con
 		{typ: TypeDetector, props: map[string]any{
 			"endpoint": h.Endpoint(), "peer": watch, "crash": h.CrashSwitch(),
 			"interval": cfg.HeartbeatInterval, "timeout": cfg.SuspectTimeout,
+			"health": h.Health(),
 		}, skip: desc.Hosts < 2},
 	}
 	for _, item := range infra {

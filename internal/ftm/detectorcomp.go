@@ -9,6 +9,8 @@ import (
 	"resilientft/internal/component"
 	"resilientft/internal/detector"
 	"resilientft/internal/faultinject"
+	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
 
@@ -31,16 +33,24 @@ type detectorContent struct {
 
 	hb *detector.Heartbeater
 	wd *detector.Watchdog
+	// reported is the last suspected-bool edge sent per peer: the φ
+	// detector grades alive/suspected/evicted, but the replication
+	// protocol consumes a binary suspicion, so suspected→evicted must
+	// not re-fire OpPeerChange.
+	reported map[transport.Address]bool
+	// health is the host's monitor (wired by deploy); the detector
+	// contributes the heartbeat-quality collector to it.
+	health *host.HealthMonitor
 }
 
-func newDetectorContent(ep transport.Endpoint, peer transport.Address, crash *faultinject.CrashSwitch, interval, timeout time.Duration) *detectorContent {
+func newDetectorContent(ep transport.Endpoint, peer transport.Address, crash *faultinject.CrashSwitch, interval, timeout time.Duration, health *host.HealthMonitor) *detectorContent {
 	if interval <= 0 {
 		interval = 15 * time.Millisecond
 	}
 	if timeout <= 0 {
 		timeout = 80 * time.Millisecond
 	}
-	return &detectorContent{ep: ep, peer: peer, crash: crash, interval: interval, timeout: timeout}
+	return &detectorContent{ep: ep, peer: peer, crash: crash, interval: interval, timeout: timeout, health: health}
 }
 
 var (
@@ -85,17 +95,21 @@ func (d *detectorContent) SetProperty(name string, value any) error {
 func (d *detectorContent) OnStart(ctx context.Context) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.reported = make(map[transport.Address]bool)
 	d.hb = detector.NewHeartbeater(d.ep, d.interval, d.peer)
-	d.wd = detector.NewWatchdog(d.ep, d.timeout, func(peer transport.Address, suspected bool) {
-		protocol := d.ref("protocol")
-		if protocol == nil {
-			return
-		}
-		_, _ = protocol.Invoke(context.Background(), component.Message{Op: OpPeerChange, Payload: suspected})
-	})
+	d.wd = detector.NewWatchdog(d.ep, d.timeout, d.onTransition)
 	d.wd.Monitor(d.peer)
 	d.hb.Start()
 	d.wd.Start()
+	if d.health != nil {
+		// The detector contributes heartbeat quality as a health
+		// dimension: the host degrades at half the suspect level and is
+		// unhealthy at the suspect level itself, so /health flips while
+		// the watchdog is still only accruing suspicion.
+		wd := d.wd
+		d.health.Register(host.NewHeartbeatCollector(wd.MaxPhi,
+			detector.DefaultSuspectPhi/2, detector.DefaultSuspectPhi))
+	}
 	hb, wd := d.hb, d.wd
 	if d.crash != nil {
 		d.crash.OnTrip(func() {
@@ -108,6 +122,38 @@ func (d *detectorContent) OnStart(ctx context.Context) error {
 		})
 	}
 	return nil
+}
+
+// onTransition consumes graded watchdog transitions: the protocol gets
+// the deduplicated binary suspicion edge (suspected→evicted is an
+// escalation of an already-reported suspicion), and an eviction dumps
+// the flight recorder — the black box captures the telemetry window in
+// which the peer died, silence evidence included.
+func (d *detectorContent) onTransition(tr detector.Transition) {
+	if tr.To == detector.StateEvicted {
+		telemetry.DumpBlackBox("peer-evicted",
+			"peer", string(tr.Peer),
+			"phi", fmt.Sprintf("%.2f", tr.Phi),
+			"silence", tr.Silence.String(),
+			"silent_since", tr.SilentSince.Format(time.RFC3339Nano))
+	}
+	suspected := tr.Suspected()
+	d.mu.Lock()
+	last, seen := d.reported[tr.Peer]
+	if seen && last == suspected {
+		d.mu.Unlock()
+		return
+	}
+	if d.reported == nil {
+		d.reported = make(map[transport.Address]bool)
+	}
+	d.reported[tr.Peer] = suspected
+	d.mu.Unlock()
+	protocol := d.ref("protocol")
+	if protocol == nil {
+		return
+	}
+	_, _ = protocol.Invoke(context.Background(), component.Message{Op: OpPeerChange, Payload: suspected})
 }
 
 // OnStop halts the loops.

@@ -7,6 +7,7 @@ import (
 	"resilientft/internal/component"
 	"resilientft/internal/core"
 	"resilientft/internal/faultinject"
+	"resilientft/internal/host"
 	"resilientft/internal/transport"
 )
 
@@ -144,7 +145,8 @@ func RegisterAll(reg *component.Registry) error {
 			crash, _ := props["crash"].(*faultinject.CrashSwitch)
 			interval, _ := props["interval"].(time.Duration)
 			timeout, _ := props["timeout"].(time.Duration)
-			return newDetectorContent(ep, transport.Address(peer), crash, interval, timeout), nil
+			health, _ := props["health"].(*host.HealthMonitor)
+			return newDetectorContent(ep, transport.Address(peer), crash, interval, timeout, health), nil
 		},
 	}
 	for typ, f := range factories {

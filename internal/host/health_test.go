@@ -1,0 +1,184 @@
+package host
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientft/internal/component"
+	"resilientft/internal/telemetry"
+	"resilientft/internal/transport"
+)
+
+func testHost(t *testing.T) *Host {
+	t.Helper()
+	n := transport.NewMemNetwork()
+	h, err := New("h-"+t.Name(), n, component.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHostBootsHealthy(t *testing.T) {
+	h := testHost(t)
+	if got := h.Health().Check(); got != Healthy {
+		t.Fatalf("fresh host overall = %v, want healthy (report %+v)", got, h.Health().Report())
+	}
+	rep := h.Health().Report()
+	if len(rep.Collectors) < 4 {
+		t.Fatalf("default collectors = %d, want cpu/bandwidth/energy/stablestore", len(rep.Collectors))
+	}
+	for _, c := range rep.Collectors {
+		if c.Verdict != Healthy {
+			t.Fatalf("collector %s = %v (%s), want healthy", c.Name, c.Verdict, c.Reason)
+		}
+	}
+}
+
+func TestVerdictGradesAndReasons(t *testing.T) {
+	h := testHost(t)
+	h.Resources().SetCPUFree(0.10) // below 0.20 degraded floor, above 0.05
+	if got := h.Health().Check(); got != Degraded {
+		t.Fatalf("overall = %v with cpu at 0.10, want degraded", got)
+	}
+	h.Resources().SetCPUFree(0.01)
+	if got := h.Health().Check(); got != Unhealthy {
+		t.Fatalf("overall = %v with cpu at 0.01, want unhealthy", got)
+	}
+	rep := h.Health().Report()
+	var cpu CollectorStatus
+	for _, c := range rep.Collectors {
+		if c.Name == "cpu" {
+			cpu = c
+		}
+	}
+	if cpu.Verdict != Unhealthy {
+		t.Fatalf("cpu collector = %v, want unhealthy", cpu.Verdict)
+	}
+	if !strings.Contains(cpu.Reason, "cpu_free=") || !strings.Contains(cpu.Reason, "min=") {
+		t.Fatalf("cpu reason %q not machine-readable (want cpu_free=... min=...)", cpu.Reason)
+	}
+}
+
+func TestWorstOfAggregation(t *testing.T) {
+	h := testHost(t)
+	h.Resources().SetBandwidth(500) // degraded
+	h.Resources().SetEnergy(0.01)   // unhealthy
+	if got := h.Health().Check(); got != Unhealthy {
+		t.Fatalf("overall = %v, want worst-of unhealthy", got)
+	}
+}
+
+func TestTransitionCausesRecorded(t *testing.T) {
+	h := testHost(t)
+	h.Health().Check()
+	h.Resources().SetEnergy(0.01)
+	h.Health().Check()
+	h.Resources().SetEnergy(1.0)
+	h.Health().Check()
+
+	rep := h.Health().Report()
+	if len(rep.Transitions) != 2 {
+		t.Fatalf("transitions = %+v, want degrade then recover", rep.Transitions)
+	}
+	down, up := rep.Transitions[0], rep.Transitions[1]
+	if down.To != Unhealthy || !strings.Contains(down.Cause, "energy") {
+		t.Fatalf("degrade transition %+v, want to=unhealthy cause mentioning energy", down)
+	}
+	if up.To != Healthy || up.From != Unhealthy {
+		t.Fatalf("recovery transition %+v, want unhealthy->healthy", up)
+	}
+}
+
+func TestVerdictFlipEmitsTraceAndMetrics(t *testing.T) {
+	h := testHost(t)
+	mark := telemetry.DefaultTracer().Mark()
+	before := telemetry.Default().Counter("host_health_transitions_total", "to", "unhealthy").Value()
+
+	h.Resources().SetCPUFree(0.0)
+	h.Health().Check()
+
+	if got := telemetry.Default().Counter("host_health_transitions_total", "to", "unhealthy").Value(); got != before+1 {
+		t.Fatalf("transition counter = %d, want %d", got, before+1)
+	}
+	var found bool
+	for _, e := range telemetry.DefaultTracer().Since(mark) {
+		if e.Kind == "health" && e.Name == "unhealthy" && e.Attrs["host"] == h.Name() {
+			found = true
+			if !strings.Contains(e.Attrs["cause"], "cpu") {
+				t.Fatalf("trace event cause %q, want the cpu collector", e.Attrs["cause"])
+			}
+		}
+	}
+	if !found {
+		t.Fatal("verdict flip emitted no health trace event")
+	}
+	if g := telemetry.Default().Gauge("host_health", "host", h.Name()).Value(); g != int64(Unhealthy) {
+		t.Fatalf("host_health gauge = %d, want %d", g, int64(Unhealthy))
+	}
+}
+
+func TestHeartbeatCollectorGradesPhi(t *testing.T) {
+	phi := 0.0
+	c := NewHeartbeatCollector(func() float64 { return phi }, 4, 8)
+	if r := c.Collect(); r.Verdict != Healthy {
+		t.Fatalf("phi 0 -> %v, want healthy", r.Verdict)
+	}
+	phi = 5
+	if r := c.Collect(); r.Verdict != Degraded {
+		t.Fatalf("phi 5 -> %v, want degraded", r.Verdict)
+	}
+	phi = 20
+	if r := c.Collect(); r.Verdict != Unhealthy {
+		t.Fatalf("phi 20 -> %v, want unhealthy", r.Verdict)
+	}
+}
+
+func TestRegisterReplacesByName(t *testing.T) {
+	m := NewHealthMonitor("x")
+	m.Register(CollectorFunc{"dim", func() CheckResult { return CheckResult{Unhealthy, "old"} }})
+	m.Register(CollectorFunc{"dim", func() CheckResult { return CheckResult{Healthy, "new"} }})
+	if got := m.Check(); got != Healthy {
+		t.Fatalf("overall = %v, want the replacement collector's healthy", got)
+	}
+	if rep := m.Report(); len(rep.Collectors) != 1 {
+		t.Fatalf("collectors = %+v, want the single replaced entry", rep.Collectors)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	h := testHost(t)
+	h.Resources().SetCPUFree(0.10)
+	h.Health().Check()
+	data, err := json.Marshal(h.Health().Report())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"overall":"degraded"`) {
+		t.Fatalf("report JSON %s does not spell the verdict", data)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if rep.Overall != Degraded {
+		t.Fatalf("round-tripped overall = %v, want degraded", rep.Overall)
+	}
+}
+
+func TestPeriodicSweep(t *testing.T) {
+	h := testHost(t)
+	h.Health().Start(5 * time.Millisecond)
+	defer h.Health().Stop()
+	h.Resources().SetEnergy(0.01)
+	deadline := time.After(2 * time.Second)
+	for h.Health().Overall() != Unhealthy {
+		select {
+		case <-deadline:
+			t.Fatalf("sweep never noticed the energy drain (overall %v)", h.Health().Overall())
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -82,10 +82,11 @@ func (r *Resources) SetEnergy(f float64) {
 
 // Host is one computing node.
 type Host struct {
-	name  string
-	net   *transport.MemNetwork
-	store stablestore.Store
-	res   *Resources
+	name   string
+	net    *transport.MemNetwork
+	store  stablestore.Store
+	res    *Resources
+	health *HealthMonitor
 
 	mu       sync.Mutex
 	ep       transport.Endpoint
@@ -128,6 +129,7 @@ func New(name string, net *transport.MemNetwork, registry *component.Registry, o
 	}
 	h.ep = ep
 	h.rt = component.NewRuntime(registry)
+	h.initHealth()
 	return h, nil
 }
 
@@ -150,7 +152,18 @@ func NewWithEndpoint(name string, ep transport.Endpoint, registry *component.Reg
 		o(h)
 	}
 	h.rt = component.NewRuntime(registry)
+	h.initHealth()
 	return h, nil
+}
+
+// initHealth attaches the health monitor with the default resource and
+// stable-store collectors. Role-specific dimensions (heartbeat quality)
+// are registered by whoever deploys them.
+func (h *Host) initHealth() {
+	h.health = NewHealthMonitor(h.name)
+	for _, c := range defaultCollectors(h) {
+		h.health.Register(c)
+	}
 }
 
 // Name returns the host name (also its network address).
@@ -175,6 +188,9 @@ func (h *Host) Runtime() *component.Runtime {
 
 // Resources returns the host resource model.
 func (h *Host) Resources() *Resources { return h.res }
+
+// Health returns the host's graded health monitor.
+func (h *Host) Health() *HealthMonitor { return h.health }
 
 // Store returns the host's stable storage (which survives crashes).
 func (h *Host) Store() stablestore.Store { return h.store }

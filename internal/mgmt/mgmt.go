@@ -7,6 +7,7 @@ package mgmt
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"time"
@@ -31,6 +32,7 @@ const (
 	OpTrace      = "trace"
 	OpBlackbox   = "blackbox"
 	OpTune       = "tune"
+	OpHealth     = "health"
 )
 
 // tunables lists the replication knobs OpTune may push, all properties
@@ -97,7 +99,10 @@ type reply struct {
 	Boxes string
 	// Tune echoes an applied OpTune assignment.
 	Tune string
-	Err  string
+	// Health carries the host's graded health report pre-marshaled as
+	// JSON (the same document the daemon's HTTP /health route serves).
+	Health string
+	Err    string
 }
 
 // Serve installs the management handler for a replica on its endpoint.
@@ -192,6 +197,17 @@ func Serve(ep transport.Endpoint, r *ftm.Replica, engine *adaptation.Engine) {
 				break
 			}
 			out.Tune = fmt.Sprintf("%s=%d on %s", req.Name, req.Value, path)
+		case OpHealth:
+			hm := r.Host().Health()
+			// Run the collectors now: a health query deserves a fresh
+			// measurement, not the last sweep's.
+			hm.Check()
+			data, err := json.Marshal(hm.Report())
+			if err != nil {
+				out.Err = err.Error()
+				break
+			}
+			out.Health = string(data)
 		case OpDescribe:
 			rt := r.Host().Runtime()
 			if rt == nil {
@@ -297,6 +313,19 @@ func QueryBlackbox(ctx context.Context, ep transport.Endpoint, target transport.
 		return "", err
 	}
 	return out.Boxes, nil
+}
+
+// QueryHealth fetches a host's graded health report as the JSON
+// document the daemon's /health route serves.
+func QueryHealth(ctx context.Context, ep transport.Endpoint, target transport.Address) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpHealth})
+	if err != nil {
+		return "", err
+	}
+	if out.Health == "" {
+		return "", fmt.Errorf("mgmt: empty health reply")
+	}
+	return out.Health, nil
 }
 
 // RequestTune pushes a replication tunable (maxWave, accumWindow,

@@ -2,6 +2,7 @@ package mgmt
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -175,5 +176,36 @@ func TestQueryEventsTraceAndBlackbox(t *testing.T) {
 	}
 	if !strings.Contains(boxes, "mgmt-test-incident") {
 		t.Fatalf("blackbox document missing incident: %s", boxes)
+	}
+}
+
+func TestQueryHealthRoundTrip(t *testing.T) {
+	r, ctl := newServedReplica(t)
+	// Starve the host so the fresh measurement the query runs shows a
+	// graded, caused verdict, not just a healthy default.
+	r.Host().Resources().SetCPUFree(0.01)
+
+	data, err := QueryHealth(context.Background(), ctl, "node")
+	if err != nil {
+		t.Fatalf("QueryHealth: %v", err)
+	}
+	var rep host.Report
+	if err := json.Unmarshal([]byte(data), &rep); err != nil {
+		t.Fatalf("health reply is not a report: %v\n%s", err, data)
+	}
+	if rep.Host != "node" || rep.Overall != host.Unhealthy {
+		t.Fatalf("report = %+v, want node unhealthy", rep)
+	}
+	var cpuSeen bool
+	for _, c := range rep.Collectors {
+		if c.Name == "cpu" {
+			cpuSeen = true
+			if c.Verdict != host.Unhealthy || !strings.Contains(c.Reason, "cpu_free=") {
+				t.Fatalf("cpu collector = %+v", c)
+			}
+		}
+	}
+	if !cpuSeen {
+		t.Fatal("report carries no cpu collector")
 	}
 }

@@ -1,0 +1,31 @@
+package monitor
+
+import "resilientft/internal/host"
+
+// Health probes bridge the graded host-health model into the rule
+// engine: a verdict is sampled as its ordinal (0 healthy, 1 degraded,
+// 2 unhealthy), so threshold rules compose naturally — `Above 0.5`
+// fires on any degradation, `Above 1.5` only on unhealthy. Sampling
+// reads the monitor's last sweep; it never runs collectors itself, so
+// probe polling stays off the measurement path.
+
+// HealthProbe samples a host's overall health verdict as a float.
+func HealthProbe(name string, hm *host.HealthMonitor) Probe {
+	return ProbeFunc{ProbeName: name, Fn: func() float64 {
+		return float64(hm.Overall())
+	}}
+}
+
+// CollectorHealthProbe samples one collector's verdict from the latest
+// report (0 while the collector has not run or is unregistered —
+// absence of evidence is not a failure verdict).
+func CollectorHealthProbe(name string, hm *host.HealthMonitor, collector string) Probe {
+	return ProbeFunc{ProbeName: name, Fn: func() float64 {
+		for _, c := range hm.Report().Collectors {
+			if c.Name == collector {
+				return float64(c.Verdict)
+			}
+		}
+		return 0
+	}}
+}

@@ -15,12 +15,16 @@ import (
 //	GET /trace/{id}  JSON of every retained span of one trace
 //	                 (id in the %016x form the tools print)
 //	GET /blackbox    JSON array of the retained black boxes
+//	GET /health      JSON health report (only with WithHealth)
 //
 // spans and fr may be nil; the corresponding routes then answer 404.
 // cmd/resilientd mounts it behind its -http flag; tests mount it on
 // httptest servers.
-func Handler(reg *Registry, tr *Tracer, spans *SpanRecorder, fr *FlightRecorder) http.Handler {
+func Handler(reg *Registry, tr *Tracer, spans *SpanRecorder, fr *FlightRecorder, opts ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
+	for _, o := range opts {
+		o(mux)
+	}
 	if spans != nil {
 		mux.HandleFunc("/trace/{id}", func(w http.ResponseWriter, req *http.Request) {
 			id, err := strconv.ParseUint(req.PathValue("id"), 16, 64)
@@ -76,4 +80,20 @@ func Handler(reg *Registry, tr *Tracer, spans *SpanRecorder, fr *FlightRecorder)
 		_ = json.NewEncoder(w).Encode(events)
 	})
 	return mux
+}
+
+// HandlerOption adds optional routes to Handler.
+type HandlerOption func(*http.ServeMux)
+
+// WithHealth mounts GET /health serving the JSON encoding of whatever
+// report() returns (typically the host's aggregated health report).
+// The telemetry package stays ignorant of the report's shape — health
+// is owned by the host layer, this is just its window.
+func WithHealth(report func() any) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/health", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(report())
+		})
+	}
 }

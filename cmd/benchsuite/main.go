@@ -27,6 +27,7 @@ func main() {
 		root     = flag.String("root", ".", "repository root (for the SLOC figures)")
 		jsonPath = flag.String("json", "", "with -exp bench: write the perf report JSON to this file (stdout when empty)")
 		metrics  = flag.Bool("metrics", false, "with -exp bench: embed the flattened telemetry registry in the report")
+		shards   = flag.Int("shards", 4, "with -exp bench: measure routed throughput over N replica groups, plus the 1-group parity row (0 = skip the sharded family)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -136,7 +137,7 @@ func main() {
 		// Deliberately not part of "all": the perf suite is the
 		// machine-readable request-path report (BENCH_pr1.json), not one
 		// of the paper's artifacts.
-		report, err := experiments.PerfSuite(ctx, *runs)
+		report, err := experiments.PerfSuite(ctx, *runs, *shards)
 		if err != nil {
 			log.Fatal(err)
 		}

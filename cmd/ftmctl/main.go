@@ -2,6 +2,8 @@
 // management plane.
 //
 //	ftmctl -target 127.0.0.1:7001 status
+//	ftmctl -target 127.0.0.1:7001 shards
+//	ftmctl -target 127.0.0.1:7001 -group 1 status
 //	ftmctl -target 127.0.0.1:7001 arch
 //	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
 //	ftmctl -target 127.0.0.1:7001 invoke add:x 5
@@ -41,11 +43,12 @@ func run() error {
 	var (
 		target = flag.String("target", "127.0.0.1:7001", "replica to address")
 		peer   = flag.String("peer", "", "second replica (transitions apply to both)")
+		group  = flag.String("group", "", "replica group (shard) to address on a sharded daemon")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] status|arch|health|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] [-group id] status|shards|arch|health|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
 	}
 
 	ep, err := transport.ListenTCP("127.0.0.1:0")
@@ -64,20 +67,38 @@ func run() error {
 	switch args[0] {
 	case "status":
 		for _, addr := range targets {
-			st, err := mgmt.QueryStatus(ctx, ep, addr)
+			st, err := mgmt.QueryStatus(ctx, ep, addr, *group)
 			if err != nil {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
-			fmt.Printf("%s: system=%s ftm=%s role=%s\n", st.Host, st.System, st.FTM, st.Role)
+			label := ""
+			if st.Group != "" {
+				label = " group=" + st.Group
+			}
+			fmt.Printf("%s: system=%s%s ftm=%s role=%s\n", st.Host, st.System, label, st.FTM, st.Role)
 			fmt.Printf("  scheme: before=%s proceed=%s after=%s\n",
 				st.Scheme.Before, st.Scheme.Proceed, st.Scheme.After)
 			for _, e := range st.Events {
 				fmt.Printf("  event: %s\n", e)
 			}
 		}
+	case "shards":
+		for _, addr := range targets {
+			rows, err := mgmt.QueryShards(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			for _, row := range rows {
+				fmt.Printf("shard %-4s system=%s host=%s ftm=%s role=%s health=%s\n",
+					row.Group, row.System, row.Host, row.FTM, row.Role, row.Health)
+			}
+		}
 	case "arch":
 		for _, addr := range targets {
-			arch, err := mgmt.QueryArchitecture(ctx, ep, addr)
+			arch, err := mgmt.QueryArchitecture(ctx, ep, addr, *group)
 			if err != nil {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
@@ -85,7 +106,7 @@ func run() error {
 		}
 	case "health":
 		for _, addr := range targets {
-			doc, err := mgmt.QueryHealth(ctx, ep, addr)
+			doc, err := mgmt.QueryHealth(ctx, ep, addr, *group)
 			if err != nil {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
@@ -185,7 +206,7 @@ func run() error {
 			return err
 		}
 		for _, addr := range targets {
-			out, err := mgmt.RequestTransition(ctx, ep, addr, to)
+			out, err := mgmt.RequestTransition(ctx, ep, addr, *group, to)
 			if err != nil {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
@@ -201,7 +222,7 @@ func run() error {
 			return fmt.Errorf("bad value %q: %w", args[2], err)
 		}
 		for _, addr := range targets {
-			echo, err := mgmt.RequestTune(ctx, ep, addr, args[1], value)
+			echo, err := mgmt.RequestTune(ctx, ep, addr, *group, args[1], value)
 			if err != nil {
 				return fmt.Errorf("%s: %w", addr, err)
 			}
@@ -220,7 +241,11 @@ func run() error {
 		// process's requests. Always-trace makes the single invocation
 		// sampled, so `ftmctl trace` can read it back afterwards.
 		clientID := fmt.Sprintf("ftmctl-%d-%d", os.Getpid(), time.Now().UnixNano())
-		client := rpc.NewClient(clientID, ep, targets, rpc.WithAlwaysTrace())
+		opts := []rpc.ClientOption{rpc.WithAlwaysTrace()}
+		if *group != "" {
+			opts = append(opts, rpc.WithGroup(*group))
+		}
+		client := rpc.NewClient(clientID, ep, targets, opts...)
 		resp, err := client.Invoke(ctx, args[1], ftm.EncodeArg(arg))
 		if err != nil {
 			return err

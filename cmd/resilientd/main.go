@@ -7,6 +7,14 @@
 //	resilientd -listen 127.0.0.1:7002 -peer 127.0.0.1:7001 -role slave  -ftm pbr &
 //
 // Then drive it with ftmctl (status, transitions, application calls).
+//
+// With -shards N each daemon hosts N independent replica groups
+// ("0".."N-1", systems "<system>-0".."<system>-N-1") behind the same
+// listener; group-stamped requests (rpc routing tier, ftmctl -group)
+// reach their shard, and `ftmctl shards` lists the roster:
+//
+//	resilientd -listen 127.0.0.1:7001 -peer 127.0.0.1:7002 -role master -shards 4 &
+//	resilientd -listen 127.0.0.1:7002 -peer 127.0.0.1:7001 -role slave  -shards 4 &
 package main
 
 import (
@@ -54,6 +62,7 @@ func run() error {
 		healthEvery = flag.Duration("health-interval", time.Second, "host health sweep interval")
 		sample      = flag.Uint64("trace-sample", telemetry.DefaultSampleEvery, "span sampling: record 1 in N requests (0 = off, 1 = all)")
 		boxPath     = flag.String("blackbox", "", "flight-recorder incident file, JSON lines (empty = in-memory only)")
+		shards      = flag.Int("shards", 1, "independent replica groups hosted by this daemon")
 	)
 	flag.Parse()
 
@@ -117,22 +126,39 @@ func run() error {
 	}
 
 	ctx := context.Background()
-	replica, err := ftm.NewReplica(ctx, h, ftm.ReplicaConfig{
-		System:            *system,
-		FTM:               core.ID(*ftmFlag),
-		Role:              core.Role(*role),
-		Peer:              transport.Address(*peer),
-		Members:           memberList,
-		App:               ftm.NewCalculator(),
-		HeartbeatInterval: *heartbeat,
-		SuspectTimeout:    *suspect,
-	}, ftm.WithEventHook(func(e string) {
-		log.Printf("[%s] %s", *system, e)
-	}))
-	if err != nil {
-		return err
+	if *shards < 1 {
+		*shards = 1
 	}
-	mgmt.Serve(ep, replica, adaptation.NewEngine(nil))
+	// One group is the classic unsharded daemon (empty group ID, bare
+	// system name); N groups share this endpoint behind the group mux,
+	// each its own replica with its own detector, batcher and reply log.
+	srv := mgmt.NewServer(ep)
+	engine := adaptation.NewEngine(nil)
+	for k := 0; k < *shards; k++ {
+		sysName, gid := *system, ""
+		if *shards > 1 {
+			gid = fmt.Sprintf("%d", k)
+			sysName = fmt.Sprintf("%s-%s", *system, gid)
+		}
+		name := sysName
+		replica, err := ftm.NewReplica(ctx, h, ftm.ReplicaConfig{
+			System:            sysName,
+			Group:             gid,
+			FTM:               core.ID(*ftmFlag),
+			Role:              core.Role(*role),
+			Peer:              transport.Address(*peer),
+			Members:           memberList,
+			App:               ftm.NewCalculator(),
+			HeartbeatInterval: *heartbeat,
+			SuspectTimeout:    *suspect,
+		}, ftm.WithEventHook(func(e string) {
+			log.Printf("[%s] %s", name, e)
+		}))
+		if err != nil {
+			return err
+		}
+		srv.Register(replica, engine)
+	}
 
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -151,8 +177,13 @@ func run() error {
 		fmt.Printf("resilientd: observability on http://%s/metrics\n", ln.Addr())
 	}
 
-	fmt.Printf("resilientd: %s %s/%s listening on %s (peer %s)\n",
-		*system, *ftmFlag, *role, ep.Addr(), *peer)
+	if *shards > 1 {
+		fmt.Printf("resilientd: %s x%d shards %s/%s listening on %s (peer %s)\n",
+			*system, *shards, *ftmFlag, *role, ep.Addr(), *peer)
+	} else {
+		fmt.Printf("resilientd: %s %s/%s listening on %s (peer %s)\n",
+			*system, *ftmFlag, *role, ep.Addr(), *peer)
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

@@ -26,6 +26,22 @@ func healthDecision(decision string) *telemetry.Counter {
 	return telemetry.Default().Counter("adaptation_health_decision_total", "decision", decision)
 }
 
+// shardDecision counts the same decisions per replica group, so a
+// sharded deployment's dashboards attribute adaptations to shards.
+func shardDecision(group, decision string) *telemetry.Counter {
+	return telemetry.Default().Counter("adaptation_shard_decision_total", "shard", group, "decision", decision)
+}
+
+// decided records one decision on both series and the event trace.
+func decided(group, decision string, kv ...string) {
+	healthDecision(decision).Inc()
+	if group != "" {
+		shardDecision(group, decision).Inc()
+		kv = append(kv, "shard", group)
+	}
+	telemetry.Emit("adaptation", decision, 0, kv...)
+}
+
 // ErrNoHealthyHost reports that every placement candidate measured
 // Unhealthy.
 var ErrNoHealthyHost = fmt.Errorf("adaptation: no healthy candidate host")
@@ -38,6 +54,16 @@ var ErrNoHealthyHost = fmt.Errorf("adaptation: no healthy candidate host")
 // only Unhealthy candidates it returns ErrNoHealthyHost — refusing a
 // placement is itself the decision.
 func ChooseSlaveHost(candidates []*host.Host) (*host.Host, error) {
+	return chooseSlaveHost("", candidates)
+}
+
+// ChooseSlaveHostFor is ChooseSlaveHost with its decisions attributed
+// to one replica group on the shard-labeled decision series.
+func ChooseSlaveHostFor(group string, candidates []*host.Host) (*host.Host, error) {
+	return chooseSlaveHost(group, candidates)
+}
+
+func chooseSlaveHost(group string, candidates []*host.Host) (*host.Host, error) {
 	var best *host.Host
 	bestVerdict := host.Unhealthy
 	for _, h := range candidates {
@@ -46,8 +72,7 @@ func ChooseSlaveHost(candidates []*host.Host) (*host.Host, error) {
 		}
 		v := h.Health().Check()
 		if v == host.Unhealthy {
-			healthDecision("avoid-unhealthy").Inc()
-			telemetry.Emit("adaptation", "avoid-unhealthy", 0,
+			decided(group, "avoid-unhealthy",
 				"host", h.Name(), "verdict", v.String(),
 				"cause", lastCause(h.Health()))
 			continue
@@ -59,8 +84,7 @@ func ChooseSlaveHost(candidates []*host.Host) (*host.Host, error) {
 	if best == nil {
 		return nil, ErrNoHealthyHost
 	}
-	healthDecision("place-slave").Inc()
-	telemetry.Emit("adaptation", "place-slave", 0,
+	decided(group, "place-slave",
 		"host", best.Name(), "verdict", bestVerdict.String())
 	return best, nil
 }
@@ -84,6 +108,9 @@ func lastCause(hm *host.HealthMonitor) string {
 type HealthReactor struct {
 	engine *Engine
 	sys    *ftm.System
+	// group attributes this reactor's decisions to one replica shard on
+	// the shard-labeled decision series (empty: unsharded).
+	group string
 	// DegradeAt is the verdict at which the reactor acts (default
 	// Unhealthy; Degraded makes it eager).
 	degradeAt host.Verdict
@@ -97,10 +124,16 @@ type HealthReactor struct {
 // NewHealthReactor returns a reactor moving sys to the FTM `to` when
 // the master host's health reaches degradeAt.
 func NewHealthReactor(engine *Engine, sys *ftm.System, degradeAt host.Verdict, to core.ID) *HealthReactor {
+	return NewHealthReactorFor(engine, sys, "", degradeAt, to)
+}
+
+// NewHealthReactorFor is NewHealthReactor for one replica group of a
+// sharded deployment.
+func NewHealthReactorFor(engine *Engine, sys *ftm.System, group string, degradeAt host.Verdict, to core.ID) *HealthReactor {
 	if engine == nil {
 		engine = NewEngine(nil)
 	}
-	return &HealthReactor{engine: engine, sys: sys, degradeAt: degradeAt, to: to}
+	return &HealthReactor{engine: engine, sys: sys, group: group, degradeAt: degradeAt, to: to}
 }
 
 // React measures the master's health once and transitions the system
@@ -117,8 +150,7 @@ func (hr *HealthReactor) React(ctx context.Context) (*Report, bool, error) {
 		return nil, false, nil
 	}
 	from := master.FTM()
-	healthDecision("ftm-degrade").Inc()
-	telemetry.Emit("adaptation", "ftm-degrade", 0,
+	decided(hr.group, "ftm-degrade",
 		"host", h.Name(), "verdict", verdict.String(),
 		"from", string(from), "to", string(hr.to),
 		"cause", lastCause(h.Health()))

@@ -1,0 +1,178 @@
+package adaptation
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+)
+
+// Per-shard resilience management: when the state space is partitioned
+// into independent replica groups, the paper's (FT, A, R) record stops
+// being a process-wide singleton — each group carries its own policy
+// and reacts to its own hosts' measured health. One shard's master may
+// shed PBR for LFR while its neighbours keep checkpointing.
+
+// ShardPolicy is one replica group's resilience record: when to act
+// (DegradeAt), what to degrade to (DegradeTo), and how often to look
+// (Interval, for the polling loops).
+type ShardPolicy struct {
+	// DegradeAt is the health verdict that triggers degradation
+	// (default Unhealthy).
+	DegradeAt host.Verdict
+	// DegradeTo is the FTM degraded to (default LFR: keep crash
+	// tolerance, shed checkpointing bandwidth).
+	DegradeTo core.ID
+	// Interval paces the polling loop started by StartAll (default 1s).
+	Interval time.Duration
+}
+
+func (p ShardPolicy) withDefaults() ShardPolicy {
+	if p.DegradeAt == 0 {
+		p.DegradeAt = host.Unhealthy
+	}
+	if p.DegradeTo == "" {
+		p.DegradeTo = core.LFR
+	}
+	if p.Interval <= 0 {
+		p.Interval = time.Second
+	}
+	return p
+}
+
+type shardEntry struct {
+	policy  ShardPolicy
+	reactor *HealthReactor
+}
+
+// ShardManager owns one edge-acting HealthReactor per replica group,
+// each under its own policy, all sharing one adaptation engine (the
+// repository and its packages are process-wide; the decisions are not).
+type ShardManager struct {
+	engine *Engine
+
+	mu     sync.Mutex
+	shards map[string]*shardEntry
+}
+
+// NewShardManager returns an empty manager over engine (a fresh engine
+// when nil).
+func NewShardManager(engine *Engine) *ShardManager {
+	if engine == nil {
+		engine = NewEngine(nil)
+	}
+	return &ShardManager{engine: engine, shards: make(map[string]*shardEntry)}
+}
+
+// Engine returns the shared adaptation engine.
+func (m *ShardManager) Engine() *Engine { return m.engine }
+
+// Manage installs (or replaces) the policy for one group's system and
+// returns its reactor. A replaced group's polling loop is stopped.
+func (m *ShardManager) Manage(group string, sys *ftm.System, pol ShardPolicy) *HealthReactor {
+	pol = pol.withDefaults()
+	hr := NewHealthReactorFor(m.engine, sys, group, pol.DegradeAt, pol.DegradeTo)
+	m.mu.Lock()
+	old := m.shards[group]
+	m.shards[group] = &shardEntry{policy: pol, reactor: hr}
+	m.mu.Unlock()
+	if old != nil {
+		old.reactor.Stop()
+	}
+	return hr
+}
+
+// ManageSharded installs a policy for every group of a sharded system:
+// base for all, overridden per group ID by overrides.
+func (m *ShardManager) ManageSharded(s *ftm.ShardedSystem, base ShardPolicy, overrides map[string]ShardPolicy) {
+	ids := s.IDs()
+	for k, g := range s.Groups() {
+		pol := base
+		if o, ok := overrides[ids[k]]; ok {
+			pol = o
+		}
+		m.Manage(ids[k], g, pol)
+	}
+}
+
+// Groups returns the managed group IDs, sorted.
+func (m *ShardManager) Groups() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.shards))
+	for g := range m.shards {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reactor returns the reactor managing a group, or nil.
+func (m *ShardManager) Reactor(group string) *HealthReactor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.shards[group]; ok {
+		return e.reactor
+	}
+	return nil
+}
+
+// ReactAll runs one measurement sweep over every managed group and
+// returns the groups that transitioned (acted edge: a group already in
+// its degraded FTM is not re-transitioned). The first error is
+// returned after the sweep completes — one shard's failing transition
+// must not stop the others' reactions.
+func (m *ShardManager) ReactAll(ctx context.Context) ([]string, error) {
+	m.mu.Lock()
+	groups := make([]string, 0, len(m.shards))
+	reactors := make([]*HealthReactor, 0, len(m.shards))
+	for g, e := range m.shards {
+		groups = append(groups, g)
+		reactors = append(reactors, e.reactor)
+	}
+	m.mu.Unlock()
+
+	var acted []string
+	var firstErr error
+	for i, hr := range reactors {
+		_, did, err := hr.React(ctx)
+		if did {
+			acted = append(acted, groups[i])
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	sort.Strings(acted)
+	return acted, firstErr
+}
+
+// StartAll starts every group's polling loop at its policy interval.
+func (m *ShardManager) StartAll() {
+	m.mu.Lock()
+	entries := make([]*shardEntry, 0, len(m.shards))
+	for _, e := range m.shards {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	for _, e := range entries {
+		e.reactor.Start(e.policy.Interval)
+	}
+}
+
+// StopAll stops every group's polling loop.
+func (m *ShardManager) StopAll() {
+	m.mu.Lock()
+	entries := make([]*shardEntry, 0, len(m.shards))
+	for _, e := range m.shards {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	for _, e := range entries {
+		e.reactor.Stop()
+	}
+}

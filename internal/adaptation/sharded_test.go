@@ -1,0 +1,103 @@
+package adaptation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/host"
+	"resilientft/internal/telemetry"
+)
+
+// TestShardManagerDegradesOneGroup starves one shard's master and
+// checks the per-shard loop acts exactly there: the starved group
+// sheds PBR for LFR, the others keep checkpointing, and the decision
+// lands on the shard-labeled series.
+func TestShardManagerDegradesOneGroup(t *testing.T) {
+	s, err := ftm.NewShardedSystem(context.Background(), ftm.ShardedConfig{
+		System:            "calc",
+		FTM:               core.PBR,
+		Shards:            3,
+		HeartbeatInterval: time.Hour,
+		SuspectTimeout:    24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	m := NewShardManager(nil)
+	m.ManageSharded(s, ShardPolicy{}, nil)
+	if got := m.Groups(); len(got) != 3 {
+		t.Fatalf("managed groups = %v", got)
+	}
+
+	// All healthy: a sweep does nothing.
+	acted, err := m.ReactAll(context.Background())
+	if err != nil || len(acted) != 0 {
+		t.Fatalf("healthy sweep acted=%v err=%v", acted, err)
+	}
+
+	// Starve shard 1's master.
+	s.Group(1).Master().Host().Resources().SetCPUFree(0.01)
+	acted, err = m.ReactAll(context.Background())
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(acted) != 1 || acted[0] != "1" {
+		t.Fatalf("acted = %v, want [1]", acted)
+	}
+	for k, want := range []core.ID{core.PBR, core.LFR, core.PBR} {
+		if got := s.Group(k).Master().FTM(); got != want {
+			t.Fatalf("shard %d FTM = %s, want %s", k, got, want)
+		}
+	}
+
+	// Edge-acting: the verdict persists but the transition does not
+	// repeat.
+	if acted, _ = m.ReactAll(context.Background()); len(acted) != 0 {
+		t.Fatalf("repeat sweep re-acted: %v", acted)
+	}
+
+	c, ok := telemetry.Default().FindCounter("adaptation_shard_decision_total", "shard", "1", "decision", "ftm-degrade")
+	if !ok || c.Value() == 0 {
+		t.Fatal("shard-labeled degrade decision not recorded")
+	}
+	if _, ok := telemetry.Default().FindCounter("adaptation_shard_decision_total", "shard", "0", "decision", "ftm-degrade"); ok {
+		t.Fatal("healthy shard carries a degrade decision")
+	}
+}
+
+// TestChooseSlaveHostForLabelsDecisions checks the group-attributed
+// placement variant records its avoidances and choice per shard.
+func TestChooseSlaveHostForLabelsDecisions(t *testing.T) {
+	s, err := ftm.NewShardedSystem(context.Background(), ftm.ShardedConfig{
+		System:            "place",
+		FTM:               core.PBR,
+		Shards:            1,
+		HeartbeatInterval: time.Hour,
+		SuspectTimeout:    24 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	hosts := s.Group(0).Hosts()
+	hosts[0].Resources().SetCPUFree(0.01) // unhealthy: must be avoided
+	got, err := ChooseSlaveHostFor("0", []*host.Host{hosts[0], hosts[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hosts[1] {
+		t.Fatalf("chose %s, want %s", got.Name(), hosts[1].Name())
+	}
+	for _, decision := range []string{"avoid-unhealthy", "place-slave"} {
+		c, ok := telemetry.Default().FindCounter("adaptation_shard_decision_total", "shard", "0", "decision", decision)
+		if !ok || c.Value() == 0 {
+			t.Fatalf("shard-labeled %s decision not recorded", decision)
+		}
+	}
+}

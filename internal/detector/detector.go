@@ -274,9 +274,105 @@ type Watchdog struct {
 	onChange func(Transition)
 	now      func() time.Time
 
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+	detach func()
+}
+
+// beatHub fans one endpoint's heartbeat arrivals out to every watchdog
+// attached to it. With one watchdog per endpoint (the classic shape)
+// it is a single indirection; with several — N shard detectors in one
+// daemon — it is what keeps each watchdog fed, where registering each
+// watchdog's own handler would leave only the last one receiving beats
+// and the others suspecting live peers.
+type beatHub struct {
+	mu       sync.Mutex
+	watchers []*Watchdog
+	// dead marks a hub that emptied and left the registry; a racing
+	// attach must build a fresh hub instead of joining a corpse.
+	dead bool
+}
+
+// beatHubs maps live endpoints to their hub; an entry exists only
+// while at least one watchdog is attached, so stopped test systems do
+// not pin their endpoints (and the composites the endpoint handlers
+// close over).
+var beatHubs sync.Map // transport.Endpoint -> *beatHub
+
+// attachBeats subscribes w to ep's heartbeat stream and returns the
+// detach hook.
+func attachBeats(ep transport.Endpoint, w *Watchdog) func() {
+	for {
+		v, _ := beatHubs.LoadOrStore(ep, &beatHub{})
+		hub := v.(*beatHub)
+		if hub.add(ep, w) {
+			return func() { hub.remove(ep, w) }
+		}
+		beatHubs.CompareAndDelete(ep, hub)
+	}
+}
+
+// add subscribes w, installing the endpoint handler on first use.
+// Returns false if the hub is dead.
+func (h *beatHub) add(ep transport.Endpoint, w *Watchdog) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.dead {
+		return false
+	}
+	if len(h.watchers) == 0 {
+		ep.Handle(KindHeartbeat, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+			h.dispatch(p.From)
+			return nil, nil
+		})
+	}
+	h.watchers = append(h.watchers, w)
+	return true
+}
+
+func (h *beatHub) remove(ep transport.Endpoint, w *Watchdog) {
+	h.mu.Lock()
+	for i, x := range h.watchers {
+		if x == w {
+			h.watchers = append(h.watchers[:i], h.watchers[i+1:]...)
+			break
+		}
+	}
+	dead := len(h.watchers) == 0
+	if dead {
+		// Uninstall before the death of the hub becomes observable: a
+		// racing attach builds its replacement hub only after seeing
+		// dead under this lock, so its Handle strictly follows this one.
+		ep.Handle(KindHeartbeat, nil)
+		h.dead = true
+	}
+	h.mu.Unlock()
+	if dead {
+		beatHubs.CompareAndDelete(ep, h)
+	}
+}
+
+// dispatch folds one arrival into every attached watchdog; each one
+// ignores peers it does not Monitor.
+func (h *beatHub) dispatch(from transport.Address) {
+	h.mu.Lock()
+	n := len(h.watchers)
+	var solo *Watchdog
+	var all []*Watchdog
+	if n == 1 {
+		solo = h.watchers[0]
+	} else if n > 1 {
+		all = append(all, h.watchers...)
+	}
+	h.mu.Unlock()
+	if solo != nil {
+		solo.observe(from)
+		return
+	}
+	for _, w := range all {
+		w.observe(from)
+	}
 }
 
 // NewWatchdog returns a watchdog attached to ep with thresholds derived
@@ -300,10 +396,7 @@ func NewPhiWatchdog(ep transport.Endpoint, cfg Config, onChange func(Transition)
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
-	ep.Handle(KindHeartbeat, func(ctx context.Context, p transport.Packet) ([]byte, error) {
-		w.observe(p.From)
-		return nil, nil
-	})
+	w.detach = attachBeats(ep, w)
 	return w
 }
 
@@ -551,8 +644,14 @@ func (w *Watchdog) check() {
 	}
 }
 
-// Stop halts the watchdog. Safe to call more than once.
+// Stop halts the watchdog and detaches it from its endpoint's
+// heartbeat stream. Safe to call more than once.
 func (w *Watchdog) Stop() {
-	w.once.Do(func() { close(w.stop) })
+	w.once.Do(func() {
+		close(w.stop)
+		if w.detach != nil {
+			w.detach()
+		}
+	})
 	<-w.done
 }

@@ -51,9 +51,12 @@ func (r *PerfReport) JSON() ([]byte, error) {
 // PerfSuite measures the request-path performance families the repo's
 // benchmarks track (`go test -bench` is the precise instrument; this
 // suite is the scriptable one): client-visible request latency per FTM,
-// the state-size sweep extremes under full and delta checkpointing, and
-// aggregate multi-client throughput.
-func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
+// the state-size sweep extremes under full and delta checkpointing,
+// aggregate multi-client throughput, and — when shards > 0 — the same
+// throughput points against a consistent-hash-routed N-group system,
+// plus a 1-group routed point (the parity row: what the routing tier
+// itself costs over a single group).
+func PerfSuite(ctx context.Context, ops, shards int) (*PerfReport, error) {
 	if ops < 1 {
 		ops = 200
 	}
@@ -135,6 +138,33 @@ func PerfSuite(ctx context.Context, ops int) (*PerfReport, error) {
 			})
 		}
 	}
+
+	if shards > 0 {
+		// Sharded family, PBR only (the checkpoint-heavy mechanism is the
+		// one whose serialization sharding relieves): N groups behind the
+		// ring router, and the N=1 parity point. Compare these to the
+		// same-run throughput/pbr_32clients row — ratios within one report
+		// are meaningful, absolutes across machines are not.
+		for _, n := range []int{1, shards} {
+			name := fmt.Sprintf("throughput/pbr_sharded%d_32clients", n)
+			runs := make([]throughputRun, throughputRuns)
+			for i := range runs {
+				var err error
+				if runs[i], err = measureShardedThroughput(ctx, core.PBR, n, 32, ops); err != nil {
+					return nil, fmt.Errorf("experiments: perf sharded throughput %d: %w", n, err)
+				}
+			}
+			sort.Slice(runs, func(i, j int) bool { return runs[i].reqs < runs[j].reqs })
+			med := runs[len(runs)/2]
+			report.Metrics = append(report.Metrics, PerfMetric{
+				Name: name, NsPerOp: med.lat.Nanoseconds(), ReqPerSec: med.reqs,
+				ReqPerSecMin: runs[0].reqs, Runs: len(runs),
+			})
+			if n == shards {
+				break // shards == 1: the parity row is the whole family
+			}
+		}
+	}
 	return report, nil
 }
 
@@ -197,6 +227,83 @@ func measureThroughput(ctx context.Context, ftmID core.ID, clients, ops int) (th
 					}
 				}
 			}(c, fmt.Sprintf("add:r%d", ci))
+		}
+		wg.Wait()
+	}
+	drive(throughputWarmup)
+	if firstErr != nil {
+		return throughputRun{}, firstErr
+	}
+	start := time.Now()
+	drive(ops)
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return throughputRun{}, firstErr
+	}
+	total := clients * ops
+	return throughputRun{
+		reqs: float64(total) / elapsed.Seconds(),
+		lat:  elapsed / time.Duration(total),
+	}, nil
+}
+
+// measureShardedThroughput is measureThroughput against a sharded
+// system: shards independent groups behind consistent-hash routers,
+// each worker writing its own register through its own router. Worker
+// keys are picked so the load spreads evenly over the groups — the
+// benchmark measures the sharded request path, not hash luck on 32
+// short strings.
+func measureShardedThroughput(ctx context.Context, ftmID core.ID, shards, clients, ops int) (throughputRun, error) {
+	sys, err := ftm.NewShardedSystem(ctx, ftm.ShardedConfig{
+		System:            "perf",
+		FTM:               ftmID,
+		Shards:            shards,
+		HeartbeatInterval: 50 * time.Millisecond,
+		SuspectTimeout:    30 * time.Second,
+	})
+	if err != nil {
+		return throughputRun{}, err
+	}
+	defer sys.Shutdown()
+
+	routers := make([]*rpc.Router, clients)
+	keys := make([]string, clients)
+	for i := range routers {
+		if routers[i], err = sys.NewRouter(rpc.WithCallTimeout(10 * time.Second)); err != nil {
+			return throughputRun{}, err
+		}
+		// Search for a key the ring maps to this worker's target group.
+		want := sys.IDs()[i%shards]
+		for j := 0; ; j++ {
+			key := fmt.Sprintf("r%d-%d", i, j)
+			if routers[i].Pick(key) == want {
+				keys[i] = key
+				break
+			}
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	drive := func(count int) {
+		for ci := range routers {
+			wg.Add(1)
+			go func(r *rpc.Router, key string) {
+				defer wg.Done()
+				op := "add:" + key
+				for i := 0; i < count; i++ {
+					if _, err := r.Invoke(ctx, key, op, ftm.EncodeArg(1)); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(routers[ci], keys[ci])
 		}
 		wg.Wait()
 	}

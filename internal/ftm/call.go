@@ -226,4 +226,7 @@ var (
 	ErrNotSlave = errors.New("ftm: not slave")
 	// ErrNoPeer reports an inter-replica exchange with no live peer.
 	ErrNoPeer = errors.New("ftm: no live peer")
+	// ErrNoReplicaForGroup reports an inter-replica message whose group
+	// stamp matches no replica on the receiving endpoint.
+	ErrNoReplicaForGroup = errors.New("ftm: no replica for group")
 )

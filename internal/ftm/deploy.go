@@ -17,6 +17,11 @@ type ReplicaConfig struct {
 	// path on the host and the key under which configurations are
 	// committed to stable storage.
 	System string
+	// Group is the replica group (shard) this replica belongs to, empty
+	// in unsharded deployments. It is stamped on every rpc request and
+	// inter-replica envelope of the group, and it keys the dispatch when
+	// several groups share one endpoint.
+	Group string
 	// FTM selects the mechanism to deploy.
 	FTM core.ID
 	// Role is this replica's initial role.
@@ -41,6 +46,19 @@ type ReplicaConfig struct {
 func (cfg ReplicaConfig) validate() error {
 	if cfg.System == "" {
 		return fmt.Errorf("ftm: replica config without system name")
+	}
+	// The system name becomes the composite path and appears verbatim in
+	// generated transition scripts, whose words admit only letters,
+	// digits, '_' and '-'; anything else (notably '.', the fscript
+	// member separator) would make every later promotion fail. Reject it
+	// at deploy time instead.
+	for _, c := range cfg.System {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return fmt.Errorf("ftm: system name %q: character %q not allowed in a component path", cfg.System, c)
+		}
 	}
 	if cfg.App == nil {
 		return fmt.Errorf("ftm: replica config without application")
@@ -147,6 +165,7 @@ func DeployFTM(ctx context.Context, h *host.Host, cfg ReplicaConfig, control Con
 		{typ: TypeServer, props: map[string]any{"app": cfg.App}},
 		{typ: TypePeer, props: map[string]any{
 			"endpoint": h.Endpoint(), "peers": peerList, "system": cfg.System,
+			"group": cfg.Group,
 		}, skip: desc.Hosts < 2},
 		{typ: TypeDetector, props: map[string]any{
 			"endpoint": h.Endpoint(), "peer": watch, "crash": h.CrashSwitch(),

@@ -1,0 +1,188 @@
+package ftm
+
+import (
+	"context"
+	"sync"
+
+	"resilientft/internal/rpc"
+	"resilientft/internal/transport"
+)
+
+// groupMux dispatches one endpoint's request and inter-replica traffic
+// to the replicas sharing it, keyed by the group ID stamped on the
+// wire. One mux exists per live endpoint; it installs the endpoint's
+// rpc and replica handlers exactly once, so N groups in one process
+// coexist without clobbering each other's registrations. A replica
+// leaves the mux when its host's crash switch trips; the mux (and its
+// endpoint key) are dropped when the last replica leaves, so crashed
+// test systems do not accumulate.
+type groupMux struct {
+	mu       sync.Mutex
+	byGroup  map[string]*Replica
+	bySystem map[string]*Replica
+	order    []*Replica
+	// dead marks a mux that emptied and was dropped from the registry;
+	// a racing add must build a fresh mux instead of joining a corpse.
+	dead    bool
+	unserve func()
+}
+
+// muxes maps live endpoints to their mux. Endpoints are compared by
+// identity, which is what handler registration keys on too.
+var muxes sync.Map // transport.Endpoint -> *groupMux
+
+// joinMux registers r on its endpoint's mux, installing the shared
+// handlers if r is the endpoint's first replica, and arranges for r to
+// leave when its host crashes.
+func joinMux(ep transport.Endpoint, r *Replica) {
+	for {
+		v, _ := muxes.LoadOrStore(ep, &groupMux{
+			byGroup:  make(map[string]*Replica),
+			bySystem: make(map[string]*Replica),
+		})
+		m := v.(*groupMux)
+		if m.add(ep, r) {
+			r.h.CrashSwitch().OnTrip(func() { m.remove(ep, r) })
+			return
+		}
+		// The mux died between Load and add: retry against a fresh one.
+		muxes.CompareAndDelete(ep, m)
+	}
+}
+
+// add registers r, installing the endpoint handlers on first use. A
+// same-group re-registration replaces the old entry (latest wins: a
+// restarted host redeploys its replica over the stale object). Returns
+// false if the mux is dead.
+func (m *groupMux) add(ep transport.Endpoint, r *Replica) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dead {
+		return false
+	}
+	if m.unserve == nil {
+		m.unserve = m.serve(ep)
+	}
+	old := m.byGroup[r.Group()]
+	m.byGroup[r.Group()] = r
+	m.bySystem[r.System()] = r
+	if old != nil {
+		for i, rep := range m.order {
+			if rep == old {
+				m.order[i] = r
+				return true
+			}
+		}
+	}
+	m.order = append(m.order, r)
+	return true
+}
+
+// remove unregisters r; the last removal kills the mux and drops it
+// from the registry so the endpoint (and the composites its handlers
+// close over) can be collected.
+func (m *groupMux) remove(ep transport.Endpoint, r *Replica) {
+	m.mu.Lock()
+	if m.byGroup[r.Group()] == r {
+		delete(m.byGroup, r.Group())
+	}
+	if m.bySystem[r.System()] == r {
+		delete(m.bySystem, r.System())
+	}
+	for i, rep := range m.order {
+		if rep == r {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	dead := len(m.order) == 0
+	if dead {
+		// Uninstall before the death of the mux becomes observable: a
+		// racing join builds its replacement mux only after seeing dead
+		// under this lock, so its handlers strictly follow these.
+		if m.unserve != nil {
+			m.unserve()
+			m.unserve = nil
+		}
+		ep.Handle(KindReplica, nil)
+		m.dead = true
+	}
+	m.mu.Unlock()
+	if dead {
+		muxes.CompareAndDelete(ep, m)
+	}
+}
+
+// serve installs the shared endpoint handlers; returns the rpc
+// unregister hook. Called under m.mu on first add.
+func (m *groupMux) serve(ep transport.Endpoint) func() {
+	unserve := rpc.Serve(ep, func(ctx context.Context, req *rpc.Request) rpc.Response {
+		rep := m.forGroup(req.Group)
+		if rep == nil {
+			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable,
+				Err:    "ftm: no replica for group " + groupLabel(req.Group)}
+		}
+		return rep.serveRequest(ctx, req)
+	})
+	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) ([]byte, error) {
+		var env replicaEnvelope
+		if err := decodeEnvelope(p.Payload, &env); err != nil {
+			return nil, err
+		}
+		rep := m.forEnvelope(&env)
+		if rep == nil {
+			return nil, ErrNoReplicaForGroup
+		}
+		return rep.serveReplica(ctx, &env)
+	})
+	return unserve
+}
+
+// forGroup resolves the serving replica for a request's group stamp.
+// An exact group match wins. An unstamped request reaches the sole
+// replica (the unsharded deployment shape). A stamped request on an
+// endpoint whose sole replica declares no group is served too —
+// unsharded servers ignore the stamp, so an N=1 router fronting a
+// plain system just works. Everything else is a routing error.
+func (m *groupMux) forGroup(group string) *Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rep, ok := m.byGroup[group]; ok {
+		return rep
+	}
+	if len(m.order) == 1 {
+		if sole := m.order[0]; sole.Group() == "" {
+			return sole
+		}
+	}
+	return nil
+}
+
+// forEnvelope resolves the serving replica for an inter-replica
+// message: by group stamp, then by system name (covering pre-group
+// peers), then the sole replica.
+func (m *groupMux) forEnvelope(env *replicaEnvelope) *Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if env.Group != "" {
+		if rep, ok := m.byGroup[env.Group]; ok {
+			return rep
+		}
+	}
+	if rep, ok := m.bySystem[env.System]; ok {
+		return rep
+	}
+	if len(m.order) == 1 {
+		return m.order[0]
+	}
+	return nil
+}
+
+// groupLabel renders a group ID for error messages.
+func groupLabel(group string) string {
+	if group == "" {
+		return "(default)"
+	}
+	return group
+}

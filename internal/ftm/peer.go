@@ -21,9 +21,13 @@ const TypePeer = "ftm.peer"
 // wraps every inter-replica call, so it carries its own fast binary
 // codec instead of going through gob.
 type replicaEnvelope struct {
-	Kind    string
-	From    string
-	System  string
+	Kind   string
+	From   string
+	System string
+	// Group is the replica group (shard) the message belongs to; empty
+	// in unsharded deployments. The serving-side mux dispatches on it
+	// when several groups share one endpoint.
+	Group   string
 	Payload []byte
 	// Trace is the sender-side ship span context; it travels as an
 	// optional codec trailer (absent on unsampled sends, so those frames
@@ -42,6 +46,10 @@ func (e replicaEnvelope) AppendFast(buf []byte) []byte {
 	buf = transport.AppendLenString(buf, e.Kind)
 	buf = transport.AppendLenString(buf, e.From)
 	buf = transport.AppendLenString(buf, e.System)
+	// Group is mandatory (empty = unsharded): the optional slot after
+	// Payload belongs to the trace trailer. Pre-group gob frames still
+	// decode through the compat arm.
+	buf = transport.AppendLenString(buf, e.Group)
 	buf = transport.AppendLenBytes(buf, e.Payload)
 	if e.Trace.Valid() {
 		buf = transport.AppendUvarint(buf, e.Trace.TraceID)
@@ -65,6 +73,9 @@ func (e *replicaEnvelope) DecodeFast(data []byte) error {
 	}
 	if e.System, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("ftm: envelope system: %w", err)
+	}
+	if e.Group, data, err = transport.ReadLenStringInterned(data); err != nil {
+		return fmt.Errorf("ftm: envelope group: %w", err)
 	}
 	if e.Payload, data, err = transport.ReadLenBytesInPlace(data); err != nil {
 		return fmt.Errorf("ftm: envelope payload: %w", err)
@@ -118,11 +129,12 @@ type peerContent struct {
 	ep      transport.Endpoint
 	peers   []transport.Address
 	system  string
+	group   string
 	timeout time.Duration
 }
 
-func newPeerContent(ep transport.Endpoint, peer transport.Address, system string) *peerContent {
-	p := &peerContent{ep: ep, system: system, timeout: 2 * time.Second}
+func newPeerContent(ep transport.Endpoint, peer transport.Address, system, group string) *peerContent {
+	p := &peerContent{ep: ep, system: system, group: group, timeout: 2 * time.Second}
 	if peer != "" {
 		p.peers = []transport.Address{peer}
 	}
@@ -209,12 +221,12 @@ func (p *peerContent) Invoke(ctx context.Context, service string, msg component.
 	payload, _ := msg.Payload.([]byte)
 
 	p.mu.Lock()
-	ep, peers, system, timeout := p.ep, append([]transport.Address(nil), p.peers...), p.system, p.timeout
+	ep, peers, system, group, timeout := p.ep, append([]transport.Address(nil), p.peers...), p.system, p.group, p.timeout
 	p.mu.Unlock()
 	if len(peers) == 0 {
 		return component.Message{}, ErrNoPeer
 	}
-	env := replicaEnvelope{Kind: kind, From: string(ep.Addr()), System: system, Payload: payload}
+	env := replicaEnvelope{Kind: kind, From: string(ep.Addr()), System: system, Group: group, Payload: payload}
 	sp := telemetry.DefaultSpans().Start(
 		telemetry.ParseSpanContext(msg.MetaValue(MetaTrace)), "ftm.peer.ship")
 	if sp != nil {

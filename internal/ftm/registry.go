@@ -134,7 +134,8 @@ func RegisterAll(reg *component.Registry) error {
 			}
 			peer, _ := props["peer"].(string)
 			system, _ := props["system"].(string)
-			return newPeerContent(ep, transport.Address(peer), system), nil
+			group, _ := props["group"].(string)
+			return newPeerContent(ep, transport.Address(peer), system, group), nil
 		},
 		TypeDetector: func(props map[string]any) (component.Content, error) {
 			ep, err := propAs[transport.Endpoint](props, "endpoint")

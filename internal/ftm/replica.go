@@ -39,6 +39,12 @@ type Replica struct {
 	// same composite.
 	reconfigMu sync.Mutex
 
+	// shardRequests and shardReplicaMsgs are the shard-labeled traffic
+	// series, resolved once at deployment; nil outside sharded
+	// deployments so the unsharded hot path pays nothing.
+	shardRequests    *telemetry.Counter
+	shardReplicaMsgs *telemetry.Counter
+
 	// boundaryMu guards the resolved boundary-service cache. The cached
 	// endpoints re-resolve promotions and respect the composite gate on
 	// every call, so they stay valid across brick swaps; the cache is
@@ -74,6 +80,10 @@ func NewReplica(ctx context.Context, h *host.Host, cfg ReplicaConfig, opts ...Re
 	r := &Replica{h: h, cfg: cfg}
 	if cfg.Role == core.RoleMaster {
 		r.masterSince = time.Now()
+	}
+	if cfg.Group != "" {
+		r.shardRequests = telemetry.Default().Counter("ftm_shard_requests_total", "shard", cfg.Group)
+		r.shardReplicaMsgs = telemetry.Default().Counter("ftm_shard_replica_msgs_total", "shard", cfg.Group)
 	}
 	for _, o := range opts {
 		o(r)
@@ -121,6 +131,14 @@ func (r *Replica) System() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cfg.System
+}
+
+// Group returns the replica group (shard) ID, empty in unsharded
+// deployments.
+func (r *Replica) Group() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.Group
 }
 
 // FTM returns the currently deployed mechanism.
@@ -174,86 +192,92 @@ func (r *Replica) commitConfig() error {
 }
 
 // registerTransport routes the host endpoint's traffic into the
-// composite's promoted boundary services.
+// composite's promoted boundary services, through the endpoint's group
+// mux so several replica groups can share one endpoint.
 func (r *Replica) registerTransport() {
-	ep := r.h.Endpoint()
+	joinMux(r.h.Endpoint(), r)
+}
 
-	rpc.Serve(ep, func(ctx context.Context, req *rpc.Request) (resp rpc.Response) {
-		// A panic anywhere in the pipeline is an incident: persist the
-		// flight-recorder window (the last moments before the crash) and
-		// degrade to an unavailability reply instead of taking down the
-		// whole process.
-		defer func() {
-			if rec := recover(); rec != nil {
-				telemetry.DumpBlackBox("panic",
-					"panic", fmt.Sprint(rec), "req", req.ID(), "host", r.h.Name())
-				resp = rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
-					Status: rpc.StatusUnavailable, Err: fmt.Sprintf("ftm: panic: %v", rec)}
-			}
-		}()
-		svc, err := r.boundary(SvcRequest)
-		if err != nil {
-			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
-				Status: rpc.StatusUnavailable, Err: err.Error()}
+// serveRequest handles one client request dispatched to this replica.
+func (r *Replica) serveRequest(ctx context.Context, req *rpc.Request) (resp rpc.Response) {
+	// A panic anywhere in the pipeline is an incident: persist the
+	// flight-recorder window (the last moments before the crash) and
+	// degrade to an unavailability reply instead of taking down the
+	// whole process.
+	defer func() {
+		if rec := recover(); rec != nil {
+			telemetry.DumpBlackBox("panic",
+				"panic", fmt.Sprint(rec), "req", req.ID(), "host", r.h.Name())
+			resp = rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+				Status: rpc.StatusUnavailable, Err: fmt.Sprintf("ftm: panic: %v", rec)}
 		}
-		// The carrier crosses the component boundary by pointer: one
-		// pooled object carries the request in and the response out,
-		// where boxing a Request and a Response into interface payloads
-		// allocated twice per request.
-		car := getReqCarrier()
-		car.Req = *req
-		reply, err := svc.Invoke(ctx, component.Message{Op: "request", Payload: car})
-		if err != nil {
-			putReqCarrier(car)
-			return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
-				Status: rpc.StatusUnavailable, Err: err.Error()}
-		}
-		if rc, ok := reply.Payload.(*reqCarrier); ok && rc == car {
-			resp = car.Resp
-			putReqCarrier(car)
-			return resp
-		}
+	}()
+	if r.shardRequests != nil {
+		r.shardRequests.Inc()
+	}
+	svc, err := r.boundary(SvcRequest)
+	if err != nil {
+		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+			Status: rpc.StatusUnavailable, Err: err.Error()}
+	}
+	// The carrier crosses the component boundary by pointer: one
+	// pooled object carries the request in and the response out,
+	// where boxing a Request and a Response into interface payloads
+	// allocated twice per request.
+	car := getReqCarrier()
+	car.Req = *req
+	reply, err := svc.Invoke(ctx, component.Message{Op: "request", Payload: car})
+	if err != nil {
 		putReqCarrier(car)
 		return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
-			Status: rpc.StatusUnavailable, Err: "ftm: bad reply payload"}
-	})
+			Status: rpc.StatusUnavailable, Err: err.Error()}
+	}
+	if rc, ok := reply.Payload.(*reqCarrier); ok && rc == car {
+		resp = car.Resp
+		putReqCarrier(car)
+		return resp
+	}
+	putReqCarrier(car)
+	return rpc.Response{ClientID: req.ClientID, Seq: req.Seq,
+		Status: rpc.StatusUnavailable, Err: "ftm: bad reply payload"}
+}
 
-	ep.Handle(KindReplica, func(ctx context.Context, p transport.Packet) (data []byte, err error) {
-		defer func() {
-			if rec := recover(); rec != nil {
-				telemetry.DumpBlackBox("panic",
-					"panic", fmt.Sprint(rec), "host", r.h.Name())
-				data, err = nil, fmt.Errorf("ftm: panic: %v", rec)
-			}
-		}()
-		var env replicaEnvelope
-		if err := decodeEnvelope(p.Payload, &env); err != nil {
-			return nil, err
+// serveReplica handles one decoded inter-replica message dispatched to
+// this replica.
+func (r *Replica) serveReplica(ctx context.Context, env *replicaEnvelope) (data []byte, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			telemetry.DumpBlackBox("panic",
+				"panic", fmt.Sprint(rec), "host", r.h.Name())
+			data, err = nil, fmt.Errorf("ftm: panic: %v", rec)
 		}
-		svc, err := r.boundary(SvcReplica)
-		if err != nil {
-			return nil, err
-		}
-		msg := component.Message{Op: env.Kind, Payload: env.Payload}
-		// The slave-side apply span: parented on the master's ship span
-		// (carried by the envelope trailer), it covers decode-to-reply of
-		// one inter-replica message, and its context rides the component
-		// message so the protocol's brick work nests under it.
-		sp := telemetry.DefaultSpans().Start(env.Trace, "ftm.replica.apply")
-		if sp != nil {
-			sp.SetAttr("kind", env.Kind)
-			sp.SetAttr("from", env.From)
-			msg = msg.WithMeta(MetaTrace, sp.Context().String())
-			defer sp.End()
-		}
-		reply, err := svc.Invoke(ctx, msg)
-		if err != nil {
-			sp.SetAttr("outcome", "error")
-			return nil, err
-		}
-		data, _ = reply.Payload.([]byte)
-		return data, nil
-	})
+	}()
+	svc, err := r.boundary(SvcReplica)
+	if err != nil {
+		return nil, err
+	}
+	if r.shardReplicaMsgs != nil {
+		r.shardReplicaMsgs.Inc()
+	}
+	msg := component.Message{Op: env.Kind, Payload: env.Payload}
+	// The slave-side apply span: parented on the master's ship span
+	// (carried by the envelope trailer), it covers decode-to-reply of
+	// one inter-replica message, and its context rides the component
+	// message so the protocol's brick work nests under it.
+	sp := telemetry.DefaultSpans().Start(env.Trace, "ftm.replica.apply")
+	if sp != nil {
+		sp.SetAttr("kind", env.Kind)
+		sp.SetAttr("from", env.From)
+		msg = msg.WithMeta(MetaTrace, sp.Context().String())
+		defer sp.End()
+	}
+	reply, err := svc.Invoke(ctx, msg)
+	if err != nil {
+		sp.SetAttr("outcome", "error")
+		return nil, err
+	}
+	data, _ = reply.Payload.([]byte)
+	return data, nil
 }
 
 // boundary resolves a promoted boundary service of the FTM composite,
@@ -456,7 +480,7 @@ func (r *Replica) findLiveMaster(ctx context.Context) transport.Address {
 		if m == self {
 			continue
 		}
-		env := replicaEnvelope{Kind: MsgRoleQuery, From: string(self), System: r.System()}
+		env := replicaEnvelope{Kind: MsgRoleQuery, From: string(self), System: r.System(), Group: r.Group()}
 		data, err := transport.Encode(env)
 		if err != nil {
 			return ""
@@ -548,7 +572,7 @@ func (r *Replica) resolveSplitBrain() {
 	if peer == "" {
 		return
 	}
-	env := replicaEnvelope{Kind: MsgRoleQuery, From: string(r.h.Addr()), System: r.System()}
+	env := replicaEnvelope{Kind: MsgRoleQuery, From: string(r.h.Addr()), System: r.System(), Group: r.Group()}
 	data, err := transport.Encode(env)
 	if err != nil {
 		return

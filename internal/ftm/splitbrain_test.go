@@ -133,7 +133,7 @@ func TestPeerRefusalIsNotDegraded(t *testing.T) {
 		return nil, fmt.Errorf("%w: refusing checkpoint", ErrNotSlave)
 	})
 
-	p := newPeerContent(master, refuser.Addr(), "calc")
+	p := newPeerContent(master, refuser.Addr(), "calc", "")
 	_, err = p.Invoke(context.Background(), SvcSend,
 		component.Message{Op: MsgPBRCheckpoint, Payload: []byte("ckpt")})
 	if err == nil {

@@ -18,6 +18,9 @@ import (
 type SystemConfig struct {
 	// System names the protected application.
 	System string
+	// Group is the replica group (shard) ID both replicas carry; empty
+	// for a classic unsharded pair. ShardedSystem sets it per group.
+	Group string
 	// FTM is the initial mechanism.
 	FTM core.ID
 	// AppFactory builds one application instance per replica.
@@ -90,6 +93,7 @@ func (s *System) deployReplica(ctx context.Context, idx int, ftmID core.ID, role
 	}
 	cfg := ReplicaConfig{
 		System:            s.cfg.System,
+		Group:             s.cfg.Group,
 		FTM:               ftmID,
 		Role:              role,
 		Peer:              peer,

@@ -43,9 +43,117 @@ func newServedReplica(t *testing.T) (*ftm.Replica, transport.Endpoint) {
 	return r, ctl
 }
 
+// newShardedServer deploys two replica groups on one host and serves
+// both from its endpoint.
+func newShardedServer(t *testing.T) (*Server, transport.Endpoint) {
+	t.Helper()
+	net := transport.NewMemNetwork(transport.WithSeed(1))
+	h, err := host.New("node", net, ftm.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Crash)
+	srv := NewServer(h.Endpoint())
+	for _, gid := range []string{"0", "1"} {
+		r, err := ftm.NewReplica(context.Background(), h, ftm.ReplicaConfig{
+			System:            "calc-" + gid,
+			Group:             gid,
+			FTM:               core.PBR,
+			Role:              core.RoleMaster,
+			App:               ftm.NewCalculator(),
+			HeartbeatInterval: time.Hour,
+			SuspectTimeout:    24 * time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Register(r, adaptation.NewEngine(nil))
+	}
+	ctl, err := net.Endpoint("ctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ctl
+}
+
+func TestShardedServerRoutesByGroup(t *testing.T) {
+	_, ctl := newShardedServer(t)
+	ctx := context.Background()
+
+	// Each group answers for itself.
+	for _, gid := range []string{"0", "1"} {
+		st, err := QueryStatus(ctx, ctl, "node", gid)
+		if err != nil {
+			t.Fatalf("status of group %s: %v", gid, err)
+		}
+		if st.Group != gid || st.System != "calc-"+gid {
+			t.Fatalf("group %s status = %+v", gid, st)
+		}
+	}
+	// A group the daemon does not host is an error, and with two groups
+	// an unstamped replica-scoped request is ambiguous.
+	if _, err := QueryStatus(ctx, ctl, "node", "9"); err == nil {
+		t.Fatal("status of unhosted group succeeded")
+	}
+	if _, err := QueryStatus(ctx, ctl, "node", ""); err == nil {
+		t.Fatal("unstamped status on a two-group daemon succeeded")
+	}
+
+	// The roster lists both groups with their identity and health grade.
+	rows, err := QueryShards(ctx, ctl, "node")
+	if err != nil {
+		t.Fatalf("QueryShards: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("shard roster = %+v", rows)
+	}
+	seen := map[string]bool{}
+	for _, row := range rows {
+		seen[row.Group] = true
+		if row.System != "calc-"+row.Group || row.Host != "node" || row.FTM != "pbr" || row.Role != "master" {
+			t.Fatalf("shard row = %+v", row)
+		}
+		if row.Health == "" {
+			t.Fatalf("shard row %s has no health grade", row.Group)
+		}
+	}
+	if !seen["0"] || !seen["1"] {
+		t.Fatalf("roster misses a group: %+v", rows)
+	}
+
+	// A transition addressed to group 1 leaves group 0 untouched.
+	if _, err := RequestTransition(ctx, ctl, "node", "1", core.LFR); err != nil {
+		t.Fatalf("transition of group 1: %v", err)
+	}
+	st0, err := QueryStatus(ctx, ctl, "node", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := QueryStatus(ctx, ctl, "node", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.FTM != "pbr" || st1.FTM != "lfr" {
+		t.Fatalf("after group-1 transition: group0=%s group1=%s", st0.FTM, st1.FTM)
+	}
+}
+
+func TestGroupStampReachesSoleUngroupedReplica(t *testing.T) {
+	// Group-aware tooling pointed at an unsharded daemon still works:
+	// the stamp is ignored by a sole replica with no group ID.
+	_, ctl := newServedReplica(t)
+	st, err := QueryStatus(context.Background(), ctl, "node", "0")
+	if err != nil {
+		t.Fatalf("stamped status on unsharded daemon: %v", err)
+	}
+	if st.System != "calc" {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
 func TestStatusRoundTrip(t *testing.T) {
 	r, ctl := newServedReplica(t)
-	st, err := QueryStatus(context.Background(), ctl, "node")
+	st, err := QueryStatus(context.Background(), ctl, "node", "")
 	if err != nil {
 		t.Fatalf("QueryStatus: %v", err)
 	}
@@ -60,7 +168,7 @@ func TestStatusRoundTrip(t *testing.T) {
 
 func TestRemoteTransition(t *testing.T) {
 	r, ctl := newServedReplica(t)
-	out, err := RequestTransition(context.Background(), ctl, "node", core.LFR)
+	out, err := RequestTransition(context.Background(), ctl, "node", "", core.LFR)
 	if err != nil {
 		t.Fatalf("RequestTransition: %v", err)
 	}
@@ -77,14 +185,14 @@ func TestRemoteTransition(t *testing.T) {
 
 func TestRemoteTransitionToUnknownFTMFails(t *testing.T) {
 	_, ctl := newServedReplica(t)
-	if _, err := RequestTransition(context.Background(), ctl, "node", core.ID("bogus")); err == nil {
+	if _, err := RequestTransition(context.Background(), ctl, "node", "", core.ID("bogus")); err == nil {
 		t.Fatal("transition to bogus FTM accepted")
 	}
 }
 
 func TestQueryArchitecture(t *testing.T) {
 	_, ctl := newServedReplica(t)
-	arch, err := QueryArchitecture(context.Background(), ctl, "node")
+	arch, err := QueryArchitecture(context.Background(), ctl, "node", "")
 	if err != nil {
 		t.Fatalf("QueryArchitecture: %v", err)
 	}
@@ -105,30 +213,30 @@ func TestUnknownOpRejected(t *testing.T) {
 func TestStatusOfCrashedReplica(t *testing.T) {
 	r, ctl := newServedReplica(t)
 	r.Host().Crash()
-	if _, err := QueryStatus(context.Background(), ctl, "node"); err == nil {
+	if _, err := QueryStatus(context.Background(), ctl, "node", ""); err == nil {
 		t.Fatal("status of crashed replica succeeded")
 	}
 }
 
 func TestQueryUnreachableTarget(t *testing.T) {
 	_, ctl := newServedReplica(t)
-	if _, err := QueryStatus(context.Background(), ctl, "ghost"); err == nil {
+	if _, err := QueryStatus(context.Background(), ctl, "ghost", ""); err == nil {
 		t.Fatal("status of unreachable target succeeded")
 	}
-	if _, err := QueryArchitecture(context.Background(), ctl, "ghost"); err == nil {
+	if _, err := QueryArchitecture(context.Background(), ctl, "ghost", ""); err == nil {
 		t.Fatal("arch of unreachable target succeeded")
 	}
-	if _, err := RequestTransition(context.Background(), ctl, "ghost", core.LFR); err == nil {
+	if _, err := RequestTransition(context.Background(), ctl, "ghost", "", core.LFR); err == nil {
 		t.Fatal("transition on unreachable target succeeded")
 	}
 }
 
 func TestTransitionEventsVisibleInStatus(t *testing.T) {
 	r, ctl := newServedReplica(t)
-	if _, err := RequestTransition(context.Background(), ctl, "node", core.LFR); err != nil {
+	if _, err := RequestTransition(context.Background(), ctl, "node", "", core.LFR); err != nil {
 		t.Fatal(err)
 	}
-	st, err := QueryStatus(context.Background(), ctl, "node")
+	st, err := QueryStatus(context.Background(), ctl, "node", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +293,7 @@ func TestQueryHealthRoundTrip(t *testing.T) {
 	// graded, caused verdict, not just a healthy default.
 	r.Host().Resources().SetCPUFree(0.01)
 
-	data, err := QueryHealth(context.Background(), ctl, "node")
+	data, err := QueryHealth(context.Background(), ctl, "node", "")
 	if err != nil {
 		t.Fatalf("QueryHealth: %v", err)
 	}

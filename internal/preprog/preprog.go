@@ -49,7 +49,7 @@ func NewReplica(ctx context.Context, h *host.Host, system string, app ftm.Applic
 	}
 	for _, id := range supported {
 		path, err := ftm.DeployFTM(ctx, h, ftm.ReplicaConfig{
-			System: system + "@" + string(id),
+			System: system + "-" + string(id),
 			FTM:    id,
 			Role:   core.RoleMaster,
 			App:    app,

@@ -32,6 +32,7 @@ type Client struct {
 	callTimeout time.Duration
 	maxRounds   int
 	alwaysTrace bool
+	group       string
 }
 
 // ClientOption configures a Client.
@@ -53,6 +54,13 @@ func WithMaxRounds(n int) ClientOption {
 // tests that assert on span trees.
 func WithAlwaysTrace() ClientOption {
 	return func(c *Client) { c.alwaysTrace = true }
+}
+
+// WithGroup stamps every request of this client with a replica-group
+// (shard) ID, so a serving-side mux can dispatch it — the per-shard
+// clients a Router holds are built with it.
+func WithGroup(group string) ClientOption {
+	return func(c *Client) { c.group = group }
 }
 
 // NewClient returns a client identified by id, calling through ep and
@@ -113,7 +121,7 @@ func (c *Client) prefer(addr transport.Address) {
 // semantics. It walks the replica list until one accepts the request as
 // master, retrying up to the configured number of rounds.
 func (c *Client) Invoke(ctx context.Context, op string, payload []byte) (Response, error) {
-	req := Request{ClientID: c.id, Seq: c.seq.Add(1), Op: op, Payload: payload}
+	req := Request{ClientID: c.id, Seq: c.seq.Add(1), Op: op, Group: c.group, Payload: payload}
 	req.Trace = c.traceRoot(req.Seq)
 	return c.deliver(ctx, req)
 }
@@ -122,7 +130,7 @@ func (c *Client) Invoke(ctx context.Context, op string, payload []byte) (Respons
 // sequence number — the retry path a client takes after losing a reply.
 // The service's reply log must replay rather than re-execute it.
 func (c *Client) Redeliver(ctx context.Context, seq uint64, op string, payload []byte) (Response, error) {
-	req := Request{ClientID: c.id, Seq: seq, Op: op, Payload: payload}
+	req := Request{ClientID: c.id, Seq: seq, Op: op, Group: c.group, Payload: payload}
 	req.Trace = c.traceRoot(seq)
 	return c.deliver(ctx, req)
 }

@@ -26,6 +26,11 @@ func (r Request) AppendFast(buf []byte) []byte {
 	buf = transport.AppendLenString(buf, r.ClientID)
 	buf = transport.AppendUvarint(buf, r.Seq)
 	buf = transport.AppendLenString(buf, r.Op)
+	// Group sits between Op and Payload as a mandatory field (empty =
+	// unsharded): the trailer slot after Payload is taken by the trace
+	// context, whose optionality depends on being the only thing there.
+	// Pre-group gob frames still decode through the compat arm.
+	buf = transport.AppendLenString(buf, r.Group)
 	buf = transport.AppendLenBytes(buf, r.Payload)
 	// Optional trace trailer: old decoders discard bytes past the last
 	// field, and absence decodes as the zero (unsampled) context, so the
@@ -50,6 +55,9 @@ func (r *Request) DecodeFast(data []byte) error {
 	}
 	if r.Op, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("rpc: request op: %w", err)
+	}
+	if r.Group, data, err = transport.ReadLenStringInterned(data); err != nil {
+		return fmt.Errorf("rpc: request group: %w", err)
 	}
 	if r.Payload, data, err = transport.ReadLenBytes(data); err != nil {
 		return fmt.Errorf("rpc: request payload: %w", err)
@@ -78,6 +86,9 @@ func (r *Request) decodeFrom(frame []byte) error {
 	}
 	if r.Op, data, err = transport.ReadLenStringInterned(data); err != nil {
 		return fmt.Errorf("rpc: request op: %w", err)
+	}
+	if r.Group, data, err = transport.ReadLenStringInterned(data); err != nil {
+		return fmt.Errorf("rpc: request group: %w", err)
 	}
 	if r.Payload, data, err = transport.ReadLenBytesInPlace(data); err != nil {
 		return fmt.Errorf("rpc: request payload: %w", err)

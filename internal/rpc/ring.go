@@ -1,0 +1,148 @@
+package rpc
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring mapping request keys onto shard IDs.
+// Each shard contributes a fixed number of virtual points, so keys
+// spread nearly uniformly and adding or removing one shard moves only
+// the keys that hash into the arcs that shard owned — every other
+// key keeps its assignment (bounded movement). The hash is FNV-1a over
+// the key bytes: deterministic across processes and architectures, so
+// every client of a deployment computes the same key→shard map without
+// coordination.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	// points is the sorted ring: hashes of "shard#replica-point" pairs.
+	points []ringPoint
+	shards map[string]struct{}
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// DefaultVnodes is the virtual-point count per shard. 512 points keep
+// the spread within a few percent at the shard counts this system runs
+// (units to tens), while a full rebuild stays microseconds.
+const DefaultVnodes = 512
+
+// NewRing returns a ring holding the given shards.
+func NewRing(shards ...string) *Ring {
+	r := &Ring{vnodes: DefaultVnodes, shards: make(map[string]struct{})}
+	for _, s := range shards {
+		r.add(s)
+	}
+	r.rebuild()
+	return r
+}
+
+// fnv1a is the 64-bit FNV-1a hash of s with a final avalanche pass —
+// inlined rather than hash/fnv's Writer so a Pick allocates nothing.
+// Raw FNV-1a clusters badly on the short, similar strings this ring
+// hashes (shard IDs, small numeric keys): its low bytes barely diffuse
+// into the high bits that position a point on the ring. The
+// splitmix64-style finalizer spreads every input bit across the word,
+// which is what the uniformity property tests rely on.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+func (r *Ring) add(shard string) {
+	r.shards[shard] = struct{}{}
+}
+
+// rebuild recomputes the sorted point list from the shard set. Called
+// under the write lock (or before the ring is shared).
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for shard := range r.shards {
+		// Each virtual point hashes "shard#i": the point set of a shard is
+		// a pure function of its ID, so two rings holding the same shards
+		// are identical whatever order they were built in.
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv1a(shard + "#" + strconv.Itoa(i)),
+				shard: shard,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties break on the shard ID so the winner is deterministic,
+		// not insertion-ordered.
+		return r.points[i].shard < r.points[j].shard
+	})
+}
+
+// Add inserts a shard (no-op when present).
+func (r *Ring) Add(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; ok {
+		return
+	}
+	r.add(shard)
+	r.rebuild()
+}
+
+// Remove deletes a shard (no-op when absent).
+func (r *Ring) Remove(shard string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[shard]; !ok {
+		return
+	}
+	delete(r.shards, shard)
+	r.rebuild()
+}
+
+// Shards returns the shard IDs on the ring, sorted.
+func (r *Ring) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for s := range r.shards {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pick returns the shard owning key: the first ring point at or after
+// the key's hash, wrapping at the top. An empty ring picks "".
+func (r *Ring) Pick(key string) string {
+	h := fnv1a(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.points)
+	if n == 0 {
+		return ""
+	}
+	i := sort.Search(n, func(i int) bool { return r.points[i].hash >= h })
+	if i == n {
+		i = 0
+	}
+	return r.points[i].shard
+}

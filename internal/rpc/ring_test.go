@@ -1,0 +1,140 @@
+package rpc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n deterministic test keys shaped like the
+// application's request keys.
+func ringKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministic pins that two rings built from the same shard
+// set — in different orders — assign every key identically, the
+// property that lets independent clients route without coordination.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing("0", "1", "2", "3")
+	b := NewRing("3", "1", "0", "2")
+	for _, k := range ringKeys(4096) {
+		if got, want := b.Pick(k), a.Pick(k); got != want {
+			t.Fatalf("Pick(%q): build order changed the assignment: %q vs %q", k, got, want)
+		}
+	}
+}
+
+// TestRingStabilityUnderAdd checks the bounded-movement property: after
+// adding a shard, every key either keeps its old shard or moves to the
+// new one — no key shuffles between pre-existing shards.
+func TestRingStabilityUnderAdd(t *testing.T) {
+	keys := ringKeys(64 * 1024)
+	r := NewRing("0", "1", "2")
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Pick(k)
+	}
+	r.Add("3")
+	moved := 0
+	for i, k := range keys {
+		after := r.Pick(k)
+		if after == before[i] {
+			continue
+		}
+		if after != "3" {
+			t.Fatalf("key %q moved %q -> %q, not to the added shard", k, before[i], after)
+		}
+		moved++
+	}
+	// The new shard should take roughly its proportional share (1/4) of
+	// the key space — and, critically, not much more: a broken hash that
+	// reshuffled everything would move ~75% of keys.
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("adding 1 of 4 shards moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestRingStabilityUnderRemove checks the converse: removing a shard
+// moves only that shard's keys, and every key of a surviving shard
+// stays put.
+func TestRingStabilityUnderRemove(t *testing.T) {
+	keys := ringKeys(64 * 1024)
+	r := NewRing("0", "1", "2", "3")
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Pick(k)
+	}
+	r.Remove("2")
+	for i, k := range keys {
+		after := r.Pick(k)
+		if before[i] == "2" {
+			if after == "2" {
+				t.Fatalf("key %q still assigned to removed shard", k)
+			}
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %q on surviving shard moved %q -> %q", k, before[i], after)
+		}
+	}
+}
+
+// TestRingAddRemoveRoundTrip pins that remove(add(ring)) restores the
+// original assignment exactly: shard point sets are pure functions of
+// the shard ID, so the ring has no history.
+func TestRingAddRemoveRoundTrip(t *testing.T) {
+	keys := ringKeys(16 * 1024)
+	r := NewRing("0", "1", "2")
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Pick(k)
+	}
+	r.Add("9")
+	r.Remove("9")
+	for i, k := range keys {
+		if got := r.Pick(k); got != before[i] {
+			t.Fatalf("key %q: add+remove round trip changed %q -> %q", k, before[i], got)
+		}
+	}
+}
+
+// TestRingUniformSpread checks the load-balance property from the
+// issue: across 64k keys on 4 shards, every shard's share is within
+// 10% of the ideal quarter.
+func TestRingUniformSpread(t *testing.T) {
+	const nKeys = 64 * 1024
+	shards := []string{"0", "1", "2", "3"}
+	r := NewRing(shards...)
+	counts := make(map[string]int)
+	for _, k := range ringKeys(nKeys) {
+		counts[r.Pick(k)]++
+	}
+	ideal := float64(nKeys) / float64(len(shards))
+	for _, s := range shards {
+		dev := (float64(counts[s]) - ideal) / ideal
+		if dev < -0.10 || dev > 0.10 {
+			t.Errorf("shard %s holds %d keys, %.1f%% off the ideal %.0f (budget ±10%%)",
+				s, counts[s], 100*dev, ideal)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate sizes: an empty ring
+// picks nothing, a single-shard ring picks that shard for every key.
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing()
+	if got := empty.Pick("anything"); got != "" {
+		t.Fatalf("empty ring picked %q", got)
+	}
+	one := NewRing("solo")
+	for _, k := range ringKeys(128) {
+		if got := one.Pick(k); got != "solo" {
+			t.Fatalf("single-shard ring picked %q", got)
+		}
+	}
+}

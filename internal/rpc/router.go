@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"resilientft/internal/telemetry"
+	"resilientft/internal/transport"
+)
+
+// ShardRoute describes one replica group the router can reach: its
+// shard ID and the replica addresses, master usually first.
+type ShardRoute struct {
+	ID       string
+	Replicas []transport.Address
+}
+
+// Router is the client-side sharding tier: a consistent-hash ring
+// picking the shard for each request key, and one Client per shard
+// carrying the request there with the usual retry/failover machinery.
+// All shard clients share the router's endpoint, so the transport's
+// per-destination connection pools are reused across shards, and each
+// stamps its shard's group ID on the wire for the serving-side mux.
+//
+// Each shard client carries its own identity (routerID@shard): the
+// at-most-once reply log is per group, so the same (ClientID, Seq)
+// must never reach two groups — a ring rebalance moving a key mid-
+// sequence would otherwise collide in the new shard's log.
+type Router struct {
+	id   string
+	ep   transport.Endpoint
+	opts []ClientOption
+
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shardClient
+}
+
+// shardClient pairs one shard's client with its pre-resolved series.
+type shardClient struct {
+	c        *Client
+	requests *telemetry.Counter
+}
+
+// NewRouter returns a router for the given shard routes. opts configure
+// every per-shard client (call timeouts, tracing, rounds).
+func NewRouter(id string, ep transport.Endpoint, routes []ShardRoute, opts ...ClientOption) *Router {
+	r := &Router{
+		id:     id,
+		ep:     ep,
+		opts:   opts,
+		ring:   NewRing(),
+		shards: make(map[string]*shardClient),
+	}
+	r.SetShards(routes)
+	return r
+}
+
+// ID returns the router's base client identity.
+func (r *Router) ID() string { return r.id }
+
+// SetShards replaces the route table: added shards get fresh clients,
+// removed shards drop theirs, surviving shards keep their client (and
+// with it their sequence counters and preferred-master hints).
+func (r *Router) SetShards(routes []ShardRoute) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(routes))
+	for _, route := range routes {
+		seen[route.ID] = true
+		if sc, ok := r.shards[route.ID]; ok {
+			sc.c.SetReplicas(route.Replicas)
+			continue
+		}
+		opts := make([]ClientOption, 0, len(r.opts)+1)
+		opts = append(opts, r.opts...)
+		opts = append(opts, WithGroup(route.ID))
+		r.shards[route.ID] = &shardClient{
+			c:        NewClient(r.id+"@"+route.ID, r.ep, route.Replicas, opts...),
+			requests: telemetry.Default().Counter("rpc_router_requests_total", "shard", route.ID),
+		}
+		r.ring.Add(route.ID)
+	}
+	for id := range r.shards {
+		if !seen[id] {
+			delete(r.shards, id)
+			r.ring.Remove(id)
+		}
+	}
+}
+
+// Pick returns the shard ID owning key.
+func (r *Router) Pick(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Pick(key)
+}
+
+// Shards returns the shard IDs on the ring, sorted.
+func (r *Router) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.shards))
+	for id := range r.shards {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Shard returns the client bound to a shard ID, or nil. Callers that
+// batch many requests to one shard (benchmarks, bulk loads) use it to
+// skip the per-call ring lookup.
+func (r *Router) Shard(id string) *Client {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if sc, ok := r.shards[id]; ok {
+		return sc.c
+	}
+	return nil
+}
+
+// Invoke routes op(payload) by key: the ring picks the shard, the
+// shard's client delivers with at-most-once semantics.
+func (r *Router) Invoke(ctx context.Context, key, op string, payload []byte) (Response, error) {
+	sc, err := r.pick(key)
+	if err != nil {
+		return Response{}, err
+	}
+	sc.requests.Inc()
+	return sc.c.Invoke(ctx, op, payload)
+}
+
+func (r *Router) pick(key string) (*shardClient, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	id := r.ring.Pick(key)
+	sc, ok := r.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("rpc: router has no shard for key %q", key)
+	}
+	return sc, nil
+}

@@ -20,7 +20,11 @@ type Request struct {
 	ClientID string
 	Seq      uint64
 	Op       string
-	Payload  []byte
+	// Group is the replica group (shard) the request targets; empty in
+	// unsharded deployments. Routers stamp it from the ring pick, and a
+	// replica mux on the serving side dispatches on it.
+	Group   string
+	Payload []byte
 	// Trace carries the sampled span context the request executes under;
 	// the zero value (unsampled) is the common case. On the wire it
 	// travels as an optional codec trailer, so unsampled requests and

@@ -18,6 +18,7 @@ import (
 
 	"resilientft/internal/experiments"
 	"resilientft/internal/telemetry"
+	"resilientft/internal/telemetry/runtimeprof"
 )
 
 func main() {
@@ -28,9 +29,13 @@ func main() {
 		jsonPath = flag.String("json", "", "with -exp bench: write the perf report JSON to this file (stdout when empty)")
 		metrics  = flag.Bool("metrics", false, "with -exp bench: embed the flattened telemetry registry in the report")
 		shards   = flag.Int("shards", 4, "with -exp bench: measure routed throughput over N replica groups, plus the 1-group parity row (0 = skip the sharded family)")
+		sloOn    = flag.Bool("slo", true, "with -exp bench: run the SLO evaluator alongside the suite and embed its report")
 	)
 	flag.Parse()
 	ctx := context.Background()
+	// The runtime series ride along in -metrics reports and in RunMeta,
+	// same as under resilientd.
+	runtimeprof.Enable(telemetry.Default())
 
 	switch *exp {
 	case "table1", "table2", "table3", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
@@ -137,7 +142,7 @@ func main() {
 		// Deliberately not part of "all": the perf suite is the
 		// machine-readable request-path report (BENCH_pr1.json), not one
 		// of the paper's artifacts.
-		report, err := experiments.PerfSuite(ctx, *runs, *shards)
+		report, err := experiments.PerfSuite(ctx, *runs, *shards, *sloOn)
 		if err != nil {
 			log.Fatal(err)
 		}

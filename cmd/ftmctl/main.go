@@ -8,6 +8,7 @@
 //	ftmctl -target 127.0.0.1:7001 -peer 127.0.0.1:7002 transition lfr
 //	ftmctl -target 127.0.0.1:7001 invoke add:x 5
 //	ftmctl -target 127.0.0.1:7001 health
+//	ftmctl -target 127.0.0.1:7001 slo
 //	ftmctl -target 127.0.0.1:7001 metrics
 //	ftmctl -target 127.0.0.1:7001 events
 //	ftmctl -target 127.0.0.1:7001 trace <16-hex-id>
@@ -48,7 +49,7 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] [-group id] status|shards|arch|health|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
+		return fmt.Errorf("usage: ftmctl [-target addr] [-peer addr] [-group id] status|shards|arch|health|slo|metrics|events|blackbox|trace <id>|transition <ftm>|invoke <op> <arg>|tune <name> <value>")
 	}
 
 	ep, err := transport.ListenTCP("127.0.0.1:0")
@@ -92,8 +93,52 @@ func run() error {
 				fmt.Printf("# %s\n", addr)
 			}
 			for _, row := range rows {
-				fmt.Printf("shard %-4s system=%s host=%s ftm=%s role=%s health=%s\n",
+				line := fmt.Sprintf("shard %-4s system=%s host=%s ftm=%s role=%s health=%s",
 					row.Group, row.System, row.Host, row.FTM, row.Role, row.Health)
+				if row.SLO != "" {
+					line += " slo=" + row.SLO
+				}
+				fmt.Println(line)
+			}
+		}
+	case "slo":
+		for _, addr := range targets {
+			doc, err := mgmt.QuerySLO(ctx, ep, addr)
+			if err != nil {
+				return fmt.Errorf("%s: %w", addr, err)
+			}
+			var rows []struct {
+				Shard     string `json:"shard"`
+				Objective struct {
+					LatencyP99   time.Duration `json:"latency_p99_ns"`
+					Availability float64       `json:"availability"`
+				} `json:"objective"`
+				Grade   string `json:"grade"`
+				Windows []struct {
+					Window     string  `json:"window"`
+					Total      uint64  `json:"total"`
+					Bad        uint64  `json:"bad"`
+					Burn       float64 `json:"burn"`
+					Compliance float64 `json:"compliance"`
+				} `json:"windows"`
+				BudgetRemaining float64       `json:"budget_remaining"`
+				P99             time.Duration `json:"p99_ns"`
+				Captures        uint64        `json:"captures"`
+			}
+			if err := json.Unmarshal([]byte(doc), &rows); err != nil {
+				return fmt.Errorf("%s: bad slo reply: %w", addr, err)
+			}
+			if len(targets) > 1 {
+				fmt.Printf("# %s\n", addr)
+			}
+			for _, row := range rows {
+				fmt.Printf("shard %-8s %-4s p99=%s (objective %s @ %.3f%%) budget=%.1f%% captures=%d\n",
+					row.Shard, row.Grade, row.P99, row.Objective.LatencyP99,
+					row.Objective.Availability*100, row.BudgetRemaining*100, row.Captures)
+				for _, w := range row.Windows {
+					fmt.Printf("  %-4s burn=%-8.2f compliance=%.4f (%d/%d bad)\n",
+						w.Window, w.Burn, w.Compliance, w.Bad, w.Total)
+				}
 			}
 		}
 	case "arch":

@@ -36,8 +36,11 @@ import (
 	"resilientft/internal/ftm"
 	"resilientft/internal/host"
 	"resilientft/internal/mgmt"
+	"resilientft/internal/rpc"
+	"resilientft/internal/slo"
 	"resilientft/internal/stablestore"
 	"resilientft/internal/telemetry"
+	"resilientft/internal/telemetry/runtimeprof"
 	"resilientft/internal/transport"
 )
 
@@ -58,11 +61,16 @@ func run() error {
 		storePath   = flag.String("store", "", "stable-storage file (empty = in-memory)")
 		heartbeat   = flag.Duration("heartbeat", 100*time.Millisecond, "heartbeat interval")
 		suspect     = flag.Duration("suspect", 500*time.Millisecond, "peer suspicion timeout")
-		httpAddr    = flag.String("http", "", "observability HTTP address serving /metrics, /events, /trace/{id}, /blackbox and /health (empty = disabled)")
+		httpAddr    = flag.String("http", "", "observability HTTP address serving /metrics, /events, /trace/{id}, /blackbox, /health, /slo and /debug/pprof (empty = disabled)")
 		healthEvery = flag.Duration("health-interval", time.Second, "host health sweep interval")
 		sample      = flag.Uint64("trace-sample", telemetry.DefaultSampleEvery, "span sampling: record 1 in N requests (0 = off, 1 = all)")
 		boxPath     = flag.String("blackbox", "", "flight-recorder incident file, JSON lines (empty = in-memory only)")
 		shards      = flag.Int("shards", 1, "independent replica groups hosted by this daemon")
+		sloOn       = flag.Bool("slo", true, "evaluate per-shard SLOs (burn rates, /slo, breach capture)")
+		sloP99      = flag.Duration("slo-latency-p99", 50*time.Millisecond, "per-shard latency objective (p99)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "per-shard availability objective")
+		sloEvery    = flag.Duration("slo-interval", time.Second, "SLO evaluation tick")
+		sloDegrade  = flag.Bool("slo-degrade", false, "let paging shards degrade this replica's FTM (and recover with hysteresis)")
 	)
 	flag.Parse()
 
@@ -82,8 +90,9 @@ func run() error {
 	telemetry.DefaultSampler().SetEvery(*sample)
 	telemetry.DefaultSpans().SetOrigin(*listen)
 	fr := telemetry.DefaultFlightRecorder()
+	var incidents stablestore.IncidentLog
 	if *boxPath != "" {
-		incidents := stablestore.NewFileIncidentLog(*boxPath)
+		incidents = stablestore.NewFileIncidentLog(*boxPath)
 		fr.SetPersist(func(b telemetry.BlackBox) {
 			data, err := json.Marshal(b)
 			if err != nil {
@@ -100,6 +109,11 @@ func run() error {
 	}
 	fr.Start(time.Second)
 	defer fr.Stop()
+
+	// Export the runtime's own shape (goroutines, heap, GC pauses,
+	// scheduling latency) alongside the request-path series: refreshed
+	// on every scrape, folded into black boxes like any other series.
+	runtimeprof.Enable(telemetry.Default())
 
 	var opts []host.Option
 	if *storePath != "" {
@@ -134,6 +148,7 @@ func run() error {
 	// each its own replica with its own detector, batcher and reply log.
 	srv := mgmt.NewServer(ep)
 	engine := adaptation.NewEngine(nil)
+	replicas := make([]*ftm.Replica, 0, *shards)
 	for k := 0; k < *shards; k++ {
 		sysName, gid := *system, ""
 		if *shards > 1 {
@@ -157,7 +172,36 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		replicas = append(replicas, replica)
 		srv.Register(replica, engine)
+	}
+
+	// Per-shard SLO engine: burn-rate accounting over the rpc layer's
+	// per-shard series, a diagnostic bundle (black box + pprof) on every
+	// page-grade breach, and — with -slo-degrade — an adaptation reactor
+	// per shard that sheds the FTM while the budget burns.
+	var sloEng *slo.Engine
+	if *sloOn {
+		sloEng = slo.New(slo.Config{
+			Registry: telemetry.Default(),
+			Interval: *sloEvery,
+			Capture:  slo.NewCapture(fr, incidents, 0),
+		})
+		objective := slo.Objective{LatencyP99: *sloP99, Availability: *sloAvail}
+		for _, r := range replicas {
+			sloEng.SetObjective(rpc.ShardLabel(r.Group()), objective)
+		}
+		sloEng.Start()
+		defer sloEng.Stop()
+		srv.SetSLO(sloEng)
+		if *sloDegrade {
+			mgr := adaptation.NewShardManager(engine)
+			for _, r := range replicas {
+				mgr.ManageSLOReplica(r, sloEng, adaptation.SLOPolicy{Interval: *sloEvery})
+			}
+			mgr.StartAll()
+			defer mgr.StopAll()
+		}
 	}
 
 	if *httpAddr != "" {
@@ -165,9 +209,15 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("observability listen %s: %w", *httpAddr, err)
 		}
+		handlerOpts := []telemetry.HandlerOption{
+			telemetry.WithHealth(func() any { return h.Health().Report() }),
+			runtimeprof.PprofHandlers(),
+		}
+		if sloEng != nil {
+			handlerOpts = append(handlerOpts, telemetry.WithSLO(func() any { return sloEng.Report() }))
+		}
 		srv := &http.Server{Handler: telemetry.Handler(telemetry.Default(), telemetry.DefaultTracer(),
-			telemetry.DefaultSpans(), fr,
-			telemetry.WithHealth(func() any { return h.Health().Report() }))}
+			telemetry.DefaultSpans(), fr, handlerOpts...)}
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("observability server: %v", err)

@@ -49,14 +49,22 @@ type shardEntry struct {
 	reactor *HealthReactor
 }
 
+type sloEntry struct {
+	policy  SLOPolicy
+	reactor *SLOReactor
+}
+
 // ShardManager owns one edge-acting HealthReactor per replica group,
 // each under its own policy, all sharing one adaptation engine (the
 // repository and its packages are process-wide; the decisions are not).
+// Groups may additionally carry an SLOReactor: health reacts to the
+// hosts' measured condition, SLO reacts to what the users experienced.
 type ShardManager struct {
 	engine *Engine
 
-	mu     sync.Mutex
-	shards map[string]*shardEntry
+	mu        sync.Mutex
+	shards    map[string]*shardEntry
+	sloShards map[string]*sloEntry
 }
 
 // NewShardManager returns an empty manager over engine (a fresh engine
@@ -65,7 +73,11 @@ func NewShardManager(engine *Engine) *ShardManager {
 	if engine == nil {
 		engine = NewEngine(nil)
 	}
-	return &ShardManager{engine: engine, shards: make(map[string]*shardEntry)}
+	return &ShardManager{
+		engine:    engine,
+		shards:    make(map[string]*shardEntry),
+		sloShards: make(map[string]*sloEntry),
+	}
 }
 
 // Engine returns the shared adaptation engine.
@@ -97,6 +109,40 @@ func (m *ShardManager) ManageSharded(s *ftm.ShardedSystem, base ShardPolicy, ove
 		}
 		m.Manage(ids[k], g, pol)
 	}
+}
+
+// ManageSLO installs (or replaces) the SLO reaction for one group's
+// system and returns its reactor. A replaced group's polling loop is
+// stopped.
+func (m *ShardManager) ManageSLO(group string, sys *ftm.System, src SLOSource, pol SLOPolicy) *SLOReactor {
+	return m.installSLO(group, NewSLOReactorForSystem(m.engine, sys, group, src, pol), pol)
+}
+
+// ManageSLOReplica installs (or replaces) the SLO reaction for one
+// daemon replica and returns its reactor.
+func (m *ShardManager) ManageSLOReplica(r *ftm.Replica, src SLOSource, pol SLOPolicy) *SLOReactor {
+	return m.installSLO(r.Group(), NewSLOReactorForReplica(m.engine, r, src, pol), pol)
+}
+
+func (m *ShardManager) installSLO(group string, sr *SLOReactor, pol SLOPolicy) *SLOReactor {
+	m.mu.Lock()
+	old := m.sloShards[group]
+	m.sloShards[group] = &sloEntry{policy: pol.withDefaults(), reactor: sr}
+	m.mu.Unlock()
+	if old != nil {
+		old.reactor.Stop()
+	}
+	return sr
+}
+
+// SLOReactor returns the SLO reactor managing a group, or nil.
+func (m *ShardManager) SLOReactor(group string) *SLOReactor {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.sloShards[group]; ok {
+		return e.reactor
+	}
+	return nil
 }
 
 // Groups returns the managed group IDs, sorted.
@@ -134,45 +180,79 @@ func (m *ShardManager) ReactAll(ctx context.Context) ([]string, error) {
 		groups = append(groups, g)
 		reactors = append(reactors, e.reactor)
 	}
+	sloGroups := make([]string, 0, len(m.sloShards))
+	sloReactors := make([]*SLOReactor, 0, len(m.sloShards))
+	for g, e := range m.sloShards {
+		sloGroups = append(sloGroups, g)
+		sloReactors = append(sloReactors, e.reactor)
+	}
 	m.mu.Unlock()
 
-	var acted []string
+	actedSet := make(map[string]bool)
 	var firstErr error
 	for i, hr := range reactors {
 		_, did, err := hr.React(ctx)
 		if did {
-			acted = append(acted, groups[i])
+			actedSet[groups[i]] = true
 		}
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	for i, sr := range sloReactors {
+		did, err := sr.React(ctx)
+		if did {
+			actedSet[sloGroups[i]] = true
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	acted := make([]string, 0, len(actedSet))
+	for g := range actedSet {
+		acted = append(acted, g)
+	}
 	sort.Strings(acted)
 	return acted, firstErr
 }
 
-// StartAll starts every group's polling loop at its policy interval.
+// StartAll starts every group's polling loops (health and SLO) at
+// their policy intervals.
 func (m *ShardManager) StartAll() {
 	m.mu.Lock()
 	entries := make([]*shardEntry, 0, len(m.shards))
 	for _, e := range m.shards {
 		entries = append(entries, e)
 	}
+	sloEntries := make([]*sloEntry, 0, len(m.sloShards))
+	for _, e := range m.sloShards {
+		sloEntries = append(sloEntries, e)
+	}
 	m.mu.Unlock()
 	for _, e := range entries {
 		e.reactor.Start(e.policy.Interval)
 	}
+	for _, e := range sloEntries {
+		e.reactor.Start(e.policy.Interval)
+	}
 }
 
-// StopAll stops every group's polling loop.
+// StopAll stops every group's polling loops.
 func (m *ShardManager) StopAll() {
 	m.mu.Lock()
 	entries := make([]*shardEntry, 0, len(m.shards))
 	for _, e := range m.shards {
 		entries = append(entries, e)
 	}
+	sloEntries := make([]*sloEntry, 0, len(m.sloShards))
+	for _, e := range m.sloShards {
+		sloEntries = append(sloEntries, e)
+	}
 	m.mu.Unlock()
 	for _, e := range entries {
+		e.reactor.Stop()
+	}
+	for _, e := range sloEntries {
 		e.reactor.Stop()
 	}
 }

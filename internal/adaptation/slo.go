@@ -1,0 +1,233 @@
+package adaptation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
+	"resilientft/internal/slo"
+)
+
+// SLO-fed adaptation: the slo engine concludes that a shard is
+// burning its error budget too hot; the reactor here decides what to
+// do about it — shed the expensive FTM for a cheaper one before the
+// budget is gone, and climb back once it refills. This closes ROADMAP
+// item 5 (latency-SLO probe driving FTM transitions) with the same
+// edge-acting discipline as the HealthReactor: a persistently paging
+// shard produces one transition, not a storm, and every decision is
+// counted and traced.
+
+// SLOSource is the slice of the slo engine a reactor consumes.
+// *slo.Engine implements it; tests substitute fakes.
+type SLOSource interface {
+	Snapshot(shard string) (slo.ShardSnapshot, bool)
+}
+
+var _ SLOSource = (*slo.Engine)(nil)
+
+// SLOPolicy is one replica group's reaction record: what to degrade
+// to when the shard pages and when it has earned its way back.
+type SLOPolicy struct {
+	// DegradeTo is the FTM a paging shard is moved to (default LFR:
+	// keep crash tolerance, shed checkpointing load).
+	DegradeTo core.ID
+	// RecoverBudget is the budget_remaining fraction the shard must
+	// regain before recovery (default 0.5: half the budget back). With
+	// RecoverAfter it forms the hysteresis that keeps a marginal shard
+	// from flapping between mechanisms.
+	RecoverBudget float64
+	// RecoverAfter is the quiet period since the last paging tick
+	// before recovery (default 30s).
+	RecoverAfter time.Duration
+	// Interval paces the polling loop started by Start (default 1s).
+	Interval time.Duration
+}
+
+func (p SLOPolicy) withDefaults() SLOPolicy {
+	if p.DegradeTo == "" {
+		p.DegradeTo = core.LFR
+	}
+	if p.RecoverBudget <= 0 {
+		p.RecoverBudget = 0.5
+	}
+	if p.RecoverAfter <= 0 {
+		p.RecoverAfter = 30 * time.Second
+	}
+	if p.Interval <= 0 {
+		p.Interval = time.Second
+	}
+	return p
+}
+
+// SLOReactor degrades one replica group's FTM while its SLO pages and
+// recovers it with hysteresis once the budget refills. Edge-acting in
+// both directions: a shard already in the degraded FTM is left alone,
+// and recovery happens once per degradation.
+type SLOReactor struct {
+	engine *Engine
+	src    SLOSource
+	group  string
+	shard  string // the slo engine's shard key (rpc.ShardLabel(group))
+	pol    SLOPolicy
+
+	current    func() (core.ID, bool)
+	transition func(ctx context.Context, to core.ID) error
+
+	mu           sync.Mutex
+	degradedFrom core.ID
+	stop         chan struct{}
+	done         chan struct{}
+}
+
+// NewSLOReactorForSystem returns a reactor over a two-replica test
+// System: transitions apply to both replicas through the engine.
+func NewSLOReactorForSystem(engine *Engine, sys *ftm.System, group string, src SLOSource, pol SLOPolicy) *SLOReactor {
+	sr := newSLOReactor(engine, group, src, pol)
+	sr.current = func() (core.ID, bool) {
+		m := sys.Master()
+		if m == nil {
+			return "", false
+		}
+		return m.FTM(), true
+	}
+	sr.transition = func(ctx context.Context, to core.ID) error {
+		_, err := engine.TransitionSystem(ctx, sys, to)
+		return err
+	}
+	return sr
+}
+
+// NewSLOReactorForReplica returns a reactor over a single daemon
+// replica — the resilientd shape, where each process reacts for its
+// own replica (peer replicas run their own daemons and reactors).
+func NewSLOReactorForReplica(engine *Engine, r *ftm.Replica, src SLOSource, pol SLOPolicy) *SLOReactor {
+	sr := newSLOReactor(engine, r.Group(), src, pol)
+	sr.current = func() (core.ID, bool) { return r.FTM(), true }
+	sr.transition = func(ctx context.Context, to core.ID) error {
+		report := engine.TransitionReplica(ctx, r, to)
+		return report.Err
+	}
+	return sr
+}
+
+func newSLOReactor(engine *Engine, group string, src SLOSource, pol SLOPolicy) *SLOReactor {
+	if engine == nil {
+		engine = NewEngine(nil)
+	}
+	return &SLOReactor{
+		engine: engine,
+		src:    src,
+		group:  group,
+		shard:  rpc.ShardLabel(group),
+		pol:    pol.withDefaults(),
+	}
+}
+
+// React consults the SLO once and acts on an edge: degrade when the
+// shard pages in a non-degraded FTM, recover when the shard it
+// degraded has been quiet long enough with enough budget back. It
+// returns whether a transition was attempted.
+func (sr *SLOReactor) React(ctx context.Context) (bool, error) {
+	snap, ok := sr.src.Snapshot(sr.shard)
+	if !ok {
+		return false, nil
+	}
+	cur, ok := sr.current()
+	if !ok {
+		return false, nil
+	}
+	sr.mu.Lock()
+	degradedFrom := sr.degradedFrom
+	sr.mu.Unlock()
+
+	switch {
+	case snap.Grade == slo.GradePage && cur != sr.pol.DegradeTo:
+		sr.mu.Lock()
+		sr.degradedFrom = cur
+		sr.mu.Unlock()
+		decided(sr.group, "slo-degrade",
+			"from", string(cur), "to", string(sr.pol.DegradeTo),
+			"burn_short", fmtRate(snap.Windows, 0), "burn_long", fmtRate(snap.Windows, 1),
+			"budget_remaining", fmtRatio(snap.BudgetRemaining))
+		return true, sr.transition(ctx, sr.pol.DegradeTo)
+
+	case degradedFrom != "" && cur == sr.pol.DegradeTo:
+		if snap.Grade != slo.GradeOK ||
+			snap.BudgetRemaining < sr.pol.RecoverBudget ||
+			snap.LastPage.IsZero() ||
+			time.Since(snap.LastPage) < sr.pol.RecoverAfter {
+			return false, nil
+		}
+		decided(sr.group, "slo-recover",
+			"from", string(cur), "to", string(degradedFrom),
+			"budget_remaining", fmtRatio(snap.BudgetRemaining))
+		err := sr.transition(ctx, degradedFrom)
+		if err == nil {
+			sr.mu.Lock()
+			sr.degradedFrom = ""
+			sr.mu.Unlock()
+		}
+		return true, err
+	}
+	return false, nil
+}
+
+// Start polls React at the given interval (<= 0: the policy interval)
+// until Stop.
+func (sr *SLOReactor) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = sr.pol.Interval
+	}
+	sr.mu.Lock()
+	if sr.stop != nil {
+		sr.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	sr.stop, sr.done = stop, done
+	sr.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_, _ = sr.React(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the polling loop.
+func (sr *SLOReactor) Stop() {
+	sr.mu.Lock()
+	stop, done := sr.stop, sr.done
+	sr.stop, sr.done = nil, nil
+	sr.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+func fmtRate(windows []slo.WindowStat, i int) string {
+	if i >= len(windows) {
+		return "0.00"
+	}
+	return fmtRatio(windows[i].Burn)
+}
+
+// fmtRatio matches the two-decimal grain of the slo engine's own
+// event attributes.
+func fmtRatio(v float64) string {
+	return fmt.Sprintf("%.2f", v)
+}

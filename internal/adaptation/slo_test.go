@@ -1,0 +1,270 @@
+package adaptation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/slo"
+)
+
+// fakeSLO serves one canned snapshot per shard.
+type fakeSLO struct {
+	mu    sync.Mutex
+	snaps map[string]slo.ShardSnapshot
+}
+
+func (f *fakeSLO) set(shard string, snap slo.ShardSnapshot) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.snaps == nil {
+		f.snaps = make(map[string]slo.ShardSnapshot)
+	}
+	snap.Shard = shard
+	f.snaps[shard] = snap
+}
+
+func (f *fakeSLO) Snapshot(shard string) (slo.ShardSnapshot, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.snaps[shard]
+	return s, ok
+}
+
+// harnessed reactor: current/transition are swapped for a fake FTM
+// holder so the decision logic is tested without live replicas.
+type sloHarness struct {
+	*SLOReactor
+	mu          sync.Mutex
+	ftm         core.ID
+	transitions []core.ID
+	failNext    error
+}
+
+func newSLOHarness(t *testing.T, src SLOSource, pol SLOPolicy) *sloHarness {
+	t.Helper()
+	h := &sloHarness{
+		SLOReactor: newSLOReactor(nil, "g0", src, pol),
+		ftm:        core.PBR,
+	}
+	h.SLOReactor.current = func() (core.ID, bool) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.ftm, true
+	}
+	h.SLOReactor.transition = func(_ context.Context, to core.ID) error {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if err := h.failNext; err != nil {
+			h.failNext = nil
+			return err
+		}
+		h.ftm = to
+		h.transitions = append(h.transitions, to)
+		return nil
+	}
+	return h
+}
+
+func (h *sloHarness) history() []core.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]core.ID(nil), h.transitions...)
+}
+
+func pagingSnap() slo.ShardSnapshot {
+	return slo.ShardSnapshot{
+		Grade:           slo.GradePage,
+		Windows:         []slo.WindowStat{{Burn: 120}, {Burn: 80}},
+		BudgetRemaining: 0.1,
+		LastPage:        time.Now(),
+	}
+}
+
+func recoveredSnap(budget float64, sinceLastPage time.Duration) slo.ShardSnapshot {
+	return slo.ShardSnapshot{
+		Grade:           slo.GradeOK,
+		Windows:         []slo.WindowStat{{Burn: 0}, {Burn: 0}},
+		BudgetRemaining: budget,
+		LastPage:        time.Now().Add(-sinceLastPage),
+	}
+}
+
+func TestSLOReactorDegradesOnPageEdge(t *testing.T) {
+	src := &fakeSLO{}
+	h := newSLOHarness(t, src, SLOPolicy{})
+	ctx := context.Background()
+
+	// No snapshot for the shard yet: nothing to do.
+	if acted, err := h.React(ctx); acted || err != nil {
+		t.Fatalf("acted on missing snapshot: acted=%v err=%v", acted, err)
+	}
+
+	src.set("g0", pagingSnap())
+	acted, err := h.React(ctx)
+	if !acted || err != nil {
+		t.Fatalf("degrade: acted=%v err=%v", acted, err)
+	}
+	if got := h.history(); len(got) != 1 || got[0] != core.LFR {
+		t.Fatalf("transitions = %v, want [LFR]", got)
+	}
+
+	// Still paging, already degraded: edge-acting, no second transition.
+	for i := 0; i < 3; i++ {
+		if acted, _ := h.React(ctx); acted {
+			t.Fatal("re-degraded an already degraded shard")
+		}
+	}
+	if got := h.history(); len(got) != 1 {
+		t.Fatalf("transitions = %v, want exactly one", got)
+	}
+}
+
+func TestSLOReactorRecoveryHysteresis(t *testing.T) {
+	src := &fakeSLO{}
+	h := newSLOHarness(t, src, SLOPolicy{RecoverBudget: 0.5, RecoverAfter: 50 * time.Millisecond})
+	ctx := context.Background()
+
+	src.set("g0", pagingSnap())
+	if acted, _ := h.React(ctx); !acted {
+		t.Fatal("no degrade")
+	}
+
+	// Each gate alone must hold recovery back.
+	cases := []struct {
+		name string
+		snap slo.ShardSnapshot
+	}{
+		{"still paging", pagingSnap()},
+		{"warn grade", func() slo.ShardSnapshot {
+			s := recoveredSnap(0.9, time.Second)
+			s.Grade = slo.GradeWarn
+			return s
+		}()},
+		{"budget low", recoveredSnap(0.4, time.Second)},
+		{"too soon", recoveredSnap(0.9, 10*time.Millisecond)},
+		{"never paged", func() slo.ShardSnapshot {
+			s := recoveredSnap(0.9, time.Second)
+			s.LastPage = time.Time{}
+			return s
+		}()},
+	}
+	for _, tc := range cases {
+		src.set("g0", tc.snap)
+		if acted, _ := h.React(ctx); acted {
+			t.Fatalf("%s: recovered through a closed gate", tc.name)
+		}
+	}
+
+	// All gates open: recover once, back to the original FTM.
+	src.set("g0", recoveredSnap(0.9, time.Second))
+	acted, err := h.React(ctx)
+	if !acted || err != nil {
+		t.Fatalf("recover: acted=%v err=%v", acted, err)
+	}
+	if got := h.history(); len(got) != 2 || got[1] != core.PBR {
+		t.Fatalf("transitions = %v, want [LFR PBR]", got)
+	}
+
+	// Fully recovered: idle.
+	if acted, _ := h.React(ctx); acted {
+		t.Fatal("acted after full recovery")
+	}
+}
+
+func TestSLOReactorRecoveryRetriesAfterFailedTransition(t *testing.T) {
+	src := &fakeSLO{}
+	h := newSLOHarness(t, src, SLOPolicy{RecoverBudget: 0.5, RecoverAfter: time.Millisecond})
+	ctx := context.Background()
+
+	src.set("g0", pagingSnap())
+	if acted, _ := h.React(ctx); !acted {
+		t.Fatal("no degrade")
+	}
+
+	src.set("g0", recoveredSnap(0.9, time.Second))
+	h.mu.Lock()
+	h.failNext = errors.New("transition refused")
+	h.mu.Unlock()
+	acted, err := h.React(ctx)
+	if !acted || err == nil {
+		t.Fatalf("failed recovery: acted=%v err=%v", acted, err)
+	}
+	// degradedFrom survives the failure, so the next tick retries.
+	acted, err = h.React(ctx)
+	if !acted || err != nil {
+		t.Fatalf("retry: acted=%v err=%v", acted, err)
+	}
+	if got := h.history(); len(got) != 2 || got[1] != core.PBR {
+		t.Fatalf("transitions = %v, want [LFR PBR]", got)
+	}
+}
+
+func TestSLOReactorDegradeTargetConfigurable(t *testing.T) {
+	src := &fakeSLO{}
+	h := newSLOHarness(t, src, SLOPolicy{DegradeTo: core.TR})
+	src.set("g0", pagingSnap())
+	if acted, _ := h.React(context.Background()); !acted {
+		t.Fatal("no degrade")
+	}
+	if got := h.history(); len(got) != 1 || got[0] != core.TR {
+		t.Fatalf("transitions = %v, want [TR]", got)
+	}
+}
+
+func TestSLOPolicyDefaults(t *testing.T) {
+	p := SLOPolicy{}.withDefaults()
+	if p.DegradeTo != core.LFR || p.RecoverBudget != 0.5 ||
+		p.RecoverAfter != 30*time.Second || p.Interval != time.Second {
+		t.Fatalf("defaults = %+v", p)
+	}
+}
+
+func TestShardManagerSLOInstallAndSweep(t *testing.T) {
+	src := &fakeSLO{}
+	m := NewShardManager(nil)
+
+	h := &sloHarness{SLOReactor: newSLOReactor(m.Engine(), "g0", src, SLOPolicy{}), ftm: core.PBR}
+	h.SLOReactor.current = func() (core.ID, bool) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		return h.ftm, true
+	}
+	h.SLOReactor.transition = func(_ context.Context, to core.ID) error {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		h.ftm = to
+		h.transitions = append(h.transitions, to)
+		return nil
+	}
+	m.installSLO("g0", h.SLOReactor, SLOPolicy{})
+
+	if m.SLOReactor("g0") != h.SLOReactor {
+		t.Fatal("SLOReactor getter missed the installed reactor")
+	}
+	if m.SLOReactor("missing") != nil {
+		t.Fatal("SLOReactor invented a reactor")
+	}
+
+	src.set("g0", pagingSnap())
+	acted, err := m.ReactAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acted) != 1 || acted[0] != "g0" {
+		t.Fatalf("acted = %v, want [g0]", acted)
+	}
+	if got := h.history(); len(got) != 1 || got[0] != core.LFR {
+		t.Fatalf("transitions = %v, want [LFR]", got)
+	}
+
+	// Replacing the reaction stops the old reactor and installs the new.
+	h2 := newSLOHarness(t, src, SLOPolicy{DegradeTo: core.TR})
+	m.installSLO("g0", h2.SLOReactor, SLOPolicy{DegradeTo: core.TR})
+	if m.SLOReactor("g0") != h2.SLOReactor {
+		t.Fatal("replacement not installed")
+	}
+}

@@ -6,17 +6,24 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"resilientft/internal/telemetry/runtimeprof"
 )
 
 // RunMeta stamps a perf report with enough provenance to compare it
-// against another run: what code, what toolchain, what parallelism.
+// against another run: what code, what toolchain, what parallelism,
+// and the runtime's shape at collection time (a report taken from a
+// process already carrying thousands of goroutines or a swollen heap
+// is not comparable to a fresh one).
 type RunMeta struct {
-	GitCommit  string `json:"git_commit,omitempty"`
-	Date       string `json:"date"`
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitCommit     string `json:"git_commit,omitempty"`
+	Date          string `json:"date"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Goroutines    int    `json:"goroutines"`
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
 }
 
 // CollectRunMeta gathers the metadata of the current process. The
@@ -24,12 +31,15 @@ type RunMeta struct {
 // recorded it, falling back to asking git; an unknown commit is left
 // empty rather than guessed.
 func CollectRunMeta() RunMeta {
+	sum := runtimeprof.ReadSummary()
 	meta := RunMeta{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Date:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Goroutines:    sum.Goroutines,
+		HeapLiveBytes: sum.HeapLiveBytes,
 	}
 	if info, ok := debug.ReadBuildInfo(); ok {
 		for _, s := range info.Settings {

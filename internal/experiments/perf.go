@@ -11,6 +11,7 @@ import (
 	"resilientft/internal/core"
 	"resilientft/internal/ftm"
 	"resilientft/internal/rpc"
+	"resilientft/internal/slo"
 	"resilientft/internal/telemetry"
 )
 
@@ -41,6 +42,12 @@ type PerfReport struct {
 	// Telemetry is the flattened telemetry registry at the end of the
 	// run (benchsuite -metrics); the counters behind the measurements.
 	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+	// SLO is the per-shard SLO report of an evaluator that ran alongside
+	// the whole suite at its default cadence (PerfSuite sloOn): the
+	// bench's own traffic graded against the default objectives, and the
+	// proof that the evaluator was live while the numbers above were
+	// taken.
+	SLO []slo.ShardSnapshot `json:"slo,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -56,11 +63,34 @@ func (r *PerfReport) JSON() ([]byte, error) {
 // throughput points against a consistent-hash-routed N-group system,
 // plus a 1-group routed point (the parity row: what the routing tier
 // itself costs over a single group).
-func PerfSuite(ctx context.Context, ops, shards int) (*PerfReport, error) {
+//
+// With sloOn an SLO evaluator runs over the whole suite at its default
+// cadence, objectives declared for every shard the bench drives; its
+// final report is embedded in the output. The point is the cost, not
+// the grades: a report taken with the evaluator live is the regression
+// guard for the evaluator's own overhead.
+func PerfSuite(ctx context.Context, ops, shards int, sloOn bool) (*PerfReport, error) {
 	if ops < 1 {
 		ops = 200
 	}
 	report := &PerfReport{Suite: "request-path", Meta: CollectRunMeta(), OpsPerPoint: ops}
+
+	var sloEng *slo.Engine
+	if sloOn {
+		sloEng = slo.New(slo.Config{Registry: telemetry.Default()})
+		sloEng.SetObjective(rpc.ShardLabel(""), slo.DefaultObjective())
+		for k := 0; k < shards; k++ {
+			sloEng.SetObjective(fmt.Sprintf("%d", k), slo.DefaultObjective())
+		}
+		sloEng.Start()
+		defer func() {
+			sloEng.Stop()
+			// One final fold so requests issued after the last timed tick
+			// (the tail families) still reach the report.
+			sloEng.Tick()
+			report.SLO = sloEng.Report()
+		}()
+	}
 
 	add := func(name string, ns time.Duration, reqs float64) {
 		report.Metrics = append(report.Metrics, PerfMetric{

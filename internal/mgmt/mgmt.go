@@ -18,6 +18,7 @@ import (
 	"resilientft/internal/adaptation"
 	"resilientft/internal/core"
 	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
 	"resilientft/internal/telemetry"
 	"resilientft/internal/transport"
 )
@@ -37,7 +38,17 @@ const (
 	OpTune       = "tune"
 	OpHealth     = "health"
 	OpShards     = "shards"
+	OpSLO        = "slo"
 )
+
+// SLOReporter is the slice of the SLO engine the management plane
+// serves: the full per-shard report as JSON (OpSLO) and a shard's
+// one-word grade (the SLO column of OpShards). *slo.Engine implements
+// it; the indirection keeps mgmt decoupled from slo's types.
+type SLOReporter interface {
+	ReportJSON() ([]byte, error)
+	ShardGrade(shard string) (string, bool)
+}
 
 // tunables lists the replication knobs OpTune may push, all properties
 // of the synchronizing After brick: the wave-size cap and the adaptive
@@ -89,6 +100,9 @@ type ShardStatus struct {
 	FTM    string
 	Role   string
 	Health string
+	// SLO is the shard's current objective grade (ok/warn/page), empty
+	// on daemons running without an SLO engine.
+	SLO string
 }
 
 // TransitionOutcome reports a remotely requested transition.
@@ -121,6 +135,9 @@ type reply struct {
 	// Health carries the host's graded health report pre-marshaled as
 	// JSON (the same document the daemon's HTTP /health route serves).
 	Health string
+	// SLO carries the per-shard SLO report pre-marshaled as JSON (the
+	// same document the daemon's HTTP /slo route serves).
+	SLO string
 	// Shards carries the per-group roster of a sharded daemon.
 	Shards []ShardStatus
 	Err    string
@@ -140,6 +157,7 @@ type Server struct {
 	mu      sync.Mutex
 	byGroup map[string]*served
 	order   []*served
+	slo     SLOReporter
 	// promBuf is reused across OpMetrics renders so a metrics poll costs
 	// one string copy, not a buffer regrowth per call (the same
 	// render-once discipline OpHealth applies to its JSON document).
@@ -171,6 +189,14 @@ func (s *Server) Register(r *ftm.Replica, engine *adaptation.Engine) {
 		s.order = append(s.order, e)
 	}
 	s.byGroup[r.Group()] = e
+}
+
+// SetSLO wires the daemon's SLO engine into the server; OpSLO replies
+// and the SLO column of OpShards stay empty until set.
+func (s *Server) SetSLO(rep SLOReporter) {
+	s.mu.Lock()
+	s.slo = rep
+	s.mu.Unlock()
 }
 
 // Serve installs a management handler serving the single replica r — the
@@ -252,6 +278,7 @@ func (s *Server) handle(ctx context.Context, p transport.Packet) ([]byte, error)
 	case OpShards:
 		s.mu.Lock()
 		entries := append([]*served(nil), s.order...)
+		rep := s.slo
 		s.mu.Unlock()
 		out.Shards = make([]ShardStatus, 0, len(entries))
 		for _, e := range entries {
@@ -265,8 +292,27 @@ func (s *Server) handle(ctx context.Context, p transport.Packet) ([]byte, error)
 			if hm := e.r.Host().Health(); hm != nil {
 				row.Health = hm.Report().Overall.String()
 			}
+			if rep != nil {
+				if grade, ok := rep.ShardGrade(rpc.ShardLabel(e.r.Group())); ok {
+					row.SLO = grade
+				}
+			}
 			out.Shards = append(out.Shards, row)
 		}
+	case OpSLO:
+		s.mu.Lock()
+		rep := s.slo
+		s.mu.Unlock()
+		if rep == nil {
+			out.Err = "no SLO engine on this daemon"
+			break
+		}
+		data, err := rep.ReportJSON()
+		if err != nil {
+			out.Err = err.Error()
+			break
+		}
+		out.SLO = string(data)
 	default:
 		e := s.resolve(req.Group)
 		if e == nil {
@@ -464,6 +510,16 @@ func QueryHealth(ctx context.Context, ep transport.Endpoint, target transport.Ad
 		return "", fmt.Errorf("mgmt: empty health reply")
 	}
 	return out.Health, nil
+}
+
+// QuerySLO fetches a daemon's per-shard SLO report as the JSON
+// document the daemon's /slo route serves.
+func QuerySLO(ctx context.Context, ep transport.Endpoint, target transport.Address) (string, error) {
+	out, err := call(ctx, ep, target, Request{Op: OpSLO})
+	if err != nil {
+		return "", err
+	}
+	return out.SLO, nil
 }
 
 // RequestTune pushes a replication tunable (maxWave, accumWindow,

@@ -317,3 +317,80 @@ func TestQueryHealthRoundTrip(t *testing.T) {
 		t.Fatal("report carries no cpu collector")
 	}
 }
+
+// fakeSLOReporter serves a canned report and per-shard grades.
+type fakeSLOReporter struct {
+	report string
+	err    error
+	grades map[string]string
+}
+
+func (f *fakeSLOReporter) ReportJSON() ([]byte, error) { return []byte(f.report), f.err }
+
+func (f *fakeSLOReporter) ShardGrade(shard string) (string, bool) {
+	g, ok := f.grades[shard]
+	return g, ok
+}
+
+func TestQuerySLORoundTrip(t *testing.T) {
+	srv, ctl := newShardedServer(t)
+	ctx := context.Background()
+
+	// Without an engine the op reports the absence, not an empty doc.
+	if _, err := QuerySLO(ctx, ctl, "node"); err == nil ||
+		!strings.Contains(err.Error(), "no SLO engine") {
+		t.Fatalf("engine-less QuerySLO err = %v", err)
+	}
+
+	srv.SetSLO(&fakeSLOReporter{
+		report: `[{"shard":"0","grade":"page"}]`,
+		grades: map[string]string{"0": "page"},
+	})
+	doc, err := QuerySLO(ctx, ctl, "node")
+	if err != nil {
+		t.Fatalf("QuerySLO: %v", err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(doc), &rows); err != nil {
+		t.Fatalf("reply is not the report JSON: %v\n%s", err, doc)
+	}
+	if len(rows) != 1 || rows[0]["shard"] != "0" || rows[0]["grade"] != "page" {
+		t.Fatalf("report rows = %v", rows)
+	}
+
+	// A reporter error surfaces as an op error.
+	srv.SetSLO(&fakeSLOReporter{err: fmt.Errorf("engine stopped")})
+	if _, err := QuerySLO(ctx, ctl, "node"); err == nil ||
+		!strings.Contains(err.Error(), "engine stopped") {
+		t.Fatalf("reporter error not surfaced: %v", err)
+	}
+}
+
+func TestShardRowsCarrySLOGrade(t *testing.T) {
+	srv, ctl := newShardedServer(t)
+	ctx := context.Background()
+
+	rows, err := QueryShards(ctx, ctl, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.SLO != "" {
+			t.Fatalf("SLO column set without an engine: %+v", row)
+		}
+	}
+
+	// Only shard 0 has a declared objective; shard 1's column stays empty.
+	srv.SetSLO(&fakeSLOReporter{grades: map[string]string{"0": "warn"}})
+	rows, err = QueryShards(ctx, ctl, "node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range rows {
+		got[row.Group] = row.SLO
+	}
+	if got["0"] != "warn" || got["1"] != "" {
+		t.Fatalf("SLO columns = %v, want 0=warn 1=empty", got)
+	}
+}

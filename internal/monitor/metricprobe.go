@@ -80,9 +80,13 @@ func ResyncRateProbe(name string, reg *telemetry.Registry) Probe {
 
 // QuantileLatencyProbe samples a latency quantile of a histogram series
 // in milliseconds (0 until the series exists and has observations).
+// The series is resolved through a cached handle: the registry lookup
+// (label sort plus key build) happens once, not on every evaluation
+// tick.
 func QuantileLatencyProbe(name string, reg *telemetry.Registry, metric string, q float64, labels ...string) Probe {
+	handle := reg.HistogramHandle(metric, labels...)
 	return ProbeFunc{ProbeName: name, Fn: func() float64 {
-		h, ok := reg.FindHistogram(metric, labels...)
+		h, ok := handle.Get()
 		if !ok {
 			return 0
 		}

@@ -291,6 +291,7 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 		}
 		start := time.Now()
 		mServerRequests.Inc()
+		group := req.Group
 		sp := telemetry.DefaultSpans().Start(req.Trace, "rpc.server")
 		if sp != nil {
 			// The handler (and everything it ships) nests under the
@@ -310,8 +311,10 @@ func Serve(ep transport.Endpoint, h Handler) func() {
 			}
 			sp.End()
 		}
-		mServerLatency.ObserveSince(start)
+		elapsed := time.Since(start)
+		mServerLatency.Observe(elapsed)
 		countServerResponse(resp.Status)
+		shardSeriesFor(group).record(elapsed, resp.Status)
 		if resp.Replayed {
 			mServerReplays.Inc()
 		}

@@ -1,6 +1,11 @@
 package rpc
 
-import "resilientft/internal/telemetry"
+import (
+	"sync"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
 
 // Request-path series, resolved once so the per-call cost is a handful
 // of atomic operations. Client-side metrics observe what the
@@ -36,4 +41,75 @@ func countServerResponse(s Status) {
 		return
 	}
 	telemetry.Default().Counter("rpc_server_responses_total", "status", "unknown").Inc()
+}
+
+// Per-shard request series: one latency histogram plus a per-status
+// counter set per replica group, so a shard's success rate and tail
+// latency are readable in isolation — exactly the inputs an SLO
+// evaluator needs. Resolved once per group and cached; the per-request
+// cost after the first hit is one sync.Map load.
+const (
+	// ShardLatencySeries is the per-shard request latency histogram,
+	// labeled {shard}.
+	ShardLatencySeries = "rpc_shard_request_latency"
+	// ShardResponsesSeries is the per-shard response counter family,
+	// labeled {shard, status} with the rpc_server_responses_total
+	// status values.
+	ShardResponsesSeries = "rpc_shard_responses_total"
+)
+
+// ShardLabel maps a replica group ID to the value its shard-labeled
+// series carry: the literal group, or "default" for ungrouped traffic
+// (the unsharded daemon's sole replica).
+func ShardLabel(group string) string {
+	if group == "" {
+		return "default"
+	}
+	return group
+}
+
+// statusLabels mirrors mServerByStatus's label values, indexed by
+// Status.
+var statusLabels = [...]string{
+	StatusOK:          "ok",
+	StatusAppError:    "app-error",
+	StatusNotMaster:   "not-master",
+	StatusUnavailable: "unavailable",
+}
+
+type shardSeries struct {
+	latency  *telemetry.Histogram
+	byStatus [len(statusLabels)]*telemetry.Counter
+	unknown  *telemetry.Counter
+}
+
+var shardSeriesCache sync.Map // shard label → *shardSeries
+
+func shardSeriesFor(group string) *shardSeries {
+	shard := ShardLabel(group)
+	if v, ok := shardSeriesCache.Load(shard); ok {
+		return v.(*shardSeries)
+	}
+	reg := telemetry.Default()
+	ss := &shardSeries{
+		latency: reg.Histogram(ShardLatencySeries, "shard", shard),
+		unknown: reg.Counter(ShardResponsesSeries, "shard", shard, "status", "unknown"),
+	}
+	for s, label := range statusLabels {
+		if label == "" {
+			continue
+		}
+		ss.byStatus[s] = reg.Counter(ShardResponsesSeries, "shard", shard, "status", label)
+	}
+	actual, _ := shardSeriesCache.LoadOrStore(shard, ss)
+	return actual.(*shardSeries)
+}
+
+func (ss *shardSeries) record(elapsed time.Duration, s Status) {
+	ss.latency.Observe(elapsed)
+	if int(s) > 0 && int(s) < len(ss.byStatus) && ss.byStatus[s] != nil {
+		ss.byStatus[s].Inc()
+		return
+	}
+	ss.unknown.Inc()
 }

@@ -1,0 +1,93 @@
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"time"
+
+	"resilientft/internal/stablestore"
+	"resilientft/internal/telemetry"
+	"resilientft/internal/telemetry/runtimeprof"
+)
+
+// Diagnostic capture: the moment a shard pages is the moment the
+// evidence exists — the seconds of telemetry before the breach (the
+// flight recorder's black box) and the runtime's current shape (pprof
+// profiles: where the CPU went, what the heap holds, what every
+// goroutine is doing). Both are frozen into one bundle and persisted
+// via stablestore next to the other incident records, so the question
+// "why did the budget burn" is answerable after the fact.
+
+// Incident-record reasons written on a breach. The black box itself
+// (dumped through the flight recorder, so it also lands in the
+// in-memory /blackbox ring and the recorder's own persist hook) uses
+// ReasonBreach; the profile-carrying bundle record uses ReasonBundle.
+const (
+	ReasonBreach = "slo-breach"
+	ReasonBundle = "slo-bundle"
+)
+
+// Bundle is the persisted diagnostic evidence of one breach.
+type Bundle struct {
+	Shard           string                `json:"shard"`
+	Grade           string                `json:"grade"`
+	BurnShort       float64               `json:"burn_short"`
+	BurnLong        float64               `json:"burn_long"`
+	BudgetRemaining float64               `json:"budget_remaining"`
+	BlackBox        telemetry.BlackBox    `json:"blackbox"`
+	Profiles        *runtimeprof.Profiles `json:"profiles,omitempty"`
+	ProfilesErr     string                `json:"profiles_err,omitempty"`
+}
+
+// DefaultCaptureCPU is the CPU-profile duration a capture samples: long
+// enough to catch a hot path mid-burn, short enough that the capture
+// itself is not an outage.
+const DefaultCaptureCPU = 200 * time.Millisecond
+
+// NewCapture returns a Capture hook for Config: on each page-grade
+// breach it dumps a black box through fr, captures runtime profiles
+// (cpuDur of CPU; <= 0 takes DefaultCaptureCPU), and appends the
+// combined bundle to incidents (nil: the bundle is built but only the
+// black box persists, through fr's own hook). Capture errors are
+// logged, never fatal — diagnostics must not take down the patient.
+func NewCapture(fr *telemetry.FlightRecorder, incidents stablestore.IncidentLog, cpuDur time.Duration) func(Breach) {
+	if cpuDur <= 0 {
+		cpuDur = DefaultCaptureCPU
+	}
+	return func(br Breach) {
+		box := fr.Dump(ReasonBreach,
+			"shard", br.Shard, "grade", br.Grade.String(),
+			"burn_short", fmtBurn(br.BurnShort), "burn_long", fmtBurn(br.BurnLong))
+		if incidents == nil {
+			return
+		}
+		bundle := Bundle{
+			Shard:           br.Shard,
+			Grade:           br.Grade.String(),
+			BurnShort:       br.BurnShort,
+			BurnLong:        br.BurnLong,
+			BudgetRemaining: br.BudgetRemaining,
+			BlackBox:        box,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		profiles, err := runtimeprof.Capture(ctx, cpuDur)
+		cancel()
+		if err != nil {
+			bundle.ProfilesErr = err.Error()
+		} else {
+			bundle.Profiles = profiles
+		}
+		data, err := json.Marshal(bundle)
+		if err != nil {
+			log.Printf("slo: bundle marshal: %v", err)
+			return
+		}
+		rec := stablestore.IncidentRecord{
+			Time: br.At, Reason: ReasonBundle, Origin: box.Origin, Data: data,
+		}
+		if err := incidents.Append(rec); err != nil {
+			log.Printf("slo: bundle persist: %v", err)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package slo
+
+import (
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+// The error-budget accounting ring: one bucket per evaluator tick,
+// fixed capacity (the longest window), with a rolling sum maintained
+// per configured window so a tick costs O(windows), not a rescan of
+// six hours of buckets. Buckets carry raw request counts — the
+// windowed bad fraction and burn rate are derived at read time, so
+// the ring itself has no opinion about objectives.
+
+// tickBucket is one evaluation interval's traffic: how many requests
+// the shard served and how many violated the objective (errors plus
+// latency-slow, capped at total).
+type tickBucket struct {
+	total uint64
+	bad   uint64
+}
+
+// windowSum is the rolling sum over the last `ticks` pushes.
+type windowSum struct {
+	ticks int
+	total uint64
+	bad   uint64
+}
+
+// budgetRing holds capacity tick buckets and maintains one rolling sum
+// per window. Not safe for concurrent use; the engine serializes
+// ticks under its own lock.
+type budgetRing struct {
+	buckets []tickBucket
+	head    int // next write position
+	n       int // filled buckets, up to capacity
+	windows []windowSum
+}
+
+// newBudgetRing returns a ring of the given capacity with rolling
+// sums over windowTicks (each clamped to capacity).
+func newBudgetRing(capacity int, windowTicks []int) *budgetRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := &budgetRing{buckets: make([]tickBucket, capacity)}
+	for _, t := range windowTicks {
+		if t < 1 {
+			t = 1
+		}
+		if t > capacity {
+			t = capacity
+		}
+		r.windows = append(r.windows, windowSum{ticks: t})
+	}
+	return r
+}
+
+// push appends one tick's bucket, updating every rolling sum: the new
+// bucket enters, the bucket that left each window is subtracted.
+func (r *budgetRing) push(b tickBucket) {
+	size := len(r.buckets)
+	for i := range r.windows {
+		w := &r.windows[i]
+		w.total += b.total
+		w.bad += b.bad
+		if r.n >= w.ticks {
+			// The bucket pushed w.ticks pushes ago leaves the window. With
+			// w.ticks == capacity that is the slot about to be overwritten,
+			// still holding its old value.
+			old := r.buckets[(r.head-w.ticks+size)%size]
+			w.total -= old.total
+			w.bad -= old.bad
+		}
+	}
+	r.buckets[r.head] = b
+	r.head = (r.head + 1) % size
+	if r.n < size {
+		r.n++
+	}
+}
+
+// window returns the rolling totals of window i.
+func (r *budgetRing) window(i int) (total, bad uint64) {
+	return r.windows[i].total, r.windows[i].bad
+}
+
+// burnRate converts a window's traffic into an error-budget burn
+// rate: the bad fraction divided by the budget (1 − availability). A
+// burn of 1.0 spends the budget exactly at the sustainable pace; 14.4
+// exhausts a 30-day budget in two days. A zero-traffic window burns
+// nothing — the alternatives (NaN, or treating silence as failure)
+// would page idle shards.
+func burnRate(total, bad uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / budget
+}
+
+// complianceRatio is the windowed fraction of good requests; an idle
+// window is fully compliant (it spent none of the budget).
+func complianceRatio(total, bad uint64) float64 {
+	if total == 0 {
+		return 1
+	}
+	if bad > total {
+		return 0
+	}
+	return float64(total-bad) / float64(total)
+}
+
+// budgetRemaining is the unspent fraction of the error budget over
+// the accounting window, clamped to [0, 1]: 1 with an untouched
+// budget, 0 at or past exhaustion.
+func budgetRemaining(total, bad uint64, budget float64) float64 {
+	if total == 0 || budget <= 0 {
+		return 1
+	}
+	spent := float64(bad) / float64(total) / budget
+	if spent >= 1 {
+		return 0
+	}
+	return 1 - spent
+}
+
+// latWindow is a rolling histogram over the last `size` ticks, built
+// from per-tick snapshot deltas, so the reported p99 is the recent
+// tail, not the lifetime one. Same subtract-on-evict discipline as
+// budgetRing.
+type latWindow struct {
+	deltas []telemetry.HistogramSnapshot
+	head   int
+	n      int
+	sum    telemetry.HistogramSnapshot
+}
+
+func newLatWindow(size int) *latWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &latWindow{deltas: make([]telemetry.HistogramSnapshot, size)}
+}
+
+func (w *latWindow) push(d telemetry.HistogramSnapshot) {
+	if w.n >= len(w.deltas) {
+		old := &w.deltas[w.head]
+		w.sum.Count -= old.Count
+		w.sum.SumNs -= old.SumNs
+		for i := range w.sum.Buckets {
+			w.sum.Buckets[i] -= old.Buckets[i]
+		}
+	}
+	w.sum.Count += d.Count
+	w.sum.SumNs += d.SumNs
+	for i := range w.sum.Buckets {
+		w.sum.Buckets[i] += d.Buckets[i]
+	}
+	w.deltas[w.head] = d
+	w.head = (w.head + 1) % len(w.deltas)
+	if w.n < len(w.deltas) {
+		w.n++
+	}
+}
+
+// p99 returns the windowed 99th-percentile upper bound.
+func (w *latWindow) p99() time.Duration { return w.sum.Quantile(0.99) }

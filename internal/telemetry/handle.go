@@ -1,0 +1,77 @@
+package telemetry
+
+import "sync/atomic"
+
+// Cached series handles. Probes and evaluators that read someone
+// else's series used to call FindCounter/FindHistogram on every tick,
+// rebuilding the canonical series key (label sort plus string build)
+// each time. A handle performs that lookup once and caches the
+// instrument pointer — series are never unregistered, so a resolved
+// pointer stays valid for the registry's lifetime — while an
+// unresolved handle keeps retrying, so probe and instrumentation may
+// still initialize in either order.
+
+// CounterHandle is a resolve-once reference to a counter series that
+// may not exist yet.
+type CounterHandle struct {
+	reg    *Registry
+	name   string
+	labels []string
+	c      atomic.Pointer[Counter]
+}
+
+// CounterHandle returns a handle on (name, labels) without creating
+// the series.
+func (r *Registry) CounterHandle(name string, labels ...string) *CounterHandle {
+	return &CounterHandle{reg: r, name: name, labels: append([]string(nil), labels...)}
+}
+
+// Get returns the counter, resolving and caching it on first success.
+func (h *CounterHandle) Get() (*Counter, bool) {
+	if c := h.c.Load(); c != nil {
+		return c, true
+	}
+	c, ok := h.reg.FindCounter(h.name, h.labels...)
+	if ok {
+		h.c.Store(c)
+	}
+	return c, ok
+}
+
+// Value returns the counter's reading, or zero while the series does
+// not exist.
+func (h *CounterHandle) Value() uint64 {
+	c, ok := h.Get()
+	if !ok {
+		return 0
+	}
+	return c.Value()
+}
+
+// HistogramHandle is a resolve-once reference to a histogram series
+// that may not exist yet.
+type HistogramHandle struct {
+	reg    *Registry
+	name   string
+	labels []string
+	h      atomic.Pointer[Histogram]
+}
+
+// HistogramHandle returns a handle on (name, labels) without creating
+// the series.
+func (r *Registry) HistogramHandle(name string, labels ...string) *HistogramHandle {
+	return &HistogramHandle{reg: r, name: name, labels: append([]string(nil), labels...)}
+}
+
+// Get returns the histogram, resolving and caching it on first
+// success.
+func (h *HistogramHandle) Get() (*Histogram, bool) {
+	if hist := h.h.Load(); hist != nil {
+		return hist, true
+	}
+	hist, ok := h.reg.FindHistogram(h.name, h.labels...)
+	if ok {
+		h.h.Store(hist)
+	}
+	return hist, ok
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterHandleResolvesLazily(t *testing.T) {
+	r := NewRegistry()
+	h := r.CounterHandle("late_total", "shard", "0")
+	if _, ok := h.Get(); ok {
+		t.Fatal("handle resolved a series that does not exist")
+	}
+	if got := h.Value(); got != 0 {
+		t.Fatalf("unresolved handle value = %d, want 0", got)
+	}
+	c := r.Counter("late_total", "shard", "0")
+	c.Add(3)
+	got, ok := h.Get()
+	if !ok || got != c {
+		t.Fatal("handle did not resolve to the registered counter")
+	}
+	if v := h.Value(); v != 3 {
+		t.Fatalf("handle value = %d, want 3", v)
+	}
+}
+
+func TestCounterHandleIgnoresOtherLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.CounterHandle("late_total", "shard", "0")
+	r.Counter("late_total", "shard", "1").Inc()
+	if _, ok := h.Get(); ok {
+		t.Fatal("handle resolved a series with different labels")
+	}
+}
+
+func TestHistogramHandleResolvesLazily(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramHandle("lat", "shard", "0")
+	if _, ok := h.Get(); ok {
+		t.Fatal("handle resolved a series that does not exist")
+	}
+	hist := r.Histogram("lat", "shard", "0")
+	hist.Observe(time.Millisecond)
+	got, ok := h.Get()
+	if !ok || got != hist {
+		t.Fatal("handle did not resolve to the registered histogram")
+	}
+}
+
+func TestObserveN(t *testing.T) {
+	var h Histogram
+	h.ObserveN(time.Millisecond, 5)
+	h.ObserveN(time.Millisecond, 0) // no-op
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	var single Histogram
+	single.Observe(time.Millisecond)
+	if h.Quantile(0.99) != single.Quantile(0.99) {
+		t.Fatalf("ObserveN landed in a different bucket than Observe: %v vs %v",
+			h.Quantile(0.99), single.Quantile(0.99))
+	}
+	if got, want := h.Snapshot().SumNs, single.Snapshot().SumNs*5; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestOnCollectRunsBeforeReads(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("fresh")
+	n := 0
+	r.OnCollect(func() { n++; g.Set(int64(n)) })
+
+	if samples := r.Snapshot(); len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if n != 1 {
+		t.Fatalf("collector ran %d times after Snapshot, want 1", n)
+	}
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("collector ran %d times after WritePrometheus, want 2", n)
+	}
+	if !strings.Contains(sb.String(), "fresh 2") {
+		t.Fatalf("exposition did not carry the refreshed value:\n%s", sb.String())
+	}
+
+	if got := r.Flatten()["fresh"]; got != 3 {
+		t.Fatalf("Flatten fresh = %v, want 3 (collector refreshed)", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 //	                 (id in the %016x form the tools print)
 //	GET /blackbox    JSON array of the retained black boxes
 //	GET /health      JSON health report (only with WithHealth)
+//	GET /slo         JSON per-shard SLO report (only with WithSLO)
 //
 // spans and fr may be nil; the corresponding routes then answer 404.
 // cmd/resilientd mounts it behind its -http flag; tests mount it on
@@ -84,6 +85,18 @@ func Handler(reg *Registry, tr *Tracer, spans *SpanRecorder, fr *FlightRecorder,
 
 // HandlerOption adds optional routes to Handler.
 type HandlerOption func(*http.ServeMux)
+
+// WithSLO mounts GET /slo serving the JSON encoding of whatever
+// report() returns (typically the slo engine's per-shard report). As
+// with WithHealth, telemetry stays ignorant of the report's shape.
+func WithSLO(report func() any) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(report())
+		})
+	}
+}
 
 // WithHealth mounts GET /health serving the JSON encoding of whatever
 // report() returns (typically the host's aggregated health report).

@@ -54,6 +54,13 @@ type Registry struct {
 	// tick these reads continuously and the series count grows with
 	// label cardinality.
 	byName map[string][]*metric
+
+	// collectors run before each export (Snapshot, WritePrometheus) so
+	// pull-style sources — runtime metrics, anything sampled rather
+	// than recorded — refresh their gauges at scrape time. Guarded by
+	// its own mutex: a collector updates instruments, which takes mu.
+	collectMu  sync.Mutex
+	collectors []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -207,8 +214,28 @@ type Sample struct {
 	P99Ns int64  `json:"p99_ns,omitempty"`
 }
 
+// OnCollect registers f to run before every export of the registry.
+// Collectors must only record into instruments (Set, Observe, Add);
+// they must not export the registry themselves.
+func (r *Registry) OnCollect(f func()) {
+	r.collectMu.Lock()
+	r.collectors = append(r.collectors, f)
+	r.collectMu.Unlock()
+}
+
+// runCollectors runs the registered pull-style sources. Serialized so
+// two concurrent scrapes do not double-feed delta-replaying collectors.
+func (r *Registry) runCollectors() {
+	r.collectMu.Lock()
+	defer r.collectMu.Unlock()
+	for _, f := range r.collectors {
+		f()
+	}
+}
+
 // Snapshot returns every registered series, sorted by name.
 func (r *Registry) Snapshot() []Sample {
+	r.runCollectors()
 	r.mu.RLock()
 	metrics := make([]*metric, 0, len(r.metrics))
 	keys := make([]string, 0, len(r.metrics))
@@ -291,6 +318,7 @@ func labelString(labels []string, extraKey, extraVal string) string {
 // emit cumulative le buckets up to the highest occupied bucket, plus
 // +Inf, _sum and _count.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.runCollectors()
 	r.mu.RLock()
 	metrics := make([]*metric, 0, len(r.metrics))
 	for _, m := range r.metrics {

@@ -1,0 +1,24 @@
+package runtimeprof
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"resilientft/internal/telemetry"
+)
+
+// PprofHandlers returns a telemetry.HandlerOption mounting the
+// standard net/http/pprof handlers under /debug/pprof/ on the
+// observability mux. The handlers are mounted explicitly — the
+// DefaultServeMux this import registers on is never served — so the
+// profiles live on the same (firewallable) port as /metrics and /slo,
+// and telemetry itself stays free of the dependency.
+func PprofHandlers() telemetry.HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}

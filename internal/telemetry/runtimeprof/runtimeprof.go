@@ -1,0 +1,252 @@
+// Package runtimeprof is the runtime-diagnostics layer of the
+// observability stack: it bridges the Go runtime's own metrics
+// (goroutine count, live heap, GC pauses, scheduler latencies) into
+// the telemetry registry so every /metrics scrape carries runtime
+// context, and captures pprof profiles (CPU, heap, goroutine, mutex)
+// on demand — the evidence an SLO-breach diagnostic bundle needs to
+// explain *why* a budget burned, not just that it did.
+package runtimeprof
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+// The bridged series. Gauges are sampled at scrape time; the two
+// histograms are fed by replaying the runtime's own bucket counts
+// (delta since the previous sweep) into power-of-two telemetry
+// buckets, each runtime bucket mapped to its upper edge.
+const (
+	SeriesGoroutines   = "runtime_goroutines"
+	SeriesHeapLive     = "runtime_heap_live_bytes"
+	SeriesGomaxprocs   = "runtime_gomaxprocs"
+	SeriesGCPause      = "runtime_gc_pause_ns"
+	SeriesSchedLatency = "runtime_sched_latency_ns"
+)
+
+// runtime/metrics sample names read per sweep.
+const (
+	sampleGoroutines = "/sched/goroutines:goroutines"
+	sampleHeapLive   = "/memory/classes/heap/objects:bytes"
+	sampleGomaxprocs = "/sched/gomaxprocs:threads"
+	sampleGCPause    = "/gc/pauses:seconds"
+	sampleSchedLat   = "/sched/latencies:seconds"
+)
+
+// Collector sweeps runtime/metrics into one telemetry registry. A
+// sweep is cheap (one metrics.Read plus a bucket diff); it runs on
+// every registry export via OnCollect.
+type Collector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+
+	goroutines *telemetry.Gauge
+	heapLive   *telemetry.Gauge
+	gomaxprocs *telemetry.Gauge
+	gcPause    *telemetry.Histogram
+	schedLat   *telemetry.Histogram
+
+	lastGCPause  []uint64
+	lastSchedLat []uint64
+}
+
+// NewCollector returns a collector recording into reg.
+func NewCollector(reg *telemetry.Registry) *Collector {
+	c := &Collector{
+		samples: []metrics.Sample{
+			{Name: sampleGoroutines},
+			{Name: sampleHeapLive},
+			{Name: sampleGomaxprocs},
+			{Name: sampleGCPause},
+			{Name: sampleSchedLat},
+		},
+		goroutines: reg.Gauge(SeriesGoroutines),
+		heapLive:   reg.Gauge(SeriesHeapLive),
+		gomaxprocs: reg.Gauge(SeriesGomaxprocs),
+		gcPause:    reg.Histogram(SeriesGCPause),
+		schedLat:   reg.Histogram(SeriesSchedLatency),
+	}
+	return c
+}
+
+// Collect performs one sweep. Safe for concurrent use; sweeps are
+// serialized so bucket deltas are never replayed twice.
+func (c *Collector) Collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for _, s := range c.samples {
+		switch s.Name {
+		case sampleGoroutines:
+			c.goroutines.Set(int64(s.Value.Uint64()))
+		case sampleHeapLive:
+			c.heapLive.Set(int64(s.Value.Uint64()))
+		case sampleGomaxprocs:
+			c.gomaxprocs.Set(int64(s.Value.Uint64()))
+		case sampleGCPause:
+			c.lastGCPause = feedHistogram(c.gcPause, c.lastGCPause, s.Value.Float64Histogram())
+		case sampleSchedLat:
+			c.lastSchedLat = feedHistogram(c.schedLat, c.lastSchedLat, s.Value.Float64Histogram())
+		}
+	}
+}
+
+// feedHistogram replays the counts a runtime histogram gained since
+// prev into h (each bucket at its upper edge, +Inf at the last finite
+// edge) and returns the new baseline. A changed bucket layout resets
+// the baseline without replaying — wrong once beats double-counted
+// forever.
+func feedHistogram(h *telemetry.Histogram, prev []uint64, src *metrics.Float64Histogram) []uint64 {
+	if src == nil {
+		return prev
+	}
+	reset := len(prev) != len(src.Counts)
+	next := prev
+	if reset {
+		next = make([]uint64, len(src.Counts))
+	}
+	for i, n := range src.Counts {
+		var d uint64
+		if !reset && n >= prev[i] {
+			d = n - prev[i]
+		}
+		next[i] = n
+		if d == 0 || reset {
+			continue
+		}
+		edge := src.Buckets[i+1]
+		if math.IsInf(edge, 1) {
+			edge = src.Buckets[i]
+		}
+		h.ObserveN(time.Duration(edge*float64(time.Second)), d)
+	}
+	return next
+}
+
+var (
+	enableMu sync.Mutex
+	enabled  = make(map[*telemetry.Registry]*Collector)
+)
+
+// Enable installs a collector on reg's export path (OnCollect), so
+// every Snapshot/WritePrometheus/Flatten carries fresh runtime
+// series. Idempotent per registry.
+func Enable(reg *telemetry.Registry) *Collector {
+	enableMu.Lock()
+	defer enableMu.Unlock()
+	if c, ok := enabled[reg]; ok {
+		return c
+	}
+	c := NewCollector(reg)
+	enabled[reg] = c
+	reg.OnCollect(c.Collect)
+	return c
+}
+
+// Summary is a point-in-time digest of the runtime's vital signs, the
+// cheap numbers a diagnostic bundle or a bench report stamps next to
+// its data.
+type Summary struct {
+	Goroutines    int    `json:"goroutines"`
+	HeapLiveBytes uint64 `json:"heap_live_bytes"`
+	Gomaxprocs    int    `json:"gomaxprocs"`
+}
+
+// ReadSummary samples the runtime once.
+func ReadSummary() Summary {
+	samples := []metrics.Sample{{Name: sampleGoroutines}, {Name: sampleHeapLive}}
+	metrics.Read(samples)
+	return Summary{
+		Goroutines:    int(samples[0].Value.Uint64()),
+		HeapLiveBytes: samples[1].Value.Uint64(),
+		Gomaxprocs:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// Profiles is one on-demand capture of the runtime profiles. The
+// profile payloads are gzipped pprof protos ([]byte marshals as
+// base64 in JSON), small enough to ride inside an incident record.
+type Profiles struct {
+	CapturedAt time.Time     `json:"captured_at"`
+	CPUSeconds float64       `json:"cpu_seconds,omitempty"`
+	CPU        []byte        `json:"cpu,omitempty"`
+	CPUErr     string        `json:"cpu_err,omitempty"`
+	Heap       []byte        `json:"heap,omitempty"`
+	Goroutine  []byte        `json:"goroutine,omitempty"`
+	Mutex      []byte        `json:"mutex,omitempty"`
+	Took       time.Duration `json:"took_ns"`
+	Summary    Summary       `json:"summary"`
+}
+
+// ErrCaptureBusy reports that a capture was already in flight; the
+// caller's breach is already being diagnosed.
+var ErrCaptureBusy = errors.New("runtimeprof: capture already in progress")
+
+var captureMu sync.Mutex
+
+// Capture grabs heap, goroutine and mutex profiles plus — when cpuDur
+// is positive — a CPU profile of that duration (shortened if ctx ends
+// first). Captures are single-flight: a second concurrent call
+// returns ErrCaptureBusy rather than queueing diagnostics behind
+// diagnostics. A CPU profiler already running elsewhere (the HTTP
+// pprof endpoint, a test) is reported in CPUErr, not treated as
+// failure — the other capture has the evidence.
+func Capture(ctx context.Context, cpuDur time.Duration) (*Profiles, error) {
+	if !captureMu.TryLock() {
+		return nil, ErrCaptureBusy
+	}
+	defer captureMu.Unlock()
+
+	start := time.Now()
+	p := &Profiles{CapturedAt: start, Summary: ReadSummary()}
+
+	if cpuDur > 0 {
+		var buf bytes.Buffer
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			p.CPUErr = err.Error()
+		} else {
+			t := time.NewTimer(cpuDur)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+			pprof.StopCPUProfile()
+			p.CPU = buf.Bytes()
+			p.CPUSeconds = time.Since(start).Seconds()
+		}
+	}
+	p.Heap = lookupProfile("heap")
+	p.Goroutine = lookupProfile("goroutine")
+	p.Mutex = lookupProfile("mutex")
+	p.Took = time.Since(start)
+	return p, nil
+}
+
+func lookupProfile(name string) []byte {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// EnableMutexProfiling turns on mutex contention sampling at the
+// given fraction (0 restores the default of none) and returns the
+// previous setting. Captured mutex profiles are empty until enabled.
+func EnableMutexProfiling(fraction int) int {
+	return runtime.SetMutexProfileFraction(fraction)
+}

@@ -1,0 +1,144 @@
+package runtimeprof
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+func TestCollectPopulatesSeries(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg)
+	c.Collect() // first sweep primes the histogram baselines
+	runtime.GC()
+	c.Collect()
+
+	flat := reg.Flatten()
+	if flat[SeriesGoroutines] < 1 {
+		t.Fatalf("%s = %v, want >= 1", SeriesGoroutines, flat[SeriesGoroutines])
+	}
+	if flat[SeriesHeapLive] <= 0 {
+		t.Fatalf("%s = %v, want > 0", SeriesHeapLive, flat[SeriesHeapLive])
+	}
+	if got, want := int(flat[SeriesGomaxprocs]), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("%s = %d, want %d", SeriesGomaxprocs, got, want)
+	}
+	if flat[SeriesGCPause+"_count"] == 0 {
+		t.Fatalf("%s carried no observations after a forced GC", SeriesGCPause)
+	}
+}
+
+func TestCollectDeltasNotCumulative(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCollector(reg)
+	c.Collect() // prime
+	runtime.GC()
+	c.Collect()
+	h, ok := reg.FindHistogram(SeriesGCPause)
+	if !ok {
+		t.Fatal("gc pause series missing")
+	}
+	first := h.Count()
+	// A second sweep with no GC in between must not replay old pauses.
+	c.Collect()
+	if again := h.Count(); again != first {
+		t.Fatalf("second sweep replayed %d old pauses", again-first)
+	}
+	runtime.GC()
+	c.Collect()
+	if after := h.Count(); after <= first {
+		t.Fatalf("sweep after GC added nothing (count still %d)", after)
+	}
+}
+
+func TestEnableIsIdempotentAndRefreshesOnExport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	a := Enable(reg)
+	if b := Enable(reg); b != a {
+		t.Fatal("second Enable installed a second collector")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), SeriesGoroutines) {
+		t.Fatalf("export missing %s:\n%s", SeriesGoroutines, sb.String())
+	}
+}
+
+func TestReadSummary(t *testing.T) {
+	s := ReadSummary()
+	if s.Goroutines < 1 || s.HeapLiveBytes == 0 || s.Gomaxprocs < 1 {
+		t.Fatalf("implausible summary: %+v", s)
+	}
+}
+
+func TestCaptureProfiles(t *testing.T) {
+	prev := EnableMutexProfiling(5)
+	defer EnableMutexProfiling(prev)
+
+	ctx := context.Background()
+	p, err := Capture(ctx, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Heap) == 0 || len(p.Goroutine) == 0 || len(p.Mutex) == 0 {
+		t.Fatalf("empty profile payloads: heap=%d goroutine=%d mutex=%d",
+			len(p.Heap), len(p.Goroutine), len(p.Mutex))
+	}
+	if len(p.CPU) == 0 && p.CPUErr == "" {
+		t.Fatal("neither a CPU profile nor an explanation")
+	}
+	if p.Summary.Goroutines < 1 {
+		t.Fatalf("summary missing: %+v", p.Summary)
+	}
+	// The bundle must survive a JSON round trip (incident records carry
+	// it as JSON; []byte rides as base64).
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Profiles
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Heap) != len(p.Heap) {
+		t.Fatal("heap profile mangled by JSON round trip")
+	}
+}
+
+func TestCaptureSingleFlight(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		captureMu.Lock()
+		close(started)
+		<-release
+		captureMu.Unlock()
+	}()
+	<-started
+	if _, err := Capture(context.Background(), 0); err != ErrCaptureBusy {
+		t.Fatalf("err = %v, want ErrCaptureBusy", err)
+	}
+	close(release)
+	<-done
+}
+
+func TestCaptureCtxShortensCPU(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := Capture(ctx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("capture ignored ctx, took %v", took)
+	}
+}

@@ -83,6 +83,23 @@ func (h *Histogram) Observe(d time.Duration) {
 // ObserveSince records the time elapsed since t0.
 func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
 
+// ObserveN records n observations of d in one shot — the bulk form
+// needed when replaying another histogram's bucket counts (the
+// runtime-metrics bridge replays thousands of scheduler latencies per
+// sweep; one Observe per event would dominate the sweep).
+func (h *Histogram) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(n)
+	h.sumNs.Add(ns * n)
+	h.buckets[bucketIndex(ns)].Add(n)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

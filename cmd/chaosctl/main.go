@@ -1,0 +1,161 @@
+// Command chaosctl runs deterministic chaos campaigns against an
+// in-process two-replica system: scenario x seed matrices of
+// adversarial programs (asymmetric partitions, gray links, clock skew,
+// storage faults, wire corruption, churn during fscript transitions)
+// with a post-run audit of the reply-release, exactly-once and
+// trace-continuity invariants.
+//
+//	chaosctl -list
+//	chaosctl                                  # full builtin matrix, seeds 1,2
+//	chaosctl -scenario churn-mid-transition -seeds 1,2,3,4
+//	chaosctl -seeds 7 -json > report.json
+//	chaosctl -blackbox /tmp/boxes             # dump evidence per violation
+//	chaosctl -scenario gray-peer -v           # replica events to stderr
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientft/internal/chaos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		list     = flag.Bool("list", false, "list builtin scenarios and exit")
+		scenario = flag.String("scenario", "", "run one scenario by name (default: all builtins)")
+		seeds    = flag.String("seeds", "1,2", "comma-separated seeds; each scenario runs once per seed")
+		jsonOut  = flag.Bool("json", false, "emit the campaign report as JSON on stdout")
+		boxDir   = flag.String("blackbox", "", "directory to write per-violation black boxes into")
+		verbose  = flag.Bool("v", false, "stream replica life-cycle events to stderr")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "bound on the whole campaign")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range chaos.Builtins() {
+			fmt.Printf("%-40s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	cfg := chaos.CampaignConfig{}
+	if *scenario != "" {
+		s, ok := chaos.FindScenario(*scenario)
+		if !ok {
+			return fmt.Errorf("unknown scenario %q (try -list)", *scenario)
+		}
+		cfg.Scenarios = []chaos.Scenario{s}
+	}
+	for _, f := range strings.Split(*seeds, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		seed, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %w", f, err)
+		}
+		cfg.Seeds = append(cfg.Seeds, seed)
+	}
+	if *verbose {
+		cfg.Options.EventHook = func(host, event string) {
+			fmt.Fprintf(os.Stderr, "event %-8s %s\n", host, event)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	report, err := chaos.RunCampaign(ctx, cfg)
+	if err != nil {
+		return err
+	}
+
+	if *boxDir != "" {
+		if err := writeBoxes(*boxDir, report); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		printReport(report)
+	}
+	if !report.Pass {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func printReport(report *chaos.CampaignReport) {
+	for _, v := range report.Runs {
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("%s %-40s seed %-3d attempts=%d acked=%d failed=%d final=%d elapsed=%s\n",
+			status, v.Scenario, v.Seed, v.Attempts, v.Acked, v.Failed, v.FinalValue,
+			v.Elapsed.Round(time.Millisecond))
+		for _, viol := range v.Violations {
+			fmt.Printf("     violation [%s] %s\n", viol.Invariant, viol.Detail)
+		}
+	}
+	fmt.Printf("campaign: %d runs, %d violations, %s — pass=%v\n",
+		len(report.Runs), report.Violations, report.Elapsed.Round(time.Millisecond), report.Pass)
+}
+
+// writeBoxes dumps one JSON file per captured black box — the failure
+// artifact CI uploads when a nightly campaign run breaks an invariant.
+func writeBoxes(dir string, report *chaos.CampaignReport) error {
+	boxes := report.Boxes()
+	if len(boxes) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, box := range boxes {
+		name := fmt.Sprintf("box-%03d-%s.json", i, sanitize(box.Attrs["scenario"]))
+		data, err := json.MarshalIndent(box, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d black boxes to %s\n", len(boxes), dir)
+	return nil
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"resilientft/internal/telemetry"
+)
+
+// CampaignConfig is a scenario x seed matrix.
+type CampaignConfig struct {
+	// Scenarios to run (Builtins() when empty).
+	Scenarios []Scenario
+	// Seeds to run each scenario under (default {1, 2}).
+	Seeds []int64
+	// Options applies to every run; the seed is overridden per run.
+	Options Options
+}
+
+// CampaignReport is the outcome of a full matrix.
+type CampaignReport struct {
+	Runs []*Verdict `json:"runs"`
+	// Pass is true when every run passed.
+	Pass bool `json:"pass"`
+	// Violations counts breaches across all runs.
+	Violations int `json:"violations"`
+	// Elapsed is the wall-clock cost of the whole matrix.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// Boxes returns every black box captured across the campaign's runs —
+// the failure artifact CI uploads.
+func (r *CampaignReport) Boxes() []telemetry.BlackBox {
+	var out []telemetry.BlackBox
+	for _, v := range r.Runs {
+		out = append(out, v.Boxes...)
+	}
+	return out
+}
+
+// RunCampaign executes the matrix sequentially — the runs share the
+// process-global telemetry and each one owns its timing, so parallel
+// runs would perturb each other's failure detectors.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (*CampaignReport, error) {
+	scenarios := cfg.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = Builtins()
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2}
+	}
+	report := &CampaignReport{Pass: true}
+	start := time.Now()
+	for _, scn := range scenarios {
+		for _, seed := range seeds {
+			opts := cfg.Options
+			opts.Seed = seed
+			v, err := Run(ctx, scn, opts)
+			if err != nil {
+				return report, fmt.Errorf("chaos: %s seed %d: %w", scn.Name, seed, err)
+			}
+			report.Runs = append(report.Runs, v)
+			report.Violations += len(v.Violations)
+			if !v.Pass {
+				report.Pass = false
+			}
+		}
+	}
+	report.Elapsed = time.Since(start)
+	return report, nil
+}

@@ -1,0 +1,34 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+)
+
+// TestCampaignBuiltins runs the full scenario x seed matrix — the same
+// campaign CI runs nightly — and demands a clean sweep: every invariant
+// holds for every scenario under every seed.
+func TestCampaignBuiltins(t *testing.T) {
+	seeds := []int64{1, 2}
+	if testing.Short() {
+		seeds = []int64{1}
+	}
+	report, err := RunCampaign(context.Background(), CampaignConfig{Seeds: seeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range report.Runs {
+		t.Logf("%-40s seed %d: pass=%v attempts=%d acked=%d failed=%d elapsed=%v",
+			v.Scenario, v.Seed, v.Pass, v.Attempts, v.Acked, v.Failed, v.Elapsed.Round(1e6))
+		for _, viol := range v.Violations {
+			t.Errorf("%s seed %d: [%s] %s", v.Scenario, v.Seed, viol.Invariant, viol.Detail)
+		}
+	}
+	if !report.Pass {
+		t.Fatalf("campaign failed: %d violations across %d runs (black boxes: %d)",
+			report.Violations, len(report.Runs), len(report.Boxes()))
+	}
+	if want := len(Builtins()) * len(seeds); len(report.Runs) != want {
+		t.Fatalf("ran %d scenarios, want %d", len(report.Runs), want)
+	}
+}

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"resilientft/internal/core"
+	"resilientft/internal/transport"
+)
+
+// The scenario DSL is line-based: one statement per line, `#` starts a
+// comment, blank lines are ignored. Host operands are host names
+// ("alpha", "beta") or the dynamic selectors "master", "slave" and
+// "any" (resolved at execution time; "any" draws from the seeded
+// scheduler). Durations use Go syntax (150ms, 2s).
+//
+//	partition a b          cut the a<->b link both ways
+//	partition a -> b       cut only the a->b direction
+//	heal a b               restore a<->b
+//	heal a -> b            restore only a->b
+//	heal-all               remove every partition
+//	link a -> b k=v ...    install a gray-failure profile on a->b:
+//	                       latency=40ms jitter=10ms loss=0.2
+//	                       callloss=0.1 corrupt=0.3
+//	clear-links            remove every link fault
+//	skew h 2s              shift h's failure-detection clock (0 clears)
+//	store-slow h 20ms      impose latency on h's stable store (0 clears)
+//	store-full h on|off    make h's stable store reject commits
+//	garbage h n            throw n malformed/boundary frames at h
+//	crash h                fail-stop h
+//	restart h              restart a crashed h (rejoin as slave)
+//	transition ftm [async] run the differential transition to ftm
+//	await-transition       join the pending async transition
+//	load n [async]         issue n workload writes across the clients
+//	await-load             join the pending async load
+//	sleep d                let the fault cook for d
+//	wait-master [d]        wait until a live master answers
+//	settle                 heal everything, restart the dead, wait-master
+type Step struct {
+	// Line is the 1-based script line (diagnostics).
+	Line int
+	// Verb is the statement keyword.
+	Verb string
+	// Fault classifies the adversarial verbs ("" for control verbs).
+	Fault Fault
+
+	// A and B are host/selector operands (A alone for single-host
+	// verbs).
+	A, B string
+	// OneWay marks a directional partition/heal.
+	OneWay bool
+	// Dur is the duration operand (sleep, skew, store-slow,
+	// wait-master).
+	Dur time.Duration
+	// N is the count operand (load, garbage).
+	N int
+	// To is the transition target FTM.
+	To core.ID
+	// Async marks a non-blocking load/transition.
+	Async bool
+	// On is the boolean operand (store-full).
+	On bool
+	// Link is the gray profile operand (link).
+	Link transport.LinkFault
+}
+
+// Parse compiles a scenario script into steps.
+func Parse(script string) ([]Step, error) {
+	var steps []Step
+	for i, raw := range strings.Split(script, "\n") {
+		line := raw
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		st, err := parseStep(fields)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: line %d: %w", i+1, err)
+		}
+		st.Line = i + 1
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("chaos: empty script")
+	}
+	return steps, nil
+}
+
+// parseEnds reads the "a b" / "a -> b" / "a->b" operand forms.
+func parseEnds(args []string) (a, b string, oneWay bool, err error) {
+	joined := strings.Join(args, " ")
+	if strings.Contains(joined, "->") {
+		parts := strings.SplitN(joined, "->", 2)
+		a = strings.TrimSpace(parts[0])
+		b = strings.TrimSpace(parts[1])
+		if a == "" || b == "" {
+			return "", "", false, fmt.Errorf("malformed link %q", joined)
+		}
+		return a, b, true, nil
+	}
+	if len(args) != 2 {
+		return "", "", false, fmt.Errorf("want two hosts or a -> b, got %q", joined)
+	}
+	return args[0], args[1], false, nil
+}
+
+func parseStep(fields []string) (Step, error) {
+	verb, args := fields[0], fields[1:]
+	st := Step{Verb: verb}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operand(s), got %d", verb, n, len(args))
+		}
+		return nil
+	}
+	switch verb {
+	case "partition", "heal":
+		a, b, oneWay, err := parseEnds(args)
+		if err != nil {
+			return st, err
+		}
+		st.A, st.B, st.OneWay = a, b, oneWay
+		if verb == "partition" {
+			st.Fault = FaultPartition
+			if oneWay {
+				st.Fault = FaultPartitionOneWay
+			}
+		}
+	case "heal-all", "clear-links", "await-transition", "await-load", "settle":
+		if err := need(0); err != nil {
+			return st, err
+		}
+	case "link":
+		// First operands up to the ones containing '=' form the a->b
+		// part.
+		var ends, kvs []string
+		for _, a := range args {
+			if strings.Contains(a, "=") {
+				kvs = append(kvs, a)
+			} else {
+				ends = append(ends, a)
+			}
+		}
+		a, b, oneWay, err := parseEnds(ends)
+		if err != nil {
+			return st, err
+		}
+		if !oneWay {
+			return st, fmt.Errorf("link wants a -> b (directional)")
+		}
+		if len(kvs) == 0 {
+			return st, fmt.Errorf("link wants at least one k=v fault")
+		}
+		st.A, st.B, st.OneWay, st.Fault = a, b, true, FaultGrayLink
+		for _, kv := range kvs {
+			parts := strings.SplitN(kv, "=", 2)
+			k, v := parts[0], parts[1]
+			switch k {
+			case "latency", "jitter":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return st, fmt.Errorf("link %s: %w", k, err)
+				}
+				if k == "latency" {
+					st.Link.ExtraLatency = d
+				} else {
+					st.Link.Jitter = d
+				}
+			case "loss", "callloss", "corrupt":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return st, fmt.Errorf("link %s: want probability 0..1, got %q", k, v)
+				}
+				switch k {
+				case "loss":
+					st.Link.Loss = f
+				case "callloss":
+					st.Link.DropCalls = f
+				case "corrupt":
+					st.Link.Corrupt = f
+					st.Fault = FaultCorruption
+				}
+			default:
+				return st, fmt.Errorf("link: unknown fault %q", k)
+			}
+		}
+	case "skew", "store-slow":
+		if err := need(2); err != nil {
+			return st, err
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil {
+			return st, fmt.Errorf("%s: %w", verb, err)
+		}
+		st.A, st.Dur = args[0], d
+		st.Fault = FaultClockSkew
+		if verb == "store-slow" {
+			st.Fault = FaultStoreSlow
+		}
+	case "store-full":
+		if err := need(2); err != nil {
+			return st, err
+		}
+		switch args[1] {
+		case "on":
+			st.On = true
+		case "off":
+			st.On = false
+		default:
+			return st, fmt.Errorf("store-full wants on|off, got %q", args[1])
+		}
+		st.A, st.Fault = args[0], FaultStoreFull
+	case "garbage":
+		if err := need(2); err != nil {
+			return st, err
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil || n <= 0 {
+			return st, fmt.Errorf("garbage wants a positive count, got %q", args[1])
+		}
+		st.A, st.N, st.Fault = args[0], n, FaultGarbage
+	case "crash", "restart":
+		if err := need(1); err != nil {
+			return st, err
+		}
+		st.A = args[0]
+		st.Fault = FaultCrash
+		if verb == "restart" {
+			st.Fault = FaultRestart
+		}
+	case "transition":
+		if len(args) < 1 || len(args) > 2 {
+			return st, fmt.Errorf("transition wants an FTM id [async]")
+		}
+		id := core.ID(args[0])
+		if _, err := core.Lookup(id); err != nil {
+			return st, fmt.Errorf("transition: %w", err)
+		}
+		st.To, st.Fault = id, FaultChurnTransition
+		if len(args) == 2 {
+			if args[1] != "async" {
+				return st, fmt.Errorf("transition: unknown flag %q", args[1])
+			}
+			st.Async = true
+		}
+	case "load":
+		if len(args) < 1 || len(args) > 2 {
+			return st, fmt.Errorf("load wants a count [async]")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			return st, fmt.Errorf("load wants a positive count, got %q", args[0])
+		}
+		st.N = n
+		if len(args) == 2 {
+			if args[1] != "async" {
+				return st, fmt.Errorf("load: unknown flag %q", args[1])
+			}
+			st.Async = true
+		}
+	case "sleep":
+		if err := need(1); err != nil {
+			return st, err
+		}
+		d, err := time.ParseDuration(args[0])
+		if err != nil {
+			return st, fmt.Errorf("sleep: %w", err)
+		}
+		st.Dur = d
+	case "wait-master":
+		if len(args) > 1 {
+			return st, fmt.Errorf("wait-master wants at most a timeout")
+		}
+		if len(args) == 1 {
+			d, err := time.ParseDuration(args[0])
+			if err != nil {
+				return st, fmt.Errorf("wait-master: %w", err)
+			}
+			st.Dur = d
+		}
+	default:
+		return st, fmt.Errorf("unknown verb %q", verb)
+	}
+	return st, nil
+}

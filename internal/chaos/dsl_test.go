@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"resilientft/internal/core"
+)
+
+func TestParseFullGrammar(t *testing.T) {
+	script := `
+# a comment line
+partition alpha beta
+partition alpha -> beta
+partition beta->alpha
+heal alpha beta
+heal alpha -> beta
+heal-all
+link alpha -> beta latency=30ms jitter=10ms loss=0.25 callloss=0.1
+link beta -> alpha corrupt=0.5
+clear-links
+skew beta 5s
+store-slow alpha 20ms
+store-full alpha on
+store-full alpha off
+garbage master 8
+crash slave
+restart beta
+transition lfr async
+await-transition
+load 12 async
+await-load
+sleep 50ms
+wait-master 2s
+settle
+`
+	steps, err := Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 23 {
+		t.Fatalf("parsed %d steps, want 23", len(steps))
+	}
+
+	if s := steps[0]; s.Fault != FaultPartition || s.OneWay || s.A != "alpha" || s.B != "beta" {
+		t.Fatalf("symmetric partition parsed as %+v", s)
+	}
+	if s := steps[1]; s.Fault != FaultPartitionOneWay || !s.OneWay {
+		t.Fatalf("spaced one-way partition parsed as %+v", s)
+	}
+	if s := steps[2]; s.Fault != FaultPartitionOneWay || s.A != "beta" || s.B != "alpha" {
+		t.Fatalf("compact one-way partition parsed as %+v", s)
+	}
+	if s := steps[6]; s.Fault != FaultGrayLink || s.Link.ExtraLatency != 30*time.Millisecond ||
+		s.Link.Jitter != 10*time.Millisecond || s.Link.Loss != 0.25 || s.Link.DropCalls != 0.1 {
+		t.Fatalf("gray link parsed as %+v", s)
+	}
+	if s := steps[7]; s.Fault != FaultCorruption || s.Link.Corrupt != 0.5 {
+		t.Fatalf("corrupt link parsed as %+v", s)
+	}
+	if s := steps[9]; s.Fault != FaultClockSkew || s.A != "beta" || s.Dur != 5*time.Second {
+		t.Fatalf("skew parsed as %+v", s)
+	}
+	if s := steps[11]; s.Fault != FaultStoreFull || !s.On {
+		t.Fatalf("store-full on parsed as %+v", s)
+	}
+	if s := steps[13]; s.Fault != FaultGarbage || s.A != "master" || s.N != 8 {
+		t.Fatalf("garbage parsed as %+v", s)
+	}
+	if s := steps[16]; s.Fault != FaultChurnTransition || s.To != core.LFR || !s.Async {
+		t.Fatalf("transition parsed as %+v", s)
+	}
+	if s := steps[18]; s.N != 12 || !s.Async {
+		t.Fatalf("load parsed as %+v", s)
+	}
+	if s := steps[21]; s.Verb != "wait-master" || s.Dur != 2*time.Second {
+		t.Fatalf("wait-master parsed as %+v", s)
+	}
+}
+
+func TestParseRejectsMalformedScripts(t *testing.T) {
+	cases := map[string]string{
+		"unknown verb":            "explode alpha",
+		"partition arity":         "partition alpha",
+		"link without direction":  "link alpha beta loss=0.5",
+		"link without faults":     "link alpha -> beta",
+		"link bad probability":    "link alpha -> beta loss=1.5",
+		"link unknown fault":      "link alpha -> beta heat=0.5",
+		"store-full bad flag":     "store-full alpha maybe",
+		"garbage bad count":       "garbage alpha -3",
+		"transition unknown ftm":  "transition warp",
+		"transition unknown flag": "transition lfr eventually",
+		"load zero":               "load 0",
+		"bad duration":            "sleep fast",
+		"empty script":            "# only a comment",
+	}
+	for name, script := range cases {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("%s: Parse(%q) accepted", name, script)
+		} else if !strings.Contains(err.Error(), "chaos:") {
+			t.Errorf("%s: error %q lacks chaos: prefix", name, err)
+		}
+	}
+}
+
+func TestBuiltinScenariosParse(t *testing.T) {
+	builtins := Builtins()
+	if len(builtins) < 6 {
+		t.Fatalf("only %d builtin scenarios, want >= 6", len(builtins))
+	}
+	names := map[string]bool{}
+	for _, s := range builtins {
+		if names[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		names[s.Name] = true
+		if _, err := Parse(s.Script); err != nil {
+			t.Errorf("builtin %q does not parse: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("builtin %q has no description", s.Name)
+		}
+	}
+	for _, want := range []string{"asymmetric-partition", "gray-peer", "clock-skew", "store-degraded", "corrupt-wire", "churn-mid-transition"} {
+		if !names[want] {
+			t.Errorf("builtin scenario %q missing", want)
+		}
+	}
+	if _, ok := FindScenario("gray-peer"); !ok {
+		t.Error("FindScenario failed to find gray-peer")
+	}
+	if _, ok := FindScenario("nope"); ok {
+		t.Error("FindScenario invented a scenario")
+	}
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// runScenario is the test harness around Run with failure diagnostics.
+func runScenario(t *testing.T, name string, seed int64) *Verdict {
+	t.Helper()
+	scn, ok := FindScenario(name)
+	if !ok {
+		t.Fatalf("no builtin scenario %q", name)
+	}
+	v, err := Run(context.Background(), scn, Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("%s seed %d: %v", name, seed, err)
+	}
+	if !v.Pass {
+		for _, viol := range v.Violations {
+			t.Errorf("%s seed %d: [%s] %s", name, seed, viol.Invariant, viol.Detail)
+		}
+		t.Fatalf("%s seed %d failed with %d violations", name, seed, len(v.Violations))
+	}
+	return v
+}
+
+// TestScenarioSmoke drives the base asymmetric-partition scenario once
+// and sanity-checks the verdict's bookkeeping.
+func TestScenarioSmoke(t *testing.T) {
+	v := runScenario(t, "asymmetric-partition", 1)
+	if v.Attempts != 20 {
+		t.Fatalf("attempts = %d, want 20 (6+10+4 loads)", v.Attempts)
+	}
+	if v.FinalValue != int64(v.Attempts) {
+		t.Fatalf("final value %d != attempts %d", v.FinalValue, v.Attempts)
+	}
+	if len(v.Schedule) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if v.Acked+v.Failed != v.Attempts {
+		t.Fatalf("acked %d + failed %d != attempts %d", v.Acked, v.Failed, v.Attempts)
+	}
+}
+
+// TestScenarioDeterminism is the replay contract: the same scenario
+// under the same seed must produce an identical schedule and verdict,
+// no matter how the wall clock felt about it.
+func TestScenarioDeterminism(t *testing.T) {
+	scn, _ := FindScenario("asymmetric-partition")
+	var schedules []string
+	var passes []bool
+	var violations []int
+	for i := 0; i < 2; i++ {
+		v, err := Run(context.Background(), scn, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules = append(schedules, fmt.Sprintf("%v", v.Schedule))
+		passes = append(passes, v.Pass)
+		violations = append(violations, len(v.Violations))
+	}
+	if schedules[0] != schedules[1] {
+		t.Fatalf("same seed produced different schedules:\n run1: %s\n run2: %s", schedules[0], schedules[1])
+	}
+	if passes[0] != passes[1] || violations[0] != violations[1] {
+		t.Fatalf("same seed produced different verdicts: pass %v/%v, violations %d/%d",
+			passes[0], passes[1], violations[0], violations[1])
+	}
+}

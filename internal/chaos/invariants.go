@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"resilientft/internal/ftm"
+	"resilientft/internal/rpc"
+	"resilientft/internal/telemetry"
+)
+
+// audit is the post-scenario truth procedure. It runs against the
+// settled system and checks, in order:
+//
+//  1. sweep-delivery — every recorded attempt, acknowledged or not, can
+//     be redelivered to the healed system;
+//  2. reply-release — an acknowledged write replays from the reply log
+//     (Replayed=true): the ack implied a covering ship, so no failover
+//     may have forgotten it, and it must never re-execute;
+//  3. acked-stability — the replayed reply carries the same value the
+//     client originally saw;
+//  4. exactly-once — after the sweep the register equals the attempt
+//     count, and the per-attempt replies enumerate {1..N} exactly: each
+//     attempt executed once, no more, no less;
+//  5. trace-continuity — a traced attempt's redelivery joined the
+//     original request's trace (same deterministic trace ID) and the
+//     trace shows the client call, the execution and the replay.
+func (r *runner) audit(ctx context.Context) {
+	r.mu.Lock()
+	attempts := append([]attempt(nil), r.attempts...)
+	r.mu.Unlock()
+	r.v.Attempts = len(attempts)
+	for _, a := range attempts {
+		if a.acked {
+			r.v.Acked++
+		} else {
+			r.v.Failed++
+		}
+	}
+
+	values := make([]int64, 0, len(attempts))
+	for i, a := range attempts {
+		resp, err := r.sweepOne(ctx, a)
+		if err != nil {
+			inv := "sweep-delivery"
+			if a.acked {
+				// Losing an acknowledged write outright is a reply-release
+				// breach, not a delivery hiccup.
+				inv = "reply-release"
+			}
+			r.violate(inv, "attempt %d (%s seq %d, acked=%v) unredeliverable: %v",
+				i, a.client.ID(), a.seq, a.acked, err)
+			continue
+		}
+		v, derr := ftm.DecodeResult(resp.Payload)
+		if derr != nil {
+			r.violate("sweep-delivery", "attempt %d (%s seq %d): undecodable reply: %v",
+				i, a.client.ID(), a.seq, derr)
+			continue
+		}
+		values = append(values, v)
+		if a.acked {
+			if !resp.Replayed {
+				r.violate("reply-release", "acked attempt %d (%s seq %d) re-executed instead of replaying (value %d, original %d)",
+					i, a.client.ID(), a.seq, v, a.value)
+			}
+			if v != a.value {
+				r.violate("acked-stability", "acked attempt %d (%s seq %d) replayed value %d, client was told %d",
+					i, a.client.ID(), a.seq, v, a.value)
+			}
+		}
+	}
+
+	r.auditExactlyOnce(ctx, values)
+	r.auditTraces(attempts)
+}
+
+// sweepOne redelivers one attempt, retrying a few times: the settled
+// system is healthy, but the first calls after a promotion can race it.
+func (r *runner) sweepOne(ctx context.Context, a attempt) (resp rpc.Response, err error) {
+	for try := 0; try < 3; try++ {
+		sctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		resp, err = a.client.Redeliver(sctx, a.seq, opAdd, ftm.EncodeArg(1))
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return resp, err
+}
+
+// auditExactlyOnce checks that the register's final value equals the
+// attempt count and that the swept replies enumerate {1..N}: every
+// attempt executed exactly once across all the chaos.
+func (r *runner) auditExactlyOnce(ctx context.Context, values []int64) {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	resp, err := r.probe.Invoke(pctx, opProbe, ftm.EncodeArg(0))
+	cancel()
+	if err != nil {
+		r.violate("exactly-once", "final probe failed: %v", err)
+		return
+	}
+	final, err := ftm.DecodeResult(resp.Payload)
+	if err != nil {
+		r.violate("exactly-once", "final probe undecodable: %v", err)
+		return
+	}
+	r.v.FinalValue = final
+
+	n := int64(r.v.Attempts)
+	if final != n {
+		r.violate("exactly-once", "register is %d after sweeping %d attempts (each adds 1): %+d executions",
+			final, n, final-n)
+	}
+	if int64(len(values)) != n {
+		// Already reported per-attempt; the enumeration check below would
+		// only double-report.
+		return
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, v := range sorted {
+		if v != int64(i)+1 {
+			r.violate("exactly-once", "swept replies do not enumerate 1..%d: position %d holds %d (duplicate or hole means a double or lost execution)",
+				n, i, v)
+			return
+		}
+	}
+}
+
+// auditTraces verifies trace continuity on the traced client's
+// acknowledged attempts: the sweep's redelivery must have landed in the
+// original trace (the trace ID is a pure function of client identity
+// and sequence number), which then shows at least two client calls, the
+// execution and the replay.
+func (r *runner) auditTraces(attempts []attempt) {
+	checked := 0
+	for i, a := range attempts {
+		if !a.traced || !a.acked {
+			continue
+		}
+		if checked >= 5 {
+			return
+		}
+		checked++
+		traceID := telemetry.TraceIDFor(a.client.ID(), a.seq)
+		counts := map[string]int{}
+		for _, sp := range telemetry.DefaultSpans().ForTrace(traceID) {
+			counts[sp.Name]++
+		}
+		if counts["rpc.client"] < 2 || counts["ftm.execute"] < 1 || counts["ftm.replay"] < 1 {
+			r.violate("trace-continuity", "attempt %d (%s seq %d) trace %016x: want >=2 rpc.client, >=1 ftm.execute, >=1 ftm.replay; got %v",
+				i, a.client.ID(), a.seq, traceID, counts)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package chaos
+
+import "resilientft/internal/telemetry"
+
+// Chaos campaign metrics, exported through the shared registry so a
+// campaign's damage report sits next to the system metrics it stressed.
+var (
+	mScenarioPass = telemetry.Default().Counter("chaos_scenarios_total", "result", "pass")
+	mScenarioFail = telemetry.Default().Counter("chaos_scenarios_total", "result", "fail")
+
+	mRequestsAcked  = telemetry.Default().Counter("chaos_requests_total", "outcome", "acked")
+	mRequestsFailed = telemetry.Default().Counter("chaos_requests_total", "outcome", "failed")
+)
+
+func stepMetric(verb string) *telemetry.Counter {
+	return telemetry.Default().Counter("chaos_steps_total", "verb", verb)
+}
+
+func faultMetric(f Fault) *telemetry.Counter {
+	return telemetry.Default().Counter("chaos_faults_injected_total", "fault", string(f), "layer", string(FaultLayer(f)))
+}
+
+func violationMetric(invariant string) *telemetry.Counter {
+	return telemetry.Default().Counter("chaos_violations_total", "invariant", invariant)
+}

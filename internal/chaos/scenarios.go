@@ -1,0 +1,158 @@
+package chaos
+
+import "resilientft/internal/core"
+
+// Builtins returns the standard campaign: seven scenarios, one per
+// attack surface plus the combined churn case. Each script ends
+// serviceable (heal/settle) because the audit interrogates a healed
+// system; what the scenarios must NOT do is crash a degraded master
+// holding unshipped acknowledgements — those writes are legitimately
+// lost in a two-replica design, and the audit would (correctly) flag
+// them.
+func Builtins() []Scenario {
+	return []Scenario{
+		{
+			Name: "asymmetric-partition",
+			Description: "Cut only beta->alpha: the master's ships reach beta but " +
+				"acks and heartbeats die on the way back, so alpha degrades to " +
+				"master-alone while beta still hears alpha and stays slave. Heal; " +
+				"the resync path must hand beta everything it acked blind.",
+			FTM: core.PBR,
+			Script: `
+load 6
+partition beta -> alpha
+sleep 120ms      # alpha suspects silent beta, degrades
+load 10
+heal beta -> alpha
+settle
+load 4
+`,
+		},
+		{
+			Name: "asymmetric-partition-master-isolated",
+			Description: "Cut only alpha->beta: beta stops hearing the master and " +
+				"promotes while alpha still serves — the classic split brain. " +
+				"Beta's return path to alpha stays up, so the promotion guard " +
+				"must discover the live senior master and step back down.",
+			FTM: core.PBR,
+			Script: `
+load 6
+partition alpha -> beta
+sleep 150ms      # beta suspects alpha, promotes into split brain
+load 10
+heal alpha -> beta
+settle
+load 4
+`,
+		},
+		{
+			Name: "gray-peer",
+			Description: "Degrade the replica link without cutting it: latency and " +
+				"jitter plus call loss toward beta, one-way send loss toward " +
+				"alpha. Waves limp, heartbeats stutter, nothing is cleanly dead — " +
+				"the system may degrade or limp through, but acks must hold.",
+			FTM: core.PBR,
+			Script: `
+load 5
+link alpha -> beta latency=30ms jitter=20ms callloss=0.3
+link beta -> alpha loss=0.5
+load 12
+sleep 60ms
+clear-links
+settle
+load 4
+`,
+		},
+		{
+			Name: "clock-skew",
+			Description: "Shift beta's failure-detection clock far forward: healthy " +
+				"heartbeats read as ancient silence and beta manufactures a false " +
+				"suspicion of a live master. The promotion guard must keep the " +
+				"false suspicion from minting a second master, or resolve it.",
+			FTM: core.PBR,
+			Script: `
+load 6
+skew beta 5s
+sleep 120ms      # phi explodes on manufactured silence
+load 10
+skew beta 0
+settle
+load 4
+`,
+		},
+		{
+			Name: "store-degraded",
+			Description: "Slow both stable stores, run an adaptation under the " +
+				"slowness, then fill alpha's store so the next transition's " +
+				"config commit is refused — adaptation must fail closed, and " +
+				"the workload must survive the whole episode.",
+			FTM: core.PBR,
+			Script: `
+load 5
+store-slow alpha 15ms
+store-slow beta 15ms
+transition lfr
+load 6
+store-full alpha on
+transition pbr
+load 6
+store-full alpha off
+store-slow alpha 0
+store-slow beta 0
+settle
+load 4
+`,
+		},
+		{
+			Name: "corrupt-wire",
+			Description: "Flip bits in a share of alpha->beta deliveries and throw " +
+				"malformed and over-limit frames at both replicas: decode " +
+				"boundaries must reject garbage, corrupted ships must fail waves " +
+				"rather than ack, and the envelope limit must hold at the sender.",
+			FTM: core.PBR,
+			Script: `
+load 5
+link alpha -> beta corrupt=0.4
+garbage alpha 8
+garbage beta 8
+load 12
+clear-links
+settle
+load 4
+`,
+		},
+		{
+			Name: "churn-mid-transition",
+			Description: "Aim host churn into the fscript window: crash the slave " +
+				"during one differential transition, the master during another. " +
+				"Transitions may abort — fail closed — but the replica group " +
+				"must come back serviceable and no acked write may vanish.",
+			FTM: core.PBR,
+			Script: `
+load 6
+transition lfr async
+crash slave
+await-transition
+restart beta
+settle
+load 6
+transition pbr async
+sleep 5ms
+crash master
+await-transition
+settle
+load 4
+`,
+		},
+	}
+}
+
+// FindScenario returns the builtin with the given name.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range Builtins() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"resilientft/internal/telemetry"
@@ -273,11 +274,35 @@ type Watchdog struct {
 	peers    map[transport.Address]*peerState
 	onChange func(Transition)
 	now      func() time.Time
+	// skewNs is an injected clock offset in nanoseconds. The grading
+	// loop, φ reads and silence reads all run against now()+skew, so a
+	// chaos campaign can drift one replica's failure-detection clock the
+	// way an unsynchronized or stepped system clock would. Atomic: the
+	// readers do not hold mu.
+	skewNs atomic.Int64
 
 	stop   chan struct{}
 	done   chan struct{}
 	once   sync.Once
 	detach func()
+}
+
+// SetSkew shifts the watchdog's notion of the current time by d —
+// positive skew makes every silence look longer, driving φ up; the
+// clock-skew fault of the chaos repertoire. Safe on a running watchdog.
+func (w *Watchdog) SetSkew(d time.Duration) { w.skewNs.Store(int64(d)) }
+
+// Skew returns the currently injected clock offset.
+func (w *Watchdog) Skew() time.Duration { return time.Duration(w.skewNs.Load()) }
+
+// clock is the time source every grading and reading path uses: the
+// configured now() plus the injected skew.
+func (w *Watchdog) clock() time.Time {
+	t := w.now()
+	if s := w.skewNs.Load(); s != 0 {
+		t = t.Add(time.Duration(s))
+	}
+	return t
 }
 
 // beatHub fans one endpoint's heartbeat arrivals out to every watchdog
@@ -407,7 +432,9 @@ func (w *Watchdog) phiOf(ps *peerState, now time.Time) float64 {
 	return ps.est.Phi(now.Add(-w.cfg.AcceptablePause))
 }
 
-// Monitor begins watching a peer; the grace period starts now.
+// Monitor begins watching a peer; the grace period starts now. The
+// anchor is recorded on the real clock, like arrivals: the skewed
+// clock belongs to the grading side only (see observe).
 func (w *Watchdog) Monitor(peer transport.Address) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -430,18 +457,24 @@ func (w *Watchdog) Forget(peer transport.Address) {
 // only after RecoveryBeats consecutive arrivals, each observed with φ
 // already back below RecoveryPhi.
 func (w *Watchdog) observe(peer transport.Address) {
-	now := w.now()
+	// Arrivals are external events: record them on the real clock. Only
+	// the grading side (check, φ and silence reads) runs on the skewed
+	// clock — if both sides were skewed the offset would cancel after
+	// the first post-skew arrival and injected skew could never
+	// manufacture the sustained false suspicion it exists to model.
+	arrival := w.now()
+	now := w.clock()
 	w.mu.Lock()
 	ps, watched := w.peers[peer]
 	if !watched {
 		w.mu.Unlock()
 		return
 	}
-	gap := now.Sub(ps.est.LastSeen())
+	gap := arrival.Sub(ps.est.LastSeen())
 	if ps.est.LastSeen().IsZero() {
-		gap = now.Sub(ps.anchored)
+		gap = arrival.Sub(ps.anchored)
 	}
-	if dt := ps.est.Observe(now); dt > 0 {
+	if dt := ps.est.Observe(arrival); dt > 0 {
 		peerInterarrival(string(peer)).Observe(dt)
 	}
 	var tr *Transition
@@ -498,13 +531,13 @@ func (w *Watchdog) Phi(peer transport.Address) float64 {
 	if !ok {
 		return 0
 	}
-	return w.phiOf(ps, w.now())
+	return w.phiOf(ps, w.clock())
 }
 
 // SilentFor returns how long the peer has been silent (zero for
 // unwatched peers; measured from Monitor before the first heartbeat).
 func (w *Watchdog) SilentFor(peer transport.Address) time.Duration {
-	now := w.now()
+	now := w.clock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	ps, ok := w.peers[peer]
@@ -534,7 +567,7 @@ func (w *Watchdog) InterarrivalQuantile(peer transport.Address, q float64) time.
 // MaxPhi returns the highest current suspicion level across watched
 // peers (zero with none) — the scalar a host health collector reads.
 func (w *Watchdog) MaxPhi() float64 {
-	now := w.now()
+	now := w.clock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var max float64
@@ -572,7 +605,7 @@ func (w *Watchdog) Start() {
 // thresholds once the model has enough samples, the bootstrap silence
 // timeout before that. Transitions fire outside the lock.
 func (w *Watchdog) check() {
-	now := w.now()
+	now := w.clock()
 	var fired []Transition
 	w.mu.Lock()
 	cb := w.onChange

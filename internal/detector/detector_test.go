@@ -146,3 +146,38 @@ func TestPartitionCausesSuspicionBothWaysHeals(t *testing.T) {
 	n.Heal("a", "b")
 	waitFor(t, 2*time.Second, func() bool { return !wa.Suspected("b") }, "healed peer never un-suspected")
 }
+
+func TestClockSkewManufacturesFalseSuspicion(t *testing.T) {
+	n := transport.NewMemNetwork()
+	aEp, _ := n.Endpoint("a")
+	bEp, _ := n.Endpoint("b")
+
+	w := NewWatchdog(aEp, 50*time.Millisecond, nil)
+	w.Monitor("b")
+	w.Start()
+	defer w.Stop()
+
+	hb := NewHeartbeater(bEp, 10*time.Millisecond, "a")
+	hb.Start()
+	defer hb.Stop()
+
+	// Healthy heartbeats: no suspicion.
+	time.Sleep(150 * time.Millisecond)
+	if w.Suspected("b") {
+		t.Fatal("peer suspected while heartbeating")
+	}
+
+	// Skew the watchdog's clock far past any plausible silence: every
+	// arrival now looks ancient, so suspicion must form even though the
+	// peer is perfectly healthy — the false-suspicion fault chaos
+	// campaigns drive promotions with.
+	w.SetSkew(10 * time.Second)
+	if got := w.Skew(); got != 10*time.Second {
+		t.Fatalf("Skew() = %v", got)
+	}
+	waitFor(t, 2*time.Second, func() bool { return w.Suspected("b") }, "skewed watchdog never suspected a healthy peer")
+
+	// Clearing the skew lets the hysteresis recover the verdict.
+	w.SetSkew(0)
+	waitFor(t, 2*time.Second, func() bool { return !w.Suspected("b") }, "peer never recovered after skew cleared")
+}

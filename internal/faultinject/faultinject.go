@@ -29,9 +29,11 @@ type ValueInjector struct {
 // NewValueInjector returns an injector with a seeded random source.
 func NewValueInjector(seed int64) *ValueInjector {
 	rng := rand.New(rand.NewSource(seed))
+	// Intn(64) spans the whole word — bit 0 (the LSB a ±1 error flips)
+	// and bit 63 (the sign bit) are as fair game as any.
 	return &ValueInjector{
 		rng:       rng,
-		stuckMask: 1 << (uint(rng.Intn(62)) + 1),
+		stuckMask: int64(1) << uint(rng.Intn(64)),
 	}
 }
 
@@ -62,8 +64,8 @@ func (v *ValueInjector) Apply(result int64) int64 {
 	if v.transient > 0 {
 		v.transient--
 		v.injected++
-		bit := uint(v.rng.Intn(62)) + 1
-		return result ^ (1 << bit)
+		bit := uint(v.rng.Intn(64))
+		return result ^ (int64(1) << bit)
 	}
 	return result
 }

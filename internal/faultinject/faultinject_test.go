@@ -82,6 +82,65 @@ func TestCorruptionNeverIdentity_Property(t *testing.T) {
 	}
 }
 
+// The injector must be able to hit every bit of the word. The original
+// implementation drew from Intn(62)+1, so bit 0 (LSB: off-by-one
+// corruptions) and bit 63 (sign flips) were unreachable — an adversary
+// with a blind spot exactly where arithmetic bugs live.
+func TestTransientFlipsCoverFullWord(t *testing.T) {
+	v := NewValueInjector(4242)
+	const rounds = 64 * 128 // missing-bit probability ~ 64·(63/64)^8192 ≈ 0
+	v.InjectTransient(rounds)
+	var seen [64]bool
+	for i := 0; i < rounds; i++ {
+		flipped := v.Apply(0) // Apply(0) exposes the flipped bit directly
+		if flipped == 0 {
+			t.Fatal("transient flip produced identity")
+		}
+		for b := 0; b < 64; b++ {
+			if flipped == int64(1)<<uint(b) {
+				seen[b] = true
+			}
+		}
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Fatalf("bit %d never flipped in %d transient corruptions", b, rounds)
+		}
+	}
+	if !seen[0] || !seen[63] {
+		t.Fatal("boundary bits 0/63 not covered")
+	}
+}
+
+// The permanent stuck-at mask must likewise range over all 64 bit
+// positions across seeds, including both word boundaries.
+func TestStuckMaskCoversFullWord(t *testing.T) {
+	var seen [64]bool
+	for seed := int64(0); seed < 64*128; seed++ {
+		v := NewValueInjector(seed)
+		v.SetPermanent(true)
+		mask := v.Apply(0)
+		if mask == 0 {
+			t.Fatalf("seed %d: stuck mask is zero", seed)
+		}
+		found := false
+		for b := 0; b < 64; b++ {
+			if mask == int64(1)<<uint(b) {
+				seen[b] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d: stuck mask %#x is not a single bit", seed, uint64(mask))
+		}
+	}
+	for b, ok := range seen {
+		if !ok {
+			t.Fatalf("bit %d never chosen as stuck mask", b)
+		}
+	}
+}
+
 func TestCrashSwitch(t *testing.T) {
 	var c CrashSwitch
 	var fired atomic.Int32

@@ -41,6 +41,10 @@ type detectorContent struct {
 	// health is the host's monitor (wired by deploy); the detector
 	// contributes the heartbeat-quality collector to it.
 	health *host.HealthMonitor
+	// skew is the clock offset to apply to the watchdog (chaos
+	// injection); kept here so a skew set before OnStart survives into
+	// the watchdog it builds.
+	skew time.Duration
 }
 
 func newDetectorContent(ep transport.Endpoint, peer transport.Address, crash *faultinject.CrashSwitch, interval, timeout time.Duration, health *host.HealthMonitor) *detectorContent {
@@ -60,8 +64,63 @@ var (
 )
 
 // SetProperty re-points the watched peer at runtime (membership changes
-// after a failover in a multi-replica group).
+// after a failover in a multi-replica group) or injects a clock-skew
+// offset into the live watchdog (the chaos engine's clock fault).
 func (d *detectorContent) SetProperty(name string, value any) error {
+	if name == "clock-skew" {
+		var skew time.Duration
+		switch v := value.(type) {
+		case time.Duration:
+			skew = v
+		case string:
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return fmt.Errorf("ftm: detector clock-skew: %w", err)
+			}
+			skew = d
+		default:
+			return fmt.Errorf("ftm: detector clock-skew property is %T", value)
+		}
+		d.mu.Lock()
+		d.skew = skew
+		wd := d.wd
+		d.mu.Unlock()
+		if wd != nil {
+			wd.SetSkew(skew)
+		}
+		return nil
+	}
+	if name == "reset" {
+		// Re-arm the verdict for one peer: out-of-band proof of life (a
+		// role-query reply during split-brain resolution) arrived while
+		// the watchdog may still be holding an unrecovered suspicion.
+		// The watchdog and the reported map survive role-change
+		// reconfigurations (the detector is a fixed feature), so without
+		// this a replica demoted mid-suspicion would never see another
+		// suspicion edge for that peer — re-anchor the model and clear
+		// the reported edge so the next real silence fires fresh.
+		var peer transport.Address
+		switch v := value.(type) {
+		case string:
+			peer = transport.Address(v)
+		case transport.Address:
+			peer = v
+		default:
+			return fmt.Errorf("ftm: detector reset property is %T", value)
+		}
+		if peer == "" {
+			return nil
+		}
+		d.mu.Lock()
+		wd := d.wd
+		delete(d.reported, peer)
+		d.mu.Unlock()
+		if wd != nil {
+			wd.Forget(peer)
+			wd.Monitor(peer)
+		}
+		return nil
+	}
 	if name != "peer" {
 		return nil
 	}
@@ -98,6 +157,9 @@ func (d *detectorContent) OnStart(ctx context.Context) error {
 	d.reported = make(map[transport.Address]bool)
 	d.hb = detector.NewHeartbeater(d.ep, d.interval, d.peer)
 	d.wd = detector.NewWatchdog(d.ep, d.timeout, d.onTransition)
+	if d.skew != 0 {
+		d.wd.SetSkew(d.skew)
+	}
 	d.wd.Monitor(d.peer)
 	d.hb.Start()
 	d.wd.Start()

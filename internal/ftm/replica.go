@@ -515,6 +515,18 @@ func (r *Replica) repointTo(master transport.Address) error {
 	return rt.SetProperty(r.path+"/"+NameDetector, "peer", string(master))
 }
 
+// SetClockSkew shifts this replica's failure-detection clock by d — the
+// chaos engine's clock-skew fault. Positive skew makes the peer's
+// silence look longer than it is, which is how an unsynchronized clock
+// manufactures false suspicion. FTMs without a detector ignore it.
+func (r *Replica) SetClockSkew(d time.Duration) error {
+	rt := r.h.Runtime()
+	if rt == nil {
+		return host.ErrCrashed
+	}
+	return rt.SetProperty(r.path+"/"+NameDetector, "clock-skew", d)
+}
+
 // otherMembers lists every member but this replica, in rank order.
 func (r *Replica) otherMembers() []string {
 	self := r.h.Addr()
@@ -595,8 +607,22 @@ func (r *Replica) resolveSplitBrain() {
 		return
 	}
 	r.event("split brain detected: demoting (younger mastership)")
-	if err := r.Demote(ctx); err != nil {
+	// Demote only the mastership this verdict judged: the resolver runs
+	// asynchronously and may lose the reconfiguration lock to a
+	// crash-driven re-promotion — deposing that newer, legitimate
+	// master on a stale verdict would leave the pair masterless.
+	if err := r.demoteIf(ctx, mySince); err != nil {
 		r.event(fmt.Sprintf("demotion failed: %v", err))
+	}
+	// The role reply is out-of-band proof the peer is alive, but the
+	// watchdog may still be holding an unrecovered suspicion of it (a
+	// partition that healed faster than a heartbeat round). Every
+	// recovery path downstream of the detector is edge-triggered, so a
+	// slave whose detector is stuck suspected would never promote when
+	// the peer later really dies — re-arm the verdict now that liveness
+	// is proven.
+	if rt := r.h.Runtime(); rt != nil {
+		_ = rt.SetProperty(r.path+"/"+NameDetector, "reset", string(peer))
 	}
 }
 
@@ -604,10 +630,18 @@ func (r *Replica) resolveSplitBrain() {
 // machinery as Promote, then resynchronizes from the surviving master
 // when the mechanism supports state transfer.
 func (r *Replica) Demote(ctx context.Context) error {
+	return r.demoteIf(ctx, time.Time{})
+}
+
+// demoteIf demotes the replica when since is zero or still names the
+// current mastership epoch. masterSince only changes under a completed
+// Promote, so a caller that snapshots it and passes it here can never
+// demote a mastership minted after its decision.
+func (r *Replica) demoteIf(ctx context.Context, since time.Time) error {
 	unlock := r.LockReconfig()
 	defer unlock()
 	r.mu.Lock()
-	if r.cfg.Role != core.RoleMaster {
+	if r.cfg.Role != core.RoleMaster || (!since.IsZero() && !r.masterSince.Equal(since)) {
 		r.mu.Unlock()
 		return nil
 	}
@@ -650,10 +684,12 @@ func (r *Replica) Demote(ctx context.Context) error {
 	mDemotions.Inc()
 	r.event("demoted to slave")
 	telemetry.DumpBlackBox("demoted", "host", r.h.Name(), "system", r.System())
-	if desc.NeedsStateAccess {
-		if err := r.SyncFromPeer(ctx); err != nil {
-			r.event(fmt.Sprintf("post-demotion sync failed: %v", err))
-		}
+	// Resynchronize unconditionally: the checkpoint pull rides the
+	// protocol's fixed state and reply-log features, available under
+	// every mechanism, and a demoted ex-master may hold divergent state
+	// from its spurious mastership however the system replicates.
+	if err := r.SyncFromPeer(ctx); err != nil {
+		r.event(fmt.Sprintf("post-demotion sync failed: %v", err))
 	}
 	return nil
 }
@@ -733,6 +769,14 @@ func (r *Replica) Promote(ctx context.Context) error {
 	mPromotions.Inc()
 	r.event("promoted to master")
 	telemetry.DumpBlackBox("promoted", "host", r.h.Name(), "system", r.System())
+	// Proactively check for a live senior master: a promotion driven by
+	// a false suspicion — an asymmetric partition or a skewed detector
+	// clock silences the master in one direction only — creates a split
+	// brain that used to persist until a heal re-fired the peer-restored
+	// edge at the old master. Querying the peer right now bounds that
+	// window to one round trip. Asynchronous because resolution may
+	// demote, and the reconfiguration lock is still held here.
+	go r.resolveSplitBrain()
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"resilientft/internal/core"
 	"resilientft/internal/host"
 	"resilientft/internal/rpc"
+	"resilientft/internal/stablestore"
 	"resilientft/internal/transport"
 )
 
@@ -34,6 +35,10 @@ type SystemConfig struct {
 	SuspectTimeout    time.Duration
 	// EventHook receives replica life-cycle events.
 	EventHook func(hostName, event string)
+	// StoreFactory supplies each host's stable store (default: a fresh
+	// MemStore per host). The chaos engine hands out FaultStore wrappers
+	// here so campaigns can slow or fill a live replica's storage.
+	StoreFactory func(hostName string) stablestore.Store
 }
 
 // System is a running two-replica fault-tolerant application plus the
@@ -68,7 +73,11 @@ func NewSystem(ctx context.Context, cfg SystemConfig) (*System, error) {
 	s := &System{Net: cfg.Net, Registry: NewRegistry(), cfg: cfg}
 
 	for i, name := range cfg.HostNames {
-		h, err := host.New(name, cfg.Net, s.Registry)
+		var hostOpts []host.Option
+		if cfg.StoreFactory != nil {
+			hostOpts = append(hostOpts, host.WithStore(cfg.StoreFactory(name)))
+		}
+		h, err := host.New(name, cfg.Net, s.Registry, hostOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -249,16 +258,44 @@ func (s *System) RestartReplica(ctx context.Context, idx int) (*Replica, error) 
 	if err != nil {
 		return nil, err
 	}
-	// Best-effort state transfer; configurations without state access
-	// rely on determinism instead.
-	if desc := core.MustLookup(ftmID); desc.NeedsStateAccess {
+	// State transfer from the survivor. The pull is served by the peer
+	// protocol's fixed state and reply-log features, so it works under
+	// every mechanism — NeedsStateAccess describes the steady-state
+	// replication style, not the recovery path. Rejoining blind under a
+	// no-state-access FTM (determinism only replays what a process has
+	// seen, and a restarted one has seen nothing) loses both the
+	// application state and the reply log, so a later failover would
+	// re-execute acknowledged writes.
+	if peer := s.Replicas()[1-idx]; peer != nil && !peer.Host().Crashed() {
 		if err := r.SyncFromPeer(ctx); err != nil {
 			return nil, fmt.Errorf("ftm: rejoin sync: %w", err)
 		}
 	}
 	s.mu.Lock()
 	s.replicas[idx] = r
+	peer := s.replicas[1-idx]
 	s.mu.Unlock()
+
+	// The restart may have produced a masterless pair: if the master
+	// crashed and was restarted before the slave's failure detector
+	// accrued enough silence to suspect it (a fast supervisor restart),
+	// no suspicion edge ever fires and both replicas sit as slaves
+	// forever — every recovery path downstream of the detector is
+	// edge-triggered. Mint exactly one master here: the surviving
+	// replica, whose state is authoritative, or this one when it is
+	// alone. Promote is idempotent, so racing an in-flight
+	// detector-driven promotion is safe, and a double promotion resolves
+	// through the split-brain check Promote runs on completion.
+	if s.Master() == nil {
+		candidate := r
+		if peer != nil && !peer.Host().Crashed() {
+			candidate = peer
+		}
+		if err := candidate.Promote(ctx); err != nil {
+			return nil, fmt.Errorf("ftm: masterless restart: promoting %s: %w",
+				candidate.Host().Name(), err)
+		}
+	}
 	return r, nil
 }
 

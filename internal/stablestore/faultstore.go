@@ -1,0 +1,77 @@
+package stablestore
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// ErrStoreFull is returned by a FaultStore whose full fault is armed —
+// the disk-full shape: commits are rejected while reads keep working.
+var ErrStoreFull = errors.New("stablestore: store full")
+
+// FaultStore wraps a Store with injectable degradation: a per-operation
+// latency (the slow-disk gray failure, which the host's stable-store
+// health collector observes as degradation) and a full switch that
+// rejects commits. All knobs are atomic and safe to flip on a live
+// store mid-campaign.
+type FaultStore struct {
+	inner Store
+
+	delayNs  atomic.Int64
+	full     atomic.Bool
+	rejected atomic.Uint64
+}
+
+// NewFaultStore wraps inner with clean (zero) fault knobs.
+func NewFaultStore(inner Store) *FaultStore {
+	return &FaultStore{inner: inner}
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// SetDelay imposes d of latency on every subsequent operation (zero
+// restores full speed).
+func (s *FaultStore) SetDelay(d time.Duration) { s.delayNs.Store(int64(d)) }
+
+// Delay returns the currently imposed per-operation latency.
+func (s *FaultStore) Delay() time.Duration { return time.Duration(s.delayNs.Load()) }
+
+// SetFull arms or clears the disk-full fault.
+func (s *FaultStore) SetFull(on bool) { s.full.Store(on) }
+
+// Full reports whether the disk-full fault is armed.
+func (s *FaultStore) Full() bool { return s.full.Load() }
+
+// Rejected returns how many commits the full fault has refused.
+func (s *FaultStore) Rejected() uint64 { return s.rejected.Load() }
+
+func (s *FaultStore) stall() {
+	if d := s.delayNs.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
+// Commit stalls by the injected delay, then rejects when full,
+// otherwise delegates.
+func (s *FaultStore) Commit(rec ConfigRecord) error {
+	s.stall()
+	if s.full.Load() {
+		s.rejected.Add(1)
+		return ErrStoreFull
+	}
+	return s.inner.Commit(rec)
+}
+
+// Current stalls by the injected delay, then delegates — a full disk
+// still reads.
+func (s *FaultStore) Current(system string) (ConfigRecord, bool, error) {
+	s.stall()
+	return s.inner.Current(system)
+}
+
+// History stalls by the injected delay, then delegates.
+func (s *FaultStore) History(system string) ([]ConfigRecord, error) {
+	s.stall()
+	return s.inner.History(system)
+}

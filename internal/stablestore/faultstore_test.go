@@ -1,0 +1,57 @@
+package stablestore
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultStoreFullRejectsCommitsReadsSurvive(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	if err := fs.Commit(ConfigRecord{System: "app", FTM: "pbr", Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.SetFull(true)
+	err := fs.Commit(ConfigRecord{System: "app", FTM: "lfr", Version: 2})
+	if !errors.Is(err, ErrStoreFull) {
+		t.Fatalf("full store accepted a commit: %v", err)
+	}
+	if fs.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", fs.Rejected())
+	}
+	// Reads keep working and see only the pre-fault record.
+	rec, ok, err := fs.Current("app")
+	if err != nil || !ok || rec.FTM != "pbr" {
+		t.Fatalf("Current = %+v ok=%v err=%v", rec, ok, err)
+	}
+
+	fs.SetFull(false)
+	if err := fs.Commit(ConfigRecord{System: "app", FTM: "lfr", Version: 2}); err != nil {
+		t.Fatalf("cleared store rejected a commit: %v", err)
+	}
+	hist, err := fs.History("app")
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("History = %v err=%v", hist, err)
+	}
+}
+
+func TestFaultStoreDelayStallsOperations(t *testing.T) {
+	fs := NewFaultStore(NewMemStore())
+	fs.SetDelay(30 * time.Millisecond)
+	start := time.Now()
+	if _, _, err := fs.Current("app"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("slow store answered in %v", d)
+	}
+	fs.SetDelay(0)
+	start = time.Now()
+	if _, _, err := fs.Current("app"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("restored store still slow: %v", d)
+	}
+}

@@ -12,18 +12,25 @@ import (
 
 // MemNetwork is an in-memory simulated network. Delivery incurs a
 // configurable latency (with jitter), one-way messages can be lost with a
-// configurable probability, and pairs of addresses can be partitioned.
-// All randomness is seeded, so experiments are reproducible.
+// configurable probability, and links between addresses can be
+// partitioned — symmetrically or per direction — or degraded with
+// per-direction gray-failure profiles (LinkFault). All randomness is
+// seeded, so experiments are reproducible.
 //
 // Locking is split for concurrent request traffic: the routing state
-// (endpoints, partitions) sits behind a read-mostly RWMutex, and the
-// random source — only touched when jitter or loss are configured — has
-// its own lock so that delivery of independent messages never serializes
-// on it. The latency/jitter/loss knobs are fixed at construction.
+// (endpoints, partitions, link faults) sits behind a read-mostly
+// RWMutex, and the random source — only touched when jitter, loss or
+// corruption are configured — has its own lock so that delivery of
+// independent messages never serializes on it. The base
+// latency/jitter/loss knobs are fixed at construction; partitions and
+// link faults change at runtime.
 type MemNetwork struct {
-	mu         sync.RWMutex
-	endpoints  map[Address]*memEndpoint
+	mu        sync.RWMutex
+	endpoints map[Address]*memEndpoint
+	// partitions and links are keyed by direction: [from, to]. A
+	// symmetric Partition writes both directions.
 	partitions map[[2]Address]bool
+	links      map[[2]Address]LinkFault
 
 	latency  time.Duration
 	jitter   time.Duration
@@ -31,6 +38,28 @@ type MemNetwork struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+}
+
+// LinkFault is a per-direction gray-failure profile: the link stays up —
+// routing succeeds — but deliveries over it are slow, lossy or corrupt.
+// The zero value is a clean link.
+type LinkFault struct {
+	// ExtraLatency is added to the network's base latency on this link.
+	ExtraLatency time.Duration
+	// Jitter adds up to this much extra random latency per delivery.
+	Jitter time.Duration
+	// Loss is the drop probability for one-way sends over this link,
+	// added to the network's base loss rate.
+	Loss float64
+	// DropCalls is the probability that a call leg over this link
+	// vanishes. On the request leg the handler never runs; on the reply
+	// leg (the reverse-direction link) the handler HAS executed and only
+	// the caller is left in the dark — the executed-but-unacknowledged
+	// shape that retry deduplication exists for.
+	DropCalls float64
+	// Corrupt is the probability that a delivered payload has a few
+	// random bits flipped before the handler sees it.
+	Corrupt float64
 }
 
 // MemOption configures a MemNetwork.
@@ -62,6 +91,7 @@ func NewMemNetwork(opts ...MemOption) *MemNetwork {
 		endpoints:  make(map[Address]*memEndpoint),
 		rng:        rand.New(rand.NewSource(1)),
 		partitions: make(map[[2]Address]bool),
+		links:      make(map[[2]Address]LinkFault),
 	}
 	for _, o := range opts {
 		o(n)
@@ -87,14 +117,32 @@ func (n *MemNetwork) Endpoint(addr Address) (Endpoint, error) {
 func (n *MemNetwork) Partition(a, b Address) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.partitions[pairKey(a, b)] = true
+	n.partitions[[2]Address{a, b}] = true
+	n.partitions[[2]Address{b, a}] = true
 }
 
-// Heal restores traffic between a and b.
+// PartitionOneWay blocks traffic from from to to only; to can still
+// reach from — the asymmetric-link shape of a gray network failure,
+// where e.g. a peer's heartbeats arrive while deliveries to it vanish.
+func (n *MemNetwork) PartitionOneWay(from, to Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitions[[2]Address{from, to}] = true
+}
+
+// Heal restores traffic between a and b in both directions.
 func (n *MemNetwork) Heal(a, b Address) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	delete(n.partitions, pairKey(a, b))
+	delete(n.partitions, [2]Address{a, b})
+	delete(n.partitions, [2]Address{b, a})
+}
+
+// HealOneWay restores traffic from from to to only.
+func (n *MemNetwork) HealOneWay(from, to Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitions, [2]Address{from, to})
 }
 
 // HealAll removes every partition.
@@ -104,11 +152,34 @@ func (n *MemNetwork) HealAll() {
 	n.partitions = make(map[[2]Address]bool)
 }
 
-func pairKey(a, b Address) [2]Address {
-	if a > b {
-		a, b = b, a
-	}
-	return [2]Address{a, b}
+// Partitioned reports whether from->to traffic is currently blocked.
+func (n *MemNetwork) Partitioned(from, to Address) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.partitions[[2]Address{from, to}]
+}
+
+// SetLinkFault installs (or replaces) the gray-failure profile on the
+// directional link from->to.
+func (n *MemNetwork) SetLinkFault(from, to Address, f LinkFault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[[2]Address{from, to}] = f
+}
+
+// ClearLinkFault removes the fault profile on the directional link
+// from->to.
+func (n *MemNetwork) ClearLinkFault(from, to Address) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.links, [2]Address{from, to})
+}
+
+// ClearLinkFaults removes every link-fault profile.
+func (n *MemNetwork) ClearLinkFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links = make(map[[2]Address]LinkFault)
 }
 
 // Stats returns the traffic counters of addr.
@@ -122,32 +193,111 @@ func (n *MemNetwork) Stats(addr Address) Stats {
 	return ep.statsSnapshot()
 }
 
-// route resolves delivery of a packet: the target endpoint or an error,
-// plus the delay to impose and whether a lossy send drops the packet.
-func (n *MemNetwork) route(from, to Address, oneWay bool) (*memEndpoint, time.Duration, bool, error) {
+// routeInfo is a resolved directional hop: where the packet goes, how
+// long it takes, and whether the link's faults drop or corrupt it.
+type routeInfo struct {
+	target  *memEndpoint
+	delay   time.Duration
+	dropped bool
+	corrupt bool
+}
+
+// route resolves delivery of a packet over the directional link
+// from->to: the target endpoint or an error, plus the delay to impose
+// and whether the link's loss/corruption faults hit this delivery.
+func (n *MemNetwork) route(from, to Address, oneWay bool) (routeInfo, error) {
 	n.mu.RLock()
-	partitioned := n.partitions[pairKey(from, to)]
+	partitioned := n.partitions[[2]Address{from, to}]
+	lf, gray := n.links[[2]Address{from, to}]
 	target, ok := n.endpoints[to]
 	n.mu.RUnlock()
 	if partitioned {
 		CountDrop(DropPartition)
-		return nil, 0, false, fmt.Errorf("%w: %s -> %s (partitioned)", ErrUnreachable, from, to)
+		return routeInfo{}, fmt.Errorf("%w: %s -> %s (partitioned)", ErrUnreachable, from, to)
 	}
 	if !ok || target.isClosed() {
 		CountDrop(DropUnreachable)
-		return nil, 0, false, fmt.Errorf("%w: %s", ErrUnreachable, to)
+		return routeInfo{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	delay := n.latency
-	dropped := false
-	if n.jitter > 0 || (oneWay && n.lossRate > 0) {
-		n.rngMu.Lock()
-		if n.jitter > 0 {
-			delay += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	ri := routeInfo{target: target, delay: n.latency}
+	jitter := n.jitter
+	var loss float64
+	if oneWay {
+		loss = n.lossRate
+	}
+	if gray {
+		ri.delay += lf.ExtraLatency
+		jitter += lf.Jitter
+		if oneWay {
+			loss += lf.Loss
+		} else {
+			loss += lf.DropCalls
 		}
-		dropped = oneWay && n.lossRate > 0 && n.rng.Float64() < n.lossRate
+	}
+	if jitter > 0 || loss > 0 || (gray && lf.Corrupt > 0) {
+		n.rngMu.Lock()
+		if jitter > 0 {
+			ri.delay += time.Duration(n.rng.Int63n(int64(jitter)))
+		}
+		ri.dropped = loss > 0 && n.rng.Float64() < loss
+		ri.corrupt = gray && lf.Corrupt > 0 && n.rng.Float64() < lf.Corrupt
 		n.rngMu.Unlock()
 	}
-	return target, delay, dropped, nil
+	return ri, nil
+}
+
+// replyRoute resolves the reverse leg of a call — the delay to impose on
+// the reply and whether it is lost to a partition or link fault cutting
+// the from->to direction. By the time it is consulted the handler has
+// already executed: a lost reply leaves the caller uncertain while the
+// effect stands, which is exactly the ambiguity at-most-once retry
+// machinery must absorb.
+func (n *MemNetwork) replyRoute(from, to Address) (time.Duration, bool) {
+	n.mu.RLock()
+	partitioned := n.partitions[[2]Address{from, to}]
+	lf, gray := n.links[[2]Address{from, to}]
+	n.mu.RUnlock()
+	if partitioned {
+		CountDrop(DropPartition)
+		return 0, true
+	}
+	delay := n.latency
+	jitter := n.jitter
+	var loss float64
+	if gray {
+		delay += lf.ExtraLatency
+		jitter += lf.Jitter
+		loss = lf.DropCalls
+	}
+	if jitter > 0 || loss > 0 {
+		n.rngMu.Lock()
+		if jitter > 0 {
+			delay += time.Duration(n.rng.Int63n(int64(jitter)))
+		}
+		if loss > 0 && n.rng.Float64() < loss {
+			n.rngMu.Unlock()
+			CountDrop(DropCallLoss)
+			return 0, true
+		}
+		n.rngMu.Unlock()
+	}
+	return delay, false
+}
+
+// corruptPayload flips a few seeded-random bits of b in place and
+// accounts for the corruption. Chaos campaigns replay identically under
+// the same network seed.
+func (n *MemNetwork) corruptPayload(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	n.rngMu.Lock()
+	flips := 1 + n.rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		b[n.rng.Intn(len(b))] ^= 1 << uint(n.rng.Intn(8))
+	}
+	n.rngMu.Unlock()
+	mCorrupted.Inc()
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -245,18 +395,22 @@ func (e *memEndpoint) Send(ctx context.Context, to Address, kind string, payload
 		CountDrop(DropOversized)
 		return fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
-	target, delay, dropped, err := e.net.route(e.addr, to, true)
+	ri, err := e.net.route(e.addr, to, true)
 	if err != nil {
 		return err
 	}
 	e.accountSent(len(payload))
-	if dropped {
+	if ri.dropped {
 		CountDrop(DropLoss)
 		return nil // fire-and-forget loss is silent, like UDP
 	}
 	// The delivery is asynchronous, so the payload is copied once to
 	// decouple it from any buffer the caller reuses.
 	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: append([]byte(nil), payload...)}
+	if ri.corrupt {
+		e.net.corruptPayload(pkt.Payload)
+	}
+	target, delay := ri.target, ri.delay
 	go func() {
 		if err := sleepCtx(context.Background(), delay); err != nil {
 			return
@@ -285,11 +439,19 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 		CountDrop(DropOversized)
 		return nil, fmt.Errorf("%w: %d bytes to %s", ErrTooLarge, len(payload), to)
 	}
-	target, delay, _, err := e.net.route(e.addr, to, false)
+	ri, err := e.net.route(e.addr, to, false)
 	if err != nil {
 		return nil, err
 	}
 	e.accountSent(len(payload))
+	if ri.dropped {
+		// The request leg vanished before dispatch: the handler never
+		// runs, and the caller sees the same unreachability a timeout
+		// would surface — retry-safe.
+		CountDrop(DropCallLoss)
+		return nil, fmt.Errorf("%w: %s -> %s (call lost)", ErrUnreachable, e.addr, to)
+	}
+	target, delay := ri.target, ri.delay
 	if err := sleepCtx(ctx, delay); err != nil {
 		return nil, err
 	}
@@ -307,8 +469,14 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
 	// The caller blocks for the reply, so the payload travels without a
-	// defensive copy.
-	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: payload}
+	// defensive copy — unless corruption must mutate it, which may not
+	// touch the caller's buffer.
+	body := payload
+	if ri.corrupt {
+		body = append([]byte(nil), payload...)
+		e.net.corruptPayload(body)
+	}
+	pkt := Packet{From: e.addr, To: to, Kind: kind, Payload: body}
 	target.accountReceived(len(pkt.Payload))
 
 	done := getCallSlot()
@@ -325,9 +493,16 @@ func (e *memEndpoint) Call(ctx context.Context, to Address, kind string, payload
 		}
 		// The remote produced and sent the reply at this point: account
 		// for it before modelling its transit delay, so a caller that
-		// gives up mid-flight still observes the received traffic.
+		// gives up mid-flight still observes the received traffic. The
+		// reply travels the reverse link, which carries its own
+		// partition and fault state — losing it here models
+		// executed-but-unacknowledged calls.
 		e.accountReceived(len(r.reply))
-		if err := sleepCtx(ctx, delay); err != nil {
+		replyDelay, lost := e.net.replyRoute(to, e.addr)
+		if lost {
+			return nil, fmt.Errorf("%w: %s -> %s (reply lost)", ErrUnreachable, to, e.addr)
+		}
+		if err := sleepCtx(ctx, replyDelay); err != nil {
 			return nil, err
 		}
 		return r.reply, nil

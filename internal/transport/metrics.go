@@ -24,6 +24,10 @@ var (
 	mEncodeGob  = telemetry.Default().Counter("transport_encode_total", "path", "gob")
 	mDecodeFast = telemetry.Default().Counter("transport_decode_total", "path", "fast")
 	mDecodeGob  = telemetry.Default().Counter("transport_decode_total", "path", "gob")
+
+	// mCorrupted counts payloads mutated by a LinkFault corruption
+	// profile — deliveries that arrived, but wrong.
+	mCorrupted = telemetry.Default().Counter("transport_corrupted_total")
 )
 
 // Drop reasons. Every discarded message increments
@@ -38,6 +42,7 @@ const (
 	DropCodecMismatch = "codec-mismatch" // fast-coded data hit a gob-only type
 	DropDecodeError   = "decode-error"   // payload failed to decode
 	DropTCPDecode     = "tcp-decode"     // broken frame on a TCP connection
+	DropCallLoss      = "call-loss"      // LinkFault dropped a call or reply leg
 )
 
 // dropCounters pre-registers a counter per reason so hot paths do not
@@ -52,6 +57,7 @@ var dropCounters = map[string]*telemetry.Counter{
 	DropCodecMismatch: telemetry.Default().Counter("transport_dropped_total", "reason", DropCodecMismatch),
 	DropDecodeError:   telemetry.Default().Counter("transport_dropped_total", "reason", DropDecodeError),
 	DropTCPDecode:     telemetry.Default().Counter("transport_dropped_total", "reason", DropTCPDecode),
+	DropCallLoss:      telemetry.Default().Counter("transport_dropped_total", "reason", DropCallLoss),
 }
 
 // CountDrop increments the process-wide drop counter for reason. Other
